@@ -1,0 +1,151 @@
+// Benchmarks regenerating the paper-reproduction experiments E1–E10.
+// Each benchmark runs the corresponding experiment from
+// internal/experiments at reduced (Quick) scale and reports its key
+// figure as a custom metric; `go run ./cmd/bistro-bench` prints the
+// full tables at full scale. See DESIGN.md for the experiment index
+// and EXPERIMENTS.md for recorded results.
+package bistro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bistro/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration.
+func runExperiment(b *testing.B, run func(experiments.Options) (experiments.Table, error)) experiments.Table {
+	b.Helper()
+	var table experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = run(experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return table
+}
+
+// metric parses a leading float out of a table cell like "23x" or
+// "1.59s" or "0.873".
+func metric(cell string) float64 {
+	end := 0
+	for end < len(cell) && (cell[end] == '.' || cell[end] == '-' || (cell[end] >= '0' && cell[end] <= '9')) {
+		end++
+	}
+	v, _ := strconv.ParseFloat(cell[:end], 64)
+	return v
+}
+
+func BenchmarkE1PullScan(b *testing.B) {
+	t := runExperiment(b, experiments.E1PullScan)
+	last := t.Rows[len(t.Rows)-1]
+	b.ReportMetric(metric(last[len(last)-1]), "notify_speedup_x")
+}
+
+func BenchmarkE2RsyncVsReceipts(b *testing.B) {
+	t := runExperiment(b, experiments.E2RsyncVsReceipts)
+	for _, row := range t.Rows {
+		if strings.HasPrefix(row[0], "cron") {
+			continue
+		}
+		b.ReportMetric(metric(row[len(row)-1]), "receipts_speedup_x")
+	}
+}
+
+func BenchmarkE3Propagation(b *testing.B) {
+	t := runExperiment(b, experiments.E3Propagation)
+	for _, row := range t.Rows {
+		if row[0] == "scan" {
+			b.ReportMetric(metric(row[len(row)-1]), "scaled_max_s")
+		}
+	}
+}
+
+func BenchmarkE4Scheduler(b *testing.B) {
+	t := runExperiment(b, experiments.E4Scheduler)
+	for _, row := range t.Rows {
+		if strings.HasPrefix(row[0], "partitioned") {
+			b.ReportMetric(metric(row[1]), "partitioned_fast_max_tardy_s")
+		}
+		if strings.HasPrefix(row[0], "global-fifo") {
+			b.ReportMetric(metric(row[1]), "global_fifo_fast_max_tardy_s")
+		}
+	}
+}
+
+func BenchmarkE5Backfill(b *testing.B) {
+	t := runExperiment(b, experiments.E5Backfill)
+	for _, row := range t.Rows {
+		switch row[0] {
+		case "concurrent":
+			b.ReportMetric(metric(row[4]), "concurrent_max_tardy_s")
+		case "in-order":
+			b.ReportMetric(metric(row[4]), "inorder_max_tardy_s")
+		}
+	}
+}
+
+func BenchmarkE6Batching(b *testing.B) {
+	t := runExperiment(b, experiments.E6Batching)
+	for _, row := range t.Rows {
+		if strings.HasPrefix(row[0], "hybrid") {
+			b.ReportMetric(metric(row[2]), "hybrid_broken_batches")
+			b.ReportMetric(metric(row[3]), "hybrid_mean_delay_s")
+		}
+	}
+}
+
+func BenchmarkE7Classifier(b *testing.B) {
+	t := runExperiment(b, experiments.E7Classifier)
+	for _, row := range t.Rows {
+		if row[1] == "true" {
+			b.ReportMetric(metric(row[2]), "indexed_files_per_sec")
+		}
+	}
+}
+
+func BenchmarkE8Discovery(b *testing.B) {
+	t := runExperiment(b, experiments.E8Discovery)
+	var minRecall = 1.0
+	rows := 0
+	for _, row := range t.Rows {
+		if row[0] == "(junk)" || row[1] == "(not recovered)" {
+			continue
+		}
+		rows++
+		if r := metric(row[3]); r < minRecall {
+			minRecall = r
+		}
+	}
+	if rows > 0 {
+		b.ReportMetric(minRecall, "min_recall")
+	}
+}
+
+func BenchmarkE9FalseNegatives(b *testing.B) {
+	t := runExperiment(b, experiments.E9FalseNegatives)
+	for _, row := range t.Rows {
+		if strings.HasPrefix(row[0], "bistro") {
+			b.ReportMetric(metric(row[1]), "bistro_accuracy")
+			b.ReportMetric(metric(row[5]), "bistro_margin")
+		}
+		if strings.HasPrefix(row[0], "edit") {
+			b.ReportMetric(metric(row[5]), "editdist_margin")
+		}
+	}
+}
+
+func BenchmarkE10Recovery(b *testing.B) {
+	t := runExperiment(b, experiments.E10Recovery)
+	for _, row := range t.Rows {
+		if row[0] == "duplicates" {
+			b.ReportMetric(metric(row[1]), "duplicates")
+		}
+		if strings.HasPrefix(row[0], "wal commits/sec (group") {
+			b.ReportMetric(metric(row[1]), "wal_group_commits_per_sec")
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package bistro is the public API of the Bistro data feed management
+// system, a from-scratch Go reproduction of "Bistro Data Feed
+// Management System" (Johnson, Shkapenyuk, Srivastava — AT&T Labs,
+// SIGMOD 2011).
+//
+// A Bistro server receives continuous streams of raw data files from
+// autonomous sources, classifies each file into logical data feeds
+// using a printf-inspired filename pattern language, normalizes file
+// names and content into a staging area, reliably delivers files to
+// subscribers under partitioned real-time scheduling with durable
+// delivery receipts, fires per-file or per-batch triggers, and
+// continuously analyzes filename streams to discover new feeds and
+// flag false positives/negatives in feed definitions.
+//
+// # Quick start
+//
+//	cfg, err := bistro.ParseConfig(`
+//	    feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+//	    subscriber wh { dest "in" subscribe CPU }
+//	`)
+//	srv, err := bistro.NewServer(bistro.ServerOptions{Config: cfg, Root: dir})
+//	err = srv.Start()
+//	defer srv.Stop()
+//	srv.Deposit("CPU_POLL1_201009250451.txt", data)
+//
+// See the examples/ directory for complete programs: a minimal
+// quickstart, the paper's SNMP poller fleet feeding a streaming
+// warehouse, the shipping-company scenario from the introduction, and
+// a two-tier cascaded server network.
+package bistro
+
+import (
+	"bistro/internal/analyzer"
+	"bistro/internal/batch"
+	"bistro/internal/config"
+	"bistro/internal/delivery"
+	"bistro/internal/discovery"
+	"bistro/internal/pattern"
+	"bistro/internal/scheduler"
+	"bistro/internal/server"
+	"bistro/internal/sourceclient"
+	"bistro/internal/subclient"
+)
+
+// Config is a parsed Bistro configuration document: feed hierarchies,
+// filename patterns, normalization and compression options,
+// subscribers with interest sets, delivery methods, and triggers.
+type Config = config.Config
+
+// Feed is one leaf data feed definition.
+type Feed = config.Feed
+
+// Subscriber is one registered feed consumer.
+type Subscriber = config.Subscriber
+
+// TriggerSpec configures per-file or per-batch subscriber triggers.
+type TriggerSpec = config.TriggerSpec
+
+// ParseConfig parses and validates a configuration document written in
+// Bistro's configuration language (SIGMOD'11 §3.1).
+func ParseConfig(src string) (*Config, error) { return config.Parse(src) }
+
+// Pattern is a compiled feed filename pattern in Bistro's
+// printf-inspired language: %s (string), %i (integer), %Y %y %m %d %H
+// %M %S (timestamp components), * (glob wildcard), %% (literal).
+type Pattern = pattern.Pattern
+
+// Fields holds values extracted from a pattern match.
+type Fields = pattern.Fields
+
+// CompilePattern compiles a feed filename pattern.
+func CompilePattern(src string) (*Pattern, error) { return pattern.Compile(src) }
+
+// MustCompilePattern is CompilePattern that panics on error.
+func MustCompilePattern(src string) *Pattern { return pattern.MustCompile(src) }
+
+// Server is a running Bistro feed manager: landing zones, classifier,
+// normalizer, receipt database, partitioned delivery scheduler,
+// trigger engine, retention/archival, monitoring, and feed analyzer.
+type Server = server.Server
+
+// ServerOptions configure a Server.
+type ServerOptions = server.Options
+
+// AnalyzerReport is the feed analyzer's output: suggested new feed
+// definitions, false-negative links, and per-feed subfeed breakdowns.
+type AnalyzerReport = server.AnalyzerReport
+
+// NewServer builds a server; call Start on the result.
+func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
+
+// DeliveryEvent is one observable delivery occurrence (delivered,
+// failed, subscriber offline/online, backfill queued).
+type DeliveryEvent = delivery.Event
+
+// SourceClient is the lightweight client feed producers embed to
+// deposit files and mark end-of-batch punctuation.
+type SourceClient = sourceclient.Client
+
+// DialSource connects a data source to a Bistro server.
+var DialSource = sourceclient.Dial
+
+// SubscriberDaemon is the endpoint a subscriber host runs to accept
+// pushed files, notifications, and remote triggers.
+type SubscriberDaemon = subclient.Daemon
+
+// SubscriberOptions configure a SubscriberDaemon.
+type SubscriberOptions = subclient.Options
+
+// StartSubscriber launches a subscriber daemon on addr.
+var StartSubscriber = subclient.Start
+
+// AtomicFeed is a feed definition discovered from a filename stream by
+// the feed analyzer (§5.1).
+type AtomicFeed = discovery.AtomicFeed
+
+// Observation is one file sighting fed to the discovery analyzer.
+type Observation = discovery.Observation
+
+// FeedDiscovery incrementally clusters file observations into atomic
+// feeds with inferred field types, domains, and arrival statistics.
+type FeedDiscovery = discovery.Analyzer
+
+// NewFeedDiscovery returns a discovery analyzer with production
+// defaults.
+func NewFeedDiscovery() *FeedDiscovery { return discovery.New(discovery.DefaultOptions()) }
+
+// FalseNegative links a cluster of unmatched files to the installed
+// feed it most plausibly belongs to (§5.2).
+type FalseNegative = analyzer.FalseNegative
+
+// SubfeedReport is the false-positive analysis of one feed (§5.3).
+type SubfeedReport = analyzer.SubfeedReport
+
+// Batch is a closed group of files emitted by batch detection (§2.3).
+type Batch = batch.Batch
+
+// SchedulerConfig describes the partitioned delivery scheduler layout
+// (§4.3): responsiveness partitions, per-partition policies, backfill
+// mode, and the same-file locality heuristic.
+type SchedulerConfig = scheduler.Config
+
+// PartitionConfig sizes one scheduler partition.
+type PartitionConfig = scheduler.PartitionConfig
+
+// Scheduling policies available inside a partition.
+const (
+	FIFO       = scheduler.FIFO
+	EDF        = scheduler.EDF
+	PrioEDF    = scheduler.PrioEDF
+	MaxBenefit = scheduler.MaxBenefit
+)
+
+// FeedGroup is a suggested bundle of structurally similar discovered
+// feeds (the §5.1 future-work extension).
+type FeedGroup = analyzer.FeedGroup
+
+// GroupFeeds clusters discovered atomic feeds into candidate feed
+// groups by anchor-blind structural similarity.
+var GroupFeeds = analyzer.GroupFeeds
+
+// AdaptiveBatchSpec tunes the learned end-of-batch detector (the §4.1
+// future-work extension): batch sizes and arrival gaps are learned
+// online instead of configured.
+type AdaptiveBatchSpec = batch.AdaptiveSpec
+
+// MigrationConfig tunes observation-driven dynamic partition
+// reassignment in the scheduler (the §4.3 future-work extension).
+type MigrationConfig = scheduler.MigrationConfig

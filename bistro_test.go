@@ -1,0 +1,139 @@
+package bistro_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bistro"
+)
+
+// TestPublicAPIEndToEnd exercises the exported surface the way a
+// downstream user would: parse a configuration, run a server, deposit
+// through the landing zone, observe delivery, run the analyzer.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	root := t.TempDir()
+	cfg, err := bistro.ParseConfig(`
+feedgroup SNMP {
+    feed CPU {
+        pattern "CPU_POLL%i_%Y%m%d%H%M.txt"
+        normalize "%Y/%m/%d/CPU_POLL%i_%H%M.txt"
+    }
+}
+subscriber wh {
+    dest "wh-in"
+    subscribe SNMP
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := bistro.NewServer(bistro.ServerOptions{
+		Config:       cfg,
+		Root:         root,
+		ScanInterval: -1,
+		NoSync:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Deposit("CPU_POLL1_201009250451.txt", []byte("cpu,42\n")); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(root, "wh-in", "SNMP", "CPU", "2010", "09", "25", "CPU_POLL1_0451.txt")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := os.Stat(want); err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	data, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatalf("not delivered: %v", err)
+	}
+	if string(data) != "cpu,42\n" {
+		t.Fatalf("content = %q", data)
+	}
+
+	// Unmatched traffic drives the analyzer.
+	for i := 0; i < 4; i++ {
+		srv.Deposit(fmt.Sprintf("MEM_PROBE%d_201009250451.dat", i%2+1), []byte("x"))
+	}
+	rep := srv.Analyze()
+	if len(rep.NewFeeds) == 0 {
+		t.Fatal("analyzer found nothing")
+	}
+}
+
+func TestPublicPatternAPI(t *testing.T) {
+	p, err := bistro.CompilePattern("MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields, ok := p.Match("MEMORY_POLLER1_2010092504_51.csv.gz")
+	if !ok {
+		t.Fatal("no match")
+	}
+	ts, ok := fields.Time.Timestamp(time.UTC)
+	if !ok || ts.Hour() != 4 || ts.Minute() != 51 {
+		t.Fatalf("timestamp = %v", ts)
+	}
+	if _, err := bistro.CompilePattern("%Q"); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+}
+
+func TestPublicDiscoveryAPI(t *testing.T) {
+	d := bistro.NewFeedDiscovery()
+	base := time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 8; i++ {
+		ts := base.Add(time.Duration(i) * time.Hour)
+		d.Add(bistro.Observation{
+			Name:    fmt.Sprintf("BPS_poller%d_%s.csv", i%2+1, ts.Format("2006010215")),
+			Arrived: ts,
+		})
+	}
+	feeds := d.Feeds()
+	if len(feeds) != 1 {
+		t.Fatalf("feeds = %d", len(feeds))
+	}
+	groups := bistro.GroupFeeds(feeds, 0.8)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+}
+
+// Example demonstrates the minimal Bistro pipeline.
+func Example() {
+	root, _ := os.MkdirTemp("", "bistro-example-*")
+	defer os.RemoveAll(root)
+
+	cfg, _ := bistro.ParseConfig(`
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+subscriber wh { dest "in" subscribe CPU }
+`)
+	srv, _ := bistro.NewServer(bistro.ServerOptions{
+		Config: cfg, Root: root, ScanInterval: -1, NoSync: true,
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	srv.Deposit("CPU_POLL1_201009250451.txt", []byte("cpu,42\n"))
+	dest := filepath.Join(root, "in", "CPU", "CPU_POLL1_201009250451.txt")
+	for i := 0; i < 1000; i++ {
+		if _, err := os.Stat(dest); err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	data, _ := os.ReadFile(dest)
+	fmt.Printf("delivered: %s", data)
+	// Output: delivered: cpu,42
+}

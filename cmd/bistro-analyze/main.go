@@ -1,0 +1,212 @@
+// Command bistro-analyze runs Bistro's feed analyzer offline over a
+// filename log (SIGMOD'11 §5): it discovers atomic feeds in the
+// stream, suggests feed definitions, and — when given an installed
+// configuration — reports likely false negatives among unmatched files
+// and subfeed/outlier breakdowns of matched files.
+//
+// Input is one file per line: either a bare filename or
+// "filename<TAB>RFC3339-arrival-time".
+//
+// Usage:
+//
+//	bistro-analyze [-config bistro.conf] < filenames.log
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bistro/internal/analyzer"
+	"bistro/internal/classifier"
+	"bistro/internal/config"
+	"bistro/internal/discovery"
+	"bistro/internal/pattern"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "installed configuration (enables FN/FP analysis)")
+		minSupport = flag.Int("min-support", 2, "drop discovered feeds with fewer files")
+		emitConfig = flag.Bool("emit-config", false, "print discovered feeds as ready-to-install configuration")
+	)
+	flag.Parse()
+
+	var cfg *config.Config
+	if *configPath != "" {
+		src, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal("read config: %v", err)
+		}
+		cfg, err = config.Parse(string(src))
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	var class *classifier.Classifier
+	if cfg != nil {
+		class = classifier.New(cfg.Feeds, classifier.Options{})
+	}
+
+	opts := discovery.DefaultOptions()
+	opts.MinSupport = *minSupport
+	var unmatched []discovery.Observation
+	matched := make(map[string][]discovery.Observation)
+	total := 0
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		var arrived time.Time
+		if i := strings.IndexByte(line, '\t'); i >= 0 {
+			name = line[:i]
+			if ts, err := time.Parse(time.RFC3339, strings.TrimSpace(line[i+1:])); err == nil {
+				arrived = ts
+			}
+		}
+		obs := discovery.Observation{Name: name, Arrived: arrived}
+		total++
+		if class == nil {
+			unmatched = append(unmatched, obs)
+			continue
+		}
+		paths := class.FeedPaths(name)
+		if len(paths) == 0 {
+			unmatched = append(unmatched, obs)
+			continue
+		}
+		for _, p := range paths {
+			matched[p] = append(matched[p], obs)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		fatal("read input: %v", err)
+	}
+
+	fmt.Printf("analyzed %d filenames (%d unmatched)\n\n", total, len(unmatched))
+
+	an := discovery.New(opts)
+	for _, o := range unmatched {
+		an.Add(o)
+	}
+	feeds := an.Feeds()
+	fmt.Printf("== discovered atomic feeds (%d) ==\n", len(feeds))
+	for _, f := range feeds {
+		fmt.Printf("  %s\n", f.Describe())
+		for _, ex := range f.Examples {
+			fmt.Printf("      e.g. %s\n", ex)
+		}
+	}
+
+	if *emitConfig && len(feeds) > 0 {
+		fmt.Printf("\n== suggested configuration ==\n%s", suggestedConfig(feeds))
+	}
+
+	groups := analyzer.GroupFeeds(feeds, 0.8)
+	multi := 0
+	for _, g := range groups {
+		if len(g.Members) > 1 {
+			multi++
+		}
+	}
+	if multi > 0 {
+		fmt.Printf("\n== suggested feed groups (%d) ==\n", multi)
+		for gi, g := range groups {
+			if len(g.Members) < 2 {
+				continue
+			}
+			fmt.Printf("  group %d (similarity >= %.2f):\n", gi+1, g.Similarity)
+			for _, m := range g.Members {
+				fmt.Printf("    %s\n", feeds[m].Pattern)
+			}
+		}
+	}
+
+	if cfg == nil {
+		return
+	}
+	var defs []analyzer.FeedDef
+	for _, f := range cfg.Feeds {
+		for _, p := range f.Patterns {
+			defs = append(defs, analyzer.FeedDef{Name: f.Path, Pattern: p})
+		}
+	}
+	fns := analyzer.DetectFalseNegatives(defs, unmatched, analyzer.Options{Discovery: opts})
+	fmt.Printf("\n== possible false negatives (%d) ==\n", len(fns))
+	for _, fn := range fns {
+		fmt.Printf("  feed %s (pattern %s)\n    unmatched cluster: %s (similarity %.2f)\n",
+			fn.Feed, fn.FeedPattern, fn.Suggested.Pattern, fn.Similarity)
+	}
+
+	fmt.Printf("\n== subfeed / false-positive analysis ==\n")
+	for feed, obs := range matched {
+		rep := analyzer.DetectFalsePositives(feed, obs, analyzer.Options{Discovery: opts})
+		fmt.Print(rep.Format())
+	}
+}
+
+// suggestedConfig renders discovered feeds as a parseable config
+// fragment, naming each feed after its leading literal.
+func suggestedConfig(feeds []discovery.AtomicFeed) string {
+	cfg := &config.Config{Groups: map[string][]string{}}
+	used := map[string]bool{}
+	for i, af := range feeds {
+		p, err := pattern.Compile(af.Pattern)
+		if err != nil {
+			continue
+		}
+		name := feedName(af, i, used)
+		f := &config.Feed{
+			Name:          name,
+			Path:          name,
+			Patterns:      []*pattern.Pattern{p},
+			ExpectPeriod:  af.Period,
+			ExpectSources: af.SourcesPerPeriod,
+		}
+		cfg.Feeds = append(cfg.Feeds, f)
+	}
+	return config.Format(cfg)
+}
+
+func feedName(af discovery.AtomicFeed, i int, used map[string]bool) string {
+	base := ""
+	for _, fd := range af.Fields {
+		if fd.Type == discovery.FieldLiteral && fd.Literal != "" {
+			base = strings.ToUpper(fd.Literal)
+			break
+		}
+	}
+	if base == "" || !isIdent(base) {
+		base = "NEWFEED"
+	}
+	name := base
+	for n := 2; used[name]; n++ {
+		name = fmt.Sprintf("%s%d", base, n)
+	}
+	used[name] = true
+	return name
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' || r == '_' || (i > 0 && r >= '0' && r <= '9') {
+			continue
+		}
+		return false
+	}
+	return s != ""
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bistro-analyze: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command bistro-bench regenerates the paper-reproduction experiment
+// tables E1–E10 (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	bistro-bench            # run everything at full scale
+//	bistro-bench -quick     # reduced workloads
+//	bistro-bench -e e4,e5   # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bistro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced workload sizes")
+		only  = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	runners := experiments.All()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	failed := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n\n", strings.ToUpper(r.ID), err)
+			failed++
+			continue
+		}
+		fmt.Print(table.Format())
+		fmt.Printf("(%s in %.1fs)\n\n", strings.ToUpper(r.ID), time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

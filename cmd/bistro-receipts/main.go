@@ -1,0 +1,79 @@
+// Command bistro-receipts inspects a Bistro server's receipt database
+// offline: overall statistics, the files recorded for a feed, and a
+// subscriber's outstanding delivery queue. Point it at the server's
+// receipts directory (<root>/receipts) while the server is stopped, or
+// at a backup restored by the archiver.
+//
+// Usage:
+//
+//	bistro-receipts -dir bistro-data/receipts stats
+//	bistro-receipts -dir bistro-data/receipts feed SNMP/BPS
+//	bistro-receipts -dir bistro-data/receipts pending wh SNMP/BPS[,SNMP/PPS...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bistro/internal/receipts"
+)
+
+func main() {
+	dir := flag.String("dir", "bistro-data/receipts", "receipts directory")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	store, err := receipts.Open(*dir, receipts.Options{NoSync: true})
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer store.Close()
+
+	switch args[0] {
+	case "stats":
+		st := store.Stats()
+		fmt.Printf("files:        %d\n", st.Files)
+		fmt.Printf("expired:      %d\n", st.Expired)
+		fmt.Printf("feeds:        %d\n", st.Feeds)
+		fmt.Printf("subscribers:  %d\n", st.Subscribers)
+		fmt.Printf("wal bytes:    %d\n", st.WALBytes)
+	case "feed":
+		if len(args) != 2 {
+			usage()
+		}
+		files := store.FilesInFeed(args[1])
+		fmt.Printf("%d unexpired files in %s:\n", len(files), args[1])
+		for _, f := range files {
+			fmt.Printf("  %6d  %s  %8d bytes  arrived %s\n",
+				f.ID, f.Name, f.Size, f.Arrived.UTC().Format(time.RFC3339))
+		}
+	case "pending":
+		if len(args) != 3 {
+			usage()
+		}
+		feeds := strings.Split(args[2], ",")
+		pend := store.PendingFor(args[1], feeds)
+		fmt.Printf("%d files pending for %s:\n", len(pend), args[1])
+		for _, f := range pend {
+			fmt.Printf("  %6d  %s\n", f.ID, f.StagedPath)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bistro-receipts -dir DIR {stats | feed PATH | pending SUB FEEDS}")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bistro-receipts: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command bistro-sub runs a Bistro subscriber daemon: it accepts
+// pushed files, availability notifications, and (optionally) remote
+// trigger invocations from a Bistro server, writing received files
+// under a destination directory.
+//
+// Usage:
+//
+//	bistro-sub -listen :9401 -dest /data/incoming [-triggers]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"bistro/internal/protocol"
+	"bistro/internal/subclient"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9401", "listen address")
+		dest     = flag.String("dest", "incoming", "destination directory")
+		name     = flag.String("name", "bistro-sub", "subscriber name")
+		triggers = flag.Bool("triggers", false, "allow remote trigger execution")
+		verbose  = flag.Bool("v", true, "log received files")
+	)
+	flag.Parse()
+
+	opts := subclient.Options{
+		Name:          *name,
+		DestDir:       *dest,
+		AllowTriggers: *triggers,
+	}
+	if *verbose {
+		opts.OnFile = func(rel string) {
+			fmt.Printf("received %s\n", rel)
+		}
+		opts.OnNotify = func(n protocol.Notify) {
+			fmt.Printf("notified %s (feed %s, %d bytes)\n", n.Name, n.Feed, n.Size)
+		}
+	}
+	d, err := subclient.Start(*listen, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bistro-sub: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bistro-sub: listening on %s, writing to %s\n", d.Addr(), *dest)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	d.Stop()
+}

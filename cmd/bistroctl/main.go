@@ -1,0 +1,119 @@
+// Command bistroctl is the source-side client for a Bistro server: it
+// uploads files into the landing zone, announces files deposited via a
+// shared filesystem, and marks end-of-batch punctuation.
+//
+// Usage:
+//
+//	bistroctl -server host:port upload file1 [file2 ...]
+//	bistroctl -server host:port ready rel/path1 [rel/path2 ...]
+//	bistroctl -server host:port eob [feed]
+//	bistroctl -server host:port watch dir       # agent mode: poll dir, upload new files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"bistro/internal/sourceclient"
+)
+
+func main() {
+	var (
+		serverAddr = flag.String("server", "127.0.0.1:9400", "Bistro server address")
+		name       = flag.String("name", "bistroctl", "source name")
+		timeout    = flag.Duration("timeout", 10*time.Second, "operation timeout")
+		interval   = flag.Duration("interval", 2*time.Second, "watch poll interval")
+		remove     = flag.Bool("remove", false, "watch: delete local files after upload")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	client, err := sourceclient.Dial(*serverAddr, *name, *timeout)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "upload":
+		if len(args) < 2 {
+			usage()
+		}
+		for _, path := range args[1:] {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal("read %s: %v", path, err)
+			}
+			if err := client.Upload(filepath.Base(path), data); err != nil {
+				fatal("upload %s: %v", path, err)
+			}
+			fmt.Printf("uploaded %s (%d bytes)\n", filepath.Base(path), len(data))
+		}
+	case "ready":
+		if len(args) < 2 {
+			usage()
+		}
+		for _, rel := range args[1:] {
+			if err := client.FileReady(rel); err != nil {
+				fatal("ready %s: %v", rel, err)
+			}
+			fmt.Printf("announced %s\n", rel)
+		}
+	case "watch":
+		if len(args) != 2 {
+			usage()
+		}
+		stop := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			close(stop)
+		}()
+		fmt.Fprintf(os.Stderr, "bistroctl: watching %s (every %s)\n", args[1], *interval)
+		err := client.WatchDir(args[1], sourceclient.WatchOptions{
+			Interval: *interval,
+			Stop:     stop,
+			Remove:   *remove,
+			OnUpload: func(name string, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bistroctl: upload %s: %v\n", name, err)
+					return
+				}
+				fmt.Printf("uploaded %s\n", name)
+			},
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+	case "eob":
+		feed := ""
+		if len(args) > 1 {
+			feed = args[1]
+		}
+		if err := client.EndOfBatch(feed); err != nil {
+			fatal("eob: %v", err)
+		}
+		fmt.Println("end-of-batch sent")
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: bistroctl -server host:port {upload files... | ready paths... | eob [feed] | watch dir}")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bistroctl: "+format+"\n", args...)
+	os.Exit(1)
+}

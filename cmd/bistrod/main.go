@@ -1,0 +1,95 @@
+// Command bistrod runs a Bistro data feed management server: it loads
+// a configuration file, opens the work area (landing, staging,
+// receipts, archive), and serves the source/subscriber protocol until
+// interrupted.
+//
+// Usage:
+//
+//	bistrod -config bistro.conf -root /var/bistro [-listen :9400]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bistro/internal/config"
+	"bistro/internal/server"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "bistro.conf", "configuration file")
+		root       = flag.String("root", "bistro-data", "server work area")
+		listen     = flag.String("listen", "", "protocol listen address (empty: no listener)")
+		scanEvery  = flag.Duration("scan", 5*time.Second, "landing fallback scan interval")
+		logPath    = flag.String("log", "", "activity log file (empty: stderr)")
+		deadline   = flag.Duration("deadline", time.Minute, "per-file delivery target")
+		analyze    = flag.Duration("analyze", 0, "feed-analyzer interval (0 disables)")
+	)
+	flag.Parse()
+
+	src, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal("read config: %v", err)
+	}
+	cfg, err := config.Parse(string(src))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	logW := os.Stderr
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatal("open log: %v", err)
+		}
+		defer f.Close()
+		logW = f
+	}
+
+	srv, err := server.New(server.Options{
+		Config:          cfg,
+		Root:            *root,
+		Listen:          *listen,
+		ScanInterval:    *scanEvery,
+		Deadline:        *deadline,
+		AnalyzeInterval: *analyze,
+		LogWriter:       logW,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := srv.Start(); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "bistrod: %d feeds, %d subscribers, root %s",
+		len(cfg.Feeds), len(cfg.Subscribers), *root)
+	if addr := srv.Addr(); addr != "" {
+		fmt.Fprintf(os.Stderr, ", listening on %s", addr)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	// SIGUSR1 dumps a monitoring snapshot to stderr.
+	status := make(chan os.Signal, 1)
+	signal.Notify(status, syscall.SIGUSR1)
+	go func() {
+		for range status {
+			fmt.Fprint(os.Stderr, srv.StatusSummary())
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "bistrod: shutting down")
+	srv.Stop()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bistrod: "+format+"\n", args...)
+	os.Exit(1)
+}

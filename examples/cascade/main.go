@@ -1,0 +1,129 @@
+// Cascade: a two-tier distributed feed delivery network (§3).
+//
+// An edge Bistro server collects poller files and pushes its CPU feed
+// over TCP to a core Bistro server (a Bistro acting as a subscriber of
+// another Bistro). The core server classifies the cascaded files into
+// its own feed definitions and delivers them to a local analyst
+// subscriber — demonstrating how cooperating feed managers scale
+// distribution and shield low-bandwidth links.
+//
+// Run with: go run ./examples/cascade
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bistro"
+)
+
+func main() {
+	coreRoot, err := os.MkdirTemp("", "bistro-core-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(coreRoot)
+	edgeRoot, err := os.MkdirTemp("", "bistro-edge-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(edgeRoot)
+
+	// Core server: receives cascaded files, serves its own analysts.
+	coreCfg, err := bistro.ParseConfig(`
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+subscriber analyst { dest "analyst-in" subscribe CPU }
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	core, err := bistro.NewServer(bistro.ServerOptions{
+		Config:       coreCfg,
+		Root:         coreRoot,
+		ScanInterval: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer core.Stop()
+
+	// The core's ingress daemon: pushed files land in the core's
+	// landing zone and are ingested immediately (no polling anywhere).
+	relay, err := bistro.StartSubscriber("127.0.0.1:0", bistro.SubscriberOptions{
+		Name:    "core-ingress",
+		DestDir: core.Landing().Dir(),
+		OnFile: func(rel string) {
+			base := filepath.Base(filepath.FromSlash(rel))
+			if base != rel {
+				os.Rename(
+					filepath.Join(core.Landing().Dir(), filepath.FromSlash(rel)),
+					filepath.Join(core.Landing().Dir(), base),
+				)
+			}
+			if err := core.Landing().FileReady(base); err != nil {
+				log.Printf("core ingest %s: %v", base, err)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer relay.Stop()
+
+	// Edge server: subscribes the core (via the relay daemon) to CPU.
+	edgeCfg, err := bistro.ParseConfig(fmt.Sprintf(`
+feed CPU { pattern "CPU_POLL%%i_%%Y%%m%%d%%H%%M.txt" }
+subscriber core {
+    host "%s"
+    dest ""
+    subscribe CPU
+}
+`, relay.Addr()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	edge, err := bistro.NewServer(bistro.ServerOptions{
+		Config:       edgeCfg,
+		Root:         edgeRoot,
+		ScanInterval: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := edge.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer edge.Stop()
+
+	// Pollers deposit at the edge.
+	ts := time.Date(2010, 9, 25, 4, 51, 0, 0, time.UTC)
+	for p := 1; p <= 3; p++ {
+		name := fmt.Sprintf("CPU_POLL%d_%s.txt", p, ts.Format("200601021504"))
+		if err := edge.Deposit(name, []byte(fmt.Sprintf("poller%d,cpu,17\n", p))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Wait for the files to traverse edge -> core -> analyst.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if core.Store().DeliveredCount("analyst") == 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Printf("edge deliveries to core:   %d\n", edge.Store().DeliveredCount("core"))
+	fmt.Printf("core deliveries to analyst: %d\n", core.Store().DeliveredCount("analyst"))
+	entries, _ := os.ReadDir(filepath.Join(coreRoot, "analyst-in", "CPU"))
+	fmt.Println("analyst received:")
+	for _, e := range entries {
+		fmt.Printf("  %s\n", e.Name())
+	}
+}

@@ -1,0 +1,78 @@
+// Quickstart: the minimal end-to-end Bistro pipeline.
+//
+// One feed, one local subscriber with a per-file trigger. A source
+// deposits a file; Bistro classifies it, normalizes it into staging,
+// records the arrival receipt, delivers it to the subscriber's
+// directory, records the delivery receipt, and fires the trigger.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bistro"
+)
+
+func main() {
+	root, err := os.MkdirTemp("", "bistro-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	cfg, err := bistro.ParseConfig(`
+feed CPU {
+    pattern "CPU_POLL%i_%Y%m%d%H%M.txt"
+    normalize "%Y/%m/%d/CPU_POLL%i_%H%M.txt"
+}
+
+subscriber warehouse {
+    dest "warehouse-in"
+    subscribe CPU
+    trigger perfile exec "echo loaded: %f"
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := bistro.NewServer(bistro.ServerOptions{
+		Config:       cfg,
+		Root:         root,
+		ScanInterval: -1, // we deposit explicitly; no fallback scan needed
+		LogWriter:    os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// A source deposits one measurement file.
+	name := "CPU_POLL1_201009250451.txt"
+	if err := srv.Deposit(name, []byte("router_a,cpu,42\n")); err != nil {
+		log.Fatal(err)
+	}
+
+	// Wait for the delivery receipt.
+	dest := filepath.Join(root, "warehouse-in", "CPU", "2010", "09", "25", "CPU_POLL1_0451.txt")
+	for i := 0; i < 500; i++ {
+		if _, err := os.Stat(dest); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	content, err := os.ReadFile(dest)
+	if err != nil {
+		log.Fatalf("file was not delivered: %v", err)
+	}
+	fmt.Printf("\ndelivered to %s\ncontent: %s", dest, content)
+	fmt.Printf("receipts: %+v\n", srv.Store().Stats())
+}

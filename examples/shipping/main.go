@@ -1,0 +1,132 @@
+// Shipping company: the motivating scenario from the paper's
+// introduction (§1).
+//
+// Four source feeds — package drop-off logs from shipping centers,
+// barcode scans from trucks and warehouses, GPS readings from delivery
+// trucks, and electronic delivery signatures — are distributed to
+// three analyst groups:
+//
+//   - marketing (Atlanta) takes only the drop-off feed;
+//   - operations (Dallas) takes barcode scans and truck GPS;
+//   - the corporate warehouse subscribes to everything.
+//
+// The example also shows the feed analyzer at work: the signature
+// devices get a software update mid-run that renames their output
+// files, and Bistro's analyzer links the resulting unmatched cluster
+// back to the SIGNATURES feed as a suggested definition fix.
+//
+// Run with: go run ./examples/shipping
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bistro"
+)
+
+func main() {
+	root, err := os.MkdirTemp("", "bistro-shipping-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	cfg, err := bistro.ParseConfig(`
+feedgroup PACKAGES {
+    feed DROPOFFS   { pattern "dropoff_center%i_%Y%m%d%H.log.gz" }
+    feed BARCODES   { pattern "scan_%s_%Y%m%d%H%M.csv" }
+    feed GPS        { pattern "gps_truck%i_%Y%m%d%H%M.csv" }
+    feed SIGNATURES { pattern "sig_device%i_%Y%m%d.dat" }
+}
+
+subscriber marketing {
+    dest "marketing-in"
+    subscribe PACKAGES/DROPOFFS
+}
+
+subscriber operations {
+    dest "operations-in"
+    subscribe PACKAGES/BARCODES
+    subscribe PACKAGES/GPS
+    class interactive
+}
+
+subscriber corporate {
+    dest "corporate-in"
+    subscribe PACKAGES
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := bistro.NewServer(bistro.ServerOptions{
+		Config:       cfg,
+		Root:         root,
+		ScanInterval: -1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	day := time.Date(2010, 12, 30, 8, 0, 0, 0, time.UTC)
+	deposit := func(name string) {
+		if err := srv.Deposit(name, []byte("payload for "+name+"\n")); err != nil {
+			log.Fatalf("deposit %s: %v", name, err)
+		}
+	}
+
+	// Morning traffic from every source type.
+	for h := 0; h < 3; h++ {
+		ts := day.Add(time.Duration(h) * time.Hour)
+		for c := 1; c <= 2; c++ {
+			deposit(fmt.Sprintf("dropoff_center%d_%s.log.gz", c, ts.Format("2006010215")))
+		}
+		for _, site := range []string{"atl", "dfw"} {
+			deposit(fmt.Sprintf("scan_%s_%s.csv", site, ts.Format("200601021504")))
+		}
+		for truck := 1; truck <= 3; truck++ {
+			deposit(fmt.Sprintf("gps_truck%d_%s.csv", truck, ts.Format("200601021504")))
+		}
+		deposit(fmt.Sprintf("sig_device%d_%s.dat", h+1, ts.Format("20060102")))
+	}
+
+	// The signature devices get a firmware update and change their
+	// naming convention: these no longer match PACKAGES/SIGNATURES.
+	for d := 1; d <= 3; d++ {
+		deposit(fmt.Sprintf("sig_Device%d_%s.dat", d, day.Format("20060102")))
+		deposit(fmt.Sprintf("sig_Device%d_%s.dat", d, day.Add(24*time.Hour).Format("20060102")))
+	}
+
+	// Drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Store().DeliveredCount("corporate") >= 24 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Println("per-analyst deliveries:")
+	for _, sub := range []string{"marketing", "operations", "corporate"} {
+		fmt.Printf("  %-10s %d files\n", sub, srv.Store().DeliveredCount(sub))
+	}
+	fmt.Printf("unmatched files: %d\n\n", srv.Logger().Unmatched())
+
+	rep := srv.Analyze()
+	fmt.Println("feed analyzer report:")
+	for _, nf := range rep.NewFeeds {
+		fmt.Printf("  new feed candidate: %s\n", nf.Describe())
+	}
+	for _, fn := range rep.FalseNegatives {
+		fmt.Printf("  possible false negative for feed %s:\n    unmatched files look like %s (similarity %.2f)\n",
+			fn.Feed, fn.Suggested.Pattern, fn.Similarity)
+	}
+}

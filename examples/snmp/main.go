@@ -1,0 +1,136 @@
+// SNMP pipeline: the paper's running example end to end.
+//
+// A fleet of SNMP pollers emits per-statistic measurement files every
+// interval. Bistro classifies them into an SNMP feed group (BPS, PPS,
+// CPU, MEMORY), normalizes them into daily directories, and delivers:
+//
+//   - a billing application subscribes only to BPS;
+//   - a capacity-planning warehouse subscribes to the whole SNMP group
+//     with a hybrid count+timeout batch trigger, so it reloads each
+//     partition once per interval instead of once per file;
+//   - a visualizer subscribes to CPU with hybrid notify (push-pull).
+//
+// The pollers mark end-of-batch punctuation, so warehouse batches
+// close exactly at interval boundaries even when a poller is missing.
+//
+// Run with: go run ./examples/snmp
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"bistro"
+	"bistro/internal/workload"
+)
+
+func main() {
+	root, err := os.MkdirTemp("", "bistro-snmp-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	cfg, err := bistro.ParseConfig(`
+feedgroup SNMP {
+    feed BPS    { pattern "BPS_POLLER%i_%Y%m%d%H_%M.csv.gz" }
+    feed PPS    { pattern "PPS_POLL%i_%Y%m%d%H%M.txt" }
+    feed CPU    { pattern "%Y/%m/%d/CPU_poller%i_%H%M.csv" }
+    feed MEMORY { pattern "MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz" }
+}
+
+subscriber billing {
+    dest "billing-in"
+    subscribe SNMP/BPS
+}
+
+subscriber warehouse {
+    dest "warehouse-in"
+    subscribe SNMP
+    trigger batch count 3 timeout 30s exec "echo warehouse load: %f"
+}
+
+subscriber visualizer {
+    dest "viz-in"
+    subscribe SNMP/CPU
+    method notify
+    class interactive
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	delivered := map[string]int{}
+	srv, err := bistro.NewServer(bistro.ServerOptions{
+		Config:       cfg,
+		Root:         root,
+		ScanInterval: -1,
+		OnEvent: func(ev bistro.DeliveryEvent) {
+			mu.Lock()
+			delivered[ev.Subscriber]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// Three pollers, four statistics, six 5-minute intervals.
+	start := time.Date(2010, 9, 25, 4, 0, 0, 0, time.UTC)
+	gen := workload.New(1,
+		workload.FeedSpec{Name: "BPS", Sources: 3, Period: 5 * time.Minute, Convention: workload.ConvUnderscoreTS},
+		workload.FeedSpec{Name: "PPS", Sources: 3, Period: 5 * time.Minute, Convention: workload.ConvCompactTS},
+		workload.FeedSpec{Name: "CPU", Sources: 3, Period: 5 * time.Minute, Convention: workload.ConvDatedDirs},
+		workload.FeedSpec{Name: "MEMORY", Sources: 3, Period: 5 * time.Minute, Convention: workload.ConvUnderscoreTS},
+	)
+	files := gen.Window(start, start.Add(30*time.Minute))
+	fmt.Printf("depositing %d files from 3 pollers x 4 statistics x 6 intervals\n", len(files))
+	lastInterval := time.Time{}
+	for _, f := range files {
+		if !lastInterval.IsZero() && !f.DataTime.Equal(lastInterval) {
+			// Interval boundary: sources punctuate their feeds.
+			for _, feed := range []string{"SNMP/BPS", "SNMP/PPS", "SNMP/CPU", "SNMP/MEMORY"} {
+				srv.Punctuate(feed)
+			}
+		}
+		lastInterval = f.DataTime
+		if err := srv.Deposit(f.Name, workload.Payload(f)); err != nil {
+			log.Fatalf("deposit %s: %v", f.Name, err)
+		}
+	}
+
+	// Wait for deliveries to drain: billing wants 18 BPS files,
+	// warehouse wants all 72, visualizer is notified for 18 CPU files.
+	want := map[string]int{"billing": 18, "warehouse": 72, "visualizer": 18}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := true
+		for sub, n := range want {
+			if delivered[sub] < n {
+				done = false
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	fmt.Println("\nper-feed monitoring summary:")
+	fmt.Print(srv.Logger().Summary())
+	mu.Lock()
+	fmt.Printf("deliveries: billing=%d warehouse=%d visualizer(notify)=%d\n",
+		delivered["billing"], delivered["warehouse"], delivered["visualizer"])
+	mu.Unlock()
+}

@@ -1,0 +1,3 @@
+module bistro
+
+go 1.22

@@ -1,0 +1,454 @@
+// Package analyzer implements the feed-quality half of Bistro's feed
+// analyzer (SIGMOD'11 §5.2–§5.3): detecting likely false negatives
+// (files that should have matched a feed but did not) and likely false
+// positives (files matched into a feed they do not belong to).
+//
+// Following the paper, false-negative detection does NOT use raw string
+// edit distance — evolved filenames can sit at enormous edit distances
+// from their feed pattern while being "obviously" the same feed (the
+// TRAP example in §5.2 has edit distance 51). Instead, unmatched files
+// are first generalized into atomic-feed patterns by the discovery
+// module, and similarity is computed structurally, between field
+// sequences. Raw edit distance is still provided as the baseline that
+// experiment E9 compares against.
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bistro/internal/discovery"
+	"bistro/internal/pattern"
+	"bistro/internal/tokenizer"
+)
+
+// FeedDef names an installed feed definition.
+type FeedDef struct {
+	Name    string
+	Pattern *pattern.Pattern
+}
+
+// PatternFields converts a compiled pattern into the analyzer's field
+// representation: literal segments are tokenized like filenames, and
+// consecutive time conversions collapse into a single timestamp field,
+// mirroring how the discovery module sees a concrete timestamp token.
+func PatternFields(p *pattern.Pattern) []discovery.Field {
+	var out []discovery.Field
+	var timeRun []string
+	flushTime := func() {
+		if len(timeRun) == 0 {
+			return
+		}
+		out = append(out, discovery.Field{
+			Type:       discovery.FieldTimestamp,
+			TimeLayout: strings.Join(timeRun, ""),
+		})
+		timeRun = nil
+	}
+	for _, seg := range p.Segments() {
+		switch seg.Kind {
+		case pattern.KLiteral:
+			flushTime()
+			for _, t := range tokenizer.Tokenize(seg.Lit) {
+				f := discovery.Field{Type: discovery.FieldLiteral, Literal: t.Text}
+				if t.Class == tokenizer.ClassSep {
+					f.Type = discovery.FieldSeparator
+				}
+				out = append(out, f)
+			}
+		case pattern.KString, pattern.KWild:
+			flushTime()
+			out = append(out, discovery.Field{Type: discovery.FieldString})
+		case pattern.KInt:
+			flushTime()
+			out = append(out, discovery.Field{Type: discovery.FieldInteger})
+		default: // time conversions
+			timeRun = append(timeRun, seg.Kind.String())
+		}
+	}
+	flushTime()
+	return out
+}
+
+// NameFields tokenizes a single concrete filename into fields, typing
+// digit tokens that parse as timestamps.
+func NameFields(name string) []discovery.Field {
+	var out []discovery.Field
+	for _, t := range tokenizer.Tokenize(name) {
+		switch t.Class {
+		case tokenizer.ClassSep:
+			out = append(out, discovery.Field{Type: discovery.FieldSeparator, Literal: t.Text})
+		case tokenizer.ClassIP:
+			out = append(out, discovery.Field{Type: discovery.FieldIP})
+		case tokenizer.ClassDigits:
+			if _, layout, ok := tokenizer.DetectTimestamp(t.Text); ok {
+				out = append(out, discovery.Field{Type: discovery.FieldTimestamp, TimeLayout: layout.Pattern})
+			} else {
+				out = append(out, discovery.Field{Type: discovery.FieldLiteral, Literal: t.Text})
+			}
+		case tokenizer.ClassAlpha:
+			out = append(out, discovery.Field{Type: discovery.FieldLiteral, Literal: t.Text})
+		}
+	}
+	return out
+}
+
+// substCost scores aligning field a (from the candidate) against field
+// b (from the installed feed definition). 0 is a perfect match, 1 a
+// complete mismatch.
+func substCost(a, b discovery.Field) float64 {
+	ta, tb := a.Type, b.Type
+	// Separator alignment.
+	if ta == discovery.FieldSeparator || tb == discovery.FieldSeparator {
+		if ta != tb {
+			return 1
+		}
+		if a.Literal == b.Literal {
+			return 0
+		}
+		// Same separator character, different repetition ("_" vs "__")
+		// is the classic benign evolution.
+		if a.Literal != "" && b.Literal != "" && a.Literal[0] == b.Literal[0] {
+			return 0.2
+		}
+		return 0.5
+	}
+	switch {
+	case ta == discovery.FieldLiteral && tb == discovery.FieldLiteral:
+		if a.Literal == b.Literal {
+			return 0
+		}
+		if strings.EqualFold(a.Literal, b.Literal) {
+			return 0.1 // the capitalized-Poller case from §5.2
+		}
+		if isDigits(a.Literal) && isDigits(b.Literal) {
+			return 0.2 // two concrete numbers: same integer-ish slot
+		}
+		return 1
+	case ta == discovery.FieldTimestamp && tb == discovery.FieldTimestamp:
+		if a.TimeLayout == b.TimeLayout {
+			return 0
+		}
+		return 0.25 // timestamp with changed granularity
+	case ta == discovery.FieldCategorical && tb == discovery.FieldCategorical:
+		return 0.1
+	case ta == discovery.FieldInteger && tb == discovery.FieldInteger,
+		ta == discovery.FieldString && tb == discovery.FieldString,
+		ta == discovery.FieldIP && tb == discovery.FieldIP:
+		return 0
+	}
+	// Cross-type compatibilities.
+	pair := func(x, y discovery.FieldType) bool {
+		return (ta == x && tb == y) || (ta == y && tb == x)
+	}
+	switch {
+	case pair(discovery.FieldCategorical, discovery.FieldString),
+		pair(discovery.FieldCategorical, discovery.FieldInteger),
+		pair(discovery.FieldCategorical, discovery.FieldLiteral):
+		return 0.25
+	case pair(discovery.FieldLiteral, discovery.FieldString):
+		return 0.4
+	case pair(discovery.FieldLiteral, discovery.FieldInteger):
+		if litIsDigits(a, b) {
+			return 0.2
+		}
+		return 0.7
+	case pair(discovery.FieldInteger, discovery.FieldString):
+		return 0.5
+	case pair(discovery.FieldTimestamp, discovery.FieldInteger):
+		return 0.5
+	case pair(discovery.FieldTimestamp, discovery.FieldString):
+		return 0.6
+	case pair(discovery.FieldIP, discovery.FieldString):
+		return 0.3
+	}
+	return 1
+}
+
+func litIsDigits(a, b discovery.Field) bool {
+	lit := a
+	if b.Type == discovery.FieldLiteral {
+		lit = b
+	}
+	return isDigits(lit.Literal)
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Similarity computes a structural similarity in [0,1] between a
+// candidate field sequence and an installed feed's field sequence,
+// using semi-global alignment: extra fields in the candidate (a feed
+// that grew new name components) cost little, while feed fields left
+// unmatched cost a lot. 1 means structurally identical.
+func Similarity(candidate, feed []discovery.Field) float64 {
+	const (
+		insCost = 0.25 // candidate field not present in the feed pattern
+		delCost = 1.0  // feed field missing from the candidate
+	)
+	n, m := len(candidate), len(feed)
+	if m == 0 {
+		return 0
+	}
+	// dp[i][j]: min cost aligning candidate[:i] against feed[:j].
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + delCost
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = prev[0] + insCost
+		for j := 1; j <= m; j++ {
+			c := prev[j-1] + substCost(candidate[i-1], feed[j-1])
+			if v := prev[j] + insCost; v < c {
+				c = v
+			}
+			if v := cur[j-1] + delCost; v < c {
+				c = v
+			}
+			cur[j] = c
+		}
+		prev, cur = cur, prev
+	}
+	cost := prev[m]
+	// Normalize by the feed length: a perfect embedding of the feed
+	// structure inside a longer candidate still scores high.
+	sim := 1 - cost/float64(m)
+	if sim < 0 {
+		return 0
+	}
+	return sim
+}
+
+// EditDistance is plain Levenshtein distance between two strings: the
+// baseline similarity signal the paper shows to be inadequate (§5.2).
+func EditDistance(a, b string) int {
+	n, m := len(a), len(b)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			c := prev[j-1]
+			if a[i-1] != b[j-1] {
+				c++
+			}
+			if v := prev[j] + 1; v < c {
+				c = v
+			}
+			if v := cur[j-1] + 1; v < c {
+				c = v
+			}
+			cur[j] = c
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// EditSimilarity converts edit distance to a [0,1] similarity for
+// baseline comparisons: 1 - dist/max(len).
+func EditSimilarity(a, b string) float64 {
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(a, b))/float64(maxLen)
+}
+
+// FalseNegative links a discovered cluster of unmatched files to the
+// installed feed it most plausibly belongs to.
+type FalseNegative struct {
+	// Suggested is the generalized definition of the unmatched files.
+	Suggested discovery.AtomicFeed
+	// Feed is the best-matching installed feed.
+	Feed string
+	// FeedPattern is that feed's current pattern source.
+	FeedPattern string
+	// Similarity is the structural similarity that triggered the report.
+	Similarity float64
+}
+
+// Options tunes the detectors.
+type Options struct {
+	// MinSimilarity is the reporting threshold for false negatives.
+	// Default 0.5.
+	MinSimilarity float64
+	// OutlierFraction marks a subfeed as an outlier when its support
+	// is below this fraction of the feed total. Default 0.05.
+	OutlierFraction float64
+	// Discovery configures the embedded discovery pass.
+	Discovery discovery.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSimilarity == 0 {
+		o.MinSimilarity = 0.5
+	}
+	if o.OutlierFraction == 0 {
+		o.OutlierFraction = 0.05
+	}
+	if o.Discovery == (discovery.Options{}) {
+		o.Discovery = discovery.DefaultOptions()
+	}
+	return o
+}
+
+// DetectFalseNegatives generalizes the unmatched observations into
+// atomic feeds and reports, for each, the most similar installed feed
+// definition above the similarity threshold. One report per discovered
+// pattern — this is the warning-volume reduction the paper highlights:
+// a thousand unmatched files from one renamed feed produce one warning,
+// not a thousand.
+func DetectFalseNegatives(feeds []FeedDef, unmatched []discovery.Observation, opts Options) []FalseNegative {
+	opts = opts.withDefaults()
+	an := discovery.New(opts.Discovery)
+	for _, o := range unmatched {
+		an.Add(o)
+	}
+	fields := make([][]discovery.Field, len(feeds))
+	for i, fd := range feeds {
+		fields[i] = PatternFields(fd.Pattern)
+	}
+	var out []FalseNegative
+	for _, af := range an.Feeds() {
+		bestIdx, bestSim := -1, 0.0
+		for i := range feeds {
+			sim := Similarity(af.Fields, fields[i])
+			if sim > bestSim {
+				bestIdx, bestSim = i, sim
+			}
+		}
+		if bestIdx >= 0 && bestSim >= opts.MinSimilarity {
+			out = append(out, FalseNegative{
+				Suggested:   af,
+				Feed:        feeds[bestIdx].Name,
+				FeedPattern: feeds[bestIdx].Pattern.String(),
+				Similarity:  bestSim,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Similarity > out[j].Similarity })
+	return out
+}
+
+// BestFeedByEditDistance is the E9 baseline: link an unmatched file to
+// the installed feed whose pattern text has the highest raw edit
+// similarity to the filename.
+func BestFeedByEditDistance(feeds []FeedDef, name string) (string, float64) {
+	best, bestSim := "", -1.0
+	for _, fd := range feeds {
+		if sim := EditSimilarity(name, fd.Pattern.String()); sim > bestSim {
+			best, bestSim = fd.Name, sim
+		}
+	}
+	return best, bestSim
+}
+
+// BestFeedBySimilarity links a single unmatched file to the most
+// structurally similar installed feed (no clustering pass); used for
+// per-file comparisons in E9.
+func BestFeedBySimilarity(feeds []FeedDef, name string) (string, float64) {
+	nf := NameFields(name)
+	best, bestSim := "", -1.0
+	for _, fd := range feeds {
+		if sim := Similarity(nf, PatternFields(fd.Pattern)); sim > bestSim {
+			best, bestSim = fd.Name, sim
+		}
+	}
+	return best, bestSim
+}
+
+// SubfeedReport is the false-positive analysis of one feed (§5.3):
+// the atomic subfeeds contained in its matched stream, with outliers
+// flagged for subscriber review.
+type SubfeedReport struct {
+	Feed     string
+	Total    int
+	Subfeeds []discovery.AtomicFeed
+	// Outlier[i] is true when Subfeeds[i] is flagged as a potential
+	// false positive.
+	Outlier []bool
+}
+
+// DetectFalsePositives clusters the files matched into a feed and
+// flags atomic subfeeds that are structural outliers: tiny support
+// relative to the feed, or low structural similarity to the dominant
+// subfeed.
+func DetectFalsePositives(feedName string, matched []discovery.Observation, opts Options) SubfeedReport {
+	opts = opts.withDefaults()
+	an := discovery.New(opts.Discovery)
+	for _, o := range matched {
+		an.Add(o)
+	}
+	subs := an.Feeds()
+	rep := SubfeedReport{Feed: feedName, Total: an.Total(), Subfeeds: subs, Outlier: make([]bool, len(subs))}
+	if len(subs) == 0 {
+		return rep
+	}
+	dominant := subs[0].Fields // Feeds() sorts by support desc
+	for i, sf := range subs {
+		frac := float64(sf.Support) / float64(rep.Total)
+		if frac < opts.OutlierFraction {
+			rep.Outlier[i] = true
+			continue
+		}
+		if i > 0 && Similarity(sf.Fields, dominant) < opts.MinSimilarity {
+			rep.Outlier[i] = true
+		}
+	}
+	return rep
+}
+
+// Format renders the report for operator consumption.
+func (r SubfeedReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "feed %s: %d files, %d subfeeds\n", r.Feed, r.Total, len(r.Subfeeds))
+	for i, sf := range r.Subfeeds {
+		mark := "  "
+		if r.Outlier[i] {
+			mark = "!!"
+		}
+		fmt.Fprintf(&b, "%s %s\n", mark, sf.Describe())
+	}
+	return b.String()
+}
+
+// SuggestRefinement proposes a revised definition for a feed whose
+// matched stream contains outlier subfeeds (§5.3): the refined
+// definition is the set of atomic patterns covering the non-outlier
+// subfeeds, ready for the subscribers to approve. Bistro never applies
+// such changes automatically — the subscribers own the decision — so
+// the result is a recommendation, mirroring the paper's workflow.
+func SuggestRefinement(rep SubfeedReport) []string {
+	var out []string
+	for i, sf := range rep.Subfeeds {
+		if i < len(rep.Outlier) && rep.Outlier[i] {
+			continue
+		}
+		out = append(out, sf.Pattern)
+	}
+	return out
+}

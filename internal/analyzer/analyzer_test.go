@@ -1,0 +1,312 @@
+package analyzer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bistro/internal/discovery"
+	"bistro/internal/pattern"
+)
+
+var base = time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+
+func TestPatternFields(t *testing.T) {
+	p := pattern.MustCompile("TRAP__%Y%m%d_DCTAGN_klpi.txt")
+	fs := PatternFields(p)
+	// Expect: TRAP, __, TS(%Y%m%d), _, DCTAGN, _, klpi, ., txt
+	if len(fs) != 9 {
+		t.Fatalf("got %d fields: %+v", len(fs), fs)
+	}
+	if fs[0].Type != discovery.FieldLiteral || fs[0].Literal != "TRAP" {
+		t.Errorf("field 0 = %+v", fs[0])
+	}
+	if fs[1].Type != discovery.FieldSeparator || fs[1].Literal != "__" {
+		t.Errorf("field 1 = %+v", fs[1])
+	}
+	if fs[2].Type != discovery.FieldTimestamp || fs[2].TimeLayout != "%Y%m%d" {
+		t.Errorf("field 2 = %+v", fs[2])
+	}
+}
+
+func TestPatternFieldsConversions(t *testing.T) {
+	p := pattern.MustCompile("x%i_%s_*.gz")
+	fs := PatternFields(p)
+	types := []discovery.FieldType{}
+	for _, f := range fs {
+		types = append(types, f.Type)
+	}
+	want := []discovery.FieldType{
+		discovery.FieldLiteral, discovery.FieldInteger, discovery.FieldSeparator,
+		discovery.FieldString, discovery.FieldSeparator, discovery.FieldString,
+		discovery.FieldSeparator, discovery.FieldLiteral,
+	}
+	if len(types) != len(want) {
+		t.Fatalf("types = %v", types)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("types = %v, want %v", types, want)
+		}
+	}
+}
+
+func TestSimilarityIdentical(t *testing.T) {
+	p := pattern.MustCompile("MEMORY_poller%i_%Y%m%d.gz")
+	fs := PatternFields(p)
+	if sim := Similarity(fs, fs); sim != 1 {
+		t.Fatalf("self similarity = %v, want 1", sim)
+	}
+}
+
+func TestSimilarityCapitalization(t *testing.T) {
+	// §5.2: MEMORY_Poller1_20100926.gz vs MEMORY_poller%i_%Y%m%d.gz
+	feed := PatternFields(pattern.MustCompile("MEMORY_poller%i_%Y%m%d.gz"))
+	name := NameFields("MEMORY_Poller1_20100926.gz")
+	sim := Similarity(name, feed)
+	if sim < 0.8 {
+		t.Fatalf("capitalization change similarity = %v, want >= 0.8", sim)
+	}
+}
+
+func TestSimilarityTRAPExample(t *testing.T) {
+	// The paper's edit-distance-51 example must still be linked to the
+	// TRAP feed by structural similarity when ranked against other
+	// plausible feeds.
+	feeds := []FeedDef{
+		{"trap", pattern.MustCompile("TRAP__%Y%m%d_DCTAGN_klpi.txt")},
+		{"memory", pattern.MustCompile("MEMORY_poller%i_%Y%m%d.gz")},
+		{"cpu", pattern.MustCompile("CPU_POLL%i_%Y%m%d%H%M.txt")},
+		{"bps", pattern.MustCompile("BPS_%s_%Y%m%d%H.csv.gz")},
+	}
+	name := "TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt"
+	got, sim := BestFeedBySimilarity(feeds, name)
+	if got != "trap" {
+		t.Fatalf("structural similarity linked %q to %q (sim %v), want trap", name, got, sim)
+	}
+	// Sanity: the paper's point — raw edit distance is big.
+	if d := EditDistance(name, feeds[0].Pattern.String()); d < 40 {
+		t.Fatalf("edit distance = %d, expected the paper's pathological gap", d)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"abc", "abc", 0},
+		{"poller", "Poller", 1},
+	}
+	for _, tc := range tests {
+		if got := EditDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEditSimilarityBounds(t *testing.T) {
+	if s := EditSimilarity("", ""); s != 1 {
+		t.Errorf("empty similarity = %v", s)
+	}
+	if s := EditSimilarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint similarity = %v", s)
+	}
+}
+
+func TestDetectFalseNegatives(t *testing.T) {
+	feeds := []FeedDef{
+		{"memory", pattern.MustCompile("MEMORY_poller%i_%Y%m%d.gz")},
+		{"cpu", pattern.MustCompile("CPU_POLL%i_%Y%m%d%H%M.txt")},
+	}
+	// A software update capitalized "Poller": none of these match the
+	// installed definition any more.
+	var unmatched []discovery.Observation
+	for d := 1; d <= 5; d++ {
+		for s := 1; s <= 2; s++ {
+			unmatched = append(unmatched, discovery.Observation{
+				Name:    fmt.Sprintf("MEMORY_Poller%d_201009%02d.gz", s, 20+d),
+				Arrived: base.Add(time.Duration(d) * 24 * time.Hour),
+			})
+		}
+	}
+	reports := DetectFalseNegatives(feeds, unmatched, Options{})
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1 (one per generalized pattern)", len(reports))
+	}
+	r := reports[0]
+	if r.Feed != "memory" {
+		t.Errorf("linked to %q, want memory", r.Feed)
+	}
+	if r.Suggested.Support != 10 {
+		t.Errorf("suggested support = %d, want 10", r.Suggested.Support)
+	}
+	// The suggested pattern must cover the unmatched files.
+	p, err := pattern.Compile(r.Suggested.Pattern)
+	if err != nil {
+		t.Fatalf("suggested pattern: %v", err)
+	}
+	for _, o := range unmatched {
+		if !p.Matches(o.Name) {
+			t.Errorf("suggested pattern %q misses %q", r.Suggested.Pattern, o.Name)
+		}
+	}
+}
+
+func TestDetectFalseNegativesIgnoresJunk(t *testing.T) {
+	feeds := []FeedDef{
+		{"memory", pattern.MustCompile("MEMORY_poller%i_%Y%m%d.gz")},
+	}
+	var unmatched []discovery.Observation
+	for i := 0; i < 8; i++ {
+		unmatched = append(unmatched, discovery.Observation{
+			Name:    fmt.Sprintf("core.dump.%d", i),
+			Arrived: base,
+		})
+	}
+	reports := DetectFalseNegatives(feeds, unmatched, Options{})
+	if len(reports) != 0 {
+		t.Fatalf("junk files produced %d false-negative reports: %+v", len(reports), reports)
+	}
+}
+
+func TestWarningVolumeReduction(t *testing.T) {
+	// 1000 unmatched files from one renamed feed → exactly 1 report.
+	feeds := []FeedDef{
+		{"memory", pattern.MustCompile("MEMORY_poller%i_%Y%m%d.gz")},
+	}
+	var unmatched []discovery.Observation
+	for i := 0; i < 1000; i++ {
+		unmatched = append(unmatched, discovery.Observation{
+			Name:    fmt.Sprintf("MEMORY_Poller%d_%s.gz", i%4+1, base.Add(time.Duration(i)*time.Hour).Format("20060102")),
+			Arrived: base.Add(time.Duration(i) * time.Hour),
+		})
+	}
+	reports := DetectFalseNegatives(feeds, unmatched, Options{})
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports for 1000 files, want 1", len(reports))
+	}
+}
+
+func TestDetectFalsePositives(t *testing.T) {
+	// A BPS feed that accidentally also matches PPS files (the §2.1.3.2
+	// scenario: wildcard pattern too generic). PPS is a structural
+	// sibling but a distinct atomic feed; with small support it must be
+	// flagged as an outlier.
+	var matched []discovery.Observation
+	for iv := 0; iv < 50; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		for s := 1; s <= 3; s++ {
+			matched = append(matched, discovery.Observation{
+				Name:    fmt.Sprintf("BPS_poller%d_%s.csv.gz", s, ts.Format("2006010215")),
+				Arrived: ts,
+			})
+		}
+	}
+	for iv := 0; iv < 3; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		matched = append(matched, discovery.Observation{
+			Name:    fmt.Sprintf("PPS_poller1_%s.csv.gz", ts.Format("2006010215")),
+			Arrived: ts,
+		})
+	}
+	rep := DetectFalsePositives("bps", matched, Options{})
+	if len(rep.Subfeeds) != 2 {
+		t.Fatalf("got %d subfeeds, want 2:\n%s", len(rep.Subfeeds), rep.Format())
+	}
+	if rep.Outlier[0] {
+		t.Error("dominant subfeed flagged as outlier")
+	}
+	if !rep.Outlier[1] {
+		t.Errorf("small PPS subfeed not flagged:\n%s", rep.Format())
+	}
+}
+
+func TestDetectFalsePositivesCleanFeed(t *testing.T) {
+	var matched []discovery.Observation
+	for iv := 0; iv < 50; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		for s := 1; s <= 2; s++ {
+			matched = append(matched, discovery.Observation{
+				Name:    fmt.Sprintf("BPS_poller%d_%s.csv.gz", s, ts.Format("2006010215")),
+				Arrived: ts,
+			})
+		}
+	}
+	rep := DetectFalsePositives("bps", matched, Options{})
+	for i, o := range rep.Outlier {
+		if o {
+			t.Errorf("clean feed flagged outlier subfeed %d:\n%s", i, rep.Format())
+		}
+	}
+}
+
+func TestSimilarityEmpty(t *testing.T) {
+	fs := PatternFields(pattern.MustCompile("a_%Y.gz"))
+	if sim := Similarity(nil, fs); sim != 0 {
+		t.Errorf("Similarity(nil, fs) = %v", sim)
+	}
+	if sim := Similarity(fs, nil); sim != 0 {
+		t.Errorf("Similarity(fs, nil) = %v, want 0", sim)
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	feed := PatternFields(pattern.MustCompile("TRAP__%Y%m%d_DCTAGN_klpi.txt"))
+	name := NameFields("TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Similarity(name, feed)
+	}
+}
+
+func BenchmarkEditDistance(b *testing.B) {
+	x := "TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt"
+	y := "TRAP__%Y%m%d_DCTAGN_klpi.txt"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EditDistance(x, y)
+	}
+}
+
+func TestSuggestRefinement(t *testing.T) {
+	var matched []discovery.Observation
+	for iv := 0; iv < 50; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		for s := 1; s <= 3; s++ {
+			matched = append(matched, discovery.Observation{
+				Name:    fmt.Sprintf("BPS_poller%d_%s.csv.gz", s, ts.Format("2006010215")),
+				Arrived: ts,
+			})
+		}
+	}
+	// The accidental extra subfeed the wildcard let in.
+	for iv := 0; iv < 2; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		matched = append(matched, discovery.Observation{
+			Name:    fmt.Sprintf("PPS_poller1_%s.csv.gz", ts.Format("2006010215")),
+			Arrived: ts,
+		})
+	}
+	rep := DetectFalsePositives("bps", matched, Options{})
+	refined := SuggestRefinement(rep)
+	if len(refined) != 1 {
+		t.Fatalf("refined = %v", refined)
+	}
+	p, err := pattern.Compile(refined[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refined pattern covers the real stream and excludes the
+	// extraneous files.
+	for _, o := range matched {
+		isPPS := o.Name[0] == 'P' && o.Name[1] == 'P'
+		if p.Matches(o.Name) == isPPS {
+			t.Fatalf("refined pattern %q wrong on %q", refined[0], o.Name)
+		}
+	}
+}

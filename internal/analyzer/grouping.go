@@ -1,0 +1,120 @@
+package analyzer
+
+import (
+	"sort"
+
+	"bistro/internal/discovery"
+)
+
+// Automatic feed grouping is the extension §5.1 names as future work:
+// "Developing tools for automatic grouping of related or structurally
+// similar atomic feeds into more complex logical feed groups."
+//
+// The grouper clusters discovered atomic feeds whose field structure
+// matches after the feed-name anchor is ignored — the same shape
+// signal a human uses when bundling BPS/PPS/CPU/MEMORY poller outputs
+// into one "SNMP" group. Clustering is single-linkage over the
+// anchor-blind structural similarity.
+
+// FeedGroup is one suggested logical group of atomic feeds.
+type FeedGroup struct {
+	// Members indexes into the input slice.
+	Members []int
+	// Similarity is the minimum pairwise link similarity inside the
+	// group (1.0 for singletons).
+	Similarity float64
+}
+
+// anchorBlind returns the field sequence with the leading feed-name
+// literal generalized, so structurally identical feeds with different
+// names compare as equal.
+func anchorBlind(fields []discovery.Field) []discovery.Field {
+	out := make([]discovery.Field, len(fields))
+	copy(out, fields)
+	for i := range out {
+		if out[i].Type == discovery.FieldLiteral {
+			out[i] = discovery.Field{Type: discovery.FieldString}
+			break
+		}
+		if out[i].Type != discovery.FieldSeparator {
+			break
+		}
+	}
+	return out
+}
+
+// GroupFeeds clusters atomic feeds into suggested feed groups: feeds
+// join a group when their anchor-blind structural similarity to some
+// member is at least minSim (single linkage). Groups are returned
+// largest first; members are sorted.
+func GroupFeeds(feeds []discovery.AtomicFeed, minSim float64) []FeedGroup {
+	if minSim <= 0 {
+		minSim = 0.8
+	}
+	n := len(feeds)
+	blind := make([][]discovery.Field, n)
+	for i, f := range feeds {
+		blind[i] = anchorBlind(f.Fields)
+	}
+	// Union-find over pairwise links.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	linkSim := make(map[int]float64)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// Symmetric similarity: take the lower direction so a
+			// short pattern embedded in a long one does not merge
+			// unrelated feeds.
+			s1 := Similarity(blind[i], blind[j])
+			s2 := Similarity(blind[j], blind[i])
+			s := s1
+			if s2 < s {
+				s = s2
+			}
+			if s >= minSim {
+				union(i, j)
+				root := find(i)
+				if cur, ok := linkSim[root]; !ok || s < cur {
+					linkSim[root] = s
+				}
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	var out []FeedGroup
+	for r, members := range byRoot {
+		sort.Ints(members)
+		sim := 1.0
+		if s, ok := linkSim[find(r)]; ok && len(members) > 1 {
+			sim = s
+		}
+		out = append(out, FeedGroup{Members: members, Similarity: sim})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Members[0] < out[j].Members[0]
+	})
+	return out
+}

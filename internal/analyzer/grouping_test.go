@@ -1,0 +1,115 @@
+package analyzer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bistro/internal/discovery"
+)
+
+// discoverFeeds runs the discovery module over synthetic streams and
+// returns its atomic feeds.
+func discoverFeeds(t *testing.T, gens map[string]func(src int, ts time.Time) string, sources, hours int) []discovery.AtomicFeed {
+	t.Helper()
+	an := discovery.New(discovery.DefaultOptions())
+	start := time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+	for h := 0; h < hours; h++ {
+		ts := start.Add(time.Duration(h) * time.Hour)
+		for _, gen := range gens {
+			for s := 1; s <= sources; s++ {
+				an.Add(discovery.Observation{Name: gen(s, ts), Arrived: ts})
+			}
+		}
+	}
+	return an.Feeds()
+}
+
+func TestGroupFeedsBundlesPollerStatistics(t *testing.T) {
+	// Four SNMP statistics with identical structure (the paper's SNMP
+	// group) plus one structurally different daily feed.
+	gens := map[string]func(int, time.Time) string{}
+	for _, stat := range []string{"BPS", "PPS", "CPU", "MEMORY"} {
+		stat := stat
+		gens[stat] = func(s int, ts time.Time) string {
+			return fmt.Sprintf("%s_POLL%d_%s.txt", stat, s, ts.Format("200601021504"))
+		}
+	}
+	gens["BILLING"] = func(s int, ts time.Time) string {
+		return fmt.Sprintf("billing-export-%d-%s.csv.zip", s, ts.Format("20060102"))
+	}
+	feeds := discoverFeeds(t, gens, 2, 8)
+	if len(feeds) != 5 {
+		for _, f := range feeds {
+			t.Logf("feed: %s", f.Describe())
+		}
+		t.Fatalf("discovered %d feeds, want 5", len(feeds))
+	}
+	groups := GroupFeeds(feeds, 0.8)
+	if len(groups) != 2 {
+		for _, g := range groups {
+			for _, m := range g.Members {
+				t.Logf("group sim=%.2f member: %s", g.Similarity, feeds[m].Pattern)
+			}
+		}
+		t.Fatalf("groups = %d, want 2 (SNMP stats + billing)", len(groups))
+	}
+	if len(groups[0].Members) != 4 {
+		t.Fatalf("big group has %d members, want 4", len(groups[0].Members))
+	}
+	if len(groups[1].Members) != 1 {
+		t.Fatalf("billing group has %d members", len(groups[1].Members))
+	}
+}
+
+func TestGroupFeedsSingletons(t *testing.T) {
+	gens := map[string]func(int, time.Time) string{
+		"A": func(s int, ts time.Time) string {
+			return fmt.Sprintf("alpha_%d_%s.log", s, ts.Format("20060102"))
+		},
+		"B": func(s int, ts time.Time) string {
+			return fmt.Sprintf("%s/beta/poller%d.csv.gz", ts.Format("2006/01/02"), s)
+		},
+	}
+	feeds := discoverFeeds(t, gens, 2, 4)
+	groups := GroupFeeds(feeds, 0.9)
+	for _, g := range groups {
+		if len(g.Members) != 1 {
+			t.Fatalf("unrelated feeds grouped: %+v", groups)
+		}
+		if g.Similarity != 1.0 {
+			t.Fatalf("singleton similarity = %v", g.Similarity)
+		}
+	}
+}
+
+func TestGroupFeedsEmpty(t *testing.T) {
+	if got := GroupFeeds(nil, 0.8); len(got) != 0 {
+		t.Fatalf("groups of nothing = %v", got)
+	}
+}
+
+func TestAnchorBlind(t *testing.T) {
+	fields := []discovery.Field{
+		{Type: discovery.FieldLiteral, Literal: "MEMORY"},
+		{Type: discovery.FieldSeparator, Literal: "_"},
+		{Type: discovery.FieldInteger},
+	}
+	blind := anchorBlind(fields)
+	if blind[0].Type != discovery.FieldString {
+		t.Fatalf("anchor not blinded: %+v", blind)
+	}
+	// Original untouched.
+	if fields[0].Type != discovery.FieldLiteral {
+		t.Fatal("input mutated")
+	}
+	// A leading separator is skipped before the anchor.
+	fields2 := []discovery.Field{
+		{Type: discovery.FieldSeparator, Literal: "/"},
+		{Type: discovery.FieldLiteral, Literal: "CPU"},
+	}
+	blind2 := anchorBlind(fields2)
+	if blind2[1].Type != discovery.FieldString {
+		t.Fatalf("anchor after separator not blinded: %+v", blind2)
+	}
+}

@@ -1,0 +1,186 @@
+// Package archive implements Bistro's retention window and archiver
+// nodes (SIGMOD'11 §4.2). A Bistro server keeps only a bounded time
+// window of staged feed history; expired files move to an archiver
+// node (tertiary storage in the paper, a directory tree here) that
+// serves long-term analysis subscribers and provides the last line of
+// defence after catastrophic server storage loss — it also keeps
+// backups of the receipt database.
+package archive
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bistro/internal/clock"
+	"bistro/internal/receipts"
+)
+
+// Archiver moves expired staged files into long-term storage.
+type Archiver struct {
+	store       *receipts.Store
+	clk         clock.Clock
+	stagingRoot string
+	archiveRoot string
+	// Window is the staged retention period; files whose data time (or
+	// arrival) is older move to the archive. Zero disables expiry.
+	Window time.Duration
+}
+
+// New creates an Archiver rooted at archiveRoot (created if missing).
+func New(store *receipts.Store, clk clock.Clock, stagingRoot, archiveRoot string, window time.Duration) (*Archiver, error) {
+	if archiveRoot != "" {
+		if err := os.MkdirAll(archiveRoot, 0o755); err != nil {
+			return nil, fmt.Errorf("archive: mkdir: %w", err)
+		}
+	}
+	return &Archiver{
+		store:       store,
+		clk:         clk,
+		stagingRoot: stagingRoot,
+		archiveRoot: archiveRoot,
+		Window:      window,
+	}, nil
+}
+
+// ExpireOnce expires everything older than the window, moving staged
+// content into the archive tree (or deleting it when no archive root
+// is configured). It returns the number of files expired.
+func (a *Archiver) ExpireOnce() (int, error) {
+	if a.Window <= 0 {
+		return 0, nil
+	}
+	cutoff := a.clk.Now().Add(-a.Window)
+	victims, err := a.store.ExpireBefore(cutoff)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range victims {
+		src := filepath.Join(a.stagingRoot, filepath.FromSlash(v.StagedPath))
+		if a.archiveRoot == "" {
+			os.Remove(src)
+			continue
+		}
+		dst := filepath.Join(a.archiveRoot, filepath.FromSlash(v.StagedPath))
+		if err := moveFile(src, dst); err != nil && !os.IsNotExist(err) {
+			return len(victims), fmt.Errorf("archive: move %s: %w", v.StagedPath, err)
+		}
+	}
+	return len(victims), nil
+}
+
+// moveFile renames when possible and falls back to copy+remove across
+// filesystems.
+func moveFile(src, dst string) error {
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	if err := os.Rename(src, dst); err == nil {
+		return nil
+	} else if os.IsNotExist(err) {
+		return err
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		os.Remove(dst)
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	return os.Remove(src)
+}
+
+// Open serves a file from long-term storage (long-horizon analysis
+// subscribers whose range exceeds the server window).
+func (a *Archiver) Open(stagedPath string) (io.ReadCloser, error) {
+	if a.archiveRoot == "" {
+		return nil, fmt.Errorf("archive: no archive configured")
+	}
+	f, err := os.Open(filepath.Join(a.archiveRoot, filepath.FromSlash(stagedPath)))
+	if err != nil {
+		return nil, fmt.Errorf("archive: open: %w", err)
+	}
+	return f, nil
+}
+
+// BackupReceipts snapshots the receipt database (checkpoint + WAL)
+// into the archive tree, providing the redo source the paper describes
+// for catastrophic server-storage failures.
+func (a *Archiver) BackupReceipts(receiptsDir string) error {
+	if a.archiveRoot == "" {
+		return fmt.Errorf("archive: no archive configured")
+	}
+	// Checkpoint first so the snapshot is compact and the WAL tail is
+	// empty at the moment of copy.
+	if err := a.store.Checkpoint(); err != nil {
+		return err
+	}
+	dstDir := filepath.Join(a.archiveRoot, "receipts-backup")
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		return fmt.Errorf("archive: backup mkdir: %w", err)
+	}
+	entries, err := os.ReadDir(receiptsDir)
+	if err != nil {
+		return fmt.Errorf("archive: read receipts dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if err := copyFile(filepath.Join(receiptsDir, e.Name()), filepath.Join(dstDir, e.Name())); err != nil {
+			return fmt.Errorf("archive: backup %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// RestoreReceipts copies a backup back into place (the receipts dir
+// must not hold an open store).
+func (a *Archiver) RestoreReceipts(receiptsDir string) error {
+	srcDir := filepath.Join(a.archiveRoot, "receipts-backup")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		return fmt.Errorf("archive: no backup: %w", err)
+	}
+	if err := os.MkdirAll(receiptsDir, 0o755); err != nil {
+		return fmt.Errorf("archive: restore mkdir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if err := copyFile(filepath.Join(srcDir, e.Name()), filepath.Join(receiptsDir, e.Name())); err != nil {
+			return fmt.Errorf("archive: restore %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

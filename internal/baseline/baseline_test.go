@@ -1,0 +1,204 @@
+package baseline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+func mkFiles(t testing.TB, root string, n int, prefix string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("2010/09/%02d", i%28+1))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("%s%06d.csv", prefix, i))
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPullSubscriberFindsNewFilesOnce(t *testing.T) {
+	root := t.TempDir()
+	mkFiles(t, root, 10, "a")
+	p := NewPullSubscriber(root)
+	fresh, stats, err := p.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 10 || stats.NewFiles != 10 {
+		t.Fatalf("fresh = %d", len(fresh))
+	}
+	// Second poll: nothing new, but the scan still walks everything.
+	fresh, stats, err = p.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("second poll fresh = %d", len(fresh))
+	}
+	if stats.Entries < 10 {
+		t.Fatalf("entries = %d; stateless scan should still walk history", stats.Entries)
+	}
+}
+
+func TestPullScanCostGrowsWithHistory(t *testing.T) {
+	small := t.TempDir()
+	big := t.TempDir()
+	mkFiles(t, small, 50, "s")
+	mkFiles(t, big, 500, "b")
+	ps, pb := NewPullSubscriber(small), NewPullSubscriber(big)
+	_, ss, _ := ps.Poll()
+	_, sb, _ := pb.Poll()
+	if sb.Entries <= ss.Entries {
+		t.Fatalf("big history scanned %d entries, small %d", sb.Entries, ss.Entries)
+	}
+}
+
+func TestSyncTransfersMissing(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	mkFiles(t, src, 5, "f")
+	stats, err := Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transferred != 5 {
+		t.Fatalf("transferred = %d", stats.Transferred)
+	}
+	// Idempotent: second run copies nothing but scans everything.
+	stats, err = Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transferred != 0 {
+		t.Fatalf("second sync transferred = %d", stats.Transferred)
+	}
+	if stats.ScannedSrc < 5 || stats.ScannedDst < 5 {
+		t.Fatalf("scans = %d/%d; rsync-style sync must rescan both sides", stats.ScannedSrc, stats.ScannedDst)
+	}
+}
+
+func TestSyncDetectsSizeChange(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	os.WriteFile(filepath.Join(src, "f.csv"), []byte("v1"), 0o644)
+	if _, err := Sync(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(src, "f.csv"), []byte("v2-longer"), 0o644)
+	stats, err := Sync(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Transferred != 1 {
+		t.Fatalf("transferred = %d", stats.Transferred)
+	}
+	got, _ := os.ReadFile(filepath.Join(dst, "f.csv"))
+	if string(got) != "v2-longer" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestSyncMirrorsFullHistory(t *testing.T) {
+	// Drawback 3: the destination cannot keep a smaller window.
+	src, dst := t.TempDir(), t.TempDir()
+	mkFiles(t, src, 20, "h")
+	if _, err := Sync(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	filepath.WalkDir(dst, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			count++
+		}
+		return nil
+	})
+	if count != 20 {
+		t.Fatalf("destination holds %d files, full mirror expected 20", count)
+	}
+}
+
+func TestCronFiresAndSkipsOverlap(t *testing.T) {
+	clk := clock.NewSimulated(time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC))
+	c := NewCron(clk, time.Minute)
+	c.SkipOverlap = true
+	block := make(chan struct{})
+	started := make(chan struct{}, 16)
+	c.Start(func() {
+		started <- struct{}{}
+		<-block
+	})
+	// First tick launches the job.
+	advanceUntil(t, clk, func() bool { return len(started) >= 1 })
+	// More ticks while the job is stuck: skipped.
+	for i := 0; i < 3; i++ {
+		clk.Advance(time.Minute)
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if ticks, skipped := c.Stats(); ticks >= 4 && skipped >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_, skipped := c.Stats()
+	if skipped == 0 {
+		t.Fatal("overlapping ticks not skipped")
+	}
+	close(block)
+	c.Stop()
+	c.Stop() // idempotent
+}
+
+func advanceUntil(t *testing.T, clk *clock.Simulated, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		clk.Advance(time.Minute)
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}
+
+func BenchmarkPullPollHistory(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("history=%d", n), func(b *testing.B) {
+			root := b.TempDir()
+			mkFiles(b, root, n, "f")
+			p := NewPullSubscriber(root)
+			p.Poll() // warm: everything seen
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.Poll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSyncNoChanges(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("history=%d", n), func(b *testing.B) {
+			src, dst := b.TempDir(), b.TempDir()
+			mkFiles(b, src, n, "f")
+			if _, err := Sync(src, dst); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Sync(src, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,252 @@
+package batch
+
+import (
+	"sync"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+// AdaptiveSpec tunes the AdaptiveDetector, the extension the paper
+// names as future work in §4.1: "incorporate machine learning
+// techniques to dynamically determine end of batches by continuously
+// monitoring file arrival patterns". Rather than a fixed count or
+// timeout, the detector learns two statistics online:
+//
+//   - the typical batch size, an EWMA over recently closed batches,
+//     which replaces the brittle hand-configured count when the source
+//     fleet grows or shrinks;
+//   - the typical intra-batch inter-arrival gap, an EWMA over
+//     consecutive arrivals inside a batch; a silence of GapFactor
+//     times that gap is read as an end-of-batch boundary (the same
+//     signal a human sees watching the feed).
+//
+// A hard timeout still bounds the worst case.
+type AdaptiveSpec struct {
+	// Alpha is the EWMA weight for new observations (0 < Alpha <= 1).
+	// Default 0.3.
+	Alpha float64
+	// GapFactor closes the batch after GapFactor * learned gap of
+	// silence. Default 4.
+	GapFactor float64
+	// MinGap floors the learned-silence deadline so microsecond bursts
+	// do not degenerate. Default 2s.
+	MinGap time.Duration
+	// MaxWait is the hard timeout after the first file. Default 10m.
+	MaxWait time.Duration
+	// InitialCount seeds the size estimate before anything is learned
+	// (0 = no count-based closing until a batch has been observed).
+	InitialCount int
+}
+
+func (s AdaptiveSpec) withDefaults() AdaptiveSpec {
+	if s.Alpha == 0 {
+		s.Alpha = 0.3
+	}
+	if s.GapFactor == 0 {
+		s.GapFactor = 4
+	}
+	if s.MinGap == 0 {
+		s.MinGap = 2 * time.Second
+	}
+	if s.MaxWait == 0 {
+		s.MaxWait = 10 * time.Minute
+	}
+	return s
+}
+
+// AdaptiveDetector groups files into batches using learned arrival
+// statistics. Safe for concurrent use; emit runs on the goroutine that
+// closed the batch.
+type AdaptiveDetector struct {
+	spec AdaptiveSpec
+	clk  clock.Clock
+	emit func(Batch)
+
+	mu      sync.Mutex
+	cur     []File
+	opened  time.Time
+	last    time.Time
+	gapEWMA time.Duration
+	szEWMA  float64
+	gen     int
+	timer   clock.Timer
+	hard    clock.Timer
+}
+
+// NewAdaptiveDetector returns a detector calling emit per closed batch.
+func NewAdaptiveDetector(spec AdaptiveSpec, clk clock.Clock, emit func(Batch)) *AdaptiveDetector {
+	s := spec.withDefaults()
+	d := &AdaptiveDetector{spec: s, clk: clk, emit: emit}
+	if s.InitialCount > 0 {
+		d.szEWMA = float64(s.InitialCount)
+	}
+	return d
+}
+
+// LearnedCount exposes the current batch-size estimate (monitoring).
+func (d *AdaptiveDetector) LearnedCount() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.szEWMA
+}
+
+// LearnedGap exposes the current intra-batch gap estimate.
+func (d *AdaptiveDetector) LearnedGap() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gapEWMA
+}
+
+// Add records one delivered file.
+func (d *AdaptiveDetector) Add(f File) {
+	now := f.Arrived
+	if now.IsZero() {
+		now = d.clk.Now()
+	}
+	d.mu.Lock()
+	if len(d.cur) == 0 {
+		d.opened = now
+		d.armHardLocked()
+	} else {
+		gap := now.Sub(d.last)
+		if gap > 0 {
+			d.gapEWMA = ewmaDur(d.gapEWMA, gap, d.spec.Alpha)
+		}
+	}
+	d.last = now
+	d.cur = append(d.cur, f)
+	d.armGapLocked()
+	d.mu.Unlock()
+}
+
+// reachedLocked reports whether the batch holds the learned size.
+func (d *AdaptiveDetector) reachedLocked() bool {
+	return d.szEWMA > 0 && float64(len(d.cur)) >= d.szEWMA-0.5
+}
+
+// Punctuate force-closes (sources that do send markers still win).
+func (d *AdaptiveDetector) Punctuate() {
+	d.mu.Lock()
+	if len(d.cur) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	b := d.closeLocked(ReasonPunctuation)
+	d.mu.Unlock()
+	d.emit(b)
+}
+
+// Flush closes any open batch.
+func (d *AdaptiveDetector) Flush() {
+	d.mu.Lock()
+	if len(d.cur) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	b := d.closeLocked(ReasonFlush)
+	d.mu.Unlock()
+	d.emit(b)
+}
+
+// armGapLocked (re)arms the silence timer after each arrival. While
+// the batch is below the learned size the window is generous
+// (GapFactor x learned gap); once the learned size has been reached
+// the window shrinks to a short confirmation pause — closing quickly,
+// but leaving room for a grown fleet's extra files to join (closing
+// instantly at the count would make growth unlearnable).
+func (d *AdaptiveDetector) armGapLocked() {
+	if d.timer != nil {
+		d.timer.Stop()
+	}
+	var wait time.Duration
+	if d.reachedLocked() {
+		wait = d.spec.MinGap / 5
+		if d.gapEWMA > 0 {
+			if w := 2 * d.gapEWMA; w > wait {
+				wait = w
+			}
+		}
+		if wait <= 0 {
+			wait = time.Second
+		}
+	} else {
+		wait = d.spec.MinGap
+		if d.gapEWMA > 0 {
+			if w := time.Duration(d.spec.GapFactor * float64(d.gapEWMA)); w > wait {
+				wait = w
+			}
+		}
+	}
+	gen := d.gen
+	t := d.clk.NewTimer(wait)
+	d.timer = t
+	go func() {
+		<-t.C()
+		d.mu.Lock()
+		if d.gen != gen || len(d.cur) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		reason := ReasonTimeout
+		if d.reachedLocked() {
+			reason = ReasonCount
+		}
+		b := d.closeLocked(reason)
+		d.mu.Unlock()
+		d.emit(b)
+	}()
+}
+
+// armHardLocked arms the worst-case timeout for a new batch.
+func (d *AdaptiveDetector) armHardLocked() {
+	gen := d.gen
+	t := d.clk.NewTimer(d.spec.MaxWait)
+	d.hard = t
+	go func() {
+		<-t.C()
+		d.mu.Lock()
+		if d.gen != gen || len(d.cur) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		b := d.closeLocked(ReasonTimeout)
+		d.mu.Unlock()
+		d.emit(b)
+	}()
+}
+
+func (d *AdaptiveDetector) closeLocked(r CloseReason) Batch {
+	b := Batch{Files: d.cur, Opened: d.opened, Closed: d.clk.Now(), Reason: r}
+	// Learn the batch size from organic closes. Timeout-driven partial
+	// closes still teach (a shrunken fleet must pull the estimate
+	// down); flushes are shutdown artifacts and do not.
+	if r != ReasonFlush {
+		d.szEWMA = ewmaF(d.szEWMA, float64(len(d.cur)), d.spec.Alpha)
+	}
+	d.cur = nil
+	d.gen++
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	if d.hard != nil {
+		d.hard.Stop()
+		d.hard = nil
+	}
+	return b
+}
+
+func ewmaDur(old, obs time.Duration, alpha float64) time.Duration {
+	if old == 0 {
+		return obs
+	}
+	return time.Duration(alpha*float64(obs) + (1-alpha)*float64(old))
+}
+
+func ewmaF(old, obs, alpha float64) float64 {
+	if old == 0 {
+		return obs
+	}
+	return alpha*obs + (1-alpha)*old
+}

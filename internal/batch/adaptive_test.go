@@ -1,0 +1,160 @@
+package batch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+// feedInterval delivers n files one second apart starting at start,
+// advancing the simulated clock in step.
+func feedInterval(d *AdaptiveDetector, clk *clock.Simulated, start time.Time, n int) {
+	clk.AdvanceTo(start)
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * time.Second)
+		clk.AdvanceTo(at)
+		d.Add(File{Name: fmt.Sprintf("p%d", i+1), DataTime: start, Arrived: at})
+	}
+}
+
+// settle advances simulated time in small steps so silence timers fire.
+func settle(clk *clock.Simulated, total time.Duration) {
+	steps := 20
+	for i := 0; i < steps; i++ {
+		clk.Advance(total / time.Duration(steps))
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdaptiveLearnsCount(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewAdaptiveDetector(AdaptiveSpec{MinGap: 30 * time.Second, MaxWait: 4 * time.Minute}, clk, c.emit)
+
+	period := 5 * time.Minute
+	// Three intervals with 3 pollers: the first closes by silence,
+	// later ones should close by learned count.
+	for iv := 0; iv < 3; iv++ {
+		feedInterval(d, clk, t0.Add(time.Duration(iv)*period), 3)
+		settle(clk, period)
+	}
+	bs := c.get()
+	if len(bs) != 3 {
+		t.Fatalf("batches = %d, want 3", len(bs))
+	}
+	for i, b := range bs {
+		if len(b.Files) != 3 {
+			t.Fatalf("batch %d has %d files", i, len(b.Files))
+		}
+	}
+	// After the first silence-closed batch, the estimate is 3, so the
+	// later batches close by count the moment the third file lands.
+	last := bs[2]
+	if last.Reason != ReasonCount {
+		t.Fatalf("learned batch closed by %v, want count", last.Reason)
+	}
+	if got := d.LearnedCount(); got < 2.5 || got > 3.5 {
+		t.Fatalf("learned count = %v", got)
+	}
+}
+
+func TestAdaptiveTracksFleetGrowth(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewAdaptiveDetector(AdaptiveSpec{MinGap: 30 * time.Second, MaxWait: 4 * time.Minute}, clk, c.emit)
+	period := 5 * time.Minute
+
+	iv := 0
+	for ; iv < 3; iv++ { // learn fleet of 3
+		feedInterval(d, clk, t0.Add(time.Duration(iv)*period), 3)
+		settle(clk, period)
+	}
+	for ; iv < 8; iv++ { // fleet grows to 5
+		feedInterval(d, clk, t0.Add(time.Duration(iv)*period), 5)
+		settle(clk, period)
+	}
+	bs := c.get()
+	// No batch may mix intervals (the adaptive point).
+	for i, b := range bs {
+		seen := map[time.Time]bool{}
+		for _, f := range b.Files {
+			seen[f.DataTime] = true
+		}
+		if len(seen) > 1 {
+			t.Fatalf("batch %d mixes %d intervals", i, len(seen))
+		}
+	}
+	// The estimate converges toward 5.
+	if got := d.LearnedCount(); got < 4 {
+		t.Fatalf("learned count = %v after growth, want >= 4", got)
+	}
+}
+
+func TestAdaptiveShrinkDoesNotStall(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewAdaptiveDetector(AdaptiveSpec{MinGap: 30 * time.Second, MaxWait: 4 * time.Minute, InitialCount: 5}, clk, c.emit)
+	period := 5 * time.Minute
+	// Fleet of 2 against a learned/seeded count of 5: silence closes
+	// each interval's batch long before the next interval.
+	for iv := 0; iv < 3; iv++ {
+		feedInterval(d, clk, t0.Add(time.Duration(iv)*period), 2)
+		settle(clk, period)
+	}
+	bs := c.get()
+	if len(bs) != 3 {
+		t.Fatalf("batches = %d, want 3", len(bs))
+	}
+	for i, b := range bs {
+		if len(b.Files) != 2 {
+			t.Fatalf("batch %d has %d files", i, len(b.Files))
+		}
+	}
+	// The estimate decays toward 2.
+	if got := d.LearnedCount(); got > 4 {
+		t.Fatalf("learned count = %v, should be decaying toward 2", got)
+	}
+}
+
+func TestAdaptivePunctuationAndFlush(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewAdaptiveDetector(AdaptiveSpec{}, clk, c.emit)
+	d.Punctuate() // empty: no-op
+	d.Flush()     // empty: no-op
+	if len(c.get()) != 0 {
+		t.Fatal("empty detector emitted")
+	}
+	d.Add(File{Name: "a", Arrived: clk.Now()})
+	d.Punctuate()
+	d.Add(File{Name: "b", Arrived: clk.Now()})
+	d.Flush()
+	bs := c.get()
+	if len(bs) != 2 || bs[0].Reason != ReasonPunctuation || bs[1].Reason != ReasonFlush {
+		t.Fatalf("batches = %+v", bs)
+	}
+}
+
+func TestAdaptiveHardTimeout(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewAdaptiveDetector(AdaptiveSpec{MinGap: time.Hour, MaxWait: 10 * time.Minute}, clk, c.emit)
+	d.Add(File{Name: "only", Arrived: clk.Now()})
+	settle(clk, 11*time.Minute)
+	bs := c.get()
+	if len(bs) != 1 || bs[0].Reason != ReasonTimeout {
+		t.Fatalf("batches = %+v", bs)
+	}
+}
+
+func TestAdaptiveLearnedGap(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewAdaptiveDetector(AdaptiveSpec{MinGap: 30 * time.Second, MaxWait: time.Hour}, clk, c.emit)
+	feedInterval(d, clk, t0, 4) // gaps of 1s
+	if got := d.LearnedGap(); got != time.Second {
+		t.Fatalf("learned gap = %v", got)
+	}
+}

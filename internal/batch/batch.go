@@ -1,0 +1,191 @@
+// Package batch implements Bistro's end-of-batch detection (SIGMOD'11
+// §2.3, §4.1). Aggregate feeds deliver streams of file batches — one
+// batch per measurement interval, one file per contributing source —
+// and subscribers such as streaming warehouses want a single
+// notification per batch, not per file.
+//
+// A Detector closes batches on any combination of three signals:
+//
+//   - punctuation: an explicit end-of-batch marker from a cooperating
+//     source (analogous to stream punctuations);
+//   - count: N files received (brittle when the source fleet changes
+//     size, as the paper notes);
+//   - timeout: a deadline relative to the batch's first file (robust
+//     but adds latency).
+//
+// The paper's recommendation — and Bistro's production configuration —
+// is the hybrid count+timeout form: close early when the expected
+// count arrives, but never later than the timeout.
+package batch
+
+import (
+	"sync"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+// File is one delivered file visible to batch detection.
+type File struct {
+	// Name is the staged (delivered) path.
+	Name string
+	// FileID is the receipt id, when known.
+	FileID uint64
+	// DataTime is the interval timestamp encoded in the filename.
+	DataTime time.Time
+	// Arrived is when the file reached the detector.
+	Arrived time.Time
+}
+
+// CloseReason says why a batch was closed.
+type CloseReason int
+
+// Close reasons.
+const (
+	ReasonCount       CloseReason = iota // file count reached
+	ReasonTimeout                        // deadline after first file
+	ReasonPunctuation                    // source end-of-batch marker
+	ReasonFlush                          // explicit flush (shutdown)
+)
+
+func (r CloseReason) String() string {
+	switch r {
+	case ReasonCount:
+		return "count"
+	case ReasonTimeout:
+		return "timeout"
+	case ReasonPunctuation:
+		return "punctuation"
+	case ReasonFlush:
+		return "flush"
+	default:
+		return "unknown"
+	}
+}
+
+// Batch is a closed group of files.
+type Batch struct {
+	Files  []File
+	Opened time.Time // arrival of the first file
+	Closed time.Time
+	Reason CloseReason
+}
+
+// Spec configures a Detector. Zero values disable the corresponding
+// signal; punctuation is always honoured.
+type Spec struct {
+	// Count closes a batch when it holds this many files.
+	Count int
+	// Timeout closes a batch this long after its first file arrived.
+	Timeout time.Duration
+}
+
+// Detector groups a stream of files into batches. Emit callbacks run
+// on the goroutine that triggered the close (Add, Punctuate, Flush, or
+// the timer goroutine). Safe for concurrent use.
+type Detector struct {
+	spec Spec
+	clk  clock.Clock
+	emit func(Batch)
+
+	mu     sync.Mutex
+	cur    []File
+	opened time.Time
+	timer  clock.Timer
+	gen    int // invalidates stale timers
+}
+
+// NewDetector returns a detector that calls emit for every closed
+// batch.
+func NewDetector(spec Spec, clk clock.Clock, emit func(Batch)) *Detector {
+	return &Detector{spec: spec, clk: clk, emit: emit}
+}
+
+// Add records a delivered file, possibly closing the current batch.
+func (d *Detector) Add(f File) {
+	d.mu.Lock()
+	if len(d.cur) == 0 {
+		d.opened = f.Arrived
+		if d.opened.IsZero() {
+			d.opened = d.clk.Now()
+		}
+		if d.spec.Timeout > 0 {
+			d.armTimerLocked()
+		}
+	}
+	d.cur = append(d.cur, f)
+	if d.spec.Count > 0 && len(d.cur) >= d.spec.Count {
+		b := d.closeLocked(ReasonCount)
+		d.mu.Unlock()
+		d.emit(b)
+		return
+	}
+	d.mu.Unlock()
+}
+
+// Punctuate closes the current batch in response to a source
+// end-of-batch marker. Empty batches are not emitted.
+func (d *Detector) Punctuate() {
+	d.mu.Lock()
+	if len(d.cur) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	b := d.closeLocked(ReasonPunctuation)
+	d.mu.Unlock()
+	d.emit(b)
+}
+
+// Flush closes any open batch (server shutdown, feed drain).
+func (d *Detector) Flush() {
+	d.mu.Lock()
+	if len(d.cur) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	b := d.closeLocked(ReasonFlush)
+	d.mu.Unlock()
+	d.emit(b)
+}
+
+// Pending returns the number of files in the open batch.
+func (d *Detector) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.cur)
+}
+
+// armTimerLocked starts the timeout clock for the batch just opened.
+func (d *Detector) armTimerLocked() {
+	gen := d.gen
+	t := d.clk.NewTimer(d.spec.Timeout)
+	d.timer = t
+	go func() {
+		<-t.C()
+		d.mu.Lock()
+		if d.gen != gen || len(d.cur) == 0 {
+			d.mu.Unlock()
+			return
+		}
+		b := d.closeLocked(ReasonTimeout)
+		d.mu.Unlock()
+		d.emit(b)
+	}()
+}
+
+// closeLocked snapshots and resets the open batch.
+func (d *Detector) closeLocked(r CloseReason) Batch {
+	b := Batch{
+		Files:  d.cur,
+		Opened: d.opened,
+		Closed: d.clk.Now(),
+		Reason: r,
+	}
+	d.cur = nil
+	d.gen++
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package batch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+var t0 = time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+
+type collector struct {
+	mu      sync.Mutex
+	batches []Batch
+}
+
+func (c *collector) emit(b Batch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.batches = append(c.batches, b)
+}
+
+func (c *collector) get() []Batch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Batch, len(c.batches))
+	copy(out, c.batches)
+	return out
+}
+
+func file(name string, at time.Time) File {
+	return File{Name: name, DataTime: at, Arrived: at}
+}
+
+func TestCountBatch(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Count: 3}, clk, c.emit)
+	for i := 0; i < 7; i++ {
+		d.Add(file("f", t0))
+	}
+	bs := c.get()
+	if len(bs) != 2 {
+		t.Fatalf("batches = %d, want 2", len(bs))
+	}
+	for _, b := range bs {
+		if len(b.Files) != 3 || b.Reason != ReasonCount {
+			t.Fatalf("batch = %+v", b)
+		}
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", d.Pending())
+	}
+}
+
+func TestTimeoutBatch(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Timeout: 10 * time.Minute}, clk, c.emit)
+	d.Add(file("a", clk.Now()))
+	clk.Advance(5 * time.Minute)
+	d.Add(file("b", clk.Now()))
+	clk.Advance(6 * time.Minute) // crosses the 10m deadline
+	waitFor(t, func() bool { return len(c.get()) == 1 })
+	b := c.get()[0]
+	if len(b.Files) != 2 || b.Reason != ReasonTimeout {
+		t.Fatalf("batch = %+v", b)
+	}
+	// A new batch starts with its own deadline.
+	d.Add(file("c", clk.Now()))
+	clk.Advance(11 * time.Minute)
+	waitFor(t, func() bool { return len(c.get()) == 2 })
+}
+
+func TestHybridCountWinsBeforeTimeout(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Count: 3, Timeout: 10 * time.Minute}, clk, c.emit)
+	d.Add(file("a", clk.Now()))
+	d.Add(file("b", clk.Now()))
+	d.Add(file("c", clk.Now()))
+	bs := c.get()
+	if len(bs) != 1 || bs[0].Reason != ReasonCount {
+		t.Fatalf("batches = %+v", bs)
+	}
+	// The timeout for the closed batch must not fire on the next one.
+	d.Add(file("d", clk.Now()))
+	clk.Advance(9 * time.Minute)
+	if got := len(c.get()); got != 1 {
+		t.Fatalf("stale timer closed batch early: %d", got)
+	}
+	clk.Advance(2 * time.Minute)
+	waitFor(t, func() bool { return len(c.get()) == 2 })
+	if b := c.get()[1]; b.Reason != ReasonTimeout || len(b.Files) != 1 {
+		t.Fatalf("second batch = %+v", b)
+	}
+}
+
+func TestHybridTimeoutCatchesMissingSource(t *testing.T) {
+	// The paper's scenario: 3 pollers expected, one dies. Count-only
+	// batching would stall; hybrid closes at the deadline.
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Count: 3, Timeout: 10 * time.Minute}, clk, c.emit)
+	d.Add(file("poller1", clk.Now()))
+	d.Add(file("poller2", clk.Now()))
+	clk.Advance(10 * time.Minute)
+	waitFor(t, func() bool { return len(c.get()) == 1 })
+	b := c.get()[0]
+	if b.Reason != ReasonTimeout || len(b.Files) != 2 {
+		t.Fatalf("batch = %+v", b)
+	}
+}
+
+func TestPunctuation(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Count: 100, Timeout: time.Hour}, clk, c.emit)
+	d.Add(file("a", clk.Now()))
+	d.Add(file("b", clk.Now()))
+	d.Punctuate()
+	bs := c.get()
+	if len(bs) != 1 || bs[0].Reason != ReasonPunctuation || len(bs[0].Files) != 2 {
+		t.Fatalf("batches = %+v", bs)
+	}
+	// Punctuating an empty batch emits nothing.
+	d.Punctuate()
+	if len(c.get()) != 1 {
+		t.Fatal("empty punctuation emitted a batch")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Count: 10}, clk, c.emit)
+	d.Flush() // empty: no-op
+	if len(c.get()) != 0 {
+		t.Fatal("empty flush emitted")
+	}
+	d.Add(file("a", clk.Now()))
+	d.Flush()
+	bs := c.get()
+	if len(bs) != 1 || bs[0].Reason != ReasonFlush {
+		t.Fatalf("batches = %+v", bs)
+	}
+}
+
+func TestBatchTimes(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Count: 2}, clk, c.emit)
+	d.Add(file("a", t0.Add(time.Minute)))
+	clk.Advance(3 * time.Minute)
+	d.Add(file("b", clk.Now()))
+	b := c.get()[0]
+	if !b.Opened.Equal(t0.Add(time.Minute)) {
+		t.Errorf("opened = %v", b.Opened)
+	}
+	if !b.Closed.Equal(t0.Add(3 * time.Minute)) {
+		t.Errorf("closed = %v", b.Closed)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var c collector
+	d := NewDetector(Spec{Count: 10}, clk, c.emit)
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Add(file("x", t0))
+		}()
+	}
+	wg.Wait()
+	d.Flush()
+	total := 0
+	for _, b := range c.get() {
+		total += len(b.Files)
+	}
+	if total != n {
+		t.Fatalf("files across batches = %d, want %d", total, n)
+	}
+}
+
+// waitFor polls for asynchronous timer-driven emissions.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

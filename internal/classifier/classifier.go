@@ -1,0 +1,139 @@
+// Package classifier matches incoming filenames to registered consumer
+// feeds (SIGMOD'11 §3.2). A file may belong to zero, one, or several
+// feeds; unmatched files flow to the feed analyzer's new-feed
+// discovery.
+//
+// With hundreds of feeds and several patterns per feed, running every
+// pattern against every filename is wasteful: nearly all patterns start
+// with a distinctive literal (the feed name). The classifier therefore
+// indexes patterns in a byte trie over their literal prefixes and only
+// runs the full matcher on patterns whose prefix is a prefix of the
+// filename. Patterns with no literal prefix (leading %s or *) are kept
+// in a small always-checked list. The index can be disabled for the E7
+// ablation.
+package classifier
+
+import (
+	"bistro/internal/config"
+	"bistro/internal/pattern"
+)
+
+// Match records one successful file-to-feed classification.
+type Match struct {
+	// Feed is the matched feed definition.
+	Feed *config.Feed
+	// Pattern is the specific pattern that matched.
+	Pattern *pattern.Pattern
+	// Fields holds the values extracted from the filename.
+	Fields *pattern.Fields
+}
+
+// Options configure a Classifier.
+type Options struct {
+	// DisablePrefixIndex forces the classifier to try every pattern on
+	// every file (the E7 ablation baseline).
+	DisablePrefixIndex bool
+}
+
+// entry pairs a pattern with its owning feed.
+type entry struct {
+	feed *config.Feed
+	pat  *pattern.Pattern
+}
+
+// node is one trie node keyed by prefix bytes.
+type node struct {
+	children map[byte]*node
+	// entries are patterns whose full literal prefix ends exactly here.
+	entries []entry
+}
+
+// Classifier matches filenames against a fixed set of feed patterns.
+// It is immutable after construction and safe for concurrent use.
+type Classifier struct {
+	opts Options
+	all  []entry // every pattern, used when the index is disabled
+	root *node
+	// open holds patterns with an empty literal prefix.
+	open []entry
+}
+
+// New builds a classifier over the given feeds.
+func New(feeds []*config.Feed, opts Options) *Classifier {
+	c := &Classifier{opts: opts, root: &node{}}
+	for _, f := range feeds {
+		for _, p := range f.Patterns {
+			e := entry{feed: f, pat: p}
+			c.all = append(c.all, e)
+			prefix, _ := p.LiteralPrefix()
+			if prefix == "" {
+				c.open = append(c.open, e)
+				continue
+			}
+			n := c.root
+			for i := 0; i < len(prefix); i++ {
+				if n.children == nil {
+					n.children = make(map[byte]*node)
+				}
+				next, ok := n.children[prefix[i]]
+				if !ok {
+					next = &node{}
+					n.children[prefix[i]] = next
+				}
+				n = next
+			}
+			n.entries = append(n.entries, e)
+		}
+	}
+	return c
+}
+
+// NumPatterns returns the number of indexed patterns.
+func (c *Classifier) NumPatterns() int { return len(c.all) }
+
+// Classify returns every feed match for name, in a deterministic order
+// for a given classifier and filename. A feed matches at most once even
+// if several of its patterns match; the first matching pattern wins.
+func (c *Classifier) Classify(name string) []Match {
+	var out []Match
+	seen := make(map[*config.Feed]bool)
+	try := func(e entry) {
+		if seen[e.feed] {
+			return
+		}
+		if fields, ok := e.pat.Match(name); ok {
+			seen[e.feed] = true
+			out = append(out, Match{Feed: e.feed, Pattern: e.pat, Fields: fields})
+		}
+	}
+	if c.opts.DisablePrefixIndex {
+		for _, e := range c.all {
+			try(e)
+		}
+		return out
+	}
+	for _, e := range c.open {
+		try(e)
+	}
+	n := c.root
+	for i := 0; i < len(name) && n != nil; i++ {
+		n = n.children[name[i]]
+		if n == nil {
+			break
+		}
+		for _, e := range n.entries {
+			try(e)
+		}
+	}
+	return out
+}
+
+// FeedPaths is a convenience that returns just the matched feed paths.
+func (c *Classifier) FeedPaths(name string) []string {
+	ms := c.Classify(name)
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Feed.Path
+	}
+	return out
+}

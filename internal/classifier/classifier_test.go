@@ -1,0 +1,170 @@
+package classifier
+
+import (
+	"fmt"
+	"testing"
+
+	"bistro/internal/config"
+	"bistro/internal/pattern"
+)
+
+func feed(path string, pats ...string) *config.Feed {
+	f := &config.Feed{Name: path, Path: path}
+	for _, p := range pats {
+		f.Patterns = append(f.Patterns, pattern.MustCompile(p))
+	}
+	return f
+}
+
+func testFeeds() []*config.Feed {
+	return []*config.Feed{
+		feed("SNMP/BPS", "BPS_poller%i_%Y%m%d%H.csv.gz"),
+		feed("SNMP/PPS", "PPS_poller%i_%Y%m%d%H.csv.gz"),
+		feed("SNMP/CPU", "CPU_POLL%i_%Y%m%d%H%M.txt"),
+		feed("SNMP/MEMORY", "MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz"),
+		// A feed with two patterns (old and new naming convention).
+		feed("ALARMS", "ALARMHISTORY%i%Y%m%d%H%M.gz", "ALARMHIST2_%i_%Y%m%d%H%M.gz"),
+		// A broad wildcard feed (everything CSV-ish on a date).
+		feed("CATCHALL", "*_%Y%m%d%H.csv.gz"),
+	}
+}
+
+func TestClassifySingleFeed(t *testing.T) {
+	c := New(testFeeds(), Options{})
+	ms := c.Classify("CPU_POLL2_201009251001.txt")
+	if len(ms) != 1 || ms[0].Feed.Path != "SNMP/CPU" {
+		t.Fatalf("matches = %+v", ms)
+	}
+	if len(ms[0].Fields.Ints) != 1 || ms[0].Fields.Ints[0] != 2 {
+		t.Fatalf("fields = %+v", ms[0].Fields)
+	}
+}
+
+func TestClassifyMultiFeedMembership(t *testing.T) {
+	c := New(testFeeds(), Options{})
+	// BPS files also match the wildcard CATCHALL feed.
+	paths := c.FeedPaths("BPS_poller1_2010092504.csv.gz")
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want BPS + CATCHALL", paths)
+	}
+	has := map[string]bool{}
+	for _, p := range paths {
+		has[p] = true
+	}
+	if !has["SNMP/BPS"] || !has["CATCHALL"] {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestClassifyUnmatched(t *testing.T) {
+	c := New(testFeeds(), Options{})
+	if ms := c.Classify("core.dump.1234"); len(ms) != 0 {
+		t.Fatalf("junk matched: %+v", ms)
+	}
+	if ms := c.Classify(""); len(ms) != 0 {
+		t.Fatalf("empty name matched: %+v", ms)
+	}
+}
+
+func TestClassifyMultiplePatternsSameFeedMatchOnce(t *testing.T) {
+	c := New(testFeeds(), Options{})
+	ms := c.Classify("ALARMHIST2_7_201009250451.gz")
+	if len(ms) != 1 || ms[0].Feed.Path != "ALARMS" {
+		t.Fatalf("matches = %+v", ms)
+	}
+}
+
+func TestIndexAndLinearAgree(t *testing.T) {
+	feeds := testFeeds()
+	ci := New(feeds, Options{})
+	cl := New(feeds, Options{DisablePrefixIndex: true})
+	names := []string{
+		"BPS_poller1_2010092504.csv.gz",
+		"PPS_poller3_2010092504.csv.gz",
+		"CPU_POLL2_201009251001.txt",
+		"MEMORY_POLLER1_2010092504_51.csv.gz",
+		"ALARMHISTORY92010092504_51.gz",
+		"ALARMHISTORY9201009250451.gz",
+		"weird_2010092504.csv.gz", // only CATCHALL
+		"nonsense",
+		"",
+		"BPS_pollerX_2010092504.csv.gz", // %i fails
+	}
+	for _, n := range names {
+		a, b := ci.FeedPaths(n), cl.FeedPaths(n)
+		am := map[string]bool{}
+		for _, p := range a {
+			am[p] = true
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%q: index %v vs linear %v", n, a, b)
+		}
+		for _, p := range b {
+			if !am[p] {
+				t.Fatalf("%q: index %v vs linear %v", n, a, b)
+			}
+		}
+	}
+}
+
+func TestPrefixShadowing(t *testing.T) {
+	// Patterns where one literal prefix is a prefix of another must
+	// both be candidates.
+	feeds := []*config.Feed{
+		feed("A", "LOG_%Y%m%d.gz"),
+		feed("B", "LOG_EXTRA_%Y%m%d.gz"),
+	}
+	c := New(feeds, Options{})
+	if paths := c.FeedPaths("LOG_20100925.gz"); len(paths) != 1 || paths[0] != "A" {
+		t.Fatalf("paths = %v", paths)
+	}
+	if paths := c.FeedPaths("LOG_EXTRA_20100925.gz"); len(paths) != 1 || paths[0] != "B" {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func TestManyFeedsScale(t *testing.T) {
+	var feeds []*config.Feed
+	for i := 0; i < 500; i++ {
+		feeds = append(feeds, feed(
+			fmt.Sprintf("F%03d", i),
+			fmt.Sprintf("FEED%03d_poller%%i_%%Y%%m%%d%%H.csv.gz", i),
+		))
+	}
+	c := New(feeds, Options{})
+	if c.NumPatterns() != 500 {
+		t.Fatalf("patterns = %d", c.NumPatterns())
+	}
+	paths := c.FeedPaths("FEED123_poller4_2010092504.csv.gz")
+	if len(paths) != 1 || paths[0] != "F123" {
+		t.Fatalf("paths = %v", paths)
+	}
+}
+
+func benchFeeds(n int) []*config.Feed {
+	var feeds []*config.Feed
+	for i := 0; i < n; i++ {
+		feeds = append(feeds, feed(
+			fmt.Sprintf("F%03d", i),
+			fmt.Sprintf("FEED%03d_poller%%i_%%Y%%m%%d%%H.csv.gz", i),
+		))
+	}
+	return feeds
+}
+
+func BenchmarkClassifyIndexed100(b *testing.B)  { benchClassify(b, 100, false) }
+func BenchmarkClassifyLinear100(b *testing.B)   { benchClassify(b, 100, true) }
+func BenchmarkClassifyIndexed1000(b *testing.B) { benchClassify(b, 1000, false) }
+func BenchmarkClassifyLinear1000(b *testing.B)  { benchClassify(b, 1000, true) }
+
+func benchClassify(b *testing.B, n int, linear bool) {
+	c := New(benchFeeds(n), Options{DisablePrefixIndex: linear})
+	name := fmt.Sprintf("FEED%03d_poller4_2010092504.csv.gz", n/2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Classify(name)) != 1 {
+			b.Fatal("no match")
+		}
+	}
+}

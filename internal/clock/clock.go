@@ -1,0 +1,194 @@
+// Package clock provides an injectable time source so that every
+// time-dependent Bistro component (schedulers, batch detectors, retry
+// policies, expiry windows) can run either against the wall clock or
+// inside a deterministic simulation.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the time source abstraction used throughout Bistro.
+// The zero value is not usable; construct a Real or Simulated clock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time
+	// after d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed.
+	Sleep(d time.Duration)
+	// NewTimer returns a timer firing after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer mirrors the subset of time.Timer Bistro uses.
+type Timer interface {
+	// C returns the channel on which the timer fires.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing. It reports whether the
+	// timer was still pending.
+	Stop() bool
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// NewReal returns a wall-clock Clock.
+func NewReal() Real { return Real{} }
+
+func (Real) Now() time.Time                         { return time.Now() }
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (Real) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (Real) NewTimer(d time.Duration) Timer         { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time { return rt.t.C }
+func (rt realTimer) Stop() bool          { return rt.t.Stop() }
+
+// Simulated is a deterministic Clock whose time only moves when Advance
+// is called. Timers fire synchronously during Advance in timestamp
+// order, which makes scheduler and batching experiments reproducible.
+type Simulated struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	seq    int64
+}
+
+// NewSimulated returns a simulated clock starting at start.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Simulated) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Advance moves simulated time forward by d, firing every timer whose
+// deadline falls within the advanced window, in deadline order.
+func (s *Simulated) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for len(s.timers) > 0 && !s.timers[0].when.After(target) {
+		t := heap.Pop(&s.timers).(*simTimer)
+		if t.stopped {
+			continue
+		}
+		s.now = t.when
+		t.fired = true
+		ch := t.ch
+		when := t.when
+		s.mu.Unlock()
+		ch <- when
+		s.mu.Lock()
+	}
+	s.now = target
+	s.mu.Unlock()
+}
+
+// AdvanceTo moves simulated time to t (no-op if t is in the past).
+func (s *Simulated) AdvanceTo(t time.Time) {
+	s.mu.Lock()
+	now := s.now
+	s.mu.Unlock()
+	if t.After(now) {
+		s.Advance(t.Sub(now))
+	}
+}
+
+// After returns a channel that fires when the simulation advances past d.
+func (s *Simulated) After(d time.Duration) <-chan time.Time {
+	return s.NewTimer(d).C()
+}
+
+// Sleep blocks the calling goroutine until the simulation advances past d.
+// It must be paired with Advance calls from another goroutine.
+func (s *Simulated) Sleep(d time.Duration) { <-s.After(d) }
+
+// NewTimer returns a timer firing once the simulation has advanced by d.
+func (s *Simulated) NewTimer(d time.Duration) Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &simTimer{
+		clock: s,
+		when:  s.now.Add(d),
+		ch:    make(chan time.Time, 1),
+		seq:   s.seq,
+	}
+	s.seq++
+	heap.Push(&s.timers, t)
+	return t
+}
+
+// PendingTimers reports how many unfired, unstopped timers exist.
+// Useful in tests asserting that components cleaned up after themselves.
+func (s *Simulated) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.timers {
+		if !t.stopped && !t.fired {
+			n++
+		}
+	}
+	return n
+}
+
+type simTimer struct {
+	clock   *Simulated
+	when    time.Time
+	ch      chan time.Time
+	seq     int64
+	index   int
+	stopped bool
+	fired   bool
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+func (t *simTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// timerHeap orders timers by deadline, then creation order for
+// determinism among equal deadlines.
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

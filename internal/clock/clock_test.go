@@ -1,0 +1,134 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func TestSimulatedNow(t *testing.T) {
+	c := NewSimulated(epoch)
+	if got := c.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(epoch.Add(90 * time.Second)) {
+		t.Fatalf("Now() after Advance = %v", got)
+	}
+}
+
+func TestSimulatedTimerFireTimes(t *testing.T) {
+	c := NewSimulated(epoch)
+	durations := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	chans := make([]<-chan time.Time, len(durations))
+	for i, d := range durations {
+		chans[i] = c.After(d)
+	}
+	c.Advance(5 * time.Second)
+	for i, ch := range chans {
+		select {
+		case got := <-ch:
+			want := epoch.Add(durations[i])
+			if !got.Equal(want) {
+				t.Errorf("timer %d fired at %v, want %v", i, got, want)
+			}
+		default:
+			t.Errorf("timer %d did not fire", i)
+		}
+	}
+	if got := c.PendingTimers(); got != 0 {
+		t.Errorf("PendingTimers = %d after all fired", got)
+	}
+}
+
+func TestSimulatedTimerStop(t *testing.T) {
+	c := NewSimulated(epoch)
+	tm := c.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should return true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should return false")
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestSimulatedAdvanceTo(t *testing.T) {
+	c := NewSimulated(epoch)
+	target := epoch.Add(time.Hour)
+	c.AdvanceTo(target)
+	if !c.Now().Equal(target) {
+		t.Fatalf("AdvanceTo: now = %v, want %v", c.Now(), target)
+	}
+	// Moving to the past is a no-op.
+	c.AdvanceTo(epoch)
+	if !c.Now().Equal(target) {
+		t.Fatalf("AdvanceTo past moved the clock: %v", c.Now())
+	}
+}
+
+func TestSimulatedEqualDeadlinesFireInCreationOrder(t *testing.T) {
+	c := NewSimulated(epoch)
+	const n = 8
+	chans := make([]<-chan time.Time, n)
+	for i := range chans {
+		chans[i] = c.After(time.Second)
+	}
+	done := make(chan int, n)
+	var wg sync.WaitGroup
+	for i, ch := range chans {
+		wg.Add(1)
+		go func(i int, ch <-chan time.Time) {
+			defer wg.Done()
+			<-ch
+			done <- i
+		}(i, ch)
+	}
+	time.Sleep(10 * time.Millisecond)
+	c.Advance(time.Second)
+	wg.Wait()
+	close(done)
+	seen := map[int]bool{}
+	for i := range done {
+		seen[i] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("only %d of %d timers fired", len(seen), n)
+	}
+}
+
+func TestPendingTimers(t *testing.T) {
+	c := NewSimulated(epoch)
+	t1 := c.NewTimer(time.Second)
+	c.NewTimer(2 * time.Second)
+	if got := c.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := c.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers after stop = %d, want 1", got)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("real Now() too old: %v", now)
+	}
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	c.Sleep(time.Millisecond)
+}

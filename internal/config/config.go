@@ -1,0 +1,836 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"bistro/internal/pattern"
+)
+
+// Compression selects the file normalization transform for a feed.
+type Compression int
+
+// Compression modes.
+const (
+	CompressNone    Compression = iota // deliver bytes as received
+	CompressGzip                       // gzip before staging
+	CompressGunzip                     // gunzip before staging
+	CompressBunzip2                    // bunzip2 before staging (decompress only; stdlib bzip2 is read-only)
+)
+
+func (c Compression) String() string {
+	switch c {
+	case CompressNone:
+		return "none"
+	case CompressGzip:
+		return "gzip"
+	case CompressGunzip:
+		return "gunzip"
+	case CompressBunzip2:
+		return "bunzip2"
+	default:
+		return "unknown"
+	}
+}
+
+// Method is a subscriber's delivery method.
+type Method int
+
+// Delivery methods.
+const (
+	// MethodPush transfers file content to the subscriber.
+	MethodPush Method = iota
+	// MethodNotify implements the hybrid push-pull approach: the
+	// server pushes a notification and the subscriber retrieves the
+	// file at a time of its choosing.
+	MethodNotify
+)
+
+func (m Method) String() string {
+	if m == MethodNotify {
+		return "notify"
+	}
+	return "push"
+}
+
+// TriggerMode selects per-file or per-batch notification.
+type TriggerMode int
+
+// Trigger modes.
+const (
+	TriggerNone    TriggerMode = iota
+	TriggerPerFile             // invoke for every delivered file
+	TriggerBatch               // invoke at end-of-batch boundaries
+)
+
+// TriggerSpec configures subscriber notification (§2.3, §4.1).
+type TriggerSpec struct {
+	Mode TriggerMode
+	// Count closes a batch after this many files (0 = unbounded).
+	Count int
+	// Timeout closes a batch this long after its first file
+	// (0 = unbounded). Count and Timeout together form the paper's
+	// recommended hybrid batch definition.
+	Timeout time.Duration
+	// Exec is the command template invoked on trigger; %f expands to
+	// the delivered path(s).
+	Exec string
+	// Remote, when true, runs Exec on the subscriber host (via the
+	// subscriber daemon); otherwise Bistro runs it locally.
+	Remote bool
+}
+
+// Feed is one leaf data feed definition.
+type Feed struct {
+	// Name is the feed's leaf name.
+	Name string
+	// Path is the full hierarchy path, e.g. "SNMP/ROUTER/CPU".
+	Path string
+	// Patterns match incoming filenames into this feed.
+	Patterns []*pattern.Pattern
+	// Normalize, when set, renders matched files into this layout in
+	// the staging area.
+	Normalize *pattern.Pattern
+	// Compress selects content normalization.
+	Compress Compression
+	// ExpectPeriod is the feed's expected generation interval, used by
+	// monitoring to detect stalls and incomplete intervals (0 = none).
+	ExpectPeriod time.Duration
+	// ExpectSources is the expected file count per interval.
+	ExpectSources int
+	// Priority raises this feed's delivery urgency under prioritized
+	// scheduling policies (0 = default). The paper's delay-sensitive
+	// feeds (link faults, alarms) want this.
+	Priority int
+}
+
+// Subscriber is one registered feed consumer.
+type Subscriber struct {
+	Name string
+	// Host is the subscriber daemon address (host:port); empty for
+	// local-directory delivery.
+	Host string
+	// Dest is the destination directory (remote or local).
+	Dest string
+	// Subscriptions holds the feed or group paths as written.
+	Subscriptions []string
+	// Feeds is the resolved flat list of leaf feed paths.
+	Feeds []string
+	// Method selects push or hybrid notify delivery.
+	Method Method
+	// Trigger configures notifications.
+	Trigger TriggerSpec
+	// Retry is the offline-subscriber retry probe interval.
+	Retry time.Duration
+	// Class is the scheduling partition hint: "" (auto), "interactive",
+	// or "bulk".
+	Class string
+}
+
+// PartitionSpec is one scheduler partition from the configuration.
+type PartitionSpec struct {
+	// Name labels the partition; "interactive" receives subscribers
+	// with class interactive.
+	Name string
+	// Workers is the fixed worker allocation (required, > 0).
+	Workers int
+	// Backfill reserves this many of the workers for backfill.
+	Backfill int
+	// Policy is "fifo", "edf", "prio-edf", or "max-benefit"
+	// (default edf).
+	Policy string
+	// MaxService is the responsiveness band for dynamic migration
+	// (0 = unbounded).
+	MaxService time.Duration
+}
+
+// SchedulerSpec configures the delivery scheduler from the
+// configuration language.
+type SchedulerSpec struct {
+	// Partitions in decreasing responsiveness order.
+	Partitions []PartitionSpec
+	// Migrate enables observation-driven partition migration.
+	Migrate bool
+}
+
+// Config is a fully parsed and validated Bistro server configuration.
+type Config struct {
+	// Window is the retention window for staged files (0 = infinite).
+	Window time.Duration
+	// LandingDir, StagingDir, ArchiveDir locate the server work areas.
+	LandingDir string
+	StagingDir string
+	ArchiveDir string
+	// Feeds are all leaf feeds, in definition order.
+	Feeds []*Feed
+	// Groups maps each group path to its descendant leaf feed paths.
+	Groups map[string][]string
+	// Subscribers in definition order.
+	Subscribers []*Subscriber
+	// Scheduler, when non-nil, overrides the server's default
+	// partition layout.
+	Scheduler *SchedulerSpec
+}
+
+// FeedByPath returns the feed with the given full path.
+func (c *Config) FeedByPath(path string) (*Feed, bool) {
+	for _, f := range c.Feeds {
+		if f.Path == path {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// SubscribersOf returns the names of subscribers interested in the
+// given leaf feed path.
+func (c *Config) SubscribersOf(feedPath string) []string {
+	var out []string
+	for _, s := range c.Subscribers {
+		for _, f := range s.Feeds {
+			if f == feedPath {
+				out = append(out, s.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// parser implements recursive descent over the token stream.
+type parser struct {
+	lex      *lexer
+	tok      token
+	peeked   *token
+	prevLine int // line of the most recently consumed token
+}
+
+// Parse parses and validates a configuration document.
+func Parse(src string) (*Config, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	cfg := &Config{Groups: make(map[string][]string)}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind != tokIdent {
+			return nil, p.errf("expected a statement keyword, got %s", p.tok.kind)
+		}
+		switch p.tok.text {
+		case "window":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			d, err := p.duration()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Window = d
+		case "landing":
+			s, err := p.keywordString()
+			if err != nil {
+				return nil, err
+			}
+			cfg.LandingDir = s
+		case "staging":
+			s, err := p.keywordString()
+			if err != nil {
+				return nil, err
+			}
+			cfg.StagingDir = s
+		case "archive":
+			s, err := p.keywordString()
+			if err != nil {
+				return nil, err
+			}
+			cfg.ArchiveDir = s
+		case "feed":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			f, err := p.feed("")
+			if err != nil {
+				return nil, err
+			}
+			cfg.Feeds = append(cfg.Feeds, f)
+		case "feedgroup":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.feedgroup("", cfg); err != nil {
+				return nil, err
+			}
+		case "subscriber":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			s, err := p.subscriber()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Subscribers = append(cfg.Subscribers, s)
+		case "scheduler":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.schedulerSpec()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Scheduler = spec
+		default:
+			return nil, p.errf("unknown statement %q", p.tok.text)
+		}
+	}
+	if err := resolve(cfg); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func (p *parser) advance() error {
+	p.prevLine = p.tok.line
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("config: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+// errPrevf reports an error about the token that was just consumed
+// (e.g. an unknown keyword value), so line numbers point at it rather
+// than at the following token.
+func (p *parser) errPrevf(format string, args ...any) error {
+	return fmt.Errorf("config: line %d: %s", p.prevLine, fmt.Sprintf(format, args...))
+}
+
+// expect consumes a token of the given kind and returns its text.
+func (p *parser) expect(k tokKind) (string, error) {
+	if p.tok.kind != k {
+		return "", p.errf("expected %s, got %s %q", k, p.tok.kind, p.tok.text)
+	}
+	text := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+// keywordString consumes the current keyword and a following string.
+func (p *parser) keywordString() (string, error) {
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return p.expect(tokString)
+}
+
+// duration consumes a number token and parses it as a duration;
+// a bare integer means seconds.
+func (p *parser) duration() (time.Duration, error) {
+	text, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	if n, err := strconv.Atoi(text); err == nil {
+		return time.Duration(n) * time.Second, nil
+	}
+	d, err := time.ParseDuration(text)
+	if err != nil {
+		return 0, fmt.Errorf("config: bad duration %q: %w", text, err)
+	}
+	return d, nil
+}
+
+// integer consumes a number token as a plain int.
+func (p *parser) integer() (int, error) {
+	text, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(text)
+	if err != nil {
+		return 0, fmt.Errorf("config: bad integer %q: %w", text, err)
+	}
+	return n, nil
+}
+
+// path consumes IDENT (/ IDENT)* and returns the joined path.
+func (p *parser) path() (string, error) {
+	part, err := p.expect(tokIdent)
+	if err != nil {
+		return "", err
+	}
+	out := part
+	for p.tok.kind == tokSlash {
+		if err := p.advance(); err != nil {
+			return "", err
+		}
+		part, err := p.expect(tokIdent)
+		if err != nil {
+			return "", err
+		}
+		out += "/" + part
+	}
+	return out, nil
+}
+
+// feedgroup parses: NAME { (feed | feedgroup)* }
+func (p *parser) feedgroup(prefix string, cfg *Config) error {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	path := joinPath(prefix, name)
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	cfg.Groups[path] = cfg.Groups[path] // register even if empty
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "feed":
+			f, err := p.feed(path)
+			if err != nil {
+				return err
+			}
+			cfg.Feeds = append(cfg.Feeds, f)
+		case "feedgroup":
+			if err := p.feedgroup(path, cfg); err != nil {
+				return err
+			}
+		default:
+			return p.errPrevf("unknown feedgroup statement %q", kw)
+		}
+	}
+	return p.advance() // consume '}'
+}
+
+// feed parses: NAME { body }
+func (p *parser) feed(prefix string) (*Feed, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f := &Feed{Name: name, Path: joinPath(prefix, name)}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "pattern":
+			src, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			pat, err := pattern.Compile(src)
+			if err != nil {
+				return nil, fmt.Errorf("config: feed %s: %w", f.Path, err)
+			}
+			f.Patterns = append(f.Patterns, pat)
+		case "normalize":
+			src, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			pat, err := pattern.Compile(src)
+			if err != nil {
+				return nil, fmt.Errorf("config: feed %s normalize: %w", f.Path, err)
+			}
+			f.Normalize = pat
+		case "expect":
+			if f.ExpectPeriod, err = p.duration(); err != nil {
+				return nil, err
+			}
+			if f.ExpectSources, err = p.integer(); err != nil {
+				return nil, err
+			}
+		case "priority":
+			if f.Priority, err = p.integer(); err != nil {
+				return nil, err
+			}
+		case "compress":
+			mode, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch mode {
+			case "none":
+				f.Compress = CompressNone
+			case "gzip":
+				f.Compress = CompressGzip
+			case "gunzip":
+				f.Compress = CompressGunzip
+			case "bunzip2":
+				f.Compress = CompressBunzip2
+			default:
+				return nil, p.errPrevf("feed %s: unknown compress mode %q", f.Path, mode)
+			}
+		default:
+			return nil, p.errPrevf("unknown feed statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if len(f.Patterns) == 0 {
+		return nil, fmt.Errorf("config: feed %s has no patterns", f.Path)
+	}
+	return f, nil
+}
+
+// subscriber parses: NAME { body }
+func (p *parser) subscriber() (*Subscriber, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscriber{Name: name, Retry: 30 * time.Second}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "host":
+			if s.Host, err = p.expect(tokString); err != nil {
+				return nil, err
+			}
+		case "dest":
+			if s.Dest, err = p.expect(tokString); err != nil {
+				return nil, err
+			}
+		case "subscribe":
+			path, err := p.path()
+			if err != nil {
+				return nil, err
+			}
+			s.Subscriptions = append(s.Subscriptions, path)
+		case "method":
+			m, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch m {
+			case "push":
+				s.Method = MethodPush
+			case "notify":
+				s.Method = MethodNotify
+			default:
+				return nil, p.errPrevf("subscriber %s: unknown method %q", name, m)
+			}
+		case "retry":
+			if s.Retry, err = p.duration(); err != nil {
+				return nil, err
+			}
+		case "class":
+			c, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if c != "interactive" && c != "bulk" {
+				return nil, p.errPrevf("subscriber %s: unknown class %q", name, c)
+			}
+			s.Class = c
+		case "trigger":
+			if err := p.trigger(&s.Trigger); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errPrevf("unknown subscriber statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if len(s.Subscriptions) == 0 {
+		return nil, fmt.Errorf("config: subscriber %s subscribes to nothing", name)
+	}
+	return s, nil
+}
+
+// trigger parses:
+//
+//	trigger perfile [remote] exec "cmd"
+//	trigger batch (count N | timeout D | time D)+ [remote] exec "cmd"
+func (p *parser) trigger(spec *TriggerSpec) error {
+	mode, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "perfile":
+		spec.Mode = TriggerPerFile
+	case "batch":
+		spec.Mode = TriggerBatch
+	default:
+		return p.errPrevf("unknown trigger mode %q", mode)
+	}
+	for {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "count":
+			if spec.Mode != TriggerBatch {
+				return p.errPrevf("count only applies to batch triggers")
+			}
+			if spec.Count, err = p.integer(); err != nil {
+				return err
+			}
+		case "timeout", "time":
+			if spec.Mode != TriggerBatch {
+				return p.errPrevf("%s only applies to batch triggers", kw)
+			}
+			if spec.Timeout, err = p.duration(); err != nil {
+				return err
+			}
+		case "remote":
+			spec.Remote = true
+		case "exec":
+			if spec.Exec, err = p.expect(tokString); err != nil {
+				return err
+			}
+			if spec.Mode == TriggerBatch && spec.Count == 0 && spec.Timeout == 0 {
+				return p.errPrevf("batch trigger needs count and/or timeout")
+			}
+			return nil
+		default:
+			return p.errPrevf("unknown trigger option %q", kw)
+		}
+	}
+}
+
+// schedulerSpec parses: { [migrate on|off] partition NAME { ... }+ }
+func (p *parser) schedulerSpec() (*SchedulerSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &SchedulerSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "migrate":
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch v {
+			case "on":
+				spec.Migrate = true
+			case "off":
+				spec.Migrate = false
+			default:
+				return nil, p.errPrevf("migrate takes on or off, got %q", v)
+			}
+		case "partition":
+			part, err := p.partitionSpec()
+			if err != nil {
+				return nil, err
+			}
+			spec.Partitions = append(spec.Partitions, part)
+		default:
+			return nil, p.errPrevf("unknown scheduler statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if len(spec.Partitions) == 0 {
+		return nil, fmt.Errorf("config: scheduler block needs at least one partition")
+	}
+	return spec, nil
+}
+
+// partitionSpec parses: NAME { workers N [backfill N] [policy P] [maxservice D] }
+func (p *parser) partitionSpec() (PartitionSpec, error) {
+	var out PartitionSpec
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return out, err
+	}
+	out.Name = name
+	out.Policy = "edf"
+	if _, err := p.expect(tokLBrace); err != nil {
+		return out, err
+	}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return out, err
+		}
+		switch kw {
+		case "workers":
+			if out.Workers, err = p.integer(); err != nil {
+				return out, err
+			}
+		case "backfill":
+			if out.Backfill, err = p.integer(); err != nil {
+				return out, err
+			}
+		case "policy":
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return out, err
+			}
+			switch v {
+			case "fifo", "edf", "prio-edf", "max-benefit":
+				out.Policy = v
+			default:
+				return out, p.errPrevf("unknown policy %q", v)
+			}
+		case "maxservice":
+			if out.MaxService, err = p.duration(); err != nil {
+				return out, err
+			}
+		default:
+			return out, p.errPrevf("unknown partition statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil {
+		return out, err
+	}
+	if out.Workers <= 0 {
+		return out, fmt.Errorf("config: partition %s needs workers", out.Name)
+	}
+	if out.Backfill >= out.Workers {
+		return out, fmt.Errorf("config: partition %s: backfill must leave real-time workers", out.Name)
+	}
+	return out, nil
+}
+
+func joinPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "/" + name
+}
+
+// resolve validates feed uniqueness, builds group membership, and
+// expands subscriber interest sets to leaf feeds.
+func resolve(cfg *Config) error {
+	seen := make(map[string]bool)
+	for _, f := range cfg.Feeds {
+		if seen[f.Path] {
+			return fmt.Errorf("config: duplicate feed %s", f.Path)
+		}
+		seen[f.Path] = true
+	}
+	// Group membership: every ancestor group contains the leaf.
+	for _, f := range cfg.Feeds {
+		parts := splitPath(f.Path)
+		for i := 1; i < len(parts); i++ {
+			g := joinParts(parts[:i])
+			cfg.Groups[g] = append(cfg.Groups[g], f.Path)
+		}
+	}
+	for g := range cfg.Groups {
+		sort.Strings(cfg.Groups[g])
+	}
+	for _, s := range cfg.Subscribers {
+		feedSet := make(map[string]bool)
+		for _, sub := range s.Subscriptions {
+			if seen[sub] {
+				feedSet[sub] = true
+				continue
+			}
+			leaves, ok := cfg.Groups[sub]
+			if !ok {
+				return fmt.Errorf("config: subscriber %s: unknown feed or group %q", s.Name, sub)
+			}
+			for _, leaf := range leaves {
+				feedSet[leaf] = true
+			}
+		}
+		s.Feeds = make([]string, 0, len(feedSet))
+		for f := range feedSet {
+			s.Feeds = append(s.Feeds, f)
+		}
+		sort.Strings(s.Feeds)
+	}
+	if cfg.StagingDir == "" {
+		cfg.StagingDir = "staging"
+	}
+	if cfg.LandingDir == "" {
+		cfg.LandingDir = "landing"
+	}
+	return nil
+}
+
+// ResolveSubscriber expands a subscriber's subscriptions against the
+// configuration's feeds and groups, filling s.Feeds. Used when adding
+// subscribers at runtime.
+func (c *Config) ResolveSubscriber(s *Subscriber) error {
+	if len(s.Subscriptions) == 0 {
+		return fmt.Errorf("config: subscriber %s subscribes to nothing", s.Name)
+	}
+	leafSet := make(map[string]bool, len(c.Feeds))
+	for _, f := range c.Feeds {
+		leafSet[f.Path] = true
+	}
+	feedSet := make(map[string]bool)
+	for _, sub := range s.Subscriptions {
+		if leafSet[sub] {
+			feedSet[sub] = true
+			continue
+		}
+		leaves, ok := c.Groups[sub]
+		if !ok {
+			return fmt.Errorf("config: subscriber %s: unknown feed or group %q", s.Name, sub)
+		}
+		for _, leaf := range leaves {
+			feedSet[leaf] = true
+		}
+	}
+	s.Feeds = make([]string, 0, len(feedSet))
+	for f := range feedSet {
+		s.Feeds = append(s.Feeds, f)
+	}
+	sort.Strings(s.Feeds)
+	return nil
+}
+
+func splitPath(p string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '/' {
+			parts = append(parts, p[start:i])
+			start = i + 1
+		}
+	}
+	return parts
+}
+
+func joinParts(parts []string) string {
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "/" + p
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Format renders a Config back into configuration-language text that
+// Parse accepts, reconstructing the feed-group hierarchy from feed
+// paths. The analyzer uses it to emit ready-to-install snippets for
+// suggested definitions; operators use it to normalize hand-edited
+// files. Formatting then parsing yields an equivalent configuration.
+func Format(cfg *Config) string {
+	var b strings.Builder
+	if cfg.Window > 0 {
+		fmt.Fprintf(&b, "window %s\n", formatDuration(cfg.Window))
+	}
+	if cfg.LandingDir != "" && cfg.LandingDir != "landing" {
+		fmt.Fprintf(&b, "landing %s\n", quote(cfg.LandingDir))
+	}
+	if cfg.StagingDir != "" && cfg.StagingDir != "staging" {
+		fmt.Fprintf(&b, "staging %s\n", quote(cfg.StagingDir))
+	}
+	if cfg.ArchiveDir != "" {
+		fmt.Fprintf(&b, "archive %s\n", quote(cfg.ArchiveDir))
+	}
+	if b.Len() > 0 {
+		b.WriteString("\n")
+	}
+
+	if sp := cfg.Scheduler; sp != nil {
+		b.WriteString("scheduler {\n")
+		if sp.Migrate {
+			b.WriteString("    migrate on\n")
+		}
+		for _, part := range sp.Partitions {
+			fmt.Fprintf(&b, "    partition %s {\n        workers %d\n", part.Name, part.Workers)
+			if part.Backfill > 0 {
+				fmt.Fprintf(&b, "        backfill %d\n", part.Backfill)
+			}
+			if part.Policy != "" && part.Policy != "edf" {
+				fmt.Fprintf(&b, "        policy %s\n", part.Policy)
+			}
+			if part.MaxService > 0 {
+				fmt.Fprintf(&b, "        maxservice %s\n", formatDuration(part.MaxService))
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
+	// Rebuild the hierarchy: a trie of path segments.
+	root := &groupNode{children: map[string]*groupNode{}}
+	for _, f := range cfg.Feeds {
+		parts := splitPath(f.Path)
+		n := root
+		for _, part := range parts[:len(parts)-1] {
+			child := n.children[part]
+			if child == nil {
+				child = &groupNode{name: part, children: map[string]*groupNode{}}
+				n.children[part] = child
+				n.order = append(n.order, part)
+			}
+			n = child
+		}
+		n.feeds = append(n.feeds, f)
+	}
+	writeGroup(&b, root, 0)
+
+	for _, s := range cfg.Subscribers {
+		writeSubscriber(&b, s)
+	}
+	return b.String()
+}
+
+type groupNode struct {
+	name     string
+	children map[string]*groupNode
+	order    []string
+	feeds    []*Feed
+}
+
+func writeGroup(b *strings.Builder, n *groupNode, depth int) {
+	ind := strings.Repeat("    ", depth)
+	for _, f := range n.feeds {
+		fmt.Fprintf(b, "%sfeed %s {\n", ind, f.Name)
+		for _, p := range f.Patterns {
+			fmt.Fprintf(b, "%s    pattern %s\n", ind, quote(p.String()))
+		}
+		if f.Normalize != nil {
+			fmt.Fprintf(b, "%s    normalize %s\n", ind, quote(f.Normalize.String()))
+		}
+		if f.Compress != CompressNone {
+			fmt.Fprintf(b, "%s    compress %s\n", ind, f.Compress)
+		}
+		if f.ExpectPeriod > 0 {
+			fmt.Fprintf(b, "%s    expect %s %d\n", ind, formatDuration(f.ExpectPeriod), f.ExpectSources)
+		}
+		if f.Priority != 0 {
+			fmt.Fprintf(b, "%s    priority %d\n", ind, f.Priority)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	}
+	for _, name := range n.order {
+		child := n.children[name]
+		fmt.Fprintf(b, "%sfeedgroup %s {\n", ind, name)
+		writeGroup(b, child, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	}
+	if depth == 0 && (len(n.feeds) > 0 || len(n.order) > 0) {
+		b.WriteString("\n")
+	}
+}
+
+func writeSubscriber(b *strings.Builder, s *Subscriber) {
+	fmt.Fprintf(b, "subscriber %s {\n", s.Name)
+	if s.Host != "" {
+		fmt.Fprintf(b, "    host %s\n", quote(s.Host))
+	}
+	if s.Dest != "" {
+		fmt.Fprintf(b, "    dest %s\n", quote(s.Dest))
+	}
+	subs := append([]string{}, s.Subscriptions...)
+	sort.Strings(subs)
+	for _, path := range subs {
+		fmt.Fprintf(b, "    subscribe %s\n", path)
+	}
+	if s.Method != MethodPush {
+		fmt.Fprintf(b, "    method %s\n", s.Method)
+	}
+	switch s.Trigger.Mode {
+	case TriggerPerFile:
+		fmt.Fprintf(b, "    trigger perfile%s exec %s\n", remoteWord(s.Trigger), quote(s.Trigger.Exec))
+	case TriggerBatch:
+		fmt.Fprintf(b, "    trigger batch")
+		if s.Trigger.Count > 0 {
+			fmt.Fprintf(b, " count %d", s.Trigger.Count)
+		}
+		if s.Trigger.Timeout > 0 {
+			fmt.Fprintf(b, " timeout %s", formatDuration(s.Trigger.Timeout))
+		}
+		fmt.Fprintf(b, "%s exec %s\n", remoteWord(s.Trigger), quote(s.Trigger.Exec))
+	}
+	if s.Retry != 30*time.Second && s.Retry > 0 {
+		fmt.Fprintf(b, "    retry %s\n", formatDuration(s.Retry))
+	}
+	if s.Class != "" {
+		fmt.Fprintf(b, "    class %s\n", s.Class)
+	}
+	fmt.Fprintf(b, "}\n\n")
+}
+
+func remoteWord(t TriggerSpec) string {
+	if t.Remote {
+		return " remote"
+	}
+	return ""
+}
+
+// formatDuration renders durations the lexer accepts (no spaces).
+func formatDuration(d time.Duration) string {
+	return d.String()
+}
+
+// quote renders a string literal with the language's escapes.
+func quote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return `"` + s + `"`
+}

@@ -1,0 +1,158 @@
+package config
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// equalConfigs compares the semantically meaningful parts of two
+// configurations.
+func equalConfigs(t *testing.T, a, b *Config) {
+	t.Helper()
+	if a.Window != b.Window {
+		t.Fatalf("window: %v vs %v", a.Window, b.Window)
+	}
+	if a.ArchiveDir != b.ArchiveDir {
+		t.Fatalf("archive: %q vs %q", a.ArchiveDir, b.ArchiveDir)
+	}
+	if len(a.Feeds) != len(b.Feeds) {
+		t.Fatalf("feeds: %d vs %d", len(a.Feeds), len(b.Feeds))
+	}
+	// Definition order of feeds is not semantic; compare by path.
+	af := append([]*Feed{}, a.Feeds...)
+	bf := append([]*Feed{}, b.Feeds...)
+	sort.Slice(af, func(i, j int) bool { return af[i].Path < af[j].Path })
+	sort.Slice(bf, func(i, j int) bool { return bf[i].Path < bf[j].Path })
+	for i := range af {
+		fa, fb := af[i], bf[i]
+		if fa.Path != fb.Path || fa.Compress != fb.Compress ||
+			fa.ExpectPeriod != fb.ExpectPeriod || fa.ExpectSources != fb.ExpectSources ||
+			fa.Priority != fb.Priority {
+			t.Fatalf("feed %d: %+v vs %+v", i, fa, fb)
+		}
+		if len(fa.Patterns) != len(fb.Patterns) {
+			t.Fatalf("feed %s patterns: %d vs %d", fa.Path, len(fa.Patterns), len(fb.Patterns))
+		}
+		for j := range fa.Patterns {
+			if fa.Patterns[j].String() != fb.Patterns[j].String() {
+				t.Fatalf("feed %s pattern %d: %q vs %q", fa.Path, j, fa.Patterns[j], fb.Patterns[j])
+			}
+		}
+		na, nb := "", ""
+		if fa.Normalize != nil {
+			na = fa.Normalize.String()
+		}
+		if fb.Normalize != nil {
+			nb = fb.Normalize.String()
+		}
+		if na != nb {
+			t.Fatalf("feed %s normalize: %q vs %q", fa.Path, na, nb)
+		}
+	}
+	if len(a.Subscribers) != len(b.Subscribers) {
+		t.Fatalf("subscribers: %d vs %d", len(a.Subscribers), len(b.Subscribers))
+	}
+	for i := range a.Subscribers {
+		sa, sb := a.Subscribers[i], b.Subscribers[i]
+		if sa.Name != sb.Name || sa.Host != sb.Host || sa.Dest != sb.Dest ||
+			sa.Method != sb.Method || sa.Retry != sb.Retry || sa.Class != sb.Class {
+			t.Fatalf("subscriber %d: %+v vs %+v", i, sa, sb)
+		}
+		if sa.Trigger != sb.Trigger {
+			t.Fatalf("subscriber %s trigger: %+v vs %+v", sa.Name, sa.Trigger, sb.Trigger)
+		}
+		if !reflect.DeepEqual(sa.Feeds, sb.Feeds) {
+			t.Fatalf("subscriber %s feeds: %v vs %v", sa.Name, sa.Feeds, sb.Feeds)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+	}
+	equalConfigs(t, orig, back)
+	// Idempotent: formatting the re-parsed config gives the same text.
+	if again := Format(back); again != text {
+		t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}
+
+func TestFormatRoundTripAllFeatures(t *testing.T) {
+	src := `
+window 1h30m0s
+archive "arch"
+
+scheduler {
+    migrate on
+    partition interactive { workers 2 policy prio-edf maxservice 100ms }
+    partition bulk { workers 4 backfill 1 }
+}
+
+feedgroup A {
+    feed LEAF {
+        pattern "a_%i_%Y%m%d.csv"
+        normalize "%Y/%m/a_%i.csv"
+        compress gunzip
+        expect 5m0s 4
+        priority 7
+    }
+    feedgroup B {
+        feed DEEP { pattern "deep_%s_%Y.bz2" compress bunzip2 }
+    }
+}
+feed TOP { pattern "top_%Y%m%d%H%M.log" }
+
+subscriber s1 {
+    host "10.0.0.5:9401"
+    dest "in"
+    subscribe A
+    method notify
+    trigger batch count 4 timeout 10m0s remote exec "load \"%f\""
+    retry 45s
+    class interactive
+}
+subscriber s2 {
+    dest "d2"
+    subscribe TOP
+    trigger perfile exec "echo %f"
+}
+`
+	orig, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+	}
+	equalConfigs(t, orig, back)
+	if back.Scheduler == nil || !back.Scheduler.Migrate || len(back.Scheduler.Partitions) != 2 {
+		t.Fatalf("scheduler block lost in round trip: %+v", back.Scheduler)
+	}
+	if back.Scheduler.Partitions[0].MaxService != 100*time.Millisecond {
+		t.Fatalf("maxservice lost: %+v", back.Scheduler.Partitions[0])
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	for _, d := range []time.Duration{time.Second, 90 * time.Second, time.Hour, 72 * time.Hour} {
+		src := "window " + formatDuration(d) + "\nfeed F { pattern \"f_%Y.gz\" }"
+		cfg, err := Parse(src)
+		if err != nil {
+			t.Fatalf("duration %v: %v", d, err)
+		}
+		if cfg.Window != d {
+			t.Fatalf("duration %v round-tripped to %v", d, cfg.Window)
+		}
+	}
+}

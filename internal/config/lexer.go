@@ -1,0 +1,191 @@
+// Package config implements the Bistro configuration language
+// (SIGMOD'11 §3.1): a small declarative DSL that formally specifies
+// feed hierarchies, feed filename patterns with normalization and
+// compression options, and subscribers with their interest sets,
+// delivery methods, notification triggers, and batch definitions —
+// replacing the ad-hoc script collections the paper criticizes.
+//
+// Example:
+//
+//	window 72h
+//	staging "staging"
+//
+//	feedgroup SNMP {
+//	    feed BPS {
+//	        pattern "BPS_poller%i_%Y%m%d%H.csv.gz"
+//	        normalize "%Y/%m/%d/BPS_poller%i_%H.csv.gz"
+//	        compress gzip
+//	    }
+//	    feedgroup ROUTER {
+//	        feed CPU    { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+//	        feed MEMORY { pattern "MEMORY_POLLER%i_%Y%m%d%H_%M.csv.gz" }
+//	    }
+//	}
+//
+//	subscriber warehouse {
+//	    host "127.0.0.1:9401"
+//	    dest "incoming"
+//	    subscribe SNMP/BPS
+//	    subscribe SNMP/ROUTER
+//	    method push
+//	    trigger batch count 3 timeout 10m exec "bin/load %f"
+//	    retry 30s
+//	}
+package config
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber // integer or duration-like (123, 10m, 72h, 30s)
+	tokLBrace
+	tokRBrace
+	tokSlash
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokSlash:
+		return "'/'"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer scans the configuration text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// next returns the next token or an error with line information.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '{':
+			l.pos++
+			return token{tokLBrace, "{", l.line}, nil
+		case c == '}':
+			l.pos++
+			return token{tokRBrace, "}", l.line}, nil
+		case c == '/':
+			l.pos++
+			return token{tokSlash, "/", l.line}, nil
+		case c == '"':
+			return l.lexString()
+		case c >= '0' && c <= '9':
+			return l.lexNumber()
+		case isIdentStart(rune(c)):
+			return l.lexIdent()
+		default:
+			return token{}, fmt.Errorf("config: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	return token{tokEOF, "", l.line}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		case '\n':
+			return token{}, fmt.Errorf("config: line %d: unterminated string", start)
+		case '\\':
+			if l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return token{}, fmt.Errorf("config: line %d: unknown escape \\%c", l.line, l.src[l.pos])
+				}
+				l.pos++
+				continue
+			}
+			return token{}, fmt.Errorf("config: line %d: trailing backslash", l.line)
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, fmt.Errorf("config: line %d: unterminated string", start)
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isNumberChar(l.src[l.pos]) {
+		l.pos++
+	}
+	return token{tokNumber, l.src[start:l.pos], l.line}, nil
+}
+
+// isNumberChar admits digits plus duration unit letters and dots so
+// "1h30m", "2.5s" and "500ms" lex as single tokens.
+func isNumberChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '.' ||
+		c == 'h' || c == 'm' || c == 's' || c == 'u' || c == 'n' || c == 'd'
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return token{tokIdent, l.src[start:l.pos], l.line}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}

@@ -1,0 +1,647 @@
+// Package delivery implements Bistro's reliable feed delivery engine
+// (SIGMOD'11 §4.2–§4.3). It consumes classified, staged files and
+// guarantees that every file eventually reaches every interested
+// subscriber (or, for hybrid push-pull subscribers, that a
+// notification does):
+//
+//   - jobs are scheduled by the partitioned scheduler (one partition
+//     per subscriber responsiveness level, fixed worker allocations,
+//     EDF within a partition);
+//   - successful transmissions are durably recorded in the receipt
+//     store before triggers fire;
+//   - transfer failures accumulate until the subscriber is flagged
+//     offline, its queued jobs are dropped, and a retry prober takes
+//     over; on reconnect the delivery queue is recomputed from the
+//     receipt database and backfilled concurrently with new real-time
+//     traffic;
+//   - delivery of one staged file to several subscribers in the same
+//     partition is grouped so the file is read once (locality
+//     heuristic).
+package delivery
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bistro/internal/batch"
+	"bistro/internal/clock"
+	"bistro/internal/config"
+	"bistro/internal/receipts"
+	"bistro/internal/scheduler"
+	"bistro/internal/transport"
+	"bistro/internal/trigger"
+)
+
+// EventKind classifies delivery engine events for the logging
+// subsystem.
+type EventKind int
+
+// Event kinds.
+const (
+	EvDelivered EventKind = iota
+	EvNotified
+	EvDeliveryFailed
+	EvSubscriberOffline
+	EvSubscriberOnline
+	EvBackfillQueued
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvDelivered:
+		return "delivered"
+	case EvNotified:
+		return "notified"
+	case EvDeliveryFailed:
+		return "delivery-failed"
+	case EvSubscriberOffline:
+		return "subscriber-offline"
+	case EvSubscriberOnline:
+		return "subscriber-online"
+	case EvBackfillQueued:
+		return "backfill-queued"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observable delivery occurrence.
+type Event struct {
+	Kind       EventKind
+	Subscriber string
+	Feed       string
+	Name       string
+	FileID     uint64
+	Count      int // backfill-queued: number of files
+	Err        error
+	At         time.Time
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Clock drives deadlines and retry timers.
+	Clock clock.Clock
+	// Store is the receipt database.
+	Store *receipts.Store
+	// Transport carries bytes to subscribers.
+	Transport transport.Transport
+	// Subscribers is the configured subscriber set.
+	Subscribers []*config.Subscriber
+	// StagingRoot prefixes staged paths when reading file content.
+	StagingRoot string
+	// Scheduler configures the partitioned scheduler. Zero value gets
+	// a sensible two-partition default.
+	Scheduler scheduler.Config
+	// Deadline is the per-file delivery target used for EDF deadlines.
+	// Default 1 minute (the paper's sub-minute propagation goal).
+	Deadline time.Duration
+	// OfflineAfter flags a subscriber offline after this many
+	// consecutive transfer failures. Default 3.
+	OfflineAfter int
+	// StreamThreshold switches delivery to streaming (no in-memory
+	// copy; chunked over TCP) for staged files at or above this size.
+	// Default 4 MiB.
+	StreamThreshold int64
+	// FeedPriority maps feed paths to delivery priorities (from feed
+	// config); added to the subscriber-class priority under
+	// prioritized scheduling policies.
+	FeedPriority map[string]int
+	// TriggerInvoker runs local trigger commands. Default: trigger.ExecInvoker.
+	TriggerInvoker trigger.Invoker
+	// OnEvent receives engine events (may be nil). Called
+	// synchronously; keep it fast.
+	OnEvent func(Event)
+}
+
+// Engine is the delivery subsystem.
+type Engine struct {
+	opts  Options
+	clk   clock.Clock
+	sched *scheduler.Scheduler
+	store *receipts.Store
+	trans transport.Transport
+	trig  *trigger.Engine
+
+	mu      sync.Mutex
+	subs    map[string]*config.Subscriber
+	offline map[string]bool
+	fails   map[string]int
+	probing map[string]bool
+	stats   map[string]*SubscriberStats
+
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
+	stopMu  sync.Mutex
+	stopped bool
+}
+
+// DefaultSchedulerConfig is the production partition layout: an
+// interactive partition for responsive subscribers and a bulk
+// partition (with a reserved backfill worker) for the rest.
+func DefaultSchedulerConfig() scheduler.Config {
+	return scheduler.Config{
+		Partitions: []scheduler.PartitionConfig{
+			{Name: "interactive", Workers: 2, Policy: scheduler.EDF},
+			{Name: "bulk", Workers: 3, BackfillWorkers: 1, Policy: scheduler.EDF},
+		},
+		Backfill:      scheduler.BackfillConcurrent,
+		GroupSameFile: true,
+	}
+}
+
+// New builds a delivery engine. Call Start to launch workers.
+func New(opts Options) (*Engine, error) {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.Store == nil {
+		return nil, fmt.Errorf("delivery: receipt store required")
+	}
+	if opts.Transport == nil {
+		return nil, fmt.Errorf("delivery: transport required")
+	}
+	if opts.Deadline == 0 {
+		opts.Deadline = time.Minute
+	}
+	if opts.OfflineAfter == 0 {
+		opts.OfflineAfter = 3
+	}
+	if opts.StreamThreshold == 0 {
+		opts.StreamThreshold = 4 << 20
+	}
+	if len(opts.Scheduler.Partitions) == 0 {
+		opts.Scheduler = DefaultSchedulerConfig()
+	}
+	if opts.TriggerInvoker == nil {
+		opts.TriggerInvoker = trigger.ExecInvoker{}
+	}
+	sched, err := scheduler.New(opts.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:    opts,
+		clk:     opts.Clock,
+		sched:   sched,
+		store:   opts.Store,
+		trans:   opts.Transport,
+		subs:    make(map[string]*config.Subscriber),
+		offline: make(map[string]bool),
+		fails:   make(map[string]int),
+		probing: make(map[string]bool),
+		stats:   make(map[string]*SubscriberStats),
+		stopCh:  make(chan struct{}),
+	}
+	for _, s := range opts.Subscribers {
+		e.subs[s.Name] = s
+		e.sched.AssignSubscriber(s.Name, e.partitionFor(s))
+	}
+	// Trigger invocations route remote triggers through the transport
+	// and local ones through the configured invoker.
+	e.trig = trigger.NewEngine(e.clk, trigger.InvokerFunc(func(inv trigger.Invocation) error {
+		if inv.Remote {
+			return e.trans.Trigger(inv.Subscriber, inv.Command, inv.Paths)
+		}
+		return opts.TriggerInvoker.Invoke(inv)
+	}))
+	return e, nil
+}
+
+// subscriber returns the configuration for sub under the lock.
+func (e *Engine) subscriber(name string) *config.Subscriber {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.subs[name]
+}
+
+// AddSubscriber registers a subscriber at runtime (§4.2: new
+// subscribers can be added at any moment and receive the full
+// available history). The caller must have registered the subscriber
+// with the transport first; the engine assigns its partition and
+// queues the full-history backfill.
+func (e *Engine) AddSubscriber(s *config.Subscriber) error {
+	e.mu.Lock()
+	if _, exists := e.subs[s.Name]; exists {
+		e.mu.Unlock()
+		return fmt.Errorf("delivery: subscriber %q already registered", s.Name)
+	}
+	e.subs[s.Name] = s
+	e.mu.Unlock()
+	if err := e.sched.AssignSubscriber(s.Name, e.partitionFor(s)); err != nil {
+		return err
+	}
+	e.queueBackfill(s.Name)
+	return nil
+}
+
+// partitionFor maps a subscriber's configured class to a partition
+// index: "interactive" → first partition, "bulk" or unset → last.
+func (e *Engine) partitionFor(s *config.Subscriber) int {
+	n := len(e.opts.Scheduler.Partitions)
+	if s.Class == "interactive" {
+		return 0
+	}
+	return n - 1
+}
+
+// Scheduler exposes the underlying scheduler (monitoring, tests).
+func (e *Engine) Scheduler() *scheduler.Scheduler { return e.sched }
+
+// Triggers exposes the trigger engine (punctuation routing).
+func (e *Engine) Triggers() *trigger.Engine { return e.trig }
+
+// Start launches the partition worker pools and queues backfill for
+// every subscriber's undelivered history (covers server restart, new
+// subscribers, and revised feed definitions uniformly).
+func (e *Engine) Start() {
+	for pi, pc := range e.sched.Partitions() {
+		rt := pc.Workers - pc.BackfillWorkers
+		for w := 0; w < rt; w++ {
+			e.wg.Add(1)
+			go e.worker(pi, scheduler.LaneRealtime)
+		}
+		for w := 0; w < pc.BackfillWorkers; w++ {
+			e.wg.Add(1)
+			go e.worker(pi, scheduler.LaneBackfill)
+		}
+	}
+	e.mu.Lock()
+	names := make([]string, 0, len(e.subs))
+	for name := range e.subs {
+		names = append(names, name)
+	}
+	e.mu.Unlock()
+	for _, name := range names {
+		e.queueBackfill(name)
+	}
+}
+
+// Stop drains workers and closes open trigger batches.
+func (e *Engine) Stop() {
+	e.stopMu.Lock()
+	if e.stopped {
+		e.stopMu.Unlock()
+		return
+	}
+	e.stopped = true
+	close(e.stopCh)
+	e.stopMu.Unlock()
+	e.sched.Close()
+	e.wg.Wait()
+	e.trig.Flush()
+}
+
+// emit publishes an event.
+func (e *Engine) emit(ev Event) {
+	ev.At = e.clk.Now()
+	if e.opts.OnEvent != nil {
+		e.opts.OnEvent(ev)
+	}
+}
+
+// EnqueueFile schedules delivery of a freshly staged file to every
+// interested online subscriber. Offline subscribers skip the queue —
+// their receipt-database backfill will pick the file up on reconnect.
+func (e *Engine) EnqueueFile(meta receipts.FileMeta) {
+	now := e.clk.Now()
+	e.mu.Lock()
+	subs := make([]*config.Subscriber, 0, len(e.subs))
+	for _, s := range e.subs {
+		subs = append(subs, s)
+	}
+	e.mu.Unlock()
+	for _, s := range subs {
+		if !e.interested(s, meta.Feeds) {
+			continue
+		}
+		e.mu.Lock()
+		off := e.offline[s.Name]
+		e.mu.Unlock()
+		if off {
+			continue
+		}
+		feed := firstCommon(s.Feeds, meta.Feeds)
+		e.sched.Submit(&scheduler.Job{
+			FileID:     meta.ID,
+			Feed:       feed,
+			Subscriber: s.Name,
+			Path:       meta.StagedPath,
+			Size:       meta.Size,
+			Release:    now,
+			Deadline:   meta.Arrived.Add(e.opts.Deadline),
+			Priority:   e.priorityOf(s) + e.opts.FeedPriority[feed],
+		})
+	}
+}
+
+func (e *Engine) priorityOf(s *config.Subscriber) int {
+	if s.Class == "interactive" {
+		return 10
+	}
+	return 1
+}
+
+func (e *Engine) interested(s *config.Subscriber, feeds []string) bool {
+	for _, want := range s.Feeds {
+		for _, have := range feeds {
+			if want == have {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func firstCommon(a, b []string) string {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return x
+			}
+		}
+	}
+	return ""
+}
+
+// Punctuate propagates a source end-of-batch marker downstream: every
+// subscriber of the feed gets its open trigger batch closed.
+func (e *Engine) Punctuate(feed string) {
+	e.trig.PunctuateFeed(feed)
+}
+
+// worker is one partition worker loop.
+func (e *Engine) worker(part int, lane scheduler.Lane) {
+	defer e.wg.Done()
+	for {
+		jobs := e.sched.Next(part, lane)
+		if jobs == nil {
+			return
+		}
+		e.execute(jobs)
+	}
+}
+
+// execute performs one claimed job group. Small files are read once
+// and fanned out in memory; files at or above the stream threshold are
+// delivered by streaming straight from staging (each transport opens
+// its own reader).
+func (e *Engine) execute(jobs []*scheduler.Job) {
+	abs := filepath.Join(e.opts.StagingRoot, filepath.FromSlash(jobs[0].Path))
+	meta, _ := e.store.File(jobs[0].FileID)
+	if jobs[0].Size >= e.opts.StreamThreshold {
+		if _, err := os.Stat(abs); err != nil {
+			for _, j := range jobs {
+				e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
+				e.sched.Done(j)
+			}
+			return
+		}
+		for _, j := range jobs {
+			e.deliverOne(j, nil, abs, meta)
+		}
+		return
+	}
+	data, err := os.ReadFile(abs)
+	if err != nil {
+		// Staged file vanished (expired mid-queue): complete the jobs
+		// without delivery; receipts keep the truth.
+		for _, j := range jobs {
+			e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
+			e.sched.Done(j)
+		}
+		return
+	}
+	for _, j := range jobs {
+		e.deliverOne(j, data, "", meta)
+	}
+}
+
+// deliverOne pushes one file to one subscriber and updates liveness
+// bookkeeping.
+func (e *Engine) deliverOne(j *scheduler.Job, data []byte, stagedAbs string, meta receipts.FileMeta) {
+	s := e.subscriber(j.Subscriber)
+	if s == nil {
+		e.sched.Done(j)
+		return
+	}
+	f := transport.File{
+		FileID: j.FileID,
+		Feed:   j.Feed,
+		Name:   destName(s, j.Path),
+		Data:   data,
+		Path:   stagedAbs,
+		CRC:    meta.Checksum,
+		Size:   meta.Size,
+	}
+	var err error
+	kind := EvDelivered
+	started := e.clk.Now()
+	if s.Method == config.MethodNotify {
+		f.Data = nil
+		err = e.trans.Notify(j.Subscriber, f)
+		kind = EvNotified
+	} else {
+		err = e.trans.Deliver(j.Subscriber, f)
+	}
+	if err == nil {
+		// Feed the scheduler's responsiveness estimate (drives dynamic
+		// partition migration when enabled).
+		e.sched.Observe(j.Subscriber, e.clk.Now().Sub(started))
+	}
+	if err != nil {
+		// transferFailed either requeues the job or drops it; both
+		// release its scheduler slot.
+		e.transferFailed(j, err)
+		return
+	}
+	defer e.sched.Done(j)
+	if rerr := e.store.RecordDelivery(j.FileID, j.Subscriber, e.clk.Now()); rerr != nil {
+		// Receipt write failure is fatal for the guarantee; surface it
+		// loudly but do not retry the transfer (the subscriber has the
+		// file; re-sending is the safe direction after restart).
+		e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: f.Name, FileID: j.FileID, Err: rerr})
+	}
+	e.markAlive(j.Subscriber)
+	e.bumpStats(j.Subscriber, true, meta.Size)
+	e.emit(Event{Kind: kind, Subscriber: j.Subscriber, Feed: j.Feed, Name: f.Name, FileID: j.FileID})
+	e.trig.FileDelivered(j.Subscriber, j.Feed, s.Trigger, batch.File{
+		Name:     f.Name,
+		FileID:   j.FileID,
+		DataTime: meta.DataTime,
+		Arrived:  meta.Arrived,
+	})
+}
+
+// destName computes the destination-relative path for a staged file.
+func destName(s *config.Subscriber, stagedPath string) string {
+	return filepath.ToSlash(filepath.Join(s.Dest, stagedPath))
+}
+
+// transferFailed counts a failure and, past the threshold, flags the
+// subscriber offline, drops its queue, and starts the retry prober.
+func (e *Engine) transferFailed(j *scheduler.Job, err error) {
+	e.bumpStats(j.Subscriber, false, 0)
+	e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
+	e.mu.Lock()
+	e.fails[j.Subscriber]++
+	n := e.fails[j.Subscriber]
+	already := e.offline[j.Subscriber]
+	var startProbe bool
+	if n >= e.opts.OfflineAfter && !already {
+		e.offline[j.Subscriber] = true
+		if !e.probing[j.Subscriber] {
+			e.probing[j.Subscriber] = true
+			startProbe = true
+		}
+	}
+	e.mu.Unlock()
+	if n < e.opts.OfflineAfter {
+		// Transient: retry through the queue (Requeue releases the
+		// claimed slot).
+		e.sched.Requeue(j)
+		return
+	}
+	// Past the threshold: the job is dropped, not requeued — the
+	// receipt database will resurface it as backfill on reconnect.
+	e.sched.Done(j)
+	e.sched.DropSubscriber(j.Subscriber)
+	if !already {
+		e.emit(Event{Kind: EvSubscriberOffline, Subscriber: j.Subscriber, Err: err})
+	}
+	if startProbe {
+		e.wg.Add(1)
+		go e.probe(j.Subscriber)
+	}
+}
+
+// markAlive resets failure bookkeeping after a success.
+func (e *Engine) markAlive(sub string) {
+	e.mu.Lock()
+	wasOffline := e.offline[sub]
+	e.fails[sub] = 0
+	e.offline[sub] = false
+	e.mu.Unlock()
+	if wasOffline {
+		e.emit(Event{Kind: EvSubscriberOnline, Subscriber: sub})
+	}
+}
+
+// probe periodically pings an offline subscriber; on success it brings
+// the subscriber back online and queues backfill for everything missed.
+func (e *Engine) probe(sub string) {
+	defer e.wg.Done()
+	s := e.subscriber(sub)
+	interval := 30 * time.Second
+	if s != nil && s.Retry > 0 {
+		interval = s.Retry
+	}
+	for {
+		t := e.clk.NewTimer(interval)
+		select {
+		case <-e.stopCh:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		if err := e.trans.Ping(sub); err != nil {
+			continue
+		}
+		e.mu.Lock()
+		e.offline[sub] = false
+		e.fails[sub] = 0
+		e.probing[sub] = false
+		e.mu.Unlock()
+		e.emit(Event{Kind: EvSubscriberOnline, Subscriber: sub})
+		e.queueBackfill(sub)
+		return
+	}
+}
+
+// queueBackfill recomputes a subscriber's delivery queue from the
+// receipt database and submits the undelivered history as backfill
+// jobs (delivered concurrently with real-time traffic).
+func (e *Engine) queueBackfill(sub string) {
+	s := e.subscriber(sub)
+	if s == nil {
+		return
+	}
+	pending := e.store.PendingFor(sub, s.Feeds)
+	if len(pending) == 0 {
+		return
+	}
+	now := e.clk.Now()
+	for _, meta := range pending {
+		feed := firstCommon(s.Feeds, meta.Feeds)
+		e.sched.Submit(&scheduler.Job{
+			FileID:     meta.ID,
+			Feed:       feed,
+			Subscriber: sub,
+			Path:       meta.StagedPath,
+			Size:       meta.Size,
+			Release:    now,
+			Deadline:   now.Add(e.opts.Deadline),
+			Priority:   e.priorityOf(s) + e.opts.FeedPriority[feed],
+			Backfill:   true,
+		})
+	}
+	e.emit(Event{Kind: EvBackfillQueued, Subscriber: sub, Count: len(pending)})
+}
+
+// SubscriberStats is a monitoring snapshot for one subscriber.
+type SubscriberStats struct {
+	// Delivered counts successful transfers (including notifications).
+	Delivered int64
+	// Bytes is the total payload volume delivered.
+	Bytes int64
+	// Failures counts failed transfer attempts.
+	Failures int64
+	// Offline is the engine's current liveness view.
+	Offline bool
+	// Partition is the subscriber's scheduler partition.
+	Partition int
+}
+
+// Stats returns a snapshot of per-subscriber delivery statistics.
+func (e *Engine) Stats() map[string]SubscriberStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]SubscriberStats, len(e.subs))
+	for name := range e.subs {
+		st := SubscriberStats{Offline: e.offline[name]}
+		if s := e.stats[name]; s != nil {
+			st.Delivered = s.Delivered
+			st.Bytes = s.Bytes
+			st.Failures = s.Failures
+		}
+		st.Partition = e.sched.PartitionOf(name)
+		out[name] = st
+	}
+	return out
+}
+
+// bumpStats updates counters under the engine lock.
+func (e *Engine) bumpStats(sub string, delivered bool, bytes int64) {
+	e.mu.Lock()
+	st := e.stats[sub]
+	if st == nil {
+		st = &SubscriberStats{}
+		e.stats[sub] = st
+	}
+	if delivered {
+		st.Delivered++
+		st.Bytes += bytes
+	} else {
+		st.Failures++
+	}
+	e.mu.Unlock()
+}
+
+// Offline reports whether the engine currently considers sub offline.
+func (e *Engine) Offline(sub string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.offline[sub]
+}

@@ -1,0 +1,695 @@
+// Package discovery implements Bistro's new-feed discovery module
+// (SIGMOD'11 §5.1): it consumes a stream of file observations
+// (filename + arrival time) and clusters them into *atomic feeds* —
+// homogeneous groups of files produced by a single data-generating
+// program using a consistent naming convention.
+//
+// For each atomic feed the module infers, per filename token position,
+// a field specification (fixed literal, categorical value with a
+// domain, free string, integer, or timestamp with a concrete layout),
+// and from arrival times it infers the generation period, the number
+// of contributing sources per period, and the maximum delivery delay.
+// The result is rendered as a suggested feed definition in Bistro's
+// printf-inspired pattern language for subscribers to review.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bistro/internal/tokenizer"
+)
+
+// FieldType classifies one token position of an atomic feed.
+type FieldType int
+
+// Field types, from most to least constrained.
+const (
+	FieldLiteral     FieldType = iota // always the same text
+	FieldCategorical                  // small closed domain of values
+	FieldInteger                      // variable decimal integer
+	FieldString                       // open-ended string
+	FieldTimestamp                    // fixed-width timestamp
+	FieldIP                           // IPv4 address
+	FieldSeparator                    // punctuation literal
+)
+
+func (ft FieldType) String() string {
+	switch ft {
+	case FieldLiteral:
+		return "literal"
+	case FieldCategorical:
+		return "categorical"
+	case FieldInteger:
+		return "integer"
+	case FieldString:
+		return "string"
+	case FieldTimestamp:
+		return "timestamp"
+	case FieldIP:
+		return "ip"
+	case FieldSeparator:
+		return "separator"
+	default:
+		return "unknown"
+	}
+}
+
+// Field is the inferred specification of one token position.
+type Field struct {
+	Type FieldType
+	// Literal holds the fixed text for FieldLiteral / FieldSeparator.
+	Literal string
+	// Domain holds the observed values for FieldCategorical, sorted.
+	Domain []string
+	// TimeLayout is the pattern fragment (e.g. "%Y%m%d%H") for
+	// FieldTimestamp.
+	TimeLayout string
+	// Granularity is the finest encoded unit for FieldTimestamp.
+	Granularity time.Duration
+}
+
+// AtomicFeed is a discovered homogeneous file group with its inferred
+// definition and arrival statistics.
+type AtomicFeed struct {
+	// Fields is the per-position specification.
+	Fields []Field
+	// Pattern is the suggested feed definition in Bistro's pattern
+	// language.
+	Pattern string
+	// Support is the number of observed files explained by the feed.
+	Support int
+	// Examples holds up to a handful of matching filenames.
+	Examples []string
+	// Period is the inferred data generation interval (0 if unknown).
+	Period time.Duration
+	// SourcesPerPeriod is the inferred number of files contributed to
+	// each interval (e.g. the poller count), 0 if unknown.
+	SourcesPerPeriod int
+	// MaxDelay is the largest observed lag between the timestamp
+	// encoded in a filename and the file's arrival (0 if no timestamp).
+	MaxDelay time.Duration
+	// FirstSeen and LastSeen bound the observation window.
+	FirstSeen, LastSeen time.Time
+}
+
+// Options tune the discovery heuristics.
+type Options struct {
+	// MaxCategorical is the largest distinct-value count still treated
+	// as a closed categorical domain; above it a position degrades to
+	// %s or %i. Default 16.
+	MaxCategorical int
+	// MinCategoricalSupport requires at least this many observations
+	// per distinct value on average before a multi-valued position is
+	// called categorical rather than open. Default 2.
+	MinCategoricalSupport int
+	// MinSupport drops discovered feeds with fewer observations.
+	// Default 2.
+	MinSupport int
+	// MaxExamples bounds stored example filenames per feed. Default 5.
+	MaxExamples int
+	// MaxTimestamps bounds the per-cluster sample of distinct encoded
+	// timestamps used for period inference. Default 512.
+	MaxTimestamps int
+	// AnchorFirstAlpha, when true (the default used by Bistro),
+	// refuses to generalize the first alphabetic token: it is treated
+	// as the feed-name anchor, so MEMORY_* and CPU_* files never merge
+	// into one atomic feed even when structurally identical.
+	AnchorFirstAlpha bool
+}
+
+// withDefaults fills zero option fields.
+func (o Options) withDefaults() Options {
+	if o.MaxCategorical == 0 {
+		o.MaxCategorical = 16
+	}
+	if o.MinCategoricalSupport == 0 {
+		o.MinCategoricalSupport = 2
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 2
+	}
+	if o.MaxExamples == 0 {
+		o.MaxExamples = 5
+	}
+	if o.MaxTimestamps == 0 {
+		o.MaxTimestamps = 512
+	}
+	return o
+}
+
+// DefaultOptions returns the options Bistro uses in production.
+func DefaultOptions() Options {
+	return Options{AnchorFirstAlpha: true}.withDefaults()
+}
+
+// Observation is one file sighting fed to the analyzer.
+type Observation struct {
+	// Name is the file's path relative to its landing directory.
+	Name string
+	// Arrived is when the file reached the server.
+	Arrived time.Time
+	// Size is the file size in bytes (informational).
+	Size int64
+}
+
+// Analyzer incrementally clusters observations into atomic feeds.
+// It is not safe for concurrent use; wrap with a mutex or use one per
+// goroutine and merge reports.
+type Analyzer struct {
+	opts     Options
+	clusters map[string]*cluster
+	total    int
+}
+
+// New returns an Analyzer with the given options (zero fields filled
+// with defaults).
+func New(opts Options) *Analyzer {
+	return &Analyzer{
+		opts:     opts.withDefaults(),
+		clusters: make(map[string]*cluster),
+	}
+}
+
+// cluster accumulates statistics for one fine shape.
+type cluster struct {
+	toks     []tokenizer.Token // tokens of the first member (structure reference)
+	support  int
+	examples []string
+	first    time.Time
+	last     time.Time
+	// positions[i] tracks distinct values at token position i.
+	positions []*valueStats
+	// tsSample holds distinct encoded timestamps (first timestamp
+	// token only) for period inference, capped at MaxTimestamps.
+	tsSample map[time.Time]int // encoded ts -> files carrying it
+	maxDelay time.Duration
+}
+
+// valueStats tracks the value domain of one token position.
+type valueStats struct {
+	distinct map[string]int
+	capped   bool // true once distinct tracking overflowed
+	count    int
+}
+
+func newValueStats() *valueStats {
+	return &valueStats{distinct: make(map[string]int)}
+}
+
+func (vs *valueStats) add(v string, cap int) {
+	vs.count++
+	if vs.capped {
+		if _, ok := vs.distinct[v]; ok {
+			vs.distinct[v]++
+		}
+		return
+	}
+	vs.distinct[v]++
+	// Track a few more than the categorical threshold so we can tell
+	// "just over" from "way over".
+	if len(vs.distinct) > 4*cap {
+		vs.capped = true
+	}
+}
+
+// Add feeds one observation into the analyzer.
+func (a *Analyzer) Add(obs Observation) {
+	toks := tokenizer.Tokenize(obs.Name)
+	if len(toks) == 0 {
+		return
+	}
+	key := tokenizer.Shape(toks)
+	c, ok := a.clusters[key]
+	if !ok {
+		c = &cluster{
+			toks:      toks,
+			positions: make([]*valueStats, len(toks)),
+			tsSample:  make(map[time.Time]int),
+			first:     obs.Arrived,
+			last:      obs.Arrived,
+		}
+		for i := range c.positions {
+			c.positions[i] = newValueStats()
+		}
+		a.clusters[key] = c
+	}
+	c.support++
+	a.total++
+	if obs.Arrived.Before(c.first) {
+		c.first = obs.Arrived
+	}
+	if obs.Arrived.After(c.last) {
+		c.last = obs.Arrived
+	}
+	if len(c.examples) < a.opts.MaxExamples {
+		c.examples = append(c.examples, obs.Name)
+	}
+	for i, t := range toks {
+		c.positions[i].add(t.Text, a.opts.MaxCategorical)
+	}
+	if ts, _, ok := ComposeTimestamp(toks); ok {
+		if len(c.tsSample) < a.opts.MaxTimestamps {
+			c.tsSample[ts]++
+		} else if _, exists := c.tsSample[ts]; exists {
+			c.tsSample[ts]++
+		}
+		if !obs.Arrived.IsZero() {
+			if d := obs.Arrived.Sub(ts); d > c.maxDelay {
+				c.maxDelay = d
+			}
+		}
+	}
+}
+
+// ComposeTimestamp assembles the measurement timestamp encoded in a
+// tokenized filename, following the paper's observation that sources
+// split timestamps across several fields: MEMORY_POLLER1_2010092504_51
+// encodes minutes in a separate token, and hierarchical layouts spread
+// YYYY/MM/DD across directory components (§2.1, §5.1). Starting from
+// the first token that parses as a timestamp on its own, adjacent
+// digit tokens (across single separators) extend the granularity —
+// month, day, hour or HHMM, minute, second — with strict width and
+// range checks so object ids are not absorbed. For day-granularity
+// prefixes (dated directories), a later width-4 HHMM token is also
+// accepted, skipping the object-name tokens in between.
+func ComposeTimestamp(toks []tokenizer.Token) (time.Time, time.Duration, bool) {
+	start := -1
+	var ts time.Time
+	var gran time.Duration
+	for i, t := range toks {
+		if t.Class != tokenizer.ClassDigits {
+			continue
+		}
+		if parsed, layout, ok := tokenizer.DetectTimestamp(t.Text); ok {
+			start = i
+			ts = parsed
+			gran = layout.Granularity
+			break
+		}
+	}
+	if start < 0 {
+		return time.Time{}, 0, false
+	}
+	i := start + 1
+	for i < len(toks) {
+		j := i
+		if toks[j].Class == tokenizer.ClassSep {
+			j++
+		}
+		if j >= len(toks) || toks[j].Class != tokenizer.ClassDigits {
+			break
+		}
+		d := toks[j].Text
+		v, err := strconv.Atoi(d)
+		if err != nil {
+			break
+		}
+		switch {
+		case gran == 365*24*time.Hour && len(d) == 2 && v >= 1 && v <= 12:
+			ts = ts.AddDate(0, v-1, 0)
+			gran = 30 * 24 * time.Hour
+		case gran == 30*24*time.Hour && len(d) == 2 && v >= 1 && v <= 31:
+			ts = ts.AddDate(0, 0, v-1)
+			gran = 24 * time.Hour
+		case gran == 24*time.Hour && len(d) == 2 && v <= 23:
+			ts = ts.Add(time.Duration(v) * time.Hour)
+			gran = time.Hour
+		case gran == 24*time.Hour && len(d) == 4 && v/100 <= 23 && v%100 <= 59:
+			ts = ts.Add(time.Duration(v/100)*time.Hour + time.Duration(v%100)*time.Minute)
+			gran = time.Minute
+		case gran == time.Hour && len(d) == 2 && v <= 59:
+			ts = ts.Add(time.Duration(v) * time.Minute)
+			gran = time.Minute
+		case gran == time.Minute && len(d) == 2 && v <= 59:
+			ts = ts.Add(time.Duration(v) * time.Second)
+			gran = time.Second
+		default:
+			i = len(toks) // no adjacent continuation
+			continue
+		}
+		i = j + 1
+	}
+	// Dated-directory layouts put HH MM after the object name: for a
+	// day-granularity prefix, accept one later width-4 HHMM token.
+	if gran == 24*time.Hour {
+		for j := start + 1; j < len(toks); j++ {
+			t := toks[j]
+			if t.Class != tokenizer.ClassDigits || len(t.Text) != 4 {
+				continue
+			}
+			v, err := strconv.Atoi(t.Text)
+			if err != nil || v/100 > 23 || v%100 > 59 {
+				continue
+			}
+			ts = ts.Add(time.Duration(v/100)*time.Hour + time.Duration(v%100)*time.Minute)
+			gran = time.Minute
+			break
+		}
+	}
+	return ts, gran, true
+}
+
+// Total returns the number of observations consumed.
+func (a *Analyzer) Total() int { return a.total }
+
+// Feeds finalizes clustering — merging structurally compatible fine
+// clusters, typing every field, inferring arrival statistics — and
+// returns the discovered atomic feeds sorted by decreasing support.
+func (a *Analyzer) Feeds() []AtomicFeed {
+	merged := a.merge()
+	feeds := make([]AtomicFeed, 0, len(merged))
+	for _, c := range merged {
+		if c.support < a.opts.MinSupport {
+			continue
+		}
+		feeds = append(feeds, a.finalize(c))
+	}
+	sort.Slice(feeds, func(i, j int) bool {
+		if feeds[i].Support != feeds[j].Support {
+			return feeds[i].Support > feeds[j].Support
+		}
+		return feeds[i].Pattern < feeds[j].Pattern
+	})
+	return feeds
+}
+
+// mergeKey abstracts a cluster's shape for the merge phase: separators
+// and IPs stay literal, digit tokens lose their width when they are
+// NOT timestamps (so poller1/poller12 merge) and keep layout when they
+// are, and alpha tokens keep their text only at the anchor position.
+func (a *Analyzer) mergeKey(c *cluster) string {
+	var b strings.Builder
+	firstAlpha := true
+	for i, t := range c.toks {
+		switch t.Class {
+		case tokenizer.ClassAlpha:
+			if firstAlpha && a.opts.AnchorFirstAlpha {
+				b.WriteString("A(")
+				b.WriteString(t.Text)
+				b.WriteString(")")
+			} else {
+				b.WriteString("A")
+			}
+			firstAlpha = false
+		case tokenizer.ClassDigits:
+			if _, layout, ok := tokenizer.DetectTimestamp(t.Text); ok && allTimestamps(c.positions[i]) {
+				b.WriteString("T(")
+				b.WriteString(layout.Pattern)
+				b.WriteString(")")
+			} else {
+				b.WriteString("D")
+			}
+		case tokenizer.ClassIP:
+			b.WriteString("IP")
+		case tokenizer.ClassSep:
+			b.WriteString("S(")
+			b.WriteString(t.Text)
+			b.WriteString(")")
+		}
+	}
+	return b.String()
+}
+
+// allTimestamps reports whether every observed value at the position
+// parses as a timestamp. Only meaningful while distinct tracking has
+// not overflowed; a capped position with timestamp-shaped values is
+// still accepted (the cap only triggers on huge domains, which for
+// same-width timestamp strings is exactly the expected case).
+func allTimestamps(vs *valueStats) bool {
+	for v := range vs.distinct {
+		if _, _, ok := tokenizer.DetectTimestamp(v); !ok {
+			return false
+		}
+	}
+	return len(vs.distinct) > 0
+}
+
+// merge combines fine clusters with identical merge keys.
+func (a *Analyzer) merge() []*cluster {
+	groups := make(map[string][]*cluster)
+	var order []string
+	for _, c := range a.clusters {
+		k := a.mergeKey(c)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	sort.Strings(order)
+	out := make([]*cluster, 0, len(groups))
+	for _, k := range order {
+		g := groups[k]
+		// Deterministic merge order.
+		sort.Slice(g, func(i, j int) bool {
+			return tokenizer.Shape(g[i].toks) < tokenizer.Shape(g[j].toks)
+		})
+		m := g[0]
+		for _, c := range g[1:] {
+			m = mergeClusters(m, c, a.opts)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func mergeClusters(x, y *cluster, opts Options) *cluster {
+	// Token counts are equal by construction of the merge key.
+	m := &cluster{
+		toks:      x.toks,
+		support:   x.support + y.support,
+		positions: make([]*valueStats, len(x.positions)),
+		tsSample:  x.tsSample,
+		first:     x.first,
+		last:      x.last,
+		maxDelay:  x.maxDelay,
+	}
+	if y.first.Before(m.first) {
+		m.first = y.first
+	}
+	if y.last.After(m.last) {
+		m.last = y.last
+	}
+	if y.maxDelay > m.maxDelay {
+		m.maxDelay = y.maxDelay
+	}
+	m.examples = append(append([]string{}, x.examples...), y.examples...)
+	if len(m.examples) > opts.MaxExamples {
+		m.examples = m.examples[:opts.MaxExamples]
+	}
+	for i := range m.positions {
+		m.positions[i] = mergeStats(x.positions[i], y.positions[i], opts.MaxCategorical)
+	}
+	for ts, n := range y.tsSample {
+		if len(m.tsSample) < opts.MaxTimestamps {
+			m.tsSample[ts] += n
+		} else if _, ok := m.tsSample[ts]; ok {
+			m.tsSample[ts] += n
+		}
+	}
+	return m
+}
+
+func mergeStats(x, y *valueStats, cap int) *valueStats {
+	m := newValueStats()
+	m.count = x.count + y.count
+	m.capped = x.capped || y.capped
+	for v, n := range x.distinct {
+		m.distinct[v] += n
+	}
+	for v, n := range y.distinct {
+		m.distinct[v] += n
+	}
+	if len(m.distinct) > 4*cap {
+		m.capped = true
+	}
+	return m
+}
+
+// finalize types every position of a merged cluster and assembles the
+// AtomicFeed record.
+func (a *Analyzer) finalize(c *cluster) AtomicFeed {
+	f := AtomicFeed{
+		Support:   c.support,
+		Examples:  c.examples,
+		FirstSeen: c.first,
+		LastSeen:  c.last,
+		MaxDelay:  c.maxDelay,
+	}
+	timestampUsed := false
+	firstAlpha := true
+	for i, t := range c.toks {
+		vs := c.positions[i]
+		var field Field
+		switch t.Class {
+		case tokenizer.ClassSep:
+			field = Field{Type: FieldSeparator, Literal: t.Text}
+		case tokenizer.ClassIP:
+			field = Field{Type: FieldIP}
+		case tokenizer.ClassDigits:
+			if !timestampUsed && allTimestamps(vs) {
+				_, layout, _ := tokenizer.DetectTimestamp(t.Text)
+				field = Field{
+					Type:        FieldTimestamp,
+					TimeLayout:  layout.Pattern,
+					Granularity: layout.Granularity,
+				}
+				timestampUsed = true
+			} else {
+				field = a.typeValues(vs, true)
+			}
+		case tokenizer.ClassAlpha:
+			anchored := firstAlpha && a.opts.AnchorFirstAlpha
+			firstAlpha = false
+			if anchored {
+				field = Field{Type: FieldLiteral, Literal: t.Text}
+			} else {
+				field = a.typeValues(vs, false)
+			}
+		}
+		f.Fields = append(f.Fields, field)
+	}
+	f.Pattern = BuildPattern(f.Fields)
+	f.Period, f.SourcesPerPeriod = inferArrival(c.tsSample)
+	return f
+}
+
+// typeValues decides literal vs categorical vs open for a position.
+func (a *Analyzer) typeValues(vs *valueStats, numeric bool) Field {
+	if !vs.capped && len(vs.distinct) == 1 {
+		for v := range vs.distinct {
+			return Field{Type: FieldLiteral, Literal: v}
+		}
+	}
+	if !vs.capped && len(vs.distinct) <= a.opts.MaxCategorical &&
+		vs.count >= len(vs.distinct)*a.opts.MinCategoricalSupport {
+		dom := make([]string, 0, len(vs.distinct))
+		for v := range vs.distinct {
+			dom = append(dom, v)
+		}
+		sort.Strings(dom)
+		return Field{Type: FieldCategorical, Domain: dom}
+	}
+	if numeric {
+		return Field{Type: FieldInteger}
+	}
+	return Field{Type: FieldString}
+}
+
+// inferArrival derives the generation period and per-period source
+// count from the distinct encoded timestamps. The period is the median
+// gap between consecutive distinct timestamps; the source count is the
+// median number of files sharing one timestamp.
+func inferArrival(sample map[time.Time]int) (time.Duration, int) {
+	if len(sample) == 0 {
+		return 0, 0
+	}
+	times := make([]time.Time, 0, len(sample))
+	counts := make([]int, 0, len(sample))
+	for ts, n := range sample {
+		times = append(times, ts)
+		counts = append(counts, n)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	sort.Ints(counts)
+	sources := counts[len(counts)/2]
+	if len(times) < 2 {
+		return 0, sources
+	}
+	gaps := make([]time.Duration, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		if d := times[i].Sub(times[i-1]); d > 0 {
+			gaps = append(gaps, d)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0, sources
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps[len(gaps)/2], sources
+}
+
+// BuildPattern renders a field specification as a Bistro pattern
+// string. Categorical domains degrade to %s / %i in the pattern text;
+// the closed domain is preserved in the Field for analyzers that want
+// tighter matching. A second timestamp position (our language allows
+// each time conversion once) is emitted as %i. Literal '%' and '*'
+// characters are escaped or generalized as needed.
+func BuildPattern(fields []Field) string {
+	var b strings.Builder
+	timeUsed := false
+	for _, f := range fields {
+		switch f.Type {
+		case FieldLiteral, FieldSeparator:
+			b.WriteString(escapeLiteral(f.Literal))
+		case FieldCategorical:
+			if isNumericDomain(f.Domain) {
+				b.WriteString("%i")
+			} else {
+				b.WriteString("%s")
+			}
+		case FieldInteger:
+			b.WriteString("%i")
+		case FieldString:
+			b.WriteString("%s")
+		case FieldIP:
+			b.WriteString("%s")
+		case FieldTimestamp:
+			if timeUsed {
+				b.WriteString("%i")
+			} else {
+				b.WriteString(f.TimeLayout)
+				timeUsed = true
+			}
+		}
+	}
+	return b.String()
+}
+
+func isNumericDomain(dom []string) bool {
+	for _, v := range dom {
+		for i := 0; i < len(v); i++ {
+			if v[i] < '0' || v[i] > '9' {
+				return false
+			}
+		}
+		if v == "" {
+			return false
+		}
+	}
+	return len(dom) > 0
+}
+
+// escapeLiteral makes literal text safe inside a pattern: '%' doubles;
+// '*' has no escape in the language, so it generalizes to %s.
+func escapeLiteral(s string) string {
+	s = strings.ReplaceAll(s, "%", "%%")
+	s = strings.ReplaceAll(s, "*", "%s")
+	return s
+}
+
+// Describe renders a human-readable one-line summary of a feed, used
+// in analyzer reports.
+func (f AtomicFeed) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  support=%d", f.Pattern, f.Support)
+	if f.Period > 0 {
+		fmt.Fprintf(&b, " period=%s", f.Period)
+	}
+	if f.SourcesPerPeriod > 0 {
+		fmt.Fprintf(&b, " sources=%d", f.SourcesPerPeriod)
+	}
+	if f.MaxDelay > 0 {
+		fmt.Fprintf(&b, " max_delay=%s", f.MaxDelay)
+	}
+	for _, fd := range f.Fields {
+		if fd.Type == FieldCategorical {
+			fmt.Fprintf(&b, " domain=%v", fd.Domain)
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,436 @@
+package discovery
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"bistro/internal/pattern"
+	"bistro/internal/tokenizer"
+)
+
+var base = time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+
+// feedObs builds observations for a poller-style feed over nIntervals
+// 5-minute intervals from nSources sources.
+func feedObs(prefix, ext string, nSources, nIntervals int, start time.Time) []Observation {
+	var obs []Observation
+	for iv := 0; iv < nIntervals; iv++ {
+		ts := start.Add(time.Duration(iv) * 5 * time.Minute)
+		for s := 1; s <= nSources; s++ {
+			name := fmt.Sprintf("%s%d_%s%s", prefix, s, ts.Format("200601021504"), ext)
+			obs = append(obs, Observation{Name: name, Arrived: ts.Add(30 * time.Second), Size: 1024})
+		}
+	}
+	return obs
+}
+
+func TestDiscoverPaperExample(t *testing.T) {
+	// The example stream from §5.1: MEMORY_POLLERn files and
+	// CPU_POLLn files must come out as two atomic feeds.
+	a := New(DefaultOptions())
+	names := []string{
+		"MEMORY_POLLER1_2010092504_51.csv.gz",
+		"CPU_POLL1_201009250502.txt",
+		"MEMORY_POLLER2_2010092504_59.csv.gz",
+		"MEMORY_POLLER1_2010092509_58.csv.gz",
+		"CPU_POLL2_201009250503.txt",
+		"MEMORY_POLLER2_2010092510_02.csv.gz",
+		"CPU_POLL2_201009251001.txt",
+		"CPU_POLL2_201009250959.txt",
+	}
+	for i, n := range names {
+		a.Add(Observation{Name: n, Arrived: base.Add(time.Duration(i) * time.Second)})
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 2 {
+		for _, f := range feeds {
+			t.Logf("feed: %s", f.Describe())
+		}
+		t.Fatalf("got %d feeds, want 2", len(feeds))
+	}
+	// Every original file must match its feed's suggested pattern.
+	for _, f := range feeds {
+		p, err := pattern.Compile(f.Pattern)
+		if err != nil {
+			t.Fatalf("suggested pattern %q does not compile: %v", f.Pattern, err)
+		}
+		matched := 0
+		for _, n := range names {
+			if p.Matches(n) {
+				matched++
+			}
+		}
+		if matched != f.Support {
+			t.Errorf("pattern %q matches %d of the stream, support says %d", f.Pattern, matched, f.Support)
+		}
+	}
+}
+
+func TestDiscoverMergesVariableWidthIDs(t *testing.T) {
+	// poller1 .. poller12: widths 1 and 2 must merge into one feed
+	// with an integer field.
+	a := New(DefaultOptions())
+	for s := 1; s <= 12; s++ {
+		for iv := 0; iv < 3; iv++ {
+			ts := base.Add(time.Duration(iv) * time.Hour)
+			a.Add(Observation{
+				Name:    fmt.Sprintf("BPS_poller%d_%s.csv", s, ts.Format("2006010215")),
+				Arrived: ts,
+			})
+		}
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 1 {
+		for _, f := range feeds {
+			t.Logf("feed: %s", f.Describe())
+		}
+		t.Fatalf("got %d feeds, want 1", len(feeds))
+	}
+	if feeds[0].Support != 36 {
+		t.Errorf("support = %d, want 36", feeds[0].Support)
+	}
+}
+
+func TestDiscoverCategoricalDomain(t *testing.T) {
+	// router_a / router_b: a non-anchor alpha position with a small
+	// domain becomes categorical.
+	a := New(DefaultOptions())
+	for iv := 0; iv < 6; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		for _, r := range []string{"a", "b"} {
+			a.Add(Observation{
+				Name:    fmt.Sprintf("Poller1_router_%s_%s.csv.gz", r, ts.Format("2006_01_02_15")),
+				Arrived: ts,
+			})
+		}
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 1 {
+		t.Fatalf("got %d feeds, want 1", len(feeds))
+	}
+	var cat *Field
+	for i := range feeds[0].Fields {
+		f := &feeds[0].Fields[i]
+		if f.Type == FieldCategorical && len(f.Domain) > 0 && f.Domain[0] == "a" {
+			cat = f
+		}
+	}
+	if cat == nil {
+		t.Fatalf("no categorical router field in %s", feeds[0].Describe())
+	}
+	if len(cat.Domain) != 2 || cat.Domain[0] != "a" || cat.Domain[1] != "b" {
+		t.Errorf("domain = %v, want [a b]", cat.Domain)
+	}
+}
+
+func TestDiscoverAnchorKeepsFeedsApart(t *testing.T) {
+	// MEMORY vs CPU files with identical structure must stay separate
+	// because the first alpha token anchors the feed.
+	a := New(DefaultOptions())
+	for iv := 0; iv < 4; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		a.Add(Observation{Name: "MEMORY_" + ts.Format("2006010215") + ".gz", Arrived: ts})
+		a.Add(Observation{Name: "CPU_" + ts.Format("2006010215") + ".gz", Arrived: ts})
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 2 {
+		for _, f := range feeds {
+			t.Logf("feed: %s", f.Describe())
+		}
+		t.Fatalf("got %d feeds, want 2", len(feeds))
+	}
+}
+
+func TestDiscoverNoAnchorMergesFeeds(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AnchorFirstAlpha = false
+	a := New(opts)
+	for iv := 0; iv < 4; iv++ {
+		ts := base.Add(time.Duration(iv) * time.Hour)
+		a.Add(Observation{Name: "MEMORY_" + ts.Format("2006010215") + ".gz", Arrived: ts})
+		a.Add(Observation{Name: "CPU_" + ts.Format("2006010215") + ".gz", Arrived: ts})
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 1 {
+		t.Fatalf("got %d feeds, want 1 (anchor disabled)", len(feeds))
+	}
+}
+
+func TestInferredPeriodAndSources(t *testing.T) {
+	a := New(DefaultOptions())
+	for _, o := range feedObs("MEM_POLLER", ".csv.gz", 3, 20, base) {
+		a.Add(o)
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 1 {
+		t.Fatalf("got %d feeds", len(feeds))
+	}
+	f := feeds[0]
+	if f.Period != 5*time.Minute {
+		t.Errorf("period = %v, want 5m", f.Period)
+	}
+	if f.SourcesPerPeriod != 3 {
+		t.Errorf("sources = %d, want 3", f.SourcesPerPeriod)
+	}
+	if f.MaxDelay != 30*time.Second {
+		t.Errorf("max delay = %v, want 30s", f.MaxDelay)
+	}
+}
+
+func TestMinSupportFilters(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MinSupport = 3
+	a := New(opts)
+	// One singleton junk file plus a real feed.
+	a.Add(Observation{Name: "README.txt", Arrived: base})
+	for _, o := range feedObs("X_P", ".csv", 1, 5, base) {
+		a.Add(o)
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 1 {
+		t.Fatalf("got %d feeds, want 1 (junk filtered)", len(feeds))
+	}
+}
+
+func TestSuggestedPatternsCompileAndMatch(t *testing.T) {
+	// Fuzz-ish: many random feeds; every suggested pattern must
+	// compile and match all of its own support set.
+	rng := rand.New(rand.NewSource(7))
+	a := New(DefaultOptions())
+	type gen struct {
+		make func(src int, ts time.Time) string
+		n    int
+	}
+	gens := []gen{
+		{func(s int, ts time.Time) string {
+			return fmt.Sprintf("ALARMHISTORY%d%s.gz", s, ts.Format("200601021504"))
+		}, 4},
+		{func(s int, ts time.Time) string {
+			return fmt.Sprintf("PPS/poller%d/%s.csv", s, ts.Format("20060102"))
+		}, 3},
+		{func(s int, ts time.Time) string {
+			return fmt.Sprintf("flow-%d-%s.dat.bz2", s, ts.Format("2006010215"))
+		}, 5},
+	}
+	byGen := make(map[int][]string)
+	for gi, g := range gens {
+		for iv := 0; iv < 12; iv++ {
+			ts := base.Add(time.Duration(iv) * time.Hour)
+			for s := 1; s <= g.n; s++ {
+				name := g.make(s, ts)
+				byGen[gi] = append(byGen[gi], name)
+				a.Add(Observation{Name: name, Arrived: ts.Add(time.Duration(rng.Intn(300)) * time.Second)})
+			}
+		}
+	}
+	feeds := a.Feeds()
+	if len(feeds) != len(gens) {
+		for _, f := range feeds {
+			t.Logf("feed: %s", f.Describe())
+		}
+		t.Fatalf("got %d feeds, want %d", len(feeds), len(gens))
+	}
+	for _, f := range feeds {
+		p, err := pattern.Compile(f.Pattern)
+		if err != nil {
+			t.Fatalf("pattern %q: %v", f.Pattern, err)
+		}
+		// The pattern must fully cover exactly one generator's files.
+		covered := -1
+		for gi, names := range byGen {
+			all := true
+			for _, n := range names {
+				if !p.Matches(n) {
+					all = false
+					break
+				}
+			}
+			if all {
+				if covered != -1 {
+					t.Errorf("pattern %q covers two generators", f.Pattern)
+				}
+				covered = gi
+			}
+		}
+		if covered == -1 {
+			t.Errorf("pattern %q covers no generator completely", f.Pattern)
+		}
+	}
+}
+
+func TestEscapeLiteral(t *testing.T) {
+	if got := escapeLiteral("100%"); got != "100%%" {
+		t.Errorf("escapeLiteral(100%%) = %q", got)
+	}
+	if got := escapeLiteral("a*b"); got != "a%sb" {
+		t.Errorf("escapeLiteral(a*b) = %q", got)
+	}
+}
+
+func TestEmptyAnalyzer(t *testing.T) {
+	a := New(DefaultOptions())
+	if feeds := a.Feeds(); len(feeds) != 0 {
+		t.Fatalf("empty analyzer produced %d feeds", len(feeds))
+	}
+	a.Add(Observation{Name: "", Arrived: base})
+	if a.Total() != 0 {
+		t.Error("empty filename should be ignored")
+	}
+}
+
+func BenchmarkAnalyzerAdd(b *testing.B) {
+	a := New(DefaultOptions())
+	obs := feedObs("MEM_POLLER", ".csv.gz", 5, 100, base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(obs[i%len(obs)])
+	}
+}
+
+func BenchmarkAnalyzerFeeds(b *testing.B) {
+	a := New(DefaultOptions())
+	for g := 0; g < 20; g++ {
+		for _, o := range feedObs(fmt.Sprintf("FEED%c_P", 'A'+g%26), ".csv", 3, 50, base) {
+			a.Add(o)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Feeds()
+	}
+}
+
+func TestComposeTimestamp(t *testing.T) {
+	tests := []struct {
+		name string
+		want time.Time
+		gran time.Duration
+		ok   bool
+	}{
+		// Paper's example: minutes in a separate token.
+		{"MEMORY_POLLER1_2010092504_51.csv.gz",
+			time.Date(2010, 9, 25, 4, 51, 0, 0, time.UTC), time.Minute, true},
+		// Compact single-token timestamp.
+		{"CPU_POLL2_201009250451.txt",
+			time.Date(2010, 9, 25, 4, 51, 0, 0, time.UTC), time.Minute, true},
+		// Hierarchical dated directories with HHMM after the object name.
+		{"2010/09/25/CPU_poller1_0455.csv",
+			time.Date(2010, 9, 25, 4, 55, 0, 0, time.UTC), time.Minute, true},
+		// Daily granularity, nothing to extend.
+		{"MEMORY_poller1_20100925.gz",
+			time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC), 24 * time.Hour, true},
+		// Adjacent seconds extension.
+		{"x_201009250451_33.log",
+			time.Date(2010, 9, 25, 4, 51, 33, 0, time.UTC), time.Second, true},
+		// No timestamp at all.
+		{"core.12.dump", time.Time{}, 0, false},
+		// A poller id must not be absorbed as an hour: width-1 token.
+		{"2010/09/25/f_poller7.csv",
+			time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC), 24 * time.Hour, true},
+	}
+	for _, tc := range tests {
+		ts, gran, ok := ComposeTimestamp(tokenizer.Tokenize(tc.name))
+		if ok != tc.ok {
+			t.Errorf("%q: ok = %v, want %v", tc.name, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if !ts.Equal(tc.want) || gran != tc.gran {
+			t.Errorf("%q: (%v, %v), want (%v, %v)", tc.name, ts, gran, tc.want, tc.gran)
+		}
+	}
+}
+
+// Property: BuildPattern output always compiles, for arbitrary field
+// sequences assembled from plausible components.
+func TestQuickBuildPatternCompiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	literals := []string{"MEMORY", "cpu", "x", "a1b", "100%", "we*rd", "..", "_", "-", "/"}
+	layouts := []string{"%Y", "%Y%m", "%Y%m%d", "%Y%m%d%H", "%Y%m%d%H%M"}
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(8) + 1
+		fields := make([]Field, 0, n)
+		lastOpen := false
+		for i := 0; i < n; i++ {
+			var f Field
+			switch rng.Intn(6) {
+			case 0:
+				f = Field{Type: FieldLiteral, Literal: literals[rng.Intn(len(literals))]}
+			case 1:
+				f = Field{Type: FieldSeparator, Literal: "_"}
+			case 2:
+				f = Field{Type: FieldInteger}
+			case 3:
+				f = Field{Type: FieldString}
+			case 4:
+				f = Field{Type: FieldTimestamp, TimeLayout: layouts[rng.Intn(len(layouts))]}
+			default:
+				f = Field{Type: FieldCategorical, Domain: []string{"a", "b"}}
+			}
+			// The generator never produces adjacent unbounded fields,
+			// mirroring real tokenizer output (classes alternate).
+			open := f.Type == FieldString || f.Type == FieldCategorical ||
+				(f.Type == FieldLiteral && strings.Contains(f.Literal, "*"))
+			if open && lastOpen {
+				continue
+			}
+			lastOpen = open
+			fields = append(fields, f)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		src := BuildPattern(fields)
+		if src == "" {
+			continue
+		}
+		if _, err := pattern.Compile(src); err != nil {
+			t.Fatalf("BuildPattern produced uncompilable %q from %+v: %v", src, fields, err)
+		}
+	}
+}
+
+func TestDiscoverIPField(t *testing.T) {
+	a := New(DefaultOptions())
+	for iv := 0; iv < 6; iv++ {
+		ts := base.Add(time.Duration(iv) * 5 * time.Minute)
+		for src := 1; src <= 3; src++ {
+			a.Add(Observation{
+				Name:    fmt.Sprintf("FLOW_10.0.%d.1_%s.csv", src, ts.Format("200601021504")),
+				Arrived: ts,
+			})
+		}
+	}
+	feeds := a.Feeds()
+	if len(feeds) != 1 {
+		for _, f := range feeds {
+			t.Logf("feed: %s", f.Describe())
+		}
+		t.Fatalf("feeds = %d, want 1", len(feeds))
+	}
+	hasIP := false
+	for _, f := range feeds[0].Fields {
+		if f.Type == FieldIP {
+			hasIP = true
+		}
+	}
+	if !hasIP {
+		t.Fatalf("no IP field inferred: %s", feeds[0].Describe())
+	}
+	p, err := pattern.Compile(feeds[0].Pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Matches("FLOW_10.0.2.1_201009250005.csv") {
+		t.Fatalf("pattern %q misses IP-named file", feeds[0].Pattern)
+	}
+	if feeds[0].Period != 5*time.Minute || feeds[0].SourcesPerPeriod != 3 {
+		t.Fatalf("arrival inference = %v/%d", feeds[0].Period, feeds[0].SourcesPerPeriod)
+	}
+}

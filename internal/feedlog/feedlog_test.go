@@ -1,0 +1,198 @@
+package feedlog
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+var t0 = time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+
+func TestClassifiedStats(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	var buf bytes.Buffer
+	l := New(&buf, clk)
+	l.FileClassified("BPS", "f1.csv", 100, t0.Add(-time.Minute))
+	clk.Advance(time.Minute)
+	l.FileClassified("BPS", "f2.csv", 200, t0)
+	s, ok := l.Stats("BPS")
+	if !ok {
+		t.Fatal("no stats")
+	}
+	if s.Files != 2 || s.Bytes != 300 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !s.LastArrival.Equal(t0.Add(time.Minute)) {
+		t.Fatalf("last arrival = %v", s.LastArrival)
+	}
+	if !s.LastDataTime.Equal(t0) {
+		t.Fatalf("last data time = %v", s.LastDataTime)
+	}
+	if !strings.Contains(buf.String(), "f1.csv -> BPS") {
+		t.Fatalf("log = %q", buf.String())
+	}
+}
+
+func TestUnmatchedCount(t *testing.T) {
+	l := New(nil, clock.NewSimulated(t0))
+	l.FileUnmatched("junk1")
+	l.FileUnmatched("junk2")
+	if got := l.Unmatched(); got != 2 {
+		t.Fatalf("unmatched = %d", got)
+	}
+}
+
+func TestDeliveryCounters(t *testing.T) {
+	l := New(nil, clock.NewSimulated(t0))
+	l.Delivered("BPS", "wh", "f1")
+	l.Delivered("BPS", "viz", "f1")
+	l.DeliveryFailed("BPS", "slow", "f1", nil)
+	s, _ := l.Stats("BPS")
+	if s.Delivered != 2 || s.Failures != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCheckProgressAlarm(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	l := New(nil, clk)
+	var mu sync.Mutex
+	var seen []Alarm
+	l.OnAlarm = func(a Alarm) {
+		mu.Lock()
+		seen = append(seen, a)
+		mu.Unlock()
+	}
+	l.SetExpectation("BPS", 5*time.Minute, 3)
+	l.FileClassified("BPS", "f1", 10, t0)
+	// Within 2 periods: quiet.
+	clk.Advance(9 * time.Minute)
+	if got := l.CheckProgress(0); len(got) != 0 {
+		t.Fatalf("early alarms = %v", got)
+	}
+	// Past 2 periods: alarm.
+	clk.Advance(2 * time.Minute)
+	got := l.CheckProgress(0)
+	if len(got) != 1 || got[0].Feed != "BPS" {
+		t.Fatalf("alarms = %v", got)
+	}
+	mu.Lock()
+	if len(seen) != 1 {
+		t.Fatalf("OnAlarm calls = %d", len(seen))
+	}
+	mu.Unlock()
+	if len(l.Alarms()) != 1 {
+		t.Fatal("alarm history missing")
+	}
+}
+
+func TestCheckProgressIgnoresUnconfiguredFeeds(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	l := New(nil, clk)
+	l.FileClassified("MYSTERY", "f1", 10, t0)
+	clk.Advance(24 * time.Hour)
+	if got := l.CheckProgress(0); len(got) != 0 {
+		t.Fatalf("alarms for unconfigured feed: %v", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	l := New(nil, clock.NewSimulated(t0))
+	l.FileClassified("B", "f", 10, t0)
+	l.FileClassified("A", "g", 20, t0)
+	l.FileUnmatched("x")
+	sum := l.Summary()
+	if !strings.Contains(sum, "A: files=1") || !strings.Contains(sum, "unmatched: 1") {
+		t.Fatalf("summary = %q", sum)
+	}
+	// Sorted output: A before B.
+	if strings.Index(sum, "A:") > strings.Index(sum, "B:") {
+		t.Fatalf("summary not sorted: %q", sum)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	l := New(nil, clock.NewSimulated(t0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.FileClassified("F", "f", 1, t0)
+				l.Delivered("F", "s", "f")
+			}
+		}()
+	}
+	wg.Wait()
+	s, _ := l.Stats("F")
+	if s.Files != 800 || s.Delivered != 800 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCheckCompleteness(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	l := New(nil, clk)
+	l.SetExpectation("BPS", 5*time.Minute, 3)
+	iv1 := t0
+	iv2 := t0.Add(5 * time.Minute)
+	// Interval 1 complete, interval 2 missing a poller.
+	for i := 0; i < 3; i++ {
+		l.FileClassified("BPS", "f", 10, iv1)
+	}
+	l.FileClassified("BPS", "g", 10, iv2)
+	l.FileClassified("BPS", "h", 10, iv2)
+
+	// Neither interval closed yet (grace 1m).
+	clk.AdvanceTo(iv1.Add(5*time.Minute + 30*time.Second))
+	if got := l.CheckCompleteness(time.Minute); len(got) != 0 {
+		t.Fatalf("early alarms: %v", got)
+	}
+	// Interval 1 closed: complete, silent. Interval 2 still open.
+	clk.AdvanceTo(iv1.Add(7 * time.Minute))
+	if got := l.CheckCompleteness(time.Minute); len(got) != 0 {
+		t.Fatalf("complete interval alarmed: %v", got)
+	}
+	// Interval 2 closed: incomplete, one alarm.
+	clk.AdvanceTo(iv2.Add(7 * time.Minute))
+	got := l.CheckCompleteness(time.Minute)
+	if len(got) != 1 || got[0].Feed != "BPS" {
+		t.Fatalf("alarms = %v", got)
+	}
+	if !strings.Contains(got[0].Message, "2 of 3") {
+		t.Fatalf("message = %q", got[0].Message)
+	}
+	// Alarmed intervals are pruned: no repeat.
+	if got := l.CheckCompleteness(time.Minute); len(got) != 0 {
+		t.Fatalf("repeat alarm: %v", got)
+	}
+}
+
+func TestCheckCompletenessLateFileBeforeClose(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	l := New(nil, clk)
+	l.SetExpectation("BPS", 5*time.Minute, 2)
+	l.FileClassified("BPS", "a", 1, t0)
+	// The second file is late but arrives within the grace window.
+	clk.AdvanceTo(t0.Add(5*time.Minute + 30*time.Second))
+	l.FileClassified("BPS", "b", 1, t0)
+	clk.AdvanceTo(t0.Add(7 * time.Minute))
+	if got := l.CheckCompleteness(time.Minute); len(got) != 0 {
+		t.Fatalf("late-but-in-grace file alarmed: %v", got)
+	}
+}
+
+func TestCheckCompletenessIgnoresUnconfigured(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	l := New(nil, clk)
+	l.FileClassified("X", "a", 1, t0) // no expectation set
+	clk.Advance(time.Hour)
+	if got := l.CheckCompleteness(time.Minute); len(got) != 0 {
+		t.Fatalf("alarms = %v", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package landing manages Bistro's landing zones (SIGMOD'11 §4.1):
+// the directories where data providers deposit raw files. Cooperating
+// sources announce each deposit through the notification protocol, so
+// ingest is immediate; non-cooperating sources just drop files, so a
+// fallback scanner polls the landing directory. Because ingest moves
+// files out of landing immediately, the directory stays small and the
+// fallback scan stays cheap — this is how the paper achieves
+// sub-minute propagation from over a hundred non-cooperating sources.
+package landing
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+// Ingest consumes one deposited file. It receives the path relative to
+// the landing directory and must move or remove the file (the manager
+// does not touch it afterwards).
+type Ingest func(relPath string) error
+
+// Manager owns one landing directory.
+type Manager struct {
+	dir    string
+	ingest Ingest
+	clk    clock.Clock
+	// ScanInterval is the fallback poll cadence for non-cooperating
+	// sources (0 disables the scanner).
+	scanInterval time.Duration
+
+	mu      sync.Mutex
+	stopCh  chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+	scans   int64
+	scanned int64
+}
+
+// New creates a Manager over dir, creating it if needed.
+func New(dir string, ingest Ingest, clk clock.Clock, scanInterval time.Duration) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("landing: mkdir: %w", err)
+	}
+	return &Manager{
+		dir:          dir,
+		ingest:       ingest,
+		clk:          clk,
+		scanInterval: scanInterval,
+		stopCh:       make(chan struct{}),
+	}, nil
+}
+
+// Dir returns the landing directory path.
+func (m *Manager) Dir() string { return m.dir }
+
+// Deposit writes an uploaded file into the landing directory and
+// ingests it immediately (remote sources without a shared filesystem).
+func (m *Manager) Deposit(name string, data []byte) error {
+	rel := filepath.FromSlash(name)
+	if err := validRel(rel); err != nil {
+		return err
+	}
+	dst := filepath.Join(m.dir, rel)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("landing: mkdir: %w", err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return fmt.Errorf("landing: write: %w", err)
+	}
+	return m.ingest(rel)
+}
+
+// FileReady ingests a file a cooperating source already deposited
+// (shared-filesystem sources using the notification protocol).
+func (m *Manager) FileReady(relPath string) error {
+	rel := filepath.FromSlash(relPath)
+	if err := validRel(rel); err != nil {
+		return err
+	}
+	if _, err := os.Stat(filepath.Join(m.dir, rel)); err != nil {
+		return fmt.Errorf("landing: announced file missing: %w", err)
+	}
+	return m.ingest(rel)
+}
+
+// validRel rejects path escapes.
+func validRel(rel string) error {
+	if rel == "" || filepath.IsAbs(rel) {
+		return fmt.Errorf("landing: invalid path %q", rel)
+	}
+	clean := filepath.Clean(rel)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return fmt.Errorf("landing: path escapes landing dir: %q", rel)
+	}
+	return nil
+}
+
+// ScanOnce walks the landing directory and ingests every regular file
+// found — the fallback for sources that never notify. Returns how many
+// files were ingested. Ingest errors are collected but do not stop the
+// scan.
+func (m *Manager) ScanOnce() (int, error) {
+	var ingested int
+	var firstErr error
+	err := filepath.WalkDir(m.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			// Entries can vanish mid-scan (another ingest moved them).
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".") {
+			return nil // in-progress deposits by convention
+		}
+		rel, rerr := filepath.Rel(m.dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		if ierr := m.ingest(rel); ierr != nil {
+			if firstErr == nil {
+				firstErr = ierr
+			}
+			return nil
+		}
+		ingested++
+		return nil
+	})
+	m.mu.Lock()
+	m.scans++
+	m.scanned += int64(ingested)
+	m.mu.Unlock()
+	if err != nil {
+		return ingested, fmt.Errorf("landing: scan: %w", err)
+	}
+	return ingested, firstErr
+}
+
+// Start launches the fallback scanner loop (no-op when the interval is
+// zero).
+func (m *Manager) Start() {
+	if m.scanInterval <= 0 {
+		return
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			t := m.clk.NewTimer(m.scanInterval)
+			select {
+			case <-m.stopCh:
+				t.Stop()
+				return
+			case <-t.C():
+			}
+			m.ScanOnce()
+		}
+	}()
+}
+
+// Stop terminates the scanner loop.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.mu.Unlock()
+	close(m.stopCh)
+	m.wg.Wait()
+}
+
+// ScanStats reports (scans performed, files ingested by scans).
+func (m *Manager) ScanStats() (int64, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scans, m.scanned
+}

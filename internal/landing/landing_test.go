@@ -1,0 +1,180 @@
+package landing
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+var t0 = time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+
+// movingIngest emulates the server: it records the path and removes
+// the file (move to staging).
+type movingIngest struct {
+	dir  string
+	mu   sync.Mutex
+	seen []string
+	fail bool
+}
+
+func (m *movingIngest) ingest(rel string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fail {
+		return fmt.Errorf("ingest failure")
+	}
+	m.seen = append(m.seen, filepath.ToSlash(rel))
+	return os.Remove(filepath.Join(m.dir, rel))
+}
+
+func (m *movingIngest) got() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.seen))
+	copy(out, m.seen)
+	return out
+}
+
+func newManager(t *testing.T, interval time.Duration) (*Manager, *movingIngest, string) {
+	t.Helper()
+	dir := t.TempDir()
+	ing := &movingIngest{dir: dir}
+	m, err := New(dir, ing.ingest, clock.NewSimulated(t0), interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ing, dir
+}
+
+func TestDeposit(t *testing.T) {
+	m, ing, dir := newManager(t, 0)
+	if err := m.Deposit("BPS_poller1.csv", []byte("a,b\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ing.got(); len(got) != 1 || got[0] != "BPS_poller1.csv" {
+		t.Fatalf("ingested = %v", got)
+	}
+	// The ingest moved the file out; landing stays empty.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("landing not empty: %v", entries)
+	}
+}
+
+func TestDepositNested(t *testing.T) {
+	m, ing, _ := newManager(t, 0)
+	if err := m.Deposit("2010/09/25/f.csv", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ing.got(); len(got) != 1 || got[0] != "2010/09/25/f.csv" {
+		t.Fatalf("ingested = %v", got)
+	}
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	m, _, _ := newManager(t, 0)
+	for _, p := range []string{"../evil", "/abs/path", "", "a/../../evil"} {
+		if err := m.Deposit(p, []byte("x")); err == nil {
+			t.Errorf("Deposit(%q) accepted", p)
+		}
+		if err := m.FileReady(p); err == nil {
+			t.Errorf("FileReady(%q) accepted", p)
+		}
+	}
+}
+
+func TestFileReady(t *testing.T) {
+	m, ing, dir := newManager(t, 0)
+	// Source deposits directly (shared fs), then notifies.
+	if err := os.WriteFile(filepath.Join(dir, "f.csv"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FileReady("f.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if got := ing.got(); len(got) != 1 {
+		t.Fatalf("ingested = %v", got)
+	}
+	// Announcing a missing file errors.
+	if err := m.FileReady("nope.csv"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestScanOnce(t *testing.T) {
+	m, ing, dir := newManager(t, 0)
+	os.WriteFile(filepath.Join(dir, "a.csv"), []byte("1"), 0o644)
+	os.MkdirAll(filepath.Join(dir, "sub"), 0o755)
+	os.WriteFile(filepath.Join(dir, "sub", "b.csv"), []byte("2"), 0o644)
+	os.WriteFile(filepath.Join(dir, ".partial"), []byte("ignore"), 0o644)
+
+	n, err := m.ScanOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("scanned = %d, want 2", n)
+	}
+	got := ing.got()
+	if len(got) != 2 {
+		t.Fatalf("ingested = %v", got)
+	}
+	// Dotfile untouched.
+	if _, err := os.Stat(filepath.Join(dir, ".partial")); err != nil {
+		t.Fatal("dotfile removed")
+	}
+	scans, files := m.ScanStats()
+	if scans != 1 || files != 2 {
+		t.Fatalf("stats = %d,%d", scans, files)
+	}
+}
+
+func TestScanOnceReportsIngestErrors(t *testing.T) {
+	m, ing, dir := newManager(t, 0)
+	ing.fail = true
+	os.WriteFile(filepath.Join(dir, "a.csv"), []byte("1"), 0o644)
+	n, err := m.ScanOnce()
+	if n != 0 || err == nil {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestScannerLoop(t *testing.T) {
+	dir := t.TempDir()
+	ing := &movingIngest{dir: dir}
+	clk := clock.NewSimulated(t0)
+	m, err := New(dir, ing.ingest, clk, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	defer m.Stop()
+
+	os.WriteFile(filepath.Join(dir, "late.csv"), []byte("x"), 0o644)
+	// Keep advancing: the scanner arms its timer asynchronously, so a
+	// single advance can race timer creation.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		clk.Advance(time.Minute)
+		if len(ing.got()) == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := ing.got(); len(got) != 1 || got[0] != "late.csv" {
+		t.Fatalf("ingested = %v", got)
+	}
+	m.Stop()
+	m.Stop() // idempotent
+}
+
+func TestStartWithoutIntervalIsNoop(t *testing.T) {
+	m, _, _ := newManager(t, 0)
+	m.Start()
+	m.Stop()
+}

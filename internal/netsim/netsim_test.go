@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+	"bistro/internal/transport"
+)
+
+func TestDeliverAndRecord(t *testing.T) {
+	n := New(clock.NewReal())
+	n.Register("fast", HostConfig{})
+	f := transport.File{FileID: 1, Feed: "F", Name: "x", Data: []byte("abc")}
+	if err := n.Deliver("fast", f); err != nil {
+		t.Fatal(err)
+	}
+	d := n.Delivered("fast")
+	if len(d) != 1 || d[0].FileID != 1 {
+		t.Fatalf("delivered = %+v", d)
+	}
+	if d[0].Data != nil {
+		t.Fatal("payload retained")
+	}
+}
+
+func TestDownHostFails(t *testing.T) {
+	n := New(clock.NewReal())
+	n.Register("s", HostConfig{})
+	n.SetDown("s", true)
+	if err := n.Deliver("s", transport.File{}); err == nil {
+		t.Fatal("down host accepted delivery")
+	}
+	if err := n.Ping("s"); err == nil {
+		t.Fatal("down host pingable")
+	}
+	if err := n.Notify("s", transport.File{}); err == nil {
+		t.Fatal("down host notified")
+	}
+	if err := n.Trigger("s", "x", nil); err == nil {
+		t.Fatal("down host triggered")
+	}
+	n.SetDown("s", false)
+	if err := n.Ping("s"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownHost(t *testing.T) {
+	n := New(clock.NewReal())
+	if err := n.Deliver("ghost", transport.File{}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	cfg := HostConfig{Bandwidth: 1000, Latency: 100 * time.Millisecond}
+	if d := serviceTime(cfg, 500); d != 600*time.Millisecond {
+		t.Fatalf("service time = %v", d)
+	}
+	scaled := cfg
+	scaled.TimeScale = 100
+	if d := serviceTime(scaled, 500); d != 6*time.Millisecond {
+		t.Fatalf("scaled service time = %v", d)
+	}
+	if d := serviceTime(HostConfig{}, 1<<30); d != 0 {
+		t.Fatalf("infinite bandwidth service time = %v", d)
+	}
+}
+
+func TestBusyTimeAccumulates(t *testing.T) {
+	n := New(clock.NewReal())
+	n.Register("s", HostConfig{Bandwidth: 1 << 30, Latency: time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if err := n.Deliver("s", transport.File{Data: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if busy := n.BusyTime("s"); busy < 3*time.Millisecond {
+		t.Fatalf("busy = %v", busy)
+	}
+}
+
+func TestNotifyIsLatencyOnly(t *testing.T) {
+	// A notification must not pay the bandwidth cost of a payload.
+	n := New(clock.NewReal())
+	n.Register("s", HostConfig{Bandwidth: 10, Latency: 0}) // 10 B/s: payloads are expensive
+	start := time.Now()
+	if err := n.Notify("s", transport.File{Size: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("notify paid bandwidth cost")
+	}
+}
+
+func TestTriggeredRecorded(t *testing.T) {
+	n := New(clock.NewReal())
+	n.Register("s", HostConfig{})
+	if err := n.Trigger("s", "load a b", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if cmds := n.Triggered("s"); len(cmds) != 1 || cmds[0] != "load a b" {
+		t.Fatalf("triggered = %v", cmds)
+	}
+}

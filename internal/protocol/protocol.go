@@ -1,0 +1,211 @@
+// Package protocol defines Bistro's lightweight communication
+// interfaces (SIGMOD'11 §4.1): the source-side protocol that lets feed
+// producers announce deposited files and mark end-of-batch punctuation,
+// and the subscriber-side protocol used for push delivery, hybrid
+// push-pull notification, remote trigger invocation, and acknowledged
+// receipt.
+//
+// Messages travel as gob-encoded envelopes over a stream connection.
+// The protocol is deliberately small: the paper's point is that the
+// *existence* of these messages — "this file is ready", "this batch is
+// complete", "this file was delivered" — is what removes the need for
+// expensive directory polling, not any sophistication in their
+// encoding.
+package protocol
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Hello identifies a connecting peer.
+type Hello struct {
+	// Role is "source" or "subscriber".
+	Role string
+	// Name is the peer's configured name.
+	Name string
+}
+
+// FileReady announces that a source deposited a file into a landing
+// directory (shared-filesystem sources).
+type FileReady struct {
+	// Path is relative to the landing directory.
+	Path string
+}
+
+// Upload carries file content from a remote source that has no shared
+// filesystem with the server.
+type Upload struct {
+	// Name is the filename as the source would have deposited it.
+	Name string
+	// Data is the file content.
+	Data []byte
+	// CRC is the IEEE CRC32 of Data.
+	CRC uint32
+}
+
+// EndOfBatch is source punctuation: all files for the current batch of
+// the named feed (or of every feed the source contributes to, when
+// Feed is empty) have been deposited.
+type EndOfBatch struct {
+	Feed string
+}
+
+// Deliver pushes one staged file to a subscriber.
+type Deliver struct {
+	// FileID is the server receipt id (echoed in acknowledgments).
+	FileID uint64
+	// Feed is the leaf feed path.
+	Feed string
+	// Name is the destination-relative path to store the file under.
+	Name string
+	// Data is the staged content.
+	Data []byte
+	// CRC is the IEEE CRC32 of Data.
+	CRC uint32
+}
+
+// DeliverBegin opens a chunked transfer for a large staged file; the
+// content follows as DeliverChunk messages and ends with DeliverEnd,
+// answered by a single Ack once the file is durably in place.
+type DeliverBegin struct {
+	FileID uint64
+	Feed   string
+	Name   string
+	Size   int64
+	CRC    uint32
+}
+
+// DeliverChunk carries one slice of a chunked transfer.
+type DeliverChunk struct {
+	Data []byte
+}
+
+// DeliverEnd closes a chunked transfer.
+type DeliverEnd struct{}
+
+// Notify tells a hybrid push-pull subscriber that a file is available
+// for retrieval at its convenience.
+type Notify struct {
+	FileID uint64
+	Feed   string
+	Name   string
+	Size   int64
+}
+
+// Fetch retrieves a previously announced file (hybrid pull).
+type Fetch struct {
+	FileID uint64
+}
+
+// Trigger asks the subscriber daemon to run a registered command on
+// its host (remote trigger invocation).
+type Trigger struct {
+	Command string
+	Paths   []string
+}
+
+// Ack acknowledges any request.
+type Ack struct {
+	OK    bool
+	Error string
+}
+
+func init() {
+	gob.Register(Hello{})
+	gob.Register(FileReady{})
+	gob.Register(Upload{})
+	gob.Register(EndOfBatch{})
+	gob.Register(Deliver{})
+	gob.Register(DeliverBegin{})
+	gob.Register(DeliverChunk{})
+	gob.Register(DeliverEnd{})
+	gob.Register(Notify{})
+	gob.Register(Fetch{})
+	gob.Register(Trigger{})
+	gob.Register(Ack{})
+}
+
+// envelope wraps messages so gob can carry any registered type.
+type envelope struct {
+	Msg any
+}
+
+// Conn is a message-oriented wrapper over a stream connection.
+type Conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	// Timeout bounds each send/receive (0 = none).
+	Timeout time.Duration
+}
+
+// NewConn wraps an established connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Dial connects to a Bistro endpoint.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
+	}
+	conn := NewConn(c)
+	conn.Timeout = timeout
+	return conn, nil
+}
+
+// Send writes one message.
+func (c *Conn) Send(msg any) error {
+	if c.Timeout > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return fmt.Errorf("protocol: set deadline: %w", err)
+		}
+	}
+	if err := c.enc.Encode(envelope{Msg: msg}); err != nil {
+		return fmt.Errorf("protocol: send: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one message.
+func (c *Conn) Recv() (any, error) {
+	if c.Timeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(c.Timeout)); err != nil {
+			return nil, fmt.Errorf("protocol: set deadline: %w", err)
+		}
+	}
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("protocol: recv: %w", err)
+	}
+	return env.Msg, nil
+}
+
+// Call sends a request and waits for an Ack.
+func (c *Conn) Call(msg any) error {
+	if err := c.Send(msg); err != nil {
+		return err
+	}
+	reply, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	ack, ok := reply.(Ack)
+	if !ok {
+		return fmt.Errorf("protocol: expected Ack, got %T", reply)
+	}
+	if !ack.OK {
+		return fmt.Errorf("protocol: remote error: %s", ack.Error)
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }

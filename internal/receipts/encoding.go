@@ -1,0 +1,172 @@
+package receipts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Record types in WAL payloads.
+const (
+	recArrival  byte = 1
+	recDelivery byte = 2
+	recExpire   byte = 3
+)
+
+// op is one decoded WAL record.
+type op struct {
+	kind byte
+	file FileMeta // recArrival
+	id   uint64   // recDelivery / recExpire
+	sub  string   // recDelivery
+	at   time.Time
+}
+
+// appendString encodes a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, fmt.Errorf("receipts: corrupt string field")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// encodeOp serializes one record.
+func encodeOp(b []byte, o op) []byte {
+	b = append(b, o.kind)
+	switch o.kind {
+	case recArrival:
+		b = binary.AppendUvarint(b, o.file.ID)
+		b = appendString(b, o.file.Name)
+		b = appendString(b, o.file.StagedPath)
+		b = binary.AppendUvarint(b, uint64(len(o.file.Feeds)))
+		for _, f := range o.file.Feeds {
+			b = appendString(b, f)
+		}
+		b = binary.AppendUvarint(b, uint64(o.file.Size))
+		b = binary.AppendUvarint(b, uint64(o.file.Checksum))
+		b = binary.AppendVarint(b, o.file.Arrived.UnixNano())
+		b = binary.AppendVarint(b, fileTimeNano(o.file.DataTime))
+	case recDelivery:
+		b = binary.AppendUvarint(b, o.id)
+		b = appendString(b, o.sub)
+		b = binary.AppendVarint(b, o.at.UnixNano())
+	case recExpire:
+		b = binary.AppendUvarint(b, o.id)
+	}
+	return b
+}
+
+// fileTimeNano encodes a possibly-zero time; zero encodes as the
+// minimum int64 sentinel because time.Time{}.UnixNano() is undefined
+// behaviour for our purposes.
+func fileTimeNano(t time.Time) int64 {
+	if t.IsZero() {
+		return -1 << 62
+	}
+	return t.UnixNano()
+}
+
+func nanoFileTime(n int64) time.Time {
+	if n == -1<<62 {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
+}
+
+// decodeOps parses a payload containing one or more records.
+func decodeOps(b []byte) ([]op, error) {
+	var ops []op
+	for len(b) > 0 {
+		kind := b[0]
+		b = b[1:]
+		var o op
+		o.kind = kind
+		var err error
+		switch kind {
+		case recArrival:
+			var n uint64
+			var sz int
+			n, sz = binary.Uvarint(b)
+			if sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt arrival id")
+			}
+			o.file.ID = n
+			b = b[sz:]
+			if o.file.Name, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			if o.file.StagedPath, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			var nf uint64
+			nf, sz = binary.Uvarint(b)
+			if sz <= 0 || nf > 1<<20 {
+				return nil, fmt.Errorf("receipts: corrupt feed count")
+			}
+			b = b[sz:]
+			o.file.Feeds = make([]string, nf)
+			for i := range o.file.Feeds {
+				if o.file.Feeds[i], b, err = readString(b); err != nil {
+					return nil, err
+				}
+			}
+			var v uint64
+			if v, sz = binary.Uvarint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt size")
+			}
+			o.file.Size = int64(v)
+			b = b[sz:]
+			if v, sz = binary.Uvarint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt checksum")
+			}
+			o.file.Checksum = uint32(v)
+			b = b[sz:]
+			var iv int64
+			if iv, sz = binary.Varint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt arrival time")
+			}
+			o.file.Arrived = time.Unix(0, iv).UTC()
+			b = b[sz:]
+			if iv, sz = binary.Varint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt data time")
+			}
+			o.file.DataTime = nanoFileTime(iv)
+			b = b[sz:]
+		case recDelivery:
+			var n uint64
+			var sz int
+			if n, sz = binary.Uvarint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt delivery id")
+			}
+			o.id = n
+			b = b[sz:]
+			if o.sub, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			var iv int64
+			if iv, sz = binary.Varint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt delivery time")
+			}
+			o.at = time.Unix(0, iv).UTC()
+			b = b[sz:]
+		case recExpire:
+			var n uint64
+			var sz int
+			if n, sz = binary.Uvarint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt expire id")
+			}
+			o.id = n
+			b = b[sz:]
+		default:
+			return nil, fmt.Errorf("receipts: unknown record type %d", kind)
+		}
+		ops = append(ops, o)
+	}
+	return ops, nil
+}

@@ -1,0 +1,138 @@
+package receipts
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randomOp builds an arbitrary operation from fuzz inputs.
+func randomOp(rng *rand.Rand) op {
+	switch rng.Intn(3) {
+	case 0:
+		nf := rng.Intn(4)
+		feeds := make([]string, nf)
+		for i := range feeds {
+			feeds[i] = randString(rng, 12)
+		}
+		var dt time.Time
+		if rng.Intn(2) == 0 {
+			dt = time.Unix(rng.Int63n(4_000_000_000), int64(rng.Intn(1e9))).UTC()
+		}
+		return op{
+			kind: recArrival,
+			file: FileMeta{
+				ID:         rng.Uint64() >> 1,
+				Name:       randString(rng, 40),
+				StagedPath: randString(rng, 60),
+				Feeds:      feeds,
+				Size:       rng.Int63n(1 << 40),
+				Checksum:   rng.Uint32(),
+				Arrived:    time.Unix(rng.Int63n(4_000_000_000), int64(rng.Intn(1e9))).UTC(),
+				DataTime:   dt,
+			},
+		}
+	case 1:
+		return op{
+			kind: recDelivery,
+			id:   rng.Uint64() >> 1,
+			sub:  randString(rng, 20),
+			at:   time.Unix(rng.Int63n(4_000_000_000), int64(rng.Intn(1e9))).UTC(),
+		}
+	default:
+		return op{kind: recExpire, id: rng.Uint64() >> 1}
+	}
+}
+
+func randString(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return string(b)
+}
+
+// opsEqual compares decoded ops against originals, normalizing the
+// empty-vs-nil slice distinction.
+func opsEqual(a, b op) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case recArrival:
+		af, bf := a.file, b.file
+		if len(af.Feeds) == 0 && len(bf.Feeds) == 0 {
+			af.Feeds, bf.Feeds = nil, nil
+		}
+		return reflect.DeepEqual(af, bf)
+	case recDelivery:
+		return a.id == b.id && a.sub == b.sub && a.at.Equal(b.at)
+	default:
+		return a.id == b.id
+	}
+}
+
+// Property: any transaction of random records encodes and decodes to
+// itself.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	fn := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%8) + 1
+		ops := make([]op, n)
+		var payload []byte
+		for i := range ops {
+			ops[i] = randomOp(rng)
+			payload = encodeOp(payload, ops[i])
+		}
+		decoded, err := decodeOps(payload)
+		if err != nil {
+			return false
+		}
+		if len(decoded) != n {
+			return false
+		}
+		for i := range ops {
+			if !opsEqual(ops[i], decoded[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding arbitrary bytes never panics (errors are fine).
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	fn := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decode panicked on %x: %v", raw, r)
+			}
+		}()
+		decodeOps(raw)
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full := encodeOp(nil, op{
+		kind: recArrival,
+		file: FileMeta{ID: 7, Name: "f", StagedPath: "s", Feeds: []string{"F"}, Arrived: t0},
+	})
+	if _, err := decodeOps(full); err != nil {
+		t.Fatalf("full payload should decode: %v", err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := decodeOps(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,506 @@
+package receipts
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FileMeta is the arrival receipt for one received file.
+type FileMeta struct {
+	// ID is the store-assigned monotone file id.
+	ID uint64
+	// Name is the original filename relative to its landing directory.
+	Name string
+	// StagedPath is the normalized path in the staging area.
+	StagedPath string
+	// Feeds lists the consumer feeds the file was classified into.
+	Feeds []string
+	// Size is the file size in bytes.
+	Size int64
+	// Checksum is the CRC32 of the staged content.
+	Checksum uint32
+	// Arrived is when the server received the file.
+	Arrived time.Time
+	// DataTime is the timestamp encoded in the filename (zero if none);
+	// it drives batch detection and window expiry.
+	DataTime time.Time
+}
+
+// Options configure a Store.
+type Options struct {
+	// NoSync disables fsync entirely (for tests and simulations where
+	// durability is irrelevant).
+	NoSync bool
+	// NoGroupCommit forces one fsync per transaction instead of group
+	// commit. Exposed for the E10 ablation.
+	NoGroupCommit bool
+	// CheckpointEvery triggers an automatic checkpoint after this many
+	// committed transactions (0 = never automatic).
+	CheckpointEvery int
+	// CheckpointBytes triggers an automatic checkpoint once the WAL
+	// grows past this size (0 = never automatic). Bounds recovery time
+	// independent of transaction count.
+	CheckpointBytes int64
+}
+
+// Store is the receipt database. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir  string
+	opts Options
+
+	// commitLock serializes checkpoints against in-flight commits:
+	// every commit holds it shared across its WAL append + memory
+	// apply, so a checkpoint (exclusive) never snapshots state that
+	// misses an already-logged transaction it is about to discard.
+	commitLock sync.RWMutex
+
+	mu     sync.Mutex
+	wal    *wal
+	nextID uint64
+	files  map[uint64]*FileMeta
+	// feedFiles holds file ids per feed in arrival order.
+	feedFiles map[string][]uint64
+	// delivered[sub] is the set of file ids delivered to sub.
+	delivered map[string]map[uint64]time.Time
+	expired   map[uint64]bool
+	commits   int
+	walBytes  int64 // approximate WAL size since the last checkpoint
+	closed    bool
+
+	// Group commit state.
+	gc groupCommit
+}
+
+// groupCommit coordinates batched fsyncs: concurrent committers queue
+// their payloads; one of them becomes the leader, writes and syncs the
+// whole batch, and wakes the rest.
+type groupCommit struct {
+	mu      sync.Mutex
+	queue   [][]byte
+	results []chan error
+	busy    bool
+}
+
+const checkpointName = "receipts.ckpt"
+
+// Open opens (creating if necessary) the receipt store in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("receipts: mkdir: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		nextID:    1,
+		files:     make(map[uint64]*FileMeta),
+		feedFiles: make(map[string][]uint64),
+		delivered: make(map[string]map[uint64]time.Time),
+		expired:   make(map[uint64]bool),
+	}
+	if err := s.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, walName))
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	if err := w.replay(func(payload []byte) error {
+		ops, err := decodeOps(payload)
+		if err != nil {
+			return err
+		}
+		for _, o := range ops {
+			s.applyLocked(o)
+		}
+		return nil
+	}); err != nil {
+		w.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// applyLocked mutates in-memory state for one decoded record.
+func (s *Store) applyLocked(o op) {
+	switch o.kind {
+	case recArrival:
+		f := o.file
+		s.files[f.ID] = &f
+		for _, feed := range f.Feeds {
+			s.feedFiles[feed] = append(s.feedFiles[feed], f.ID)
+		}
+		if f.ID >= s.nextID {
+			s.nextID = f.ID + 1
+		}
+	case recDelivery:
+		m := s.delivered[o.sub]
+		if m == nil {
+			m = make(map[uint64]time.Time)
+			s.delivered[o.sub] = m
+		}
+		m[o.id] = o.at
+	case recExpire:
+		s.expired[o.id] = true
+	}
+}
+
+// commit encodes ops as one transaction, appends it durably, and then
+// applies it to memory.
+func (s *Store) commit(ops []op) error {
+	payload := make([]byte, 0, 64*len(ops))
+	for _, o := range ops {
+		payload = encodeOp(payload, o)
+	}
+	s.commitLock.RLock()
+	if err := s.append(payload); err != nil {
+		s.commitLock.RUnlock()
+		return err
+	}
+	s.mu.Lock()
+	for _, o := range ops {
+		s.applyLocked(o)
+	}
+	s.commits++
+	s.walBytes += int64(len(payload)) + 8
+	doCkpt := (s.opts.CheckpointEvery > 0 && s.commits%s.opts.CheckpointEvery == 0) ||
+		(s.opts.CheckpointBytes > 0 && s.walBytes >= s.opts.CheckpointBytes)
+	s.mu.Unlock()
+	s.commitLock.RUnlock()
+	if doCkpt {
+		return s.Checkpoint()
+	}
+	return nil
+}
+
+// append writes one framed transaction, honouring the configured
+// durability mode.
+func (s *Store) append(payload []byte) error {
+	if s.opts.NoSync || s.opts.NoGroupCommit {
+		s.gc.mu.Lock()
+		defer s.gc.mu.Unlock()
+		if err := s.walAppend([][]byte{payload}); err != nil {
+			return err
+		}
+		return nil
+	}
+	return s.groupAppend(payload)
+}
+
+// walAppend writes payloads and syncs according to options. Caller
+// holds gc.mu (serializing file access).
+func (s *Store) walAppend(payloads [][]byte) error {
+	for _, p := range payloads {
+		if err := s.wal.append(p); err != nil {
+			return err
+		}
+	}
+	if s.opts.NoSync {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// groupAppend implements leader-based group commit.
+func (s *Store) groupAppend(payload []byte) error {
+	g := &s.gc
+	done := make(chan error, 1)
+	g.mu.Lock()
+	g.queue = append(g.queue, payload)
+	g.results = append(g.results, done)
+	if g.busy {
+		// A leader is flushing; it (or a successor) will pick us up.
+		g.mu.Unlock()
+		return <-done
+	}
+	// Become leader: flush everything queued (including work that
+	// arrived while previous leaders ran).
+	for len(g.queue) > 0 {
+		batch := g.queue
+		waiters := g.results
+		g.queue = nil
+		g.results = nil
+		g.busy = true
+		g.mu.Unlock()
+		err := s.walAppend(batch)
+		for _, ch := range waiters {
+			ch <- err
+		}
+		g.mu.Lock()
+		g.busy = false
+	}
+	g.mu.Unlock()
+	return <-done
+}
+
+// RecordArrival durably records a newly received file and returns its
+// assigned id.
+func (s *Store) RecordArrival(f FileMeta) (uint64, error) {
+	s.mu.Lock()
+	f.ID = s.nextID
+	s.nextID++
+	s.mu.Unlock()
+	if err := s.commit([]op{{kind: recArrival, file: f}}); err != nil {
+		return 0, err
+	}
+	return f.ID, nil
+}
+
+// RecordDelivery durably records that file id was delivered to sub.
+func (s *Store) RecordDelivery(id uint64, sub string, at time.Time) error {
+	return s.commit([]op{{kind: recDelivery, id: id, sub: sub, at: at}})
+}
+
+// RecordDeliveries records several deliveries in one transaction (used
+// when the same staged file is pushed to a subscriber group).
+func (s *Store) RecordDeliveries(id uint64, subs []string, at time.Time) error {
+	ops := make([]op, len(subs))
+	for i, sub := range subs {
+		ops[i] = op{kind: recDelivery, id: id, sub: sub, at: at}
+	}
+	return s.commit(ops)
+}
+
+// RecordExpire durably marks a file as expired from the retention
+// window; expired files never re-enter delivery queues.
+func (s *Store) RecordExpire(id uint64) error {
+	return s.commit([]op{{kind: recExpire, id: id}})
+}
+
+// File returns the arrival receipt for id.
+func (s *Store) File(id uint64) (FileMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.files[id]
+	if !ok {
+		return FileMeta{}, false
+	}
+	return *f, true
+}
+
+// Delivered reports whether id has been delivered to sub.
+func (s *Store) Delivered(id uint64, sub string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.delivered[sub][id]
+	return ok
+}
+
+// DeliveredCount returns how many files have been delivered to sub.
+func (s *Store) DeliveredCount(sub string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.delivered[sub])
+}
+
+// FilesInFeed returns the arrival receipts of all unexpired files in a
+// feed, in arrival order.
+func (s *Store) FilesInFeed(feed string) []FileMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := s.feedFiles[feed]
+	out := make([]FileMeta, 0, len(ids))
+	for _, id := range ids {
+		if s.expired[id] {
+			continue
+		}
+		if f, ok := s.files[id]; ok {
+			out = append(out, *f)
+		}
+	}
+	return out
+}
+
+// PendingFor recomputes a subscriber's delivery queue: every unexpired
+// file in any of feeds that has not been delivered to sub, in arrival
+// order. This is the §4.2 queue recomputation used on subscriber
+// reconnect, new-subscriber backfill, and server restart.
+func (s *Store) PendingFor(sub string, feeds []string) []FileMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	del := s.delivered[sub]
+	seen := make(map[uint64]bool)
+	var out []FileMeta
+	for _, feed := range feeds {
+		for _, id := range s.feedFiles[feed] {
+			if seen[id] || s.expired[id] {
+				continue
+			}
+			seen[id] = true
+			if _, ok := del[id]; ok {
+				continue
+			}
+			if f, ok := s.files[id]; ok {
+				out = append(out, *f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ExpireBefore marks every file whose DataTime (or, lacking one,
+// Arrived time) is before cutoff as expired, returning the receipts so
+// the archiver can take custody of the staged content.
+func (s *Store) ExpireBefore(cutoff time.Time) ([]FileMeta, error) {
+	s.mu.Lock()
+	var victims []FileMeta
+	for id, f := range s.files {
+		if s.expired[id] {
+			continue
+		}
+		t := f.DataTime
+		if t.IsZero() {
+			t = f.Arrived
+		}
+		if t.Before(cutoff) {
+			victims = append(victims, *f)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ID < victims[j].ID })
+	if len(victims) == 0 {
+		return nil, nil
+	}
+	ops := make([]op, len(victims))
+	for i, f := range victims {
+		ops[i] = op{kind: recExpire, id: f.ID}
+	}
+	if err := s.commit(ops); err != nil {
+		return nil, err
+	}
+	return victims, nil
+}
+
+// Stats summarizes store state for monitoring.
+type Stats struct {
+	Files       int
+	Expired     int
+	Feeds       int
+	Subscribers int
+	Commits     int
+	WALBytes    int64
+}
+
+// Stats returns a snapshot of store statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Files:       len(s.files),
+		Expired:     len(s.expired),
+		Feeds:       len(s.feedFiles),
+		Subscribers: len(s.delivered),
+		Commits:     s.commits,
+		WALBytes:    s.wal.size,
+	}
+}
+
+// checkpointState is the gob-serialized snapshot.
+type checkpointState struct {
+	NextID    uint64
+	Files     map[uint64]*FileMeta
+	FeedFiles map[string][]uint64
+	Delivered map[string]map[uint64]time.Time
+	Expired   map[uint64]bool
+}
+
+// Checkpoint atomically persists the full in-memory state and resets
+// the WAL, bounding recovery time.
+func (s *Store) Checkpoint() error {
+	// Exclude all in-flight commits for the snapshot + WAL reset.
+	s.commitLock.Lock()
+	defer s.commitLock.Unlock()
+	s.mu.Lock()
+	st := checkpointState{
+		NextID:    s.nextID,
+		Files:     s.files,
+		FeedFiles: s.feedFiles,
+		Delivered: s.delivered,
+		Expired:   s.expired,
+	}
+	tmp := filepath.Join(s.dir, checkpointName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("receipts: checkpoint create: %w", err)
+	}
+	err = gob.NewEncoder(f).Encode(&st)
+	s.mu.Unlock()
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("receipts: checkpoint encode: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("receipts: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("receipts: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
+		return fmt.Errorf("receipts: checkpoint rename: %w", err)
+	}
+	s.mu.Lock()
+	s.walBytes = 0
+	s.mu.Unlock()
+	return s.wal.reset()
+}
+
+// loadCheckpoint restores state from the latest checkpoint, if any.
+func (s *Store) loadCheckpoint() error {
+	f, err := os.Open(filepath.Join(s.dir, checkpointName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("receipts: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	var st checkpointState
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return fmt.Errorf("receipts: decode checkpoint: %w", err)
+	}
+	s.nextID = st.NextID
+	if st.Files != nil {
+		s.files = st.Files
+	}
+	if st.FeedFiles != nil {
+		s.feedFiles = st.FeedFiles
+	}
+	if st.Delivered != nil {
+		s.delivered = st.Delivered
+	}
+	if st.Expired != nil {
+		s.expired = st.Expired
+	}
+	return nil
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.commitLock.Lock()
+	defer s.commitLock.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if !s.opts.NoSync {
+		if err := s.wal.sync(); err != nil {
+			s.wal.close()
+			return err
+		}
+	}
+	return s.wal.close()
+}

@@ -1,0 +1,133 @@
+// Package receipts implements Bistro's transactional receipt database
+// (SIGMOD'11 §4.2): a durable record of every file received
+// (arrival_receipts) and every successful transmission
+// (delivery_receipts), from which the server can always recompute a
+// subscriber's delivery queue — the list of files matching its feeds
+// that it has not yet received.
+//
+// The store is an embedded write-ahead-log database built for this
+// workload: append-only binary WAL with per-entry CRCs and group
+// commit, an in-memory index (by file id, by feed, by subscriber), and
+// periodic checkpoints so recovery replays only the WAL tail. Torn
+// tails from crashes are detected by CRC and truncated.
+package receipts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// wal is the append-only log. Entries are framed as
+//
+//	u32 payloadLen | u32 crc32(payload) | payload
+//
+// and a payload is one or more encoded records (a transaction).
+type wal struct {
+	f   *os.File
+	buf []byte
+	// size is the current valid length of the file.
+	size int64
+}
+
+const walName = "receipts.wal"
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("receipts: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("receipts: stat wal: %w", err)
+	}
+	return &wal{f: f, size: st.Size()}, nil
+}
+
+// append frames payload and writes it. It does not sync; the caller
+// controls durability via sync().
+func (w *wal) append(payload []byte) error {
+	w.buf = w.buf[:0]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	n, err := w.f.Write(w.buf)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("receipts: wal write: %w", err)
+	}
+	return nil
+}
+
+func (w *wal) sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("receipts: wal sync: %w", err)
+	}
+	return nil
+}
+
+// replay streams every intact payload to fn, stopping at the first
+// torn or corrupt entry, which it truncates away so future appends
+// start from a clean tail.
+func (w *wal) replay(fn func(payload []byte) error) error {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("receipts: wal seek: %w", err)
+	}
+	var off int64
+	hdr := make([]byte, 8)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(w.f, hdr); err != nil {
+			break // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<30 {
+			break // absurd length: corrupt
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(w.f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt payload
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		off += 8 + int64(n)
+	}
+	// Truncate any torn tail and position for appends.
+	if off != w.size {
+		if err := w.f.Truncate(off); err != nil {
+			return fmt.Errorf("receipts: truncate torn wal: %w", err)
+		}
+		w.size = off
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("receipts: wal seek end: %w", err)
+	}
+	return nil
+}
+
+// reset truncates the log to empty (called after a checkpoint).
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("receipts: wal reset: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("receipts: wal reset seek: %w", err)
+	}
+	w.size = 0
+	return w.sync()
+}
+
+func (w *wal) close() error { return w.f.Close() }

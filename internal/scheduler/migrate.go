@@ -1,0 +1,170 @@
+package scheduler
+
+import (
+	"sync"
+	"time"
+)
+
+// Dynamic subscriber partitioning is the extension the paper names as
+// future work in §4.3: "Current implementation of Bistro feed manager
+// only supports fixed small number of scheduling groups and does not
+// support dynamic migration of subscriber from one group to another
+// based on observed runtime behavior."
+//
+// The implementation here keeps an EWMA of each subscriber's observed
+// per-transfer service time and, once enough observations exist,
+// reassigns the subscriber to the first partition whose
+// MaxMeanService bound accommodates it. Demotion (to a slower
+// partition) happens as soon as the estimate exceeds the current
+// partition's bound; promotion (to a faster one) requires the estimate
+// to clear the faster bound with a 2x hysteresis margin so a flappy
+// subscriber does not oscillate between groups.
+
+// MigrationConfig tunes dynamic partition assignment.
+type MigrationConfig struct {
+	// Enabled turns observation-driven reassignment on.
+	Enabled bool
+	// Alpha is the service-time EWMA weight. Default 0.2.
+	Alpha float64
+	// MinObservations before any migration. Default 10.
+	MinObservations int
+}
+
+func (m MigrationConfig) withDefaults() MigrationConfig {
+	if m.Alpha == 0 {
+		m.Alpha = 0.2
+	}
+	if m.MinObservations == 0 {
+		m.MinObservations = 10
+	}
+	return m
+}
+
+// observed tracks one subscriber's service-time estimate.
+type observed struct {
+	ewma  time.Duration
+	count int
+}
+
+// migrator holds the scheduler's migration state.
+type migrator struct {
+	cfg MigrationConfig
+	mu  sync.Mutex
+	obs map[string]*observed
+}
+
+func newMigrator(cfg MigrationConfig) *migrator {
+	return &migrator{cfg: cfg.withDefaults(), obs: make(map[string]*observed)}
+}
+
+// Observe feeds one completed transfer's service time into the
+// subscriber's estimate and, when migration is enabled, reassigns the
+// subscriber's partition if the estimate has left its current
+// partition's responsiveness band.
+func (s *Scheduler) Observe(sub string, service time.Duration) {
+	m := s.migr
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	o := m.obs[sub]
+	if o == nil {
+		o = &observed{}
+		m.obs[sub] = o
+	}
+	if o.ewma == 0 {
+		o.ewma = service
+	} else {
+		o.ewma = time.Duration(m.cfg.Alpha*float64(service) + (1-m.cfg.Alpha)*float64(o.ewma))
+	}
+	o.count++
+	ready := m.cfg.Enabled && o.count >= m.cfg.MinObservations
+	est := o.ewma
+	m.mu.Unlock()
+	if !ready {
+		return
+	}
+	s.maybeMigrate(sub, est)
+}
+
+// ServiceEstimate exposes the current EWMA (monitoring, tests).
+func (s *Scheduler) ServiceEstimate(sub string) (time.Duration, int) {
+	m := s.migr
+	if m == nil {
+		return 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := m.obs[sub]
+	if o == nil {
+		return 0, 0
+	}
+	return o.ewma, o.count
+}
+
+// maybeMigrate applies the band rules.
+func (s *Scheduler) maybeMigrate(sub string, est time.Duration) {
+	s.mu.Lock()
+	cur := s.partitionOfLocked(sub)
+	target := cur
+	// Find the first (fastest) partition whose bound fits the
+	// estimate. An unbounded partition accepts everyone.
+	for i, p := range s.parts {
+		bound := p.cfg.MaxMeanService
+		if bound == 0 {
+			target = i
+			break
+		}
+		if i < cur {
+			// Promotion needs hysteresis: clear the bound by 2x.
+			if est <= bound/2 {
+				target = i
+				break
+			}
+			continue
+		}
+		if est <= bound {
+			target = i
+			break
+		}
+	}
+	if target != cur {
+		s.subPart[sub] = target
+		// Move the subscriber's queued jobs along so they obey the new
+		// partition's worker allocation immediately.
+		s.moveQueuedLocked(sub, cur, target)
+	}
+	s.mu.Unlock()
+	if target != cur {
+		s.cond.Broadcast()
+	}
+}
+
+// moveQueuedLocked transplants queued jobs between partitions.
+func (s *Scheduler) moveQueuedLocked(sub string, from, to int) {
+	src := s.parts[from]
+	dst := s.parts[to]
+	type lane struct{ s, d *queue }
+	for _, l := range []lane{{src.realtime, dst.realtime}, {src.backfill, dst.backfill}} {
+		var moved []*Job
+		kept := l.s.jobs[:0:0]
+		for _, j := range l.s.jobs {
+			if j.Subscriber == sub {
+				moved = append(moved, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		if len(moved) == 0 {
+			continue
+		}
+		l.s.jobs = kept
+		for i := range l.s.jobs {
+			l.s.jobs[i].index = i
+		}
+		rebuildHeap(l.s)
+		for _, j := range moved {
+			l.d.push(j)
+		}
+	}
+}

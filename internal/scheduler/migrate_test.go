@@ -1,0 +1,109 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+)
+
+func migratingConfig() Config {
+	return Config{
+		Partitions: []PartitionConfig{
+			{Name: "interactive", Workers: 1, Policy: EDF, MaxMeanService: 100 * time.Millisecond},
+			{Name: "bulk", Workers: 1, Policy: EDF}, // unbounded
+		},
+		Migration: MigrationConfig{Enabled: true, MinObservations: 5},
+	}
+}
+
+func TestObserveWithoutMigrationConfigured(t *testing.T) {
+	s := mustNew(t, onePartition(EDF))
+	// Migration disabled: Observe records but never moves.
+	s.AssignSubscriber("a", 0)
+	for i := 0; i < 50; i++ {
+		s.Observe("a", time.Second)
+	}
+	if got := s.PartitionOf("a"); got != 0 {
+		t.Fatalf("partition = %d", got)
+	}
+	est, n := s.ServiceEstimate("a")
+	if n != 50 || est != time.Second {
+		t.Fatalf("estimate = %v/%d", est, n)
+	}
+}
+
+func TestDemotionAfterSlowObservations(t *testing.T) {
+	s := mustNew(t, migratingConfig())
+	s.AssignSubscriber("wh", 0)
+	// Too few observations: no move yet.
+	for i := 0; i < 4; i++ {
+		s.Observe("wh", time.Second)
+	}
+	if got := s.PartitionOf("wh"); got != 0 {
+		t.Fatal("migrated before MinObservations")
+	}
+	s.Observe("wh", time.Second)
+	if got := s.PartitionOf("wh"); got != 1 {
+		t.Fatalf("slow subscriber not demoted: partition %d", got)
+	}
+}
+
+func TestPromotionNeedsHysteresis(t *testing.T) {
+	s := mustNew(t, migratingConfig())
+	s.AssignSubscriber("wh", 1)
+	// Service just under the fast bound: not enough (needs bound/2).
+	for i := 0; i < 20; i++ {
+		s.Observe("wh", 90*time.Millisecond)
+	}
+	if got := s.PartitionOf("wh"); got != 1 {
+		t.Fatalf("promoted without hysteresis margin: partition %d", got)
+	}
+	// Clearly fast: promote.
+	for i := 0; i < 40; i++ {
+		s.Observe("wh", 10*time.Millisecond)
+	}
+	if got := s.PartitionOf("wh"); got != 0 {
+		t.Fatalf("fast subscriber not promoted: partition %d", got)
+	}
+}
+
+func TestMigrationMovesQueuedJobs(t *testing.T) {
+	s := mustNew(t, migratingConfig())
+	s.AssignSubscriber("wh", 0)
+	for i := uint64(1); i <= 3; i++ {
+		s.Submit(job("wh", i, t0.Add(time.Duration(i)*time.Minute)))
+	}
+	if got := s.QueueLen(0, LaneRealtime); got != 3 {
+		t.Fatalf("queued in p0 = %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		s.Observe("wh", time.Second) // demote
+	}
+	if got := s.QueueLen(0, LaneRealtime); got != 0 {
+		t.Fatalf("jobs left behind in p0: %d", got)
+	}
+	if got := s.QueueLen(1, LaneRealtime); got != 3 {
+		t.Fatalf("jobs not moved to p1: %d", got)
+	}
+	// EDF order preserved after the move.
+	js := s.TryNext(1, LaneRealtime)
+	if js == nil || js[0].FileID != 1 {
+		t.Fatalf("claim after move = %v", js)
+	}
+}
+
+func TestNoOscillation(t *testing.T) {
+	s := mustNew(t, migratingConfig())
+	s.AssignSubscriber("wh", 0)
+	// Alternate just-slow and just-fast observations around the bound;
+	// after the initial demotion the subscriber must stay put.
+	for i := 0; i < 100; i++ {
+		d := 90 * time.Millisecond
+		if i%2 == 0 {
+			d = 120 * time.Millisecond
+		}
+		s.Observe("wh", d)
+	}
+	if got := s.PartitionOf("wh"); got != 1 {
+		t.Fatalf("expected stable demotion, partition %d", got)
+	}
+}

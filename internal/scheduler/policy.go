@@ -1,0 +1,202 @@
+// Package scheduler implements Bistro's feed delivery scheduling
+// (SIGMOD'11 §4.3). Delivery work is modelled as jobs — one file
+// transfer to one subscriber — and scheduled under real-time policies.
+//
+// The package provides the classic single-queue policies the paper
+// surveys (FIFO, Earliest Deadline First, prioritized EDF, and a
+// Max-Benefit density policy) and Bistro's production arrangement: a
+// partitioned scheduler that groups subscribers into responsiveness
+// levels, gives each partition a fixed worker allocation and its own
+// intra-partition policy (EDF works well on the homogeneous members of
+// one partition), keeps backfill traffic on a separate sub-queue so
+// reconnecting subscribers do not starve real-time delivery, and
+// optionally groups queued jobs for the same file so one staged read
+// fans out to several subscribers concurrently (the paper's locality
+// heuristic).
+package scheduler
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Job is one unit of delivery work: a single staged file bound for a
+// single subscriber.
+type Job struct {
+	// Seq is a scheduler-assigned sequence number (FIFO tiebreak).
+	Seq uint64
+	// FileID is the receipt id of the staged file.
+	FileID uint64
+	// Feed is the leaf feed path.
+	Feed string
+	// Subscriber is the destination.
+	Subscriber string
+	// Path is the staged file path.
+	Path string
+	// Size is the staged size in bytes (drives Max-Benefit density).
+	Size int64
+	// Release is when the job became runnable (file arrival, or
+	// subscriber reconnect for backfill).
+	Release time.Time
+	// Deadline is the delivery target; EDF orders by it.
+	Deadline time.Time
+	// Priority orders prioritized policies (higher runs first).
+	Priority int
+	// Backfill marks historical catch-up work.
+	Backfill bool
+
+	index int // heap position
+}
+
+// PolicyKind names an intra-queue scheduling policy.
+type PolicyKind int
+
+// Supported policies.
+const (
+	FIFO PolicyKind = iota
+	EDF
+	PrioEDF
+	MaxBenefit
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case FIFO:
+		return "fifo"
+	case EDF:
+		return "edf"
+	case PrioEDF:
+		return "prio-edf"
+	case MaxBenefit:
+		return "max-benefit"
+	default:
+		return "unknown"
+	}
+}
+
+// less orders jobs under a policy; true means a runs before b.
+func (k PolicyKind) less(a, b *Job) bool {
+	switch k {
+	case EDF:
+		if !a.Deadline.Equal(b.Deadline) {
+			return a.Deadline.Before(b.Deadline)
+		}
+	case PrioEDF:
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if !a.Deadline.Equal(b.Deadline) {
+			return a.Deadline.Before(b.Deadline)
+		}
+	case MaxBenefit:
+		// Benefit density: priority per byte. Larger density first;
+		// ties fall through to FIFO order.
+		da := density(a)
+		db := density(b)
+		if da != db {
+			return da > db
+		}
+	}
+	return a.Seq < b.Seq // FIFO and all tiebreaks
+}
+
+func density(j *Job) float64 {
+	size := j.Size
+	if size <= 0 {
+		size = 1
+	}
+	p := j.Priority
+	if p <= 0 {
+		p = 1
+	}
+	return float64(p) / float64(size)
+}
+
+// queue is a policy-ordered job heap.
+type queue struct {
+	kind PolicyKind
+	jobs []*Job
+}
+
+func newQueue(kind PolicyKind) *queue { return &queue{kind: kind} }
+
+func (q *queue) Len() int           { return len(q.jobs) }
+func (q *queue) Less(i, j int) bool { return q.kind.less(q.jobs[i], q.jobs[j]) }
+func (q *queue) Swap(i, j int) {
+	q.jobs[i], q.jobs[j] = q.jobs[j], q.jobs[i]
+	q.jobs[i].index = i
+	q.jobs[j].index = j
+}
+func (q *queue) Push(x any) {
+	j := x.(*Job)
+	j.index = len(q.jobs)
+	q.jobs = append(q.jobs, j)
+}
+func (q *queue) Pop() any {
+	old := q.jobs
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	q.jobs = old[:n-1]
+	return j
+}
+
+func (q *queue) push(j *Job) { heap.Push(q, j) }
+
+// pop removes and returns the best job, or nil when empty.
+func (q *queue) pop() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Job)
+}
+
+// peek returns the best job without removing it.
+func (q *queue) peek() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.jobs[0]
+}
+
+// popWhere removes and returns the best job satisfying ok, skipping
+// (and retaining) jobs that do not. Returns nil when none qualifies.
+func (q *queue) popWhere(ok func(*Job) bool) *Job {
+	var skipped []*Job
+	var found *Job
+	for {
+		j := q.pop()
+		if j == nil {
+			break
+		}
+		if ok(j) {
+			found = j
+			break
+		}
+		skipped = append(skipped, j)
+	}
+	for _, j := range skipped {
+		q.push(j)
+	}
+	return found
+}
+
+// takeFile removes every queued job for the given file id (locality
+// grouping: deliver one staged file to all its queued subscribers at
+// once).
+func (q *queue) takeFile(fileID uint64, ok func(*Job) bool) []*Job {
+	var out []*Job
+	// Collect matching indices first; removing by index invalidates
+	// positions, so remove from a snapshot of job pointers instead.
+	var matches []*Job
+	for _, j := range q.jobs {
+		if j.FileID == fileID && ok(j) {
+			matches = append(matches, j)
+		}
+	}
+	for _, j := range matches {
+		heap.Remove(q, j.index)
+		out = append(out, j)
+	}
+	return out
+}

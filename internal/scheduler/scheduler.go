@@ -1,0 +1,352 @@
+package scheduler
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BackfillMode selects how historical catch-up work shares the
+// scheduler with real-time delivery (§4.3).
+type BackfillMode int
+
+// Backfill modes.
+const (
+	// BackfillConcurrent keeps backfill on a separate per-partition
+	// queue served by reserved workers, so real-time delivery is
+	// unaffected while history streams in parallel (Bistro's choice).
+	BackfillConcurrent BackfillMode = iota
+	// BackfillInOrder merges backfill into the main queue; under EDF
+	// the old deadlines sort first, so the subscriber receives files
+	// in original order at the cost of real-time tardiness (the
+	// strategy the paper rejects; kept for experiment E5).
+	BackfillInOrder
+)
+
+func (m BackfillMode) String() string {
+	if m == BackfillInOrder {
+		return "in-order"
+	}
+	return "concurrent"
+}
+
+// PartitionConfig sizes one responsiveness level.
+type PartitionConfig struct {
+	// Name labels the partition ("interactive", "bulk", ...).
+	Name string
+	// Workers is the fixed worker (cpu-core) allocation.
+	Workers int
+	// BackfillWorkers of those are reserved for the backfill queue
+	// under BackfillConcurrent (0 = backfill drains only when the
+	// real-time queue is empty).
+	BackfillWorkers int
+	// Policy orders the partition's real-time queue.
+	Policy PolicyKind
+	// MaxMeanService is the responsiveness band for dynamic migration:
+	// a subscriber belongs in the first partition whose bound its
+	// observed mean service time fits (0 = unbounded, accepts anyone).
+	// Ignored unless Config.Migration.Enabled.
+	MaxMeanService time.Duration
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Partitions in decreasing responsiveness order. Must be non-empty.
+	Partitions []PartitionConfig
+	// Backfill selects the backfill strategy.
+	Backfill BackfillMode
+	// GroupSameFile enables the locality heuristic: popping a job also
+	// claims every queued job for the same file in that partition, so
+	// one staged read serves all of them concurrently.
+	GroupSameFile bool
+	// MaxInFlightPerSubscriber caps concurrent transfers to one
+	// subscriber so a single backlogged destination cannot monopolize
+	// a partition's workers. 0 means 1.
+	MaxInFlightPerSubscriber int
+	// Migration configures observation-driven dynamic partition
+	// reassignment (the paper's §4.3 future-work extension).
+	Migration MigrationConfig
+}
+
+// Scheduler assigns delivery jobs to partitioned worker pools.
+//
+// Usage: assign subscribers to partitions (AssignSubscriber), Submit
+// jobs, and run workers that loop on Next/Done. Next blocks until a
+// job group is available for the given partition lane.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parts    []*partition
+	subPart  map[string]int
+	inflight map[string]int
+	seq      uint64
+	closed   bool
+
+	migr *migrator
+}
+
+type partition struct {
+	cfg      PartitionConfig
+	realtime *queue
+	backfill *queue
+}
+
+// New builds a scheduler. It validates the partition layout.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Partitions) == 0 {
+		return nil, fmt.Errorf("scheduler: no partitions configured")
+	}
+	if cfg.MaxInFlightPerSubscriber == 0 {
+		cfg.MaxInFlightPerSubscriber = 1
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		subPart:  make(map[string]int),
+		inflight: make(map[string]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.migr = newMigrator(cfg.Migration)
+	for _, pc := range cfg.Partitions {
+		if pc.Workers <= 0 {
+			return nil, fmt.Errorf("scheduler: partition %q needs workers", pc.Name)
+		}
+		if pc.BackfillWorkers >= pc.Workers {
+			return nil, fmt.Errorf("scheduler: partition %q: backfill workers must leave real-time capacity", pc.Name)
+		}
+		s.parts = append(s.parts, &partition{
+			cfg:      pc,
+			realtime: newQueue(pc.Policy),
+			backfill: newQueue(pc.Policy),
+		})
+	}
+	return s, nil
+}
+
+// AssignSubscriber pins a subscriber to a partition index. Unassigned
+// subscribers default to the last (least responsive) partition.
+func (s *Scheduler) AssignSubscriber(sub string, part int) error {
+	if part < 0 || part >= len(s.parts) {
+		return fmt.Errorf("scheduler: partition %d out of range", part)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subPart[sub] = part
+	return nil
+}
+
+// PartitionOf reports a subscriber's partition index.
+func (s *Scheduler) PartitionOf(sub string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partitionOfLocked(sub)
+}
+
+func (s *Scheduler) partitionOfLocked(sub string) int {
+	if p, ok := s.subPart[sub]; ok {
+		return p
+	}
+	return len(s.parts) - 1
+}
+
+// Submit enqueues a job. The scheduler assigns its sequence number.
+func (s *Scheduler) Submit(j *Job) {
+	s.mu.Lock()
+	j.Seq = s.seq
+	s.seq++
+	p := s.parts[s.partitionOfLocked(j.Subscriber)]
+	if j.Backfill && s.cfg.Backfill == BackfillConcurrent {
+		p.backfill.push(j)
+	} else {
+		p.realtime.push(j)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Lane identifies which queue a worker serves.
+type Lane int
+
+// Lanes.
+const (
+	LaneRealtime Lane = iota
+	LaneBackfill
+)
+
+// Next blocks until a job group is available in the given partition
+// and lane, claiming in-flight slots for its subscribers. It returns
+// nil when the scheduler is closed. Real-time workers fall back to the
+// backfill queue when idle; dedicated backfill workers serve only
+// backfill so catch-up always makes progress without consuming
+// real-time capacity.
+func (s *Scheduler) Next(part int, lane Lane) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		p := s.parts[part]
+		var jobs []*Job
+		switch lane {
+		case LaneRealtime:
+			jobs = s.claimLocked(p, p.realtime)
+			if jobs == nil {
+				// Idle real-time worker helps backfill.
+				jobs = s.claimLocked(p, p.backfill)
+			}
+		case LaneBackfill:
+			jobs = s.claimLocked(p, p.backfill)
+		}
+		if jobs != nil {
+			return jobs
+		}
+		s.cond.Wait()
+	}
+}
+
+// TryNext is Next without blocking; nil when nothing is claimable.
+func (s *Scheduler) TryNext(part int, lane Lane) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	p := s.parts[part]
+	var jobs []*Job
+	switch lane {
+	case LaneRealtime:
+		jobs = s.claimLocked(p, p.realtime)
+		if jobs == nil {
+			jobs = s.claimLocked(p, p.backfill)
+		}
+	case LaneBackfill:
+		jobs = s.claimLocked(p, p.backfill)
+	}
+	return jobs
+}
+
+// claimLocked pops the best eligible job (subscriber under its
+// in-flight cap) and, with GroupSameFile, every other queued job for
+// the same file whose subscriber also has capacity.
+func (s *Scheduler) claimLocked(p *partition, q *queue) []*Job {
+	eligible := func(j *Job) bool {
+		return s.inflight[j.Subscriber] < s.cfg.MaxInFlightPerSubscriber
+	}
+	j := q.popWhere(eligible)
+	if j == nil {
+		return nil
+	}
+	jobs := []*Job{j}
+	s.inflight[j.Subscriber]++
+	if s.cfg.GroupSameFile {
+		for _, extra := range q.takeFile(j.FileID, eligible) {
+			jobs = append(jobs, extra)
+			s.inflight[extra.Subscriber]++
+		}
+	}
+	return jobs
+}
+
+// Done releases the in-flight slot a claimed job held. Call it once
+// per job returned by Next/TryNext, whether the transfer succeeded or
+// failed.
+func (s *Scheduler) Done(j *Job) {
+	s.mu.Lock()
+	if n := s.inflight[j.Subscriber]; n > 1 {
+		s.inflight[j.Subscriber] = n - 1
+	} else {
+		delete(s.inflight, j.Subscriber)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Requeue returns a claimed job to its queue (transfer failed, will be
+// retried) and releases its slot.
+func (s *Scheduler) Requeue(j *Job) {
+	s.mu.Lock()
+	p := s.parts[s.partitionOfLocked(j.Subscriber)]
+	if j.Backfill && s.cfg.Backfill == BackfillConcurrent {
+		p.backfill.push(j)
+	} else {
+		p.realtime.push(j)
+	}
+	if n := s.inflight[j.Subscriber]; n > 1 {
+		s.inflight[j.Subscriber] = n - 1
+	} else {
+		delete(s.inflight, j.Subscriber)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// DropSubscriber removes every queued job for a subscriber (it went
+// offline; its queue will be recomputed from receipts on reconnect).
+// Returns the number of jobs dropped.
+func (s *Scheduler) DropSubscriber(sub string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, p := range s.parts {
+		for _, q := range []*queue{p.realtime, p.backfill} {
+			kept := q.jobs[:0:0]
+			for _, j := range q.jobs {
+				if j.Subscriber == sub {
+					dropped++
+				} else {
+					kept = append(kept, j)
+				}
+			}
+			q.jobs = kept
+			for i := range q.jobs {
+				q.jobs[i].index = i
+			}
+			// Restore heap order after filtering.
+			rebuildHeap(q)
+		}
+	}
+	return dropped
+}
+
+// rebuildHeap restores heap order after bulk surgery on q.jobs.
+func rebuildHeap(q *queue) { heap.Init(q) }
+
+// QueueLen reports queued (unclaimed) jobs in a partition lane.
+func (s *Scheduler) QueueLen(part int, lane Lane) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.parts[part]
+	if lane == LaneBackfill {
+		return p.backfill.Len()
+	}
+	return p.realtime.Len()
+}
+
+// Partitions returns the partition configurations.
+func (s *Scheduler) Partitions() []PartitionConfig {
+	out := make([]PartitionConfig, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = p.cfg
+	}
+	return out
+}
+
+// Close releases all blocked workers; Next returns nil afterwards.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Tardiness is the scheduling quality measure the paper cares about:
+// how late past its deadline a delivery completed (0 when on time).
+func Tardiness(j *Job, finished time.Time) time.Duration {
+	if finished.Before(j.Deadline) {
+		return 0
+	}
+	return finished.Sub(j.Deadline)
+}

@@ -1,0 +1,842 @@
+// Package server assembles the Bistro data feed manager (SIGMOD'11
+// §3): landing zones feed the classifier, matched files are normalized
+// into staging, arrivals are durably logged in the receipt database,
+// the delivery engine pushes (or notifies) subscribers under
+// partitioned real-time scheduling, triggers fire per file or per
+// batch, the archiver enforces the retention window, and the feed
+// analyzer continuously watches both the unmatched stream (new-feed
+// discovery, false negatives) and the matched streams (false
+// positives).
+//
+// A server optionally listens for the source/subscriber protocol, and
+// a server can itself subscribe to another server, forming the
+// cascaded feed delivery network of §3.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bistro/internal/analyzer"
+	"bistro/internal/archive"
+	"bistro/internal/classifier"
+	"bistro/internal/clock"
+	"bistro/internal/config"
+	"bistro/internal/delivery"
+	"bistro/internal/discovery"
+	"bistro/internal/feedlog"
+	"bistro/internal/landing"
+	"bistro/internal/normalize"
+	"bistro/internal/pattern"
+	"bistro/internal/protocol"
+	"bistro/internal/receipts"
+	"bistro/internal/scheduler"
+	"bistro/internal/transport"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Config is the parsed Bistro configuration.
+	Config *config.Config
+	// Root is the server work area; landing/staging/receipts/archive
+	// directories are created beneath it (config dir settings are
+	// interpreted relative to Root unless absolute).
+	Root string
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+	// Listen, when non-empty, serves the source/subscriber protocol on
+	// this address ("127.0.0.1:0" for an ephemeral port).
+	Listen string
+	// ScanInterval is the landing fallback scan cadence for
+	// non-cooperating sources. Default 5s; negative disables.
+	ScanInterval time.Duration
+	// ExpiryInterval is how often the retention window is enforced.
+	// Default 1 minute; negative disables.
+	ExpiryInterval time.Duration
+	// MonitorInterval is how often feed progress and interval
+	// completeness are checked. Default 30s; negative disables.
+	MonitorInterval time.Duration
+	// AnalyzeInterval runs the feed analyzer periodically, raising
+	// alarms for suspected false negatives and logging new-feed
+	// candidates. 0 disables (analysis stays on demand via Analyze).
+	AnalyzeInterval time.Duration
+	// OnAlarm taps monitoring alarms (optional).
+	OnAlarm func(feedlog.Alarm)
+	// Deadline is the per-file delivery target. Default 1 minute.
+	Deadline time.Duration
+	// StreamThreshold switches to chunked streaming delivery for
+	// staged files at or above this size. Default 4 MiB.
+	StreamThreshold int64
+	// Transport overrides the default transport (tests, simulations).
+	Transport transport.Transport
+	// LogWriter receives the activity log (default io.Discard).
+	LogWriter io.Writer
+	// OnEvent taps delivery events (optional).
+	OnEvent func(delivery.Event)
+	// NoSync disables receipt fsyncs (tests and experiments).
+	NoSync bool
+	// AnalyzerSample bounds how many observations per feed (and
+	// unmatched) the analyzer retains. Default 10000.
+	AnalyzerSample int
+}
+
+// Server is a running Bistro feed manager.
+type Server struct {
+	opts   Options
+	cfg    *config.Config
+	clk    clock.Clock
+	root   string
+	stage  string
+	dbDir  string
+	logger *feedlog.Logger
+
+	store  *receipts.Store
+	class  *classifier.Classifier
+	engine *delivery.Engine
+	land   *landing.Manager
+	arch   *archive.Archiver
+
+	ln    net.Listener
+	trans *compositeTransport // nil when Options.Transport overrides
+
+	mu        sync.Mutex
+	conns     map[*protocol.Conn]struct{}
+	unmatched []discovery.Observation
+	matched   map[string][]discovery.Observation
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	stopped   bool
+}
+
+// New builds a server (directories, receipt store, pipeline). Call
+// Start to begin processing.
+func New(opts Options) (*Server, error) {
+	if opts.Config == nil {
+		return nil, fmt.Errorf("server: config required")
+	}
+	if opts.Root == "" {
+		return nil, fmt.Errorf("server: root directory required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.ScanInterval == 0 {
+		opts.ScanInterval = 5 * time.Second
+	}
+	if opts.ExpiryInterval == 0 {
+		opts.ExpiryInterval = time.Minute
+	}
+	if opts.MonitorInterval == 0 {
+		opts.MonitorInterval = 30 * time.Second
+	}
+	if opts.LogWriter == nil {
+		opts.LogWriter = io.Discard
+	}
+	if opts.AnalyzerSample == 0 {
+		opts.AnalyzerSample = 10000
+	}
+	cfg := opts.Config
+	s := &Server{
+		opts:    opts,
+		cfg:     cfg,
+		clk:     opts.Clock,
+		root:    opts.Root,
+		matched: make(map[string][]discovery.Observation),
+		conns:   make(map[*protocol.Conn]struct{}),
+		stopCh:  make(chan struct{}),
+	}
+	s.stage = s.resolveDir(cfg.StagingDir, "staging")
+	s.dbDir = filepath.Join(opts.Root, "receipts")
+	for _, dir := range []string{s.stage, s.dbDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: mkdir %s: %w", dir, err)
+		}
+	}
+	s.logger = feedlog.New(opts.LogWriter, s.clk)
+	s.logger.OnAlarm = opts.OnAlarm
+	for _, f := range cfg.Feeds {
+		if f.ExpectPeriod > 0 {
+			s.logger.SetExpectation(f.Path, f.ExpectPeriod, f.ExpectSources)
+		}
+	}
+
+	store, err := receipts.Open(s.dbDir, receipts.Options{
+		NoSync: opts.NoSync,
+		// Bound recovery time: snapshot once the WAL reaches 16 MiB.
+		CheckpointBytes: 16 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.store = store
+	s.class = classifier.New(cfg.Feeds, classifier.Options{})
+
+	trans := opts.Transport
+	if trans == nil {
+		comp := s.buildTransport()
+		s.trans = comp
+		trans = comp
+	}
+	feedPrio := make(map[string]int)
+	for _, f := range cfg.Feeds {
+		if f.Priority != 0 {
+			feedPrio[f.Path] = f.Priority
+		}
+	}
+	engine, err := delivery.New(delivery.Options{
+		Clock:           s.clk,
+		Store:           store,
+		Transport:       trans,
+		Subscribers:     cfg.Subscribers,
+		StagingRoot:     s.stage,
+		Deadline:        opts.Deadline,
+		StreamThreshold: opts.StreamThreshold,
+		FeedPriority:    feedPrio,
+		Scheduler:       schedulerConfig(cfg.Scheduler),
+		OnEvent:         s.onDeliveryEvent,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.engine = engine
+
+	land, err := landing.New(s.resolveDir(cfg.LandingDir, "landing"), s.IngestLanding, s.clk, opts.ScanInterval)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.land = land
+
+	archRoot := ""
+	if cfg.ArchiveDir != "" {
+		archRoot = s.resolveDir(cfg.ArchiveDir, "archive")
+	}
+	arch, err := archive.New(store, s.clk, s.stage, archRoot, cfg.Window)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.arch = arch
+	return s, nil
+}
+
+// schedulerConfig converts a configuration-language scheduler block
+// into the scheduler's own config (zero value when unset: the delivery
+// engine falls back to its default layout).
+func schedulerConfig(spec *config.SchedulerSpec) scheduler.Config {
+	if spec == nil {
+		return scheduler.Config{}
+	}
+	out := scheduler.Config{
+		Backfill:      scheduler.BackfillConcurrent,
+		GroupSameFile: true,
+		Migration:     scheduler.MigrationConfig{Enabled: spec.Migrate},
+	}
+	for _, p := range spec.Partitions {
+		pc := scheduler.PartitionConfig{
+			Name:            p.Name,
+			Workers:         p.Workers,
+			BackfillWorkers: p.Backfill,
+			MaxMeanService:  p.MaxService,
+		}
+		switch p.Policy {
+		case "fifo":
+			pc.Policy = scheduler.FIFO
+		case "prio-edf":
+			pc.Policy = scheduler.PrioEDF
+		case "max-benefit":
+			pc.Policy = scheduler.MaxBenefit
+		default:
+			pc.Policy = scheduler.EDF
+		}
+		out.Partitions = append(out.Partitions, pc)
+	}
+	return out
+}
+
+// resolveDir interprets a configured directory relative to Root.
+func (s *Server) resolveDir(dir, fallback string) string {
+	if dir == "" {
+		dir = fallback
+	}
+	if filepath.IsAbs(dir) {
+		return dir
+	}
+	return filepath.Join(s.root, dir)
+}
+
+// buildTransport wires a composite transport: TCP push for subscribers
+// with hosts, local directories for the rest.
+func (s *Server) buildTransport() *compositeTransport {
+	local := transport.NewLocalDir()
+	remote := newTCPTransport(5 * time.Second)
+	comp := &compositeTransport{local: local, remote: remote, hosts: make(map[string]string)}
+	for _, sub := range s.cfg.Subscribers {
+		if sub.Host != "" {
+			comp.hosts[sub.Name] = sub.Host
+			continue
+		}
+		// Local subscribers receive files under Root; the delivery
+		// engine prefixes each file with the subscriber's dest, so the
+		// transport root must not repeat it.
+		if sub.Dest == "" {
+			sub.Dest = filepath.Join("delivered", sub.Name)
+		}
+		local.Register(sub.Name, s.root)
+	}
+	return comp
+}
+
+// onDeliveryEvent feeds the monitoring subsystem and the caller's tap.
+func (s *Server) onDeliveryEvent(ev delivery.Event) {
+	switch ev.Kind {
+	case delivery.EvDelivered, delivery.EvNotified:
+		s.logger.Delivered(ev.Feed, ev.Subscriber, ev.Name)
+	case delivery.EvDeliveryFailed:
+		s.logger.DeliveryFailed(ev.Feed, ev.Subscriber, ev.Name, ev.Err)
+	case delivery.EvSubscriberOffline:
+		s.logger.Logf("subscriber", "%s flagged offline: %v", ev.Subscriber, ev.Err)
+	case delivery.EvSubscriberOnline:
+		s.logger.Logf("subscriber", "%s back online", ev.Subscriber)
+	case delivery.EvBackfillQueued:
+		s.logger.Logf("subscriber", "%s backfill queued: %d files", ev.Subscriber, ev.Count)
+	}
+	if s.opts.OnEvent != nil {
+		s.opts.OnEvent(ev)
+	}
+}
+
+// Start launches the pipeline: delivery workers, landing scanner,
+// expiry loop, and (when configured) the protocol listener. Files
+// quarantined as unmatched by earlier runs are re-classified first, so
+// a revised feed definition disseminates everything it now matches
+// (§4.2: "all the files matching new definition will be delivered").
+func (s *Server) Start() error {
+	if n, err := s.ReprocessUnmatched(); err != nil {
+		s.logger.Logf("unmatched", "reprocess error: %v", err)
+	} else if n > 0 {
+		s.logger.Logf("unmatched", "revised definitions claimed %d quarantined files", n)
+	}
+	s.engine.Start()
+	if s.opts.ScanInterval > 0 {
+		s.land.Start()
+	}
+	if s.opts.ExpiryInterval > 0 && s.cfg.Window > 0 {
+		s.wg.Add(1)
+		go s.expiryLoop()
+	}
+	if s.opts.MonitorInterval > 0 {
+		s.wg.Add(1)
+		go s.monitorLoop()
+	}
+	if s.opts.AnalyzeInterval > 0 {
+		s.wg.Add(1)
+		go s.analyzeLoop()
+	}
+	if s.opts.Listen != "" {
+		ln, err := net.Listen("tcp", s.opts.Listen)
+		if err != nil {
+			return fmt.Errorf("server: listen: %w", err)
+		}
+		s.ln = ln
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
+	return nil
+}
+
+// Stop drains the pipeline and closes the receipt store.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.land.Stop()
+	s.engine.Stop()
+	if s.trans != nil {
+		s.trans.remote.close()
+	}
+	s.wg.Wait()
+	s.store.Close()
+}
+
+// Addr returns the protocol listener address ("" when not listening).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Store exposes the receipt database (monitoring, tests).
+func (s *Server) Store() *receipts.Store { return s.store }
+
+// Logger exposes the monitoring subsystem.
+func (s *Server) Logger() *feedlog.Logger { return s.logger }
+
+// Landing exposes the landing manager (deposits from local sources).
+func (s *Server) Landing() *landing.Manager { return s.land }
+
+// Archiver exposes the retention/archival component.
+func (s *Server) Archiver() *archive.Archiver { return s.arch }
+
+// Engine exposes the delivery engine.
+func (s *Server) Engine() *delivery.Engine { return s.engine }
+
+// StatusSummary renders a monitoring snapshot: per-feed counters,
+// per-subscriber delivery statistics, and receipt-store state.
+func (s *Server) StatusSummary() string {
+	var b strings.Builder
+	b.WriteString("== feeds ==\n")
+	b.WriteString(s.logger.Summary())
+	b.WriteString("== subscribers ==\n")
+	stats := s.engine.Stats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := stats[name]
+		state := "online"
+		if st.Offline {
+			state = "OFFLINE"
+		}
+		fmt.Fprintf(&b, "%s: delivered=%d bytes=%d failures=%d partition=%d %s\n",
+			name, st.Delivered, st.Bytes, st.Failures, st.Partition, state)
+	}
+	st := s.store.Stats()
+	fmt.Fprintf(&b, "== receipts ==\nfiles=%d expired=%d feeds=%d commits=%d wal_bytes=%d\n",
+		st.Files, st.Expired, st.Feeds, st.Commits, st.WALBytes)
+	return b.String()
+}
+
+// expiryLoop periodically enforces the retention window.
+func (s *Server) expiryLoop() {
+	defer s.wg.Done()
+	for {
+		t := s.clk.NewTimer(s.opts.ExpiryInterval)
+		select {
+		case <-s.stopCh:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		if n, err := s.arch.ExpireOnce(); err != nil {
+			s.logger.Logf("expiry", "error: %v", err)
+		} else if n > 0 {
+			s.logger.Logf("expiry", "expired %d files", n)
+		}
+	}
+}
+
+// ReprocessUnmatched re-classifies every quarantined unmatched file
+// against the current feed definitions, ingesting those that now
+// match. Returns how many files a revised definition claimed.
+func (s *Server) ReprocessUnmatched() (int, error) {
+	quarantine := filepath.Join(s.stage, "_unmatched")
+	var claimed int
+	err := filepath.WalkDir(quarantine, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, rerr := filepath.Rel(quarantine, path)
+		if rerr != nil {
+			return rerr
+		}
+		name := filepath.ToSlash(rel)
+		if len(s.class.Classify(name)) == 0 {
+			return nil // still unmatched
+		}
+		if ierr := s.ingestFrom(quarantine, rel); ierr != nil {
+			s.logger.Logf("unmatched", "reingest %s: %v", name, ierr)
+			return nil
+		}
+		claimed++
+		return nil
+	})
+	return claimed, err
+}
+
+// monitorLoop periodically checks feed progress (stalls) and interval
+// completeness against configured expectations (§3.2).
+func (s *Server) monitorLoop() {
+	defer s.wg.Done()
+	for {
+		t := s.clk.NewTimer(s.opts.MonitorInterval)
+		select {
+		case <-s.stopCh:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		s.logger.CheckProgress(0)
+		s.logger.CheckCompleteness(s.opts.MonitorInterval)
+	}
+}
+
+// analyzeLoop periodically runs the feed analyzer, logging new-feed
+// candidates and raising alarms for suspected false negatives (§5's
+// proactive monitoring as a background activity).
+func (s *Server) analyzeLoop() {
+	defer s.wg.Done()
+	for {
+		t := s.clk.NewTimer(s.opts.AnalyzeInterval)
+		select {
+		case <-s.stopCh:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		rep := s.Analyze()
+		for _, nf := range rep.NewFeeds {
+			s.logger.Logf("analyzer", "new feed candidate: %s", nf.Describe())
+		}
+		for _, fn := range rep.FalseNegatives {
+			s.logger.Raise(fn.Feed, fmt.Sprintf(
+				"possible false negatives: %d unmatched files look like %s (similarity %.2f)",
+				fn.Suggested.Support, fn.Suggested.Pattern, fn.Similarity))
+		}
+		for _, sub := range rep.Subfeeds {
+			for j, outlier := range sub.Outlier {
+				if outlier {
+					s.logger.Raise(sub.Feed, fmt.Sprintf(
+						"possible false positives: subfeed %s (%d files) is a structural outlier",
+						sub.Subfeeds[j].Pattern, sub.Subfeeds[j].Support))
+				}
+			}
+		}
+	}
+}
+
+// IngestLanding classifies, normalizes, records, and schedules one
+// deposited file. It is the landing manager's ingest callback and the
+// heart of the §3 pipeline.
+func (s *Server) IngestLanding(rel string) error {
+	return s.ingestFrom(s.land.Dir(), rel)
+}
+
+// ingestFrom runs the ingest pipeline on a file under an arbitrary
+// source root (the landing zone, or the unmatched quarantine during
+// reprocessing).
+func (s *Server) ingestFrom(root, rel string) error {
+	name := filepath.ToSlash(rel)
+	src := filepath.Join(root, rel)
+	now := s.clk.Now()
+
+	matches := s.class.Classify(name)
+	if len(matches) == 0 {
+		s.logger.FileUnmatched(name)
+		s.recordUnmatched(name, now, fileSize(src))
+		// Keep the bytes — a future revised definition may claim them —
+		// but move them out of landing so scans stay cheap.
+		dst := filepath.Join(s.stage, "_unmatched", rel)
+		if _, err := normalize.Process(src, dst, config.CompressNone); err != nil {
+			return err
+		}
+		return os.Remove(src)
+	}
+
+	primary := matches[0]
+	stagedName, err := normalize.StagedName(primary.Feed, name, primary.Fields)
+	if err != nil {
+		return fmt.Errorf("server: staging name for %s: %w", name, err)
+	}
+	res, err := normalize.Process(src, filepath.Join(s.stage, stagedName), primary.Feed.Compress)
+	if err != nil {
+		return fmt.Errorf("server: normalize %s: %w", name, err)
+	}
+	if err := os.Remove(src); err != nil {
+		return fmt.Errorf("server: clear landing %s: %w", name, err)
+	}
+
+	feeds := make([]string, len(matches))
+	for i, m := range matches {
+		feeds[i] = m.Feed.Path
+	}
+	var dataTime time.Time
+	if ts, ok := primary.Fields.Time.Timestamp(time.UTC); ok {
+		dataTime = ts
+	}
+	meta := receipts.FileMeta{
+		Name:       name,
+		StagedPath: filepath.ToSlash(stagedName),
+		Feeds:      feeds,
+		Size:       res.Size,
+		Checksum:   res.Checksum,
+		Arrived:    now,
+		DataTime:   dataTime,
+	}
+	id, err := s.store.RecordArrival(meta)
+	if err != nil {
+		return err
+	}
+	meta.ID = id
+	for _, m := range matches {
+		s.logger.FileClassified(m.Feed.Path, name, res.Size, dataTime)
+	}
+	s.recordMatched(feeds, name, now, res.Size)
+	s.engine.EnqueueFile(meta)
+	return nil
+}
+
+func fileSize(path string) int64 {
+	if st, err := os.Stat(path); err == nil {
+		return st.Size()
+	}
+	return 0
+}
+
+// recordUnmatched retains a bounded sample for the analyzer.
+func (s *Server) recordUnmatched(name string, at time.Time, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.unmatched) < s.opts.AnalyzerSample {
+		s.unmatched = append(s.unmatched, discovery.Observation{Name: name, Arrived: at, Size: size})
+	}
+}
+
+func (s *Server) recordMatched(feeds []string, name string, at time.Time, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range feeds {
+		if len(s.matched[f]) < s.opts.AnalyzerSample {
+			s.matched[f] = append(s.matched[f], discovery.Observation{Name: name, Arrived: at, Size: size})
+		}
+	}
+}
+
+// AddSubscriber registers a subscriber at runtime: its interest set is
+// resolved against the installed feeds, transport routing is set up,
+// and the full available history is queued as backfill (§4.2). Only
+// available when the server built its own transport.
+func (s *Server) AddSubscriber(sub *config.Subscriber) error {
+	if s.trans == nil {
+		return fmt.Errorf("server: runtime subscribers need the built-in transport")
+	}
+	if err := s.cfg.ResolveSubscriber(sub); err != nil {
+		return err
+	}
+	if sub.Retry == 0 {
+		sub.Retry = 30 * time.Second
+	}
+	if sub.Host != "" {
+		s.trans.setHost(sub.Name, sub.Host)
+	} else {
+		if sub.Dest == "" {
+			sub.Dest = filepath.Join("delivered", sub.Name)
+		}
+		s.trans.local.Register(sub.Name, s.root)
+	}
+	if err := s.engine.AddSubscriber(sub); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cfg.Subscribers = append(s.cfg.Subscribers, sub)
+	s.mu.Unlock()
+	s.logger.Logf("subscriber", "%s added at runtime (%d feeds)", sub.Name, len(sub.Feeds))
+	return nil
+}
+
+// Punctuate propagates end-of-batch punctuation for a feed.
+func (s *Server) Punctuate(feed string) { s.engine.Punctuate(feed) }
+
+// AnalyzerReport is the feed analyzer's periodic output (§5).
+type AnalyzerReport struct {
+	// NewFeeds are suggested definitions for unmatched files (§5.1).
+	NewFeeds []discovery.AtomicFeed
+	// FalseNegatives link unmatched clusters to existing feeds (§5.2).
+	FalseNegatives []analyzer.FalseNegative
+	// Subfeeds hold the per-feed false-positive analysis (§5.3).
+	Subfeeds []analyzer.SubfeedReport
+	// SuggestedGroups bundles structurally similar discovered feeds
+	// into candidate feed groups (the §5.1 future-work extension).
+	SuggestedGroups []analyzer.FeedGroup
+}
+
+// Analyze runs the feed analyzer over the retained observation
+// samples.
+func (s *Server) Analyze() AnalyzerReport {
+	s.mu.Lock()
+	unmatched := make([]discovery.Observation, len(s.unmatched))
+	copy(unmatched, s.unmatched)
+	matched := make(map[string][]discovery.Observation, len(s.matched))
+	for f, obs := range s.matched {
+		cp := make([]discovery.Observation, len(obs))
+		copy(cp, obs)
+		matched[f] = cp
+	}
+	s.mu.Unlock()
+
+	var defs []analyzer.FeedDef
+	for _, f := range s.cfg.Feeds {
+		for _, p := range f.Patterns {
+			defs = append(defs, analyzer.FeedDef{Name: f.Path, Pattern: p})
+		}
+	}
+	var rep AnalyzerReport
+	an := discovery.New(discovery.DefaultOptions())
+	for _, o := range unmatched {
+		an.Add(o)
+	}
+	rep.NewFeeds = an.Feeds()
+	rep.SuggestedGroups = analyzer.GroupFeeds(rep.NewFeeds, 0.8)
+	rep.FalseNegatives = analyzer.DetectFalseNegatives(defs, unmatched, analyzer.Options{})
+	for feed, obs := range matched {
+		rep.Subfeeds = append(rep.Subfeeds, analyzer.DetectFalsePositives(feed, obs, analyzer.Options{}))
+	}
+	return rep
+}
+
+// Deposit is a convenience for in-process sources: write into landing
+// and ingest immediately.
+func (s *Server) Deposit(name string, data []byte) error {
+	return s.land.Deposit(name, data)
+}
+
+// acceptLoop serves the source/subscriber protocol.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := protocol.NewConn(c)
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn handles one peer connection.
+func (s *Server) serveConn(conn *protocol.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var ack protocol.Ack
+		switch m := msg.(type) {
+		case protocol.Hello:
+			ack = protocol.Ack{OK: true}
+		case protocol.Upload:
+			if err := s.land.Deposit(m.Name, m.Data); err != nil {
+				ack = protocol.Ack{OK: false, Error: err.Error()}
+			} else {
+				ack = protocol.Ack{OK: true}
+			}
+		case protocol.FileReady:
+			if err := s.land.FileReady(m.Path); err != nil {
+				ack = protocol.Ack{OK: false, Error: err.Error()}
+			} else {
+				ack = protocol.Ack{OK: true}
+			}
+		case protocol.EndOfBatch:
+			s.punctuateFromSource(m.Feed)
+			ack = protocol.Ack{OK: true}
+		case protocol.Fetch:
+			s.serveFetch(conn, m)
+			continue // serveFetch writes its own reply
+		default:
+			ack = protocol.Ack{OK: false, Error: fmt.Sprintf("unexpected message %T", msg)}
+		}
+		if err := conn.Send(ack); err != nil {
+			return
+		}
+	}
+}
+
+// punctuateFromSource fans an end-of-batch marker out to the named
+// feed, or to every feed when the source does not say.
+func (s *Server) punctuateFromSource(feed string) {
+	if feed != "" {
+		s.engine.Punctuate(feed)
+		return
+	}
+	for _, f := range s.cfg.Feeds {
+		s.engine.Punctuate(f.Path)
+	}
+}
+
+// serveFetch answers a hybrid-pull retrieval with the staged content,
+// falling back to the archiver for files expired from the retention
+// window — the long-horizon analysis path of §4.2.
+func (s *Server) serveFetch(conn *protocol.Conn, m protocol.Fetch) {
+	meta, ok := s.store.File(m.FileID)
+	if !ok {
+		conn.Send(protocol.Ack{OK: false, Error: "unknown file id"})
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.stage, filepath.FromSlash(meta.StagedPath)))
+	if err != nil {
+		rc, aerr := s.arch.Open(meta.StagedPath)
+		if aerr != nil {
+			conn.Send(protocol.Ack{OK: false, Error: err.Error()})
+			return
+		}
+		data, aerr = io.ReadAll(rc)
+		rc.Close()
+		if aerr != nil {
+			conn.Send(protocol.Ack{OK: false, Error: aerr.Error()})
+			return
+		}
+	}
+	conn.Send(protocol.Deliver{
+		FileID: meta.ID,
+		Feed:   firstOf(meta.Feeds),
+		Name:   meta.StagedPath,
+		Data:   data,
+		CRC:    meta.Checksum,
+	})
+}
+
+func firstOf(xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[0]
+}
+
+// FeedPattern is a helper for tools: compile a pattern or die.
+func FeedPattern(src string) (*pattern.Pattern, error) { return pattern.Compile(src) }

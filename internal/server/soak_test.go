@@ -1,0 +1,163 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+	"bistro/internal/netsim"
+	"bistro/internal/workload"
+)
+
+// TestSoakPipeline pushes a realistic multi-feed, multi-subscriber
+// workload through a server while one subscriber flaps, then verifies
+// the §4.2 guarantee: every matched file is delivered to every
+// interested subscriber exactly once.
+func TestSoakPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfgSrc := `
+feedgroup SNMP {
+    feed BPS    { pattern "BPS_POLLER%i_%Y%m%d%H_%M.csv.gz" }
+    feed PPS    { pattern "PPS_POLL%i_%Y%m%d%H%M.txt" }
+    feed CPU    { pattern "%Y/%m/%d/CPU_poller%i_%H%M.csv" }
+}
+subscriber steady  { dest "steady-in"  subscribe SNMP }
+subscriber flappy  { dest "flappy-in"  subscribe SNMP retry 1 }
+subscriber partial { dest "partial-in" subscribe SNMP/BPS class interactive }
+`
+	// The flappy subscriber runs over a simulated transport so its
+	// outages are injectable; the others use it too for uniformity.
+	ns := netsim.New(clock.NewReal())
+	for _, name := range []string{"steady", "flappy", "partial"} {
+		ns.Register(name, netsim.HostConfig{})
+	}
+	s := newServer(t, cfgSrc, func(o *Options) {
+		o.Transport = ns
+		o.Deadline = 5 * time.Second
+	})
+
+	start := time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+	gen := workload.New(77,
+		workload.FeedSpec{Name: "BPS", Sources: 4, Period: 5 * time.Minute, Convention: workload.ConvUnderscoreTS, SizeBytes: 512},
+		workload.FeedSpec{Name: "PPS", Sources: 4, Period: 5 * time.Minute, Convention: workload.ConvCompactTS, SizeBytes: 512},
+		workload.FeedSpec{Name: "CPU", Sources: 4, Period: 5 * time.Minute, Convention: workload.ConvDatedDirs, SizeBytes: 512},
+	)
+	files := gen.Window(start, start.Add(2*time.Hour))
+	bpsCount := 0
+	for _, f := range files {
+		if f.Feed == "BPS" {
+			bpsCount++
+		}
+	}
+
+	// Deposit with the flappy subscriber going down twice mid-stream.
+	for i, f := range files {
+		switch i {
+		case len(files) / 4:
+			ns.SetDown("flappy", true)
+		case len(files) / 2:
+			ns.SetDown("flappy", false)
+		case 3 * len(files) / 4:
+			ns.SetDown("flappy", true)
+		}
+		if err := s.Deposit(f.Name, workload.Payload(f)); err != nil {
+			t.Fatalf("deposit %s: %v", f.Name, err)
+		}
+	}
+	ns.SetDown("flappy", false)
+
+	total := len(files)
+	waitLong(t, "steady complete", func() bool { return s.Store().DeliveredCount("steady") == total })
+	waitLong(t, "partial complete", func() bool { return s.Store().DeliveredCount("partial") == bpsCount })
+	waitLong(t, "flappy complete", func() bool { return s.Store().DeliveredCount("flappy") == total })
+
+	// Exactly-once: the simulated transport saw each file once per
+	// subscriber.
+	for _, sub := range []string{"steady", "flappy"} {
+		seen := map[uint64]int{}
+		for _, f := range ns.Delivered(sub) {
+			seen[f.FileID]++
+		}
+		if len(seen) != total {
+			t.Fatalf("%s: %d distinct files, want %d", sub, len(seen), total)
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("%s: file %d delivered %d times", sub, id, n)
+			}
+		}
+	}
+	if got := s.Logger().Unmatched(); got != 0 {
+		t.Fatalf("unmatched = %d", got)
+	}
+}
+
+func waitLong(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSoakWithExpiry exercises delivery racing window expiry: files
+// whose data times are ancient relative to the wall clock expire while
+// the queue drains; deliveries of already-expired staged files fail
+// softly and the pipeline never wedges.
+func TestSoakWithExpiry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	cfgSrc := `
+window 1h
+archive "arch"
+feed BPS { pattern "BPS_POLLER%i_%Y%m%d%H_%M.csv.gz" }
+subscriber wh { dest "in" subscribe BPS }
+`
+	s := newServer(t, cfgSrc, func(o *Options) { o.ExpiryInterval = -1 })
+	start := time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+	gen := workload.New(5, workload.FeedSpec{
+		Name: "BPS", Sources: 3, Period: 5 * time.Minute,
+		Convention: workload.ConvUnderscoreTS, SizeBytes: 128,
+	})
+	files := gen.Window(start, start.Add(time.Hour))
+	for i, f := range files {
+		if err := s.Deposit(f.Name, workload.Payload(f)); err != nil {
+			t.Fatal(err)
+		}
+		// Expire aggressively mid-stream.
+		if i%7 == 0 {
+			if _, err := s.Archiver().ExpireOnce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Drain: every file is either delivered or expired; the engine
+	// settles with empty queues.
+	waitLong(t, "queues drained", func() bool {
+		sched := s.Engine().Scheduler()
+		for i := range sched.Partitions() {
+			if sched.QueueLen(i, 0)+sched.QueueLen(i, 1) > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	stats := s.Store().Stats()
+	if stats.Files != len(files) {
+		t.Fatalf("receipts = %d, want %d", stats.Files, len(files))
+	}
+	// Final expiry pass archives everything (2010 data vs wall clock).
+	if _, err := s.Archiver().ExpireOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Store().Stats().Expired; got != len(files) {
+		t.Fatalf("expired = %d, want %d", got, len(files))
+	}
+}

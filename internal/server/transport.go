@@ -1,0 +1,202 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"bistro/internal/protocol"
+	"bistro/internal/transport"
+)
+
+// compositeTransport routes subscribers with configured hosts over TCP
+// and the rest to local destination directories. Routing is mutable at
+// runtime (AddSubscriber).
+type compositeTransport struct {
+	local  *transport.LocalDir
+	remote *tcpTransport
+
+	mu    sync.RWMutex
+	hosts map[string]string // subscriber -> host:port
+}
+
+// setHost registers (or clears) a subscriber's remote route.
+func (c *compositeTransport) setHost(sub, host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if host == "" {
+		delete(c.hosts, sub)
+		return
+	}
+	c.hosts[sub] = host
+}
+
+// hostOf looks up a subscriber's remote route.
+func (c *compositeTransport) hostOf(sub string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.hosts[sub]
+	return h, ok
+}
+
+func (c *compositeTransport) Deliver(sub string, f transport.File) error {
+	if host, ok := c.hostOf(sub); ok {
+		return c.remote.deliver(host, f)
+	}
+	return c.local.Deliver(sub, f)
+}
+
+func (c *compositeTransport) Notify(sub string, f transport.File) error {
+	if host, ok := c.hostOf(sub); ok {
+		return c.remote.notify(host, f)
+	}
+	return c.local.Notify(sub, f)
+}
+
+func (c *compositeTransport) Trigger(sub string, command string, paths []string) error {
+	if host, ok := c.hostOf(sub); ok {
+		return c.remote.trigger(host, command, paths)
+	}
+	return c.local.Trigger(sub, command, paths)
+}
+
+func (c *compositeTransport) Ping(sub string) error {
+	if host, ok := c.hostOf(sub); ok {
+		return c.remote.ping(host)
+	}
+	return c.local.Ping(sub)
+}
+
+var _ transport.Transport = (*compositeTransport)(nil)
+
+// tcpTransport pushes protocol messages to subscriber daemons,
+// maintaining one connection per host.
+type tcpTransport struct {
+	timeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*protocol.Conn
+}
+
+func newTCPTransport(timeout time.Duration) *tcpTransport {
+	return &tcpTransport{timeout: timeout, conns: make(map[string]*protocol.Conn)}
+}
+
+// withConn runs fn holding the (cached) connection to host, dropping
+// the connection on any error so the next call redials. The lock is
+// held across the exchange: the protocol is strictly request/response
+// per connection.
+func (t *tcpTransport) withConn(host string, fn func(*protocol.Conn) error) error {
+	t.mu.Lock()
+	conn, ok := t.conns[host]
+	if !ok {
+		var err error
+		conn, err = protocol.Dial(host, t.timeout)
+		if err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		conn.Timeout = t.timeout
+		t.conns[host] = conn
+	}
+	defer t.mu.Unlock()
+	if err := fn(conn); err != nil {
+		conn.Close()
+		delete(t.conns, host)
+		return err
+	}
+	return nil
+}
+
+// call sends a request and awaits the Ack.
+func (t *tcpTransport) call(host string, msg any) error {
+	return t.withConn(host, func(conn *protocol.Conn) error {
+		return conn.Call(msg)
+	})
+}
+
+// streamChunk is the chunk size for large-file transfers.
+const streamChunk = 256 << 10
+
+func (t *tcpTransport) deliver(host string, f transport.File) error {
+	if f.Data != nil {
+		return t.call(host, protocol.Deliver{
+			FileID: f.FileID,
+			Feed:   f.Feed,
+			Name:   f.Name,
+			Data:   f.Data,
+			CRC:    f.CRC,
+		})
+	}
+	// Large file: stream in chunks under one connection hold.
+	return t.withConn(host, func(conn *protocol.Conn) error {
+		src, err := f.Open()
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		if err := conn.Send(protocol.DeliverBegin{
+			FileID: f.FileID, Feed: f.Feed, Name: f.Name, Size: f.Size, CRC: f.CRC,
+		}); err != nil {
+			return err
+		}
+		buf := make([]byte, streamChunk)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				if err := conn.Send(protocol.DeliverChunk{Data: buf[:n]}); err != nil {
+					return err
+				}
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				return fmt.Errorf("server: stream read: %w", rerr)
+			}
+		}
+		if err := conn.Send(protocol.DeliverEnd{}); err != nil {
+			return err
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		ack, ok := reply.(protocol.Ack)
+		if !ok {
+			return fmt.Errorf("server: expected Ack, got %T", reply)
+		}
+		if !ack.OK {
+			return fmt.Errorf("server: remote error: %s", ack.Error)
+		}
+		return nil
+	})
+}
+
+func (t *tcpTransport) notify(host string, f transport.File) error {
+	return t.call(host, protocol.Notify{
+		FileID: f.FileID,
+		Feed:   f.Feed,
+		Name:   f.Name,
+		Size:   f.Size,
+	})
+}
+
+func (t *tcpTransport) trigger(host string, command string, paths []string) error {
+	return t.call(host, protocol.Trigger{Command: command, Paths: paths})
+}
+
+func (t *tcpTransport) ping(host string) error {
+	return t.call(host, protocol.Hello{Role: "server", Name: "ping"})
+}
+
+// close shuts every cached connection.
+func (t *tcpTransport) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for host, c := range t.conns {
+		c.Close()
+		delete(t.conns, host)
+	}
+}

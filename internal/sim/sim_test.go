@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bistro/internal/scheduler"
+)
+
+var t0 = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+
+// stream produces n arrivals of size bytes, one every gap.
+func stream(n int, size int64, gap time.Duration) []Arrival {
+	out := make([]Arrival, n)
+	for i := range out {
+		out[i] = Arrival{
+			FileID: uint64(i + 1),
+			Feed:   "F",
+			Size:   size,
+			At:     t0.Add(time.Duration(i) * gap),
+		}
+	}
+	return out
+}
+
+func singlePartition(policy scheduler.PolicyKind, workers int) scheduler.Config {
+	return scheduler.Config{
+		Partitions: []scheduler.PartitionConfig{{Name: "all", Workers: workers, Policy: policy}},
+	}
+}
+
+func TestAllDelivered(t *testing.T) {
+	cfg := Config{
+		Scheduler: singlePartition(scheduler.EDF, 2),
+		Subscribers: []Subscriber{
+			{Name: "a", Bandwidth: 1 << 20},
+			{Name: "b", Bandwidth: 1 << 20},
+		},
+		Deadline: time.Minute,
+		Start:    t0,
+	}
+	res, err := Run(cfg, stream(100, 1024, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		if got := res.PerSub[name].Delivered; got != 100 {
+			t.Fatalf("%s delivered = %d", name, got)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{
+		Scheduler: singlePartition(scheduler.EDF, 2),
+		Subscribers: []Subscriber{
+			{Name: "a", Bandwidth: 100_000},
+			{Name: "b", Bandwidth: 10_000},
+		},
+		Deadline: time.Minute,
+		Start:    t0,
+	}
+	r1, err := Run(cfg, stream(200, 4096, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg, stream(200, 4096, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range r1.PerSub {
+		if r1.PerSub[name].TotalTardy != r2.PerSub[name].TotalTardy {
+			t.Fatalf("nondeterministic tardiness for %s", name)
+		}
+	}
+	if !r1.Makespan.Equal(r2.Makespan) {
+		t.Fatal("nondeterministic makespan")
+	}
+}
+
+// The paper's core scheduling claim: with heterogeneous subscribers in
+// ONE shared queue, slow subscribers consume the workers and fast
+// (interactive) subscribers suffer; partitioning isolates them.
+func TestPartitioningProtectsFastSubscribers(t *testing.T) {
+	subsFor := func(fastPart, slowPart int) []Subscriber {
+		subs := []Subscriber{{Name: "fast", Partition: fastPart, Bandwidth: 10 << 20}}
+		for _, n := range []string{"slow1", "slow2", "slow3"} {
+			subs = append(subs, Subscriber{Name: n, Partition: slowPart, Bandwidth: 20 << 10})
+		}
+		return subs
+	}
+	arrivals := stream(300, 64<<10, 500*time.Millisecond)
+
+	// Global: one partition, everyone shares 2 workers.
+	global := Config{
+		Scheduler:   singlePartition(scheduler.EDF, 2),
+		Subscribers: subsFor(0, 0),
+		Deadline:    30 * time.Second,
+		Start:       t0,
+	}
+	gres, err := Run(global, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partitioned: fast gets its own worker; slow subscribers share.
+	parted := Config{
+		Scheduler: scheduler.Config{
+			Partitions: []scheduler.PartitionConfig{
+				{Name: "interactive", Workers: 1, Policy: scheduler.EDF},
+				{Name: "bulk", Workers: 1, Policy: scheduler.EDF},
+			},
+		},
+		Subscribers: subsFor(0, 1),
+		Deadline:    30 * time.Second,
+		Start:       t0,
+	}
+	pres, err := Run(parted, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gf := gres.PerSub["fast"].MaxTardy
+	pf := pres.PerSub["fast"].MaxTardy
+	if pf >= gf {
+		t.Fatalf("partitioning did not protect fast subscriber: global max tardy %v, partitioned %v", gf, pf)
+	}
+	if pres.PerSub["fast"].Delivered != 300 {
+		t.Fatalf("fast delivered = %d", pres.PerSub["fast"].Delivered)
+	}
+}
+
+// E5's claim: concurrent backfill keeps real-time tardiness flat after
+// a reconnect, while in-order backfill (old deadlines first under EDF)
+// delays new traffic.
+func TestBackfillModes(t *testing.T) {
+	outageFrom := t0
+	outageTo := t0.Add(30 * time.Minute)
+	mkCfg := func(mode scheduler.BackfillMode) Config {
+		sched := scheduler.Config{
+			Partitions: []scheduler.PartitionConfig{
+				{Name: "p", Workers: 2, BackfillWorkers: 1, Policy: scheduler.EDF},
+			},
+			Backfill: mode,
+		}
+		if mode == scheduler.BackfillInOrder {
+			sched.Partitions[0].BackfillWorkers = 0
+		}
+		return Config{
+			Scheduler: sched,
+			Subscribers: []Subscriber{{
+				Name: "flappy", Bandwidth: 100 << 10,
+				OfflineFrom: outageFrom, OfflineUntil: outageTo,
+			}},
+			Deadline: time.Minute,
+			Start:    t0,
+		}
+	}
+	// Files every 10s for 1h; the first 30min accumulate as backlog.
+	arrivals := stream(360, 256<<10, 10*time.Second)
+
+	resConc, err := Run(mkCfg(scheduler.BackfillConcurrent), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOrder, err := Run(mkCfg(scheduler.BackfillInOrder), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resConc.PerSub["flappy"].Delivered != 360 || resOrder.PerSub["flappy"].Delivered != 360 {
+		t.Fatalf("deliveries = %d / %d", resConc.PerSub["flappy"].Delivered, resOrder.PerSub["flappy"].Delivered)
+	}
+	if resConc.PerSub["flappy"].Backfilled == 0 {
+		t.Fatal("no backfill recorded")
+	}
+	// In-order drains the 30-minute backlog before any new file: its
+	// post-reconnect real-time traffic waits far longer.
+	if resOrder.PerSub["flappy"].MaxTardy <= resConc.PerSub["flappy"].MaxTardy {
+		t.Fatalf("in-order max tardy %v should exceed concurrent %v",
+			resOrder.PerSub["flappy"].MaxTardy, resConc.PerSub["flappy"].MaxTardy)
+	}
+}
+
+func TestInterestFilter(t *testing.T) {
+	cfg := Config{
+		Scheduler: singlePartition(scheduler.EDF, 1),
+		Subscribers: []Subscriber{
+			{Name: "bps-only", Bandwidth: 1 << 20},
+			{Name: "everything", Bandwidth: 1 << 20},
+		},
+		Interest: map[string][]string{"bps-only": {"BPS"}},
+		Deadline: time.Minute,
+		Start:    t0,
+	}
+	arrivals := []Arrival{
+		{FileID: 1, Feed: "BPS", Size: 100, At: t0},
+		{FileID: 2, Feed: "PPS", Size: 100, At: t0.Add(time.Second)},
+	}
+	res, err := Run(cfg, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerSub["bps-only"].Delivered != 1 {
+		t.Fatalf("bps-only delivered = %d", res.PerSub["bps-only"].Delivered)
+	}
+	if res.PerSub["everything"].Delivered != 2 {
+		t.Fatalf("everything delivered = %d", res.PerSub["everything"].Delivered)
+	}
+}
+
+func TestStatsPercentiles(t *testing.T) {
+	s := Stats{}
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Second
+		s.tardySamples = append(s.tardySamples, d)
+		s.TotalTardy += d
+		s.Delivered++
+	}
+	if got := s.P99Tardiness(); got != 100*time.Second {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := s.MeanTardiness(); got != 50500*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	empty := Stats{}
+	if empty.P99Tardiness() != 0 || empty.MeanTardiness() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	res := Result{PerSub: map[string]*Stats{
+		"a": {Delivered: 2, TotalTardy: 4 * time.Second, MaxTardy: 3 * time.Second},
+		"b": {Delivered: 3, TotalTardy: 6 * time.Second, MaxTardy: 5 * time.Second},
+	}}
+	agg := res.Aggregate("a", "b", "missing")
+	if agg.Delivered != 5 || agg.MaxTardy != 5*time.Second {
+		t.Fatalf("agg = %+v", agg)
+	}
+}
+
+func BenchmarkSim10kArrivals(b *testing.B) {
+	cfg := Config{
+		Scheduler: singlePartition(scheduler.EDF, 4),
+		Subscribers: []Subscriber{
+			{Name: "a", Bandwidth: 1 << 20},
+			{Name: "b", Bandwidth: 1 << 19},
+			{Name: "c", Bandwidth: 1 << 18},
+		},
+		Deadline: time.Minute,
+		Start:    t0,
+	}
+	arrivals := stream(10000, 4096, 100*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, arrivals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

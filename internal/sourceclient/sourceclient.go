@@ -1,0 +1,153 @@
+// Package sourceclient is the lightweight client library feed
+// producers embed to talk to a Bistro server (SIGMOD'11 §4.1): deposit
+// or announce files and mark end-of-batch punctuation. The paper
+// stresses that this client is deliberately minimal so incorporating
+// it into existing source software is a small change.
+package sourceclient
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bistro/internal/clock"
+	"bistro/internal/protocol"
+)
+
+// Client is a connection from a data source to a Bistro server.
+type Client struct {
+	conn *protocol.Conn
+	name string
+}
+
+// Dial connects and identifies the source.
+func Dial(addr, name string, timeout time.Duration) (*Client, error) {
+	conn, err := protocol.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, name: name}
+	if err := conn.Call(protocol.Hello{Role: "source", Name: name}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("sourceclient: hello: %w", err)
+	}
+	return c, nil
+}
+
+// Upload ships file content to the server's landing zone (sources
+// without a shared filesystem).
+func (c *Client) Upload(name string, data []byte) error {
+	return c.conn.Call(protocol.Upload{
+		Name: name,
+		Data: data,
+		CRC:  crc32.ChecksumIEEE(data),
+	})
+}
+
+// FileReady announces a file the source already deposited into the
+// landing directory via a shared filesystem.
+func (c *Client) FileReady(relPath string) error {
+	return c.conn.Call(protocol.FileReady{Path: relPath})
+}
+
+// EndOfBatch marks source punctuation for a feed ("" = all feeds this
+// source contributes to), enabling per-batch subscriber triggers
+// without count/timeout guessing.
+func (c *Client) EndOfBatch(feed string) error {
+	return c.conn.Call(protocol.EndOfBatch{Feed: feed})
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// WatchOptions configure WatchDir.
+type WatchOptions struct {
+	// Interval is the poll cadence. Default 2s.
+	Interval time.Duration
+	// Clock defaults to the wall clock.
+	Clock clock.Clock
+	// Stop terminates the watch when closed.
+	Stop <-chan struct{}
+	// OnUpload is called after each attempted upload (may be nil).
+	OnUpload func(name string, err error)
+	// Remove deletes local files after successful upload.
+	Remove bool
+}
+
+// WatchDir polls dir and uploads every new regular file to the server
+// — the agent mode for sources that cannot embed the client library
+// and have no shared filesystem with the Bistro server. Files are
+// considered new when their (size, modtime) pair has not been uploaded
+// before; dotfiles are skipped as in-progress deposits. Returns when
+// Stop closes.
+func (c *Client) WatchDir(dir string, opts WatchOptions) error {
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	type stamp struct {
+		size int64
+		mod  time.Time
+	}
+	seen := make(map[string]stamp)
+	scan := func() error {
+		return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				if os.IsNotExist(err) {
+					return nil
+				}
+				return err
+			}
+			if d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+				return nil
+			}
+			info, ierr := d.Info()
+			if ierr != nil {
+				return nil // vanished mid-scan
+			}
+			rel, rerr := filepath.Rel(dir, path)
+			if rerr != nil {
+				return rerr
+			}
+			key := filepath.ToSlash(rel)
+			st := stamp{size: info.Size(), mod: info.ModTime()}
+			if prev, ok := seen[key]; ok && prev == st {
+				return nil
+			}
+			data, rerr2 := os.ReadFile(path)
+			if rerr2 != nil {
+				return nil
+			}
+			uerr := c.Upload(key, data)
+			if uerr == nil {
+				seen[key] = st
+				if opts.Remove {
+					os.Remove(path)
+					delete(seen, key)
+				}
+			}
+			if opts.OnUpload != nil {
+				opts.OnUpload(key, uerr)
+			}
+			return nil
+		})
+	}
+	for {
+		if err := scan(); err != nil {
+			return fmt.Errorf("sourceclient: watch scan: %w", err)
+		}
+		t := opts.Clock.NewTimer(opts.Interval)
+		select {
+		case <-opts.Stop:
+			t.Stop()
+			return nil
+		case <-t.C():
+		}
+	}
+}

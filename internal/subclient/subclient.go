@@ -1,0 +1,309 @@
+// Package subclient implements the Bistro subscriber daemon: the
+// lightweight process running on a subscriber host that accepts pushed
+// files, availability notifications, and remote trigger invocations
+// from a Bistro server (SIGMOD'11 §4.1), acknowledging each so the
+// server can record delivery receipts.
+//
+// It is used by cmd/bistro-sub, by the examples, and — pointed at
+// another Bistro server's landing directory — to cascade servers into
+// a distributed feed delivery network (§3).
+package subclient
+
+import (
+	"fmt"
+	"hash/crc32"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"bistro/internal/protocol"
+)
+
+// Options configure a Daemon.
+type Options struct {
+	// Name is the subscriber name announced to servers.
+	Name string
+	// DestDir is where pushed files are written.
+	DestDir string
+	// AllowTriggers permits remote trigger execution (via /bin/sh).
+	AllowTriggers bool
+	// OnFile, when set, is called after each pushed file is written
+	// (relative path). Cascading servers ingest from here.
+	OnFile func(relPath string)
+	// OnNotify receives availability notifications (hybrid push-pull).
+	OnNotify func(n protocol.Notify)
+	// OnTrigger, when set, handles remote triggers instead of the
+	// shell (tests, embedded subscribers).
+	OnTrigger func(command string, paths []string) error
+}
+
+// Daemon is a running subscriber endpoint.
+type Daemon struct {
+	opts Options
+	ln   net.Listener
+
+	mu       sync.Mutex
+	received []string
+	notified []protocol.Notify
+	conns    map[*protocol.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves until Stop.
+func Start(addr string, opts Options) (*Daemon, error) {
+	if opts.DestDir == "" {
+		return nil, fmt.Errorf("subclient: destination directory required")
+	}
+	if err := os.MkdirAll(opts.DestDir, 0o755); err != nil {
+		return nil, fmt.Errorf("subclient: mkdir: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("subclient: listen: %w", err)
+	}
+	d := &Daemon{opts: opts, ln: ln, conns: make(map[*protocol.Conn]struct{})}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// Addr returns the daemon's listen address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Stop closes the listener and waits for handlers.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	for c := range d.conns {
+		c.Close()
+	}
+	d.mu.Unlock()
+	d.ln.Close()
+	d.wg.Wait()
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		c, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := protocol.NewConn(c)
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serve(conn)
+			d.mu.Lock()
+			delete(d.conns, conn)
+			d.mu.Unlock()
+		}()
+	}
+}
+
+// serve handles one server connection until it closes.
+func (d *Daemon) serve(conn *protocol.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var ack protocol.Ack
+		switch m := msg.(type) {
+		case protocol.Hello:
+			ack = protocol.Ack{OK: true}
+		case protocol.Deliver:
+			ack = d.handleDeliver(m)
+		case protocol.DeliverBegin:
+			ack = d.handleStream(conn, m)
+		case protocol.Notify:
+			ack = d.handleNotify(m)
+		case protocol.Trigger:
+			ack = d.handleTrigger(m)
+		default:
+			ack = protocol.Ack{OK: false, Error: fmt.Sprintf("unexpected message %T", msg)}
+		}
+		if err := conn.Send(ack); err != nil {
+			return
+		}
+	}
+}
+
+// handleStream receives a chunked transfer opened by DeliverBegin,
+// writing to a temp file and renaming into place once the checksum
+// verifies at DeliverEnd.
+func (d *Daemon) handleStream(conn *protocol.Conn, m protocol.DeliverBegin) protocol.Ack {
+	rel := filepath.FromSlash(m.Name)
+	if filepath.IsAbs(rel) || strings.HasPrefix(filepath.Clean(rel), "..") {
+		drainStream(conn)
+		return protocol.Ack{OK: false, Error: "invalid path"}
+	}
+	dst := filepath.Join(d.opts.DestDir, rel)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		drainStream(conn)
+		return protocol.Ack{OK: false, Error: err.Error()}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".bistro-rx-*")
+	if err != nil {
+		drainStream(conn)
+		return protocol.Ack{OK: false, Error: err.Error()}
+	}
+	crc := crc32.NewIEEE()
+	var size int64
+	fail := func(msg string) protocol.Ack {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return protocol.Ack{OK: false, Error: msg}
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return fail("stream interrupted: " + err.Error())
+		}
+		switch c := msg.(type) {
+		case protocol.DeliverChunk:
+			if _, err := tmp.Write(c.Data); err != nil {
+				drainStream(conn)
+				return fail(err.Error())
+			}
+			crc.Write(c.Data)
+			size += int64(len(c.Data))
+		case protocol.DeliverEnd:
+			if size != m.Size || crc.Sum32() != m.CRC {
+				return fail(fmt.Sprintf("stream verification failed: %d/%d bytes", size, m.Size))
+			}
+			if err := tmp.Close(); err != nil {
+				os.Remove(tmp.Name())
+				return protocol.Ack{OK: false, Error: err.Error()}
+			}
+			if err := os.Rename(tmp.Name(), dst); err != nil {
+				os.Remove(tmp.Name())
+				return protocol.Ack{OK: false, Error: err.Error()}
+			}
+			d.mu.Lock()
+			d.received = append(d.received, m.Name)
+			d.mu.Unlock()
+			if d.opts.OnFile != nil {
+				d.opts.OnFile(m.Name)
+			}
+			return protocol.Ack{OK: true}
+		default:
+			return fail(fmt.Sprintf("unexpected %T inside stream", msg))
+		}
+	}
+}
+
+// drainStream consumes a broken stream's remaining chunks so the
+// connection returns to message framing before the error Ack.
+func drainStream(conn *protocol.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if _, done := msg.(protocol.DeliverEnd); done {
+			return
+		}
+	}
+}
+
+func (d *Daemon) handleDeliver(m protocol.Deliver) protocol.Ack {
+	if crc32.ChecksumIEEE(m.Data) != m.CRC {
+		return protocol.Ack{OK: false, Error: "checksum mismatch"}
+	}
+	rel := filepath.FromSlash(m.Name)
+	if filepath.IsAbs(rel) || strings.HasPrefix(filepath.Clean(rel), "..") {
+		return protocol.Ack{OK: false, Error: "invalid path"}
+	}
+	dst := filepath.Join(d.opts.DestDir, rel)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return protocol.Ack{OK: false, Error: err.Error()}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".bistro-rx-*")
+	if err != nil {
+		return protocol.Ack{OK: false, Error: err.Error()}
+	}
+	if _, err := tmp.Write(m.Data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return protocol.Ack{OK: false, Error: err.Error()}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return protocol.Ack{OK: false, Error: err.Error()}
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return protocol.Ack{OK: false, Error: err.Error()}
+	}
+	d.mu.Lock()
+	d.received = append(d.received, m.Name)
+	d.mu.Unlock()
+	if d.opts.OnFile != nil {
+		d.opts.OnFile(m.Name)
+	}
+	return protocol.Ack{OK: true}
+}
+
+func (d *Daemon) handleNotify(m protocol.Notify) protocol.Ack {
+	d.mu.Lock()
+	d.notified = append(d.notified, m)
+	d.mu.Unlock()
+	if d.opts.OnNotify != nil {
+		d.opts.OnNotify(m)
+	}
+	return protocol.Ack{OK: true}
+}
+
+func (d *Daemon) handleTrigger(m protocol.Trigger) protocol.Ack {
+	if d.opts.OnTrigger != nil {
+		if err := d.opts.OnTrigger(m.Command, m.Paths); err != nil {
+			return protocol.Ack{OK: false, Error: err.Error()}
+		}
+		return protocol.Ack{OK: true}
+	}
+	if !d.opts.AllowTriggers {
+		return protocol.Ack{OK: false, Error: "triggers not allowed"}
+	}
+	out, err := exec.Command("/bin/sh", "-c", m.Command).CombinedOutput()
+	if err != nil {
+		return protocol.Ack{OK: false, Error: fmt.Sprintf("%v: %s", err, strings.TrimSpace(string(out)))}
+	}
+	return protocol.Ack{OK: true}
+}
+
+// Received returns the pushed file names so far.
+func (d *Daemon) Received() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.received))
+	copy(out, d.received)
+	return out
+}
+
+// Notifications returns the notifications received so far.
+func (d *Daemon) Notifications() []protocol.Notify {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]protocol.Notify, len(d.notified))
+	copy(out, d.notified)
+	return out
+}

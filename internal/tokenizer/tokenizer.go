@@ -1,0 +1,245 @@
+// Package tokenizer splits filenames into typed tokens, the first step
+// of Bistro's feed analyzer (SIGMOD'11 §5.1).
+//
+// General string tokenization is hard because many feed filenames use
+// fixed-length fields with no separators (e.g. 2010092504 for
+// YYYYMMDDHH). Following the paper, the tokenizer uses a collection of
+// heuristics: boundaries between alphabetic and numeric characters,
+// punctuation separators, and recognizers for common composite formats
+// (timestamps of several granularities, IP addresses).
+package tokenizer
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Class describes the character class of a token.
+type Class int
+
+// Token classes.
+const (
+	ClassAlpha  Class = iota // run of letters
+	ClassDigits              // run of decimal digits
+	ClassSep                 // run of one repeated punctuation character
+	ClassIP                  // dotted-quad IPv4 address (merged composite)
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassAlpha:
+		return "alpha"
+	case ClassDigits:
+		return "digits"
+	case ClassSep:
+		return "sep"
+	case ClassIP:
+		return "ip"
+	default:
+		return "unknown"
+	}
+}
+
+// Token is one structural unit of a filename.
+type Token struct {
+	Text  string
+	Class Class
+}
+
+// Tokenize splits name into tokens at character-class boundaries.
+// Letters and digits form maximal same-class runs; each maximal run of
+// a single repeated punctuation character is one separator token
+// ("__" is one token, "_-" is two). Dotted-quad IPv4 sequences are
+// merged into a single ClassIP token.
+func Tokenize(name string) []Token {
+	var toks []Token
+	i := 0
+	for i < len(name) {
+		c := name[i]
+		switch {
+		case isLetter(c):
+			j := i
+			for j < len(name) && isLetter(name[j]) {
+				j++
+			}
+			toks = append(toks, Token{name[i:j], ClassAlpha})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < len(name) && isDigit(name[j]) {
+				j++
+			}
+			toks = append(toks, Token{name[i:j], ClassDigits})
+			i = j
+		default:
+			j := i
+			for j < len(name) && name[j] == c {
+				j++
+			}
+			toks = append(toks, Token{name[i:j], ClassSep})
+			i = j
+		}
+	}
+	return mergeIPs(toks)
+}
+
+// mergeIPs rewrites digit '.' digit '.' digit '.' digit runs whose
+// octets are all <= 255 into a single ClassIP token.
+func mergeIPs(toks []Token) []Token {
+	out := toks[:0:0]
+	for i := 0; i < len(toks); {
+		if ip, n := ipAt(toks, i); n > 0 {
+			out = append(out, Token{ip, ClassIP})
+			i += n
+			continue
+		}
+		out = append(out, toks[i])
+		i++
+	}
+	return out
+}
+
+// ipAt reports whether an IPv4 address starts at toks[i], returning its
+// text and the number of tokens consumed.
+func ipAt(toks []Token, i int) (string, int) {
+	if i+7 > len(toks) {
+		return "", 0
+	}
+	// A dotted digit sequence continuing from the left (e.g. the
+	// "2.3.4.5" inside version string 1.2.3.4.5) is not an IP.
+	if i >= 2 && toks[i-1].Class == ClassSep && toks[i-1].Text == "." && toks[i-2].Class == ClassDigits {
+		return "", 0
+	}
+	var b strings.Builder
+	for k := 0; k < 7; k++ {
+		t := toks[i+k]
+		if k%2 == 0 {
+			if t.Class != ClassDigits || len(t.Text) > 3 {
+				return "", 0
+			}
+			v, _ := strconv.Atoi(t.Text)
+			if v > 255 {
+				return "", 0
+			}
+		} else {
+			if t.Class != ClassSep || t.Text != "." {
+				return "", 0
+			}
+		}
+		b.WriteString(t.Text)
+	}
+	// Avoid swallowing a trailing ".digit" that continues the run
+	// (e.g. versions like 1.2.3.4.5 are not IPs).
+	if i+8 < len(toks) && toks[i+7].Class == ClassSep && toks[i+7].Text == "." && toks[i+8].Class == ClassDigits {
+		return "", 0
+	}
+	return b.String(), 7
+}
+
+func isLetter(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// TimestampLayout describes a recognized fixed-width timestamp encoding
+// inside a digit token.
+type TimestampLayout struct {
+	// Pattern is the equivalent feed-pattern fragment, e.g. "%Y%m%d%H".
+	Pattern string
+	// Granularity is the finest unit encoded.
+	Granularity time.Duration
+}
+
+// DetectTimestamp tries to interpret a digit string as a timestamp of
+// one of the common fixed-width layouts. It returns the parsed time,
+// the layout, and ok=false when no plausible interpretation exists.
+// Years are accepted in [1990, 2099] to avoid classifying arbitrary
+// integers (poller ids, sequence numbers) as timestamps.
+func DetectTimestamp(digits string) (time.Time, TimestampLayout, bool) {
+	type attempt struct {
+		layout  string // time.Parse reference layout
+		pattern string
+		gran    time.Duration
+	}
+	var attempts []attempt
+	switch len(digits) {
+	case 4:
+		attempts = []attempt{{"2006", "%Y", 365 * 24 * time.Hour}}
+	case 6:
+		attempts = []attempt{{"200601", "%Y%m", 30 * 24 * time.Hour}}
+	case 8:
+		attempts = []attempt{{"20060102", "%Y%m%d", 24 * time.Hour}}
+	case 10:
+		attempts = []attempt{{"2006010215", "%Y%m%d%H", time.Hour}}
+	case 12:
+		attempts = []attempt{{"200601021504", "%Y%m%d%H%M", time.Minute}}
+	case 14:
+		attempts = []attempt{{"20060102150405", "%Y%m%d%H%M%S", time.Second}}
+	default:
+		return time.Time{}, TimestampLayout{}, false
+	}
+	for _, a := range attempts {
+		t, err := time.Parse(a.layout, digits)
+		if err != nil {
+			continue
+		}
+		if t.Year() < 1990 || t.Year() > 2099 {
+			continue
+		}
+		return t.UTC(), TimestampLayout{Pattern: a.pattern, Granularity: a.gran}, true
+	}
+	return time.Time{}, TimestampLayout{}, false
+}
+
+// Shape returns a structural signature of the token sequence that
+// ignores field values but preserves separators and token classes.
+// Alpha tokens contribute their literal text (feed names are usually
+// alphabetic literals; the discovery layer later relaxes positions that
+// turn out to be categorical), digit tokens contribute D<len> so that
+// fixed-width fields keep their width, IPs contribute "IP", separators
+// contribute their text.
+func Shape(toks []Token) string {
+	var b strings.Builder
+	for _, t := range toks {
+		switch t.Class {
+		case ClassAlpha:
+			b.WriteString("A(")
+			b.WriteString(t.Text)
+			b.WriteString(")")
+		case ClassDigits:
+			b.WriteString("D")
+			b.WriteString(strconv.Itoa(len(t.Text)))
+		case ClassIP:
+			b.WriteString("IP")
+		case ClassSep:
+			b.WriteString("S(")
+			b.WriteString(t.Text)
+			b.WriteString(")")
+		}
+	}
+	return b.String()
+}
+
+// CoarseShape is like Shape but also abstracts alpha token text and
+// digit widths, keeping only classes and separator literals. Used as a
+// first-pass clustering key before per-position domain analysis.
+func CoarseShape(toks []Token) string {
+	var b strings.Builder
+	for _, t := range toks {
+		switch t.Class {
+		case ClassAlpha:
+			b.WriteString("A")
+		case ClassDigits:
+			b.WriteString("D")
+		case ClassIP:
+			b.WriteString("IP")
+		case ClassSep:
+			b.WriteString("S(")
+			b.WriteString(t.Text)
+			b.WriteString(")")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func classes(toks []Token) []Class {
+	out := make([]Class, len(toks))
+	for i, t := range toks {
+		out[i] = t.Class
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizePaperExample(t *testing.T) {
+	toks := Tokenize("MEMORY_POLLER1_2010092504_51.csv.gz")
+	want := []string{"MEMORY", "_", "POLLER", "1", "_", "2010092504", "_", "51", ".", "csv", ".", "gz"}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if toks[0].Class != ClassAlpha || toks[3].Class != ClassDigits || toks[8].Class != ClassSep {
+		t.Fatalf("classes = %v", classes(toks))
+	}
+}
+
+func TestTokenizeRepeatedSeparator(t *testing.T) {
+	toks := Tokenize("TRAP__20100308_x.txt")
+	// "__" must be one separator token, "_" another.
+	if toks[1].Text != "__" || toks[1].Class != ClassSep {
+		t.Fatalf("tokens = %v", texts(toks))
+	}
+	toks2 := Tokenize("a_-b")
+	if toks2[1].Text != "_" || toks2[2].Text != "-" {
+		t.Fatalf("mixed punctuation should split: %v", texts(toks2))
+	}
+}
+
+func TestTokenizeIP(t *testing.T) {
+	toks := Tokenize("router_10.0.1.254_20100925.log")
+	var ip *Token
+	for i := range toks {
+		if toks[i].Class == ClassIP {
+			ip = &toks[i]
+		}
+	}
+	if ip == nil || ip.Text != "10.0.1.254" {
+		t.Fatalf("no IP token in %v", texts(toks))
+	}
+}
+
+func TestTokenizeNotIP(t *testing.T) {
+	for _, name := range []string{
+		"v1.2.3.4.5.tar", // five components: version, not IP
+		"f_300.1.2.3_x",  // octet > 255
+		"a1.2.3.csv",     // only three components
+	} {
+		for _, tok := range Tokenize(name) {
+			if tok.Class == ClassIP {
+				t.Errorf("%q: spurious IP token %q", name, tok.Text)
+			}
+		}
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if toks := Tokenize(""); len(toks) != 0 {
+		t.Fatalf("Tokenize(\"\") = %v", toks)
+	}
+}
+
+func TestTokenizeRoundTripConcat(t *testing.T) {
+	// Invariant: concatenating token texts reproduces the input.
+	names := []string{
+		"MEMORY_POLLER1_2010092504_51.csv.gz",
+		"CPU_POLL2_201009251001.txt",
+		"TRAP_2010030817_UVIPTV-PER-BAN-DSPS-IPTV_MOM-rcsntxsqlcv122_9234SEC_klpi.txt",
+		"2010/09/25/poller1.csv",
+		"...",
+		"___",
+		"a",
+		"42",
+	}
+	for _, name := range names {
+		var b strings.Builder
+		for _, tok := range Tokenize(name) {
+			b.WriteString(tok.Text)
+		}
+		if b.String() != name {
+			t.Errorf("round trip %q -> %q", name, b.String())
+		}
+	}
+}
+
+func TestQuickTokenizeInvariants(t *testing.T) {
+	fn := func(raw []byte) bool {
+		// Restrict to printable ASCII to keep the invariant crisp
+		// (tokenizer is byte-oriented like filenames on POSIX).
+		var b strings.Builder
+		for _, c := range raw {
+			if c >= 32 && c < 127 {
+				b.WriteByte(c)
+			}
+		}
+		name := b.String()
+		toks := Tokenize(name)
+		var cat strings.Builder
+		for i, tok := range toks {
+			if tok.Text == "" {
+				return false // no empty tokens
+			}
+			cat.WriteString(tok.Text)
+			// no two adjacent tokens of the same class unless both
+			// separators with different characters
+			if i > 0 && toks[i-1].Class == tok.Class && tok.Class != ClassSep {
+				return false
+			}
+		}
+		return cat.String() == name
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectTimestamp(t *testing.T) {
+	tests := []struct {
+		digits  string
+		ok      bool
+		pattern string
+		want    time.Time
+	}{
+		{"2010092504", true, "%Y%m%d%H", time.Date(2010, 9, 25, 4, 0, 0, 0, time.UTC)},
+		{"201009250451", true, "%Y%m%d%H%M", time.Date(2010, 9, 25, 4, 51, 0, 0, time.UTC)},
+		{"20100925045112", true, "%Y%m%d%H%M%S", time.Date(2010, 9, 25, 4, 51, 12, 0, time.UTC)},
+		{"20100925", true, "%Y%m%d", time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)},
+		{"201009", true, "%Y%m", time.Date(2010, 9, 1, 0, 0, 0, 0, time.UTC)},
+		{"2010", true, "%Y", time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)},
+		{"1", false, "", time.Time{}},
+		{"99999999", false, "", time.Time{}},    // month 99
+		{"18500101", false, "", time.Time{}},    // year before 1990
+		{"21500101", false, "", time.Time{}},    // year after 2099
+		{"20101340", false, "", time.Time{}},    // month 13
+		{"123", false, "", time.Time{}},         // odd width
+		{"12345678901", false, "", time.Time{}}, // odd width
+	}
+	for _, tc := range tests {
+		ts, layout, ok := DetectTimestamp(tc.digits)
+		if ok != tc.ok {
+			t.Errorf("DetectTimestamp(%q) ok = %v, want %v", tc.digits, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if layout.Pattern != tc.pattern {
+			t.Errorf("DetectTimestamp(%q) pattern = %q, want %q", tc.digits, layout.Pattern, tc.pattern)
+		}
+		if !ts.Equal(tc.want) {
+			t.Errorf("DetectTimestamp(%q) = %v, want %v", tc.digits, ts, tc.want)
+		}
+	}
+}
+
+func TestDetectTimestampGranularity(t *testing.T) {
+	_, l, ok := DetectTimestamp("201009250451")
+	if !ok || l.Granularity != time.Minute {
+		t.Fatalf("granularity = %v, ok = %v", l.Granularity, ok)
+	}
+}
+
+func TestShapeDistinguishesFeeds(t *testing.T) {
+	a := Shape(Tokenize("MEMORY_POLLER1_2010092504_51.csv.gz"))
+	b := Shape(Tokenize("MEMORY_POLLER2_2010092510_02.csv.gz"))
+	c := Shape(Tokenize("CPU_POLL2_201009250503.txt"))
+	if a != b {
+		t.Errorf("same atomic feed got different shapes:\n%s\n%s", a, b)
+	}
+	if a == c {
+		t.Errorf("different feeds share a shape: %s", a)
+	}
+}
+
+func TestShapeDigitWidthMatters(t *testing.T) {
+	a := Shape(Tokenize("f_20100925.gz"))
+	b := Shape(Tokenize("f_2010092504.gz"))
+	if a == b {
+		t.Error("different timestamp widths should give different shapes")
+	}
+}
+
+func TestCoarseShapeMergesAlphaVariants(t *testing.T) {
+	a := CoarseShape(Tokenize("router_a_20100925.csv"))
+	b := CoarseShape(Tokenize("router_b_20100925.csv"))
+	if a != b {
+		t.Errorf("coarse shapes differ:\n%s\n%s", a, b)
+	}
+	// But separators still matter.
+	c := CoarseShape(Tokenize("router-a-20100925.csv"))
+	if a == c {
+		t.Error("separator change should change coarse shape")
+	}
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	name := "MEMORY_POLLER1_2010092504_51.csv.gz"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(name)
+	}
+}
+
+func BenchmarkShape(b *testing.B) {
+	toks := Tokenize("MEMORY_POLLER1_2010092504_51.csv.gz")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Shape(toks)
+	}
+}

@@ -1,0 +1,217 @@
+// Package trigger implements Bistro's notification/trigger engine
+// (SIGMOD'11 §4.1). Subscribers register a lightweight program to be
+// invoked when new feed data is available, either per delivered file
+// or per batch (with count/timeout/punctuation batch detection
+// delegated to the batch package). Triggers run locally on the Bistro
+// server or remotely on the subscriber host, whichever the
+// configuration requests — the Invoker abstraction carries out the
+// actual execution so the server, tests, and simulations can each
+// supply their own.
+package trigger
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"bistro/internal/batch"
+	"bistro/internal/clock"
+	"bistro/internal/config"
+)
+
+// Invocation is one rendered trigger firing.
+type Invocation struct {
+	// Subscriber and Feed identify the stream that fired.
+	Subscriber string
+	Feed       string
+	// Command is the command line with %f expanded.
+	Command string
+	// Paths are the delivered file paths in the batch (length 1 for
+	// per-file triggers).
+	Paths []string
+	// Reason is why the batch closed (ReasonCount for per-file).
+	Reason batch.CloseReason
+	// At is the firing time.
+	At time.Time
+	// Remote requests execution on the subscriber host.
+	Remote bool
+}
+
+// Invoker executes trigger invocations.
+type Invoker interface {
+	Invoke(inv Invocation) error
+}
+
+// InvokerFunc adapts a function to the Invoker interface.
+type InvokerFunc func(inv Invocation) error
+
+// Invoke calls f.
+func (f InvokerFunc) Invoke(inv Invocation) error { return f(inv) }
+
+// ExecInvoker runs local trigger commands through the shell. Remote
+// invocations are rejected — the server routes those through the
+// delivery protocol instead.
+type ExecInvoker struct{}
+
+// Invoke runs the command via /bin/sh -c.
+func (ExecInvoker) Invoke(inv Invocation) error {
+	if inv.Remote {
+		return fmt.Errorf("trigger: ExecInvoker cannot run remote trigger for %s", inv.Subscriber)
+	}
+	cmd := exec.Command("/bin/sh", "-c", inv.Command)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("trigger: %s for %s failed: %w (output: %s)",
+			inv.Command, inv.Subscriber, err, strings.TrimSpace(string(out)))
+	}
+	return nil
+}
+
+// Engine routes delivered-file events into per-(subscriber, feed)
+// batch detectors and fires rendered invocations.
+type Engine struct {
+	clk     clock.Clock
+	invoker Invoker
+	// OnError, when set, receives trigger execution failures; they are
+	// otherwise dropped (a failing subscriber script must not wedge
+	// delivery).
+	OnError func(inv Invocation, err error)
+
+	mu        sync.Mutex
+	detectors map[string]*detectorEntry
+}
+
+type detectorEntry struct {
+	det  *batch.Detector
+	spec config.TriggerSpec
+}
+
+// NewEngine returns a trigger engine using clk for batch timeouts.
+func NewEngine(clk clock.Clock, invoker Invoker) *Engine {
+	return &Engine{
+		clk:       clk,
+		invoker:   invoker,
+		detectors: make(map[string]*detectorEntry),
+	}
+}
+
+func key(sub, feed string) string { return sub + "\x00" + feed }
+
+// FileDelivered reports a delivered file for trigger processing.
+func (e *Engine) FileDelivered(sub, feed string, spec config.TriggerSpec, f batch.File) {
+	switch spec.Mode {
+	case config.TriggerNone:
+		return
+	case config.TriggerPerFile:
+		e.fire(sub, feed, spec, batch.Batch{
+			Files:  []batch.File{f},
+			Opened: f.Arrived,
+			Closed: e.clk.Now(),
+			Reason: batch.ReasonCount,
+		})
+	case config.TriggerBatch:
+		e.detector(sub, feed, spec).Add(f)
+	}
+}
+
+// Punctuate closes the open batch for (sub, feed) in response to a
+// source end-of-batch marker propagated downstream.
+func (e *Engine) Punctuate(sub, feed string) {
+	e.mu.Lock()
+	ent := e.detectors[key(sub, feed)]
+	e.mu.Unlock()
+	if ent != nil {
+		ent.det.Punctuate()
+	}
+}
+
+// PunctuateFeed closes open batches for every subscriber of feed.
+func (e *Engine) PunctuateFeed(feed string) {
+	e.mu.Lock()
+	var ents []*detectorEntry
+	for k, ent := range e.detectors {
+		if strings.HasSuffix(k, "\x00"+feed) {
+			ents = append(ents, ent)
+		}
+	}
+	e.mu.Unlock()
+	for _, ent := range ents {
+		ent.det.Punctuate()
+	}
+}
+
+// Flush closes every open batch (server drain/shutdown).
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	ents := make([]*detectorEntry, 0, len(e.detectors))
+	for _, ent := range e.detectors {
+		ents = append(ents, ent)
+	}
+	e.mu.Unlock()
+	for _, ent := range ents {
+		ent.det.Flush()
+	}
+}
+
+// detector returns (creating if needed) the batch detector for a
+// (subscriber, feed) stream.
+func (e *Engine) detector(sub, feed string, spec config.TriggerSpec) *batch.Detector {
+	k := key(sub, feed)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.detectors[k]; ok {
+		return ent.det
+	}
+	det := batch.NewDetector(
+		batch.Spec{Count: spec.Count, Timeout: spec.Timeout},
+		e.clk,
+		func(b batch.Batch) { e.fire(sub, feed, spec, b) },
+	)
+	e.detectors[k] = &detectorEntry{det: det, spec: spec}
+	return det
+}
+
+// fire renders and executes one invocation.
+func (e *Engine) fire(sub, feed string, spec config.TriggerSpec, b batch.Batch) {
+	paths := make([]string, len(b.Files))
+	for i, f := range b.Files {
+		paths[i] = f.Name
+	}
+	inv := Invocation{
+		Subscriber: sub,
+		Feed:       feed,
+		Command:    RenderCommand(spec.Exec, paths),
+		Paths:      paths,
+		Reason:     b.Reason,
+		At:         b.Closed,
+		Remote:     spec.Remote,
+	}
+	if err := e.invoker.Invoke(inv); err != nil && e.OnError != nil {
+		e.OnError(inv, err)
+	}
+}
+
+// RenderCommand expands %f in a trigger command template to the
+// space-joined delivered paths ("%%" yields a literal percent).
+func RenderCommand(tmpl string, paths []string) string {
+	joined := strings.Join(paths, " ")
+	var b strings.Builder
+	for i := 0; i < len(tmpl); i++ {
+		if tmpl[i] == '%' && i+1 < len(tmpl) {
+			switch tmpl[i+1] {
+			case 'f':
+				b.WriteString(joined)
+				i++
+				continue
+			case '%':
+				b.WriteByte('%')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(tmpl[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package trigger
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/batch"
+	"bistro/internal/clock"
+	"bistro/internal/config"
+)
+
+var t0 = time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+
+type recorder struct {
+	mu   sync.Mutex
+	invs []Invocation
+}
+
+func (r *recorder) Invoke(inv Invocation) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.invs = append(r.invs, inv)
+	return nil
+}
+
+func (r *recorder) get() []Invocation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Invocation, len(r.invs))
+	copy(out, r.invs)
+	return out
+}
+
+func f(name string, at time.Time) batch.File {
+	return batch.File{Name: name, Arrived: at, DataTime: at}
+}
+
+func TestPerFileTrigger(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	spec := config.TriggerSpec{Mode: config.TriggerPerFile, Exec: "load %f"}
+	e.FileDelivered("viz", "CPU", spec, f("a.csv", t0))
+	e.FileDelivered("viz", "CPU", spec, f("b.csv", t0))
+	invs := rec.get()
+	if len(invs) != 2 {
+		t.Fatalf("invocations = %d, want 2", len(invs))
+	}
+	if invs[0].Command != "load a.csv" || invs[1].Command != "load b.csv" {
+		t.Fatalf("commands = %q, %q", invs[0].Command, invs[1].Command)
+	}
+}
+
+func TestBatchTriggerCount(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	spec := config.TriggerSpec{Mode: config.TriggerBatch, Count: 3, Exec: "load %f"}
+	for _, n := range []string{"p1.csv", "p2.csv", "p3.csv"} {
+		e.FileDelivered("wh", "BPS", spec, f(n, t0))
+	}
+	invs := rec.get()
+	if len(invs) != 1 {
+		t.Fatalf("invocations = %d, want 1", len(invs))
+	}
+	if invs[0].Command != "load p1.csv p2.csv p3.csv" {
+		t.Fatalf("command = %q", invs[0].Command)
+	}
+	if invs[0].Reason != batch.ReasonCount {
+		t.Fatalf("reason = %v", invs[0].Reason)
+	}
+}
+
+func TestBatchTriggerIsolatedPerSubscriberAndFeed(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	spec := config.TriggerSpec{Mode: config.TriggerBatch, Count: 2, Exec: "x %f"}
+	e.FileDelivered("a", "BPS", spec, f("1", t0))
+	e.FileDelivered("b", "BPS", spec, f("2", t0))
+	e.FileDelivered("a", "PPS", spec, f("3", t0))
+	if len(rec.get()) != 0 {
+		t.Fatal("streams bled into each other")
+	}
+	e.FileDelivered("a", "BPS", spec, f("4", t0))
+	invs := rec.get()
+	if len(invs) != 1 || invs[0].Subscriber != "a" || invs[0].Feed != "BPS" {
+		t.Fatalf("invs = %+v", invs)
+	}
+}
+
+func TestPunctuateClosesBatch(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	spec := config.TriggerSpec{Mode: config.TriggerBatch, Count: 100, Timeout: time.Hour, Exec: "x %f"}
+	e.FileDelivered("wh", "BPS", spec, f("1", t0))
+	e.Punctuate("wh", "BPS")
+	invs := rec.get()
+	if len(invs) != 1 || invs[0].Reason != batch.ReasonPunctuation {
+		t.Fatalf("invs = %+v", invs)
+	}
+	// Punctuating an unknown stream is a no-op.
+	e.Punctuate("nobody", "BPS")
+}
+
+func TestPunctuateFeedHitsAllSubscribers(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	spec := config.TriggerSpec{Mode: config.TriggerBatch, Count: 100, Exec: "x %f"}
+	e.FileDelivered("a", "BPS", spec, f("1", t0))
+	e.FileDelivered("b", "BPS", spec, f("2", t0))
+	e.FileDelivered("c", "PPS", spec, f("3", t0))
+	e.PunctuateFeed("BPS")
+	invs := rec.get()
+	if len(invs) != 2 {
+		t.Fatalf("invs = %+v", invs)
+	}
+}
+
+func TestTimeoutTriggerWithSimulatedClock(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	spec := config.TriggerSpec{Mode: config.TriggerBatch, Count: 3, Timeout: 10 * time.Minute, Exec: "x %f"}
+	e.FileDelivered("wh", "BPS", spec, f("1", clk.Now()))
+	e.FileDelivered("wh", "BPS", spec, f("2", clk.Now()))
+	clk.Advance(10 * time.Minute)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(rec.get()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	invs := rec.get()
+	if len(invs) != 1 || invs[0].Reason != batch.ReasonTimeout || len(invs[0].Paths) != 2 {
+		t.Fatalf("invs = %+v", invs)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	spec := config.TriggerSpec{Mode: config.TriggerBatch, Count: 100, Exec: "x %f"}
+	e.FileDelivered("a", "BPS", spec, f("1", t0))
+	e.FileDelivered("b", "PPS", spec, f("2", t0))
+	e.Flush()
+	if got := len(rec.get()); got != 2 {
+		t.Fatalf("flush fired %d", got)
+	}
+}
+
+func TestTriggerNoneIsSilent(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	rec := &recorder{}
+	e := NewEngine(clk, rec)
+	e.FileDelivered("a", "BPS", config.TriggerSpec{}, f("1", t0))
+	if len(rec.get()) != 0 {
+		t.Fatal("TriggerNone fired")
+	}
+}
+
+func TestOnError(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	boom := errors.New("boom")
+	e := NewEngine(clk, InvokerFunc(func(Invocation) error { return boom }))
+	var mu sync.Mutex
+	var failed []Invocation
+	e.OnError = func(inv Invocation, err error) {
+		if !errors.Is(err, boom) {
+			t.Errorf("err = %v", err)
+		}
+		mu.Lock()
+		failed = append(failed, inv)
+		mu.Unlock()
+	}
+	spec := config.TriggerSpec{Mode: config.TriggerPerFile, Exec: "x"}
+	e.FileDelivered("a", "BPS", spec, f("1", t0))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(failed) != 1 {
+		t.Fatalf("failed = %d", len(failed))
+	}
+}
+
+func TestRenderCommand(t *testing.T) {
+	tests := []struct {
+		tmpl  string
+		paths []string
+		want  string
+	}{
+		{"load %f", []string{"a", "b"}, "load a b"},
+		{"load %f into %f", []string{"x"}, "load x into x"},
+		{"echo 100%% %f", []string{"p"}, "echo 100% p"},
+		{"noexpand", nil, "noexpand"},
+		{"trail%", nil, "trail%"},
+	}
+	for _, tc := range tests {
+		if got := RenderCommand(tc.tmpl, tc.paths); got != tc.want {
+			t.Errorf("RenderCommand(%q) = %q, want %q", tc.tmpl, got, tc.want)
+		}
+	}
+}
+
+func TestExecInvokerRunsCommand(t *testing.T) {
+	dir := t.TempDir()
+	marker := filepath.Join(dir, "fired")
+	inv := Invocation{Subscriber: "s", Command: "touch " + marker}
+	if err := (ExecInvoker{}).Invoke(inv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("trigger did not run: %v", err)
+	}
+}
+
+func TestExecInvokerFailure(t *testing.T) {
+	inv := Invocation{Subscriber: "s", Command: "exit 3"}
+	if err := (ExecInvoker{}).Invoke(inv); err == nil {
+		t.Fatal("expected failure")
+	}
+}
+
+func TestExecInvokerRejectsRemote(t *testing.T) {
+	err := (ExecInvoker{}).Invoke(Invocation{Remote: true, Command: "true"})
+	if err == nil || !strings.Contains(err.Error(), "remote") {
+		t.Fatalf("err = %v", err)
+	}
+}

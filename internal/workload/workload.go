@@ -1,0 +1,258 @@
+// Package workload generates synthetic data feed traffic standing in
+// for the AT&T network measurement feeds the paper was built on: fleets
+// of SNMP-style pollers emitting periodic per-statistic files with
+// realistic naming conventions, out-of-order and late arrivals, and
+// feed-evolution events (renamed conventions, new pollers, changed
+// formats). The analyzer, classifier, scheduler, and end-to-end
+// experiments all consume this generator, so every experiment is
+// reproducible from a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FeedSpec describes one synthetic feed.
+type FeedSpec struct {
+	// Name is the feed's statistic name, embedded first in filenames
+	// (e.g. "MEMORY", "CPU", "BPS").
+	Name string
+	// Sources is the number of pollers contributing files per interval.
+	Sources int
+	// Period is the measurement interval.
+	Period time.Duration
+	// NamePattern selects the filename convention; see Conventions.
+	Convention Convention
+	// SizeBytes is the nominal file payload size.
+	SizeBytes int
+	// MaxDelay is the worst-case lag between an interval's timestamp
+	// and the file's arrival (uniform in [0, MaxDelay]).
+	MaxDelay time.Duration
+	// OutOfOrderProb is the chance a file is held back one full period
+	// (late, out-of-order arrival — §2.2.1's motivation).
+	OutOfOrderProb float64
+}
+
+// Convention is a filename naming convention.
+type Convention int
+
+// Conventions modelled on the paper's examples.
+const (
+	// ConvUnderscoreTS: NAME_POLLERn_YYYYMMDDHH_MM.csv.gz
+	ConvUnderscoreTS Convention = iota
+	// ConvCompactTS: NAME_POLLn_YYYYMMDDHHMM.txt
+	ConvCompactTS
+	// ConvDatedDirs: YYYY/MM/DD/NAME_pollern_HHMM.csv
+	ConvDatedDirs
+	// ConvDaily: NAME_pollern_YYYYMMDD.gz (one file per source per day)
+	ConvDaily
+	// ConvIPNames: NAME_10.0.n.1_YYYYMMDDHHMM.csv — sources identified
+	// by management IP rather than a name (common for routers).
+	ConvIPNames
+)
+
+// Pattern returns the Bistro pattern matching the convention for a
+// given feed name (ground truth for discovery experiments).
+func (c Convention) Pattern(feedName string) string {
+	switch c {
+	case ConvUnderscoreTS:
+		return feedName + "_POLLER%i_%Y%m%d%H_%M.csv.gz"
+	case ConvCompactTS:
+		return feedName + "_POLL%i_%Y%m%d%H%M.txt"
+	case ConvDatedDirs:
+		return "%Y/%m/%d/" + feedName + "_poller%i_%H%M.csv"
+	case ConvDaily:
+		return feedName + "_poller%i_%Y%m%d.gz"
+	case ConvIPNames:
+		return feedName + "_%s_%Y%m%d%H%M.csv"
+	default:
+		return feedName + "_%i_%Y%m%d%H%M.dat"
+	}
+}
+
+// filename renders one concrete name.
+func (c Convention) filename(feedName string, source int, ts time.Time) string {
+	switch c {
+	case ConvUnderscoreTS:
+		return fmt.Sprintf("%s_POLLER%d_%s_%s.csv.gz", feedName, source, ts.Format("2006010215"), ts.Format("04"))
+	case ConvCompactTS:
+		return fmt.Sprintf("%s_POLL%d_%s.txt", feedName, source, ts.Format("200601021504"))
+	case ConvDatedDirs:
+		return fmt.Sprintf("%s/%s_poller%d_%s.csv", ts.Format("2006/01/02"), feedName, source, ts.Format("1504"))
+	case ConvDaily:
+		return fmt.Sprintf("%s_poller%d_%s.gz", feedName, source, ts.Format("20060102"))
+	case ConvIPNames:
+		return fmt.Sprintf("%s_10.0.%d.1_%s.csv", feedName, source, ts.Format("200601021504"))
+	default:
+		return fmt.Sprintf("%s_%d_%s.dat", feedName, source, ts.Format("200601021504"))
+	}
+}
+
+// File is one generated arrival.
+type File struct {
+	// Name is the landing-relative filename.
+	Name string
+	// Feed is the generating feed's name (ground truth).
+	Feed string
+	// Source is the generating poller id (ground truth).
+	Source int
+	// DataTime is the measurement interval start.
+	DataTime time.Time
+	// Arrive is when the file reaches the server.
+	Arrive time.Time
+	// Size is the payload size.
+	Size int
+}
+
+// Generator produces a deterministic arrival stream from feed specs.
+type Generator struct {
+	specs []FeedSpec
+	rng   *rand.Rand
+}
+
+// New creates a generator with a fixed seed.
+func New(seed int64, specs ...FeedSpec) *Generator {
+	return &Generator{specs: specs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Specs returns the generator's feed specifications.
+func (g *Generator) Specs() []FeedSpec { return g.specs }
+
+// Window generates every arrival with DataTime in [start, end), sorted
+// by arrival time.
+func (g *Generator) Window(start, end time.Time) []File {
+	var out []File
+	for _, spec := range g.specs {
+		period := spec.Period
+		if period <= 0 {
+			period = 5 * time.Minute
+		}
+		for ts := start; ts.Before(end); ts = ts.Add(period) {
+			for src := 1; src <= spec.Sources; src++ {
+				delay := time.Duration(0)
+				if spec.MaxDelay > 0 {
+					delay = time.Duration(g.rng.Int63n(int64(spec.MaxDelay)))
+				}
+				if spec.OutOfOrderProb > 0 && g.rng.Float64() < spec.OutOfOrderProb {
+					delay += period
+				}
+				size := spec.SizeBytes
+				if size <= 0 {
+					size = 1024
+				}
+				out = append(out, File{
+					Name:     spec.Convention.filename(spec.Name, src, ts),
+					Feed:     spec.Name,
+					Source:   src,
+					DataTime: ts,
+					Arrive:   ts.Add(period).Add(delay), // emitted at interval close
+					Size:     size,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Arrive.Equal(out[j].Arrive) {
+			return out[i].Arrive.Before(out[j].Arrive)
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Payload produces deterministic CSV-ish content of the file's size.
+func Payload(f File) []byte {
+	row := fmt.Sprintf("%s,%d,%d\n", f.DataTime.Format(time.RFC3339), f.Source, f.Size)
+	out := make([]byte, 0, f.Size+len(row))
+	for len(out) < f.Size {
+		out = append(out, row...)
+	}
+	return out[:f.Size]
+}
+
+// Evolve returns a copy of a spec with an evolution event applied —
+// the feed-change scenarios of §2.1.3 used by experiment E9.
+type Evolution int
+
+// Evolution events.
+const (
+	// EvolveCapitalize capitalizes the source token ("poller"→"Poller"
+	// or "POLLER"→"Poller"), the paper's canonical false negative.
+	EvolveCapitalize Evolution = iota
+	// EvolveNewSources doubles the source fleet (new pollers appear).
+	EvolveNewSources
+	// EvolveNewConvention switches the filename convention entirely
+	// (software update on the source side).
+	EvolveNewConvention
+	// EvolveGranularity changes the period (and hence the timestamp
+	// granularity encoded in names).
+	EvolveGranularity
+)
+
+// Apply produces the evolved spec plus a renaming function applied to
+// generated names (identity when the event does not rename).
+func (ev Evolution) Apply(spec FeedSpec) FeedSpec {
+	out := spec
+	switch ev {
+	case EvolveNewSources:
+		out.Sources *= 2
+	case EvolveNewConvention:
+		out.Convention = (spec.Convention + 1) % 4 // rotate the named conventions
+	case EvolveGranularity:
+		out.Period = spec.Period * 2
+	}
+	return out
+}
+
+// Rename applies the event's filename mutation (for events that rename
+// without changing structure).
+func (ev Evolution) Rename(name string) string {
+	if ev != EvolveCapitalize {
+		return name
+	}
+	return capitalizePoller(name)
+}
+
+func capitalizePoller(name string) string {
+	replacements := []struct{ old, new string }{
+		{"POLLER", "Poller"},
+		{"POLL", "Poll"},
+		{"poller", "Poller"},
+	}
+	for _, r := range replacements {
+		if idx := indexOf(name, r.old); idx >= 0 {
+			return name[:idx] + r.new + name[idx+len(r.old):]
+		}
+	}
+	return name
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// SNMPFleet returns the paper's running example: a feed group of
+// router statistics from a poller fleet.
+func SNMPFleet(pollers int, period time.Duration) []FeedSpec {
+	stats := []string{"BPS", "PPS", "CPU", "MEMORY", "LINKUTIL", "LINKLOSS"}
+	specs := make([]FeedSpec, 0, len(stats))
+	for i, name := range stats {
+		specs = append(specs, FeedSpec{
+			Name:       name,
+			Sources:    pollers,
+			Period:     period,
+			Convention: Convention(i % 3),
+			SizeBytes:  2048,
+			MaxDelay:   period / 5,
+		})
+	}
+	return specs
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bistro/internal/pattern"
+)
+
+var t0 = time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+
+func TestWindowCountsAndOrder(t *testing.T) {
+	g := New(1, FeedSpec{Name: "BPS", Sources: 3, Period: 5 * time.Minute, Convention: ConvUnderscoreTS})
+	files := g.Window(t0, t0.Add(time.Hour))
+	want := 12 * 3 // 12 intervals x 3 sources
+	if len(files) != want {
+		t.Fatalf("files = %d, want %d", len(files), want)
+	}
+	for i := 1; i < len(files); i++ {
+		if files[i].Arrive.Before(files[i-1].Arrive) {
+			t.Fatal("files not sorted by arrival")
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	mk := func() []File {
+		g := New(42, FeedSpec{Name: "CPU", Sources: 2, Period: time.Minute, Convention: ConvCompactTS, MaxDelay: 30 * time.Second, OutOfOrderProb: 0.2})
+		return g.Window(t0, t0.Add(30*time.Minute))
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratedNamesMatchGroundTruthPatterns(t *testing.T) {
+	for conv := ConvUnderscoreTS; conv <= ConvDaily; conv++ {
+		spec := FeedSpec{Name: "MEMORY", Sources: 2, Period: 5 * time.Minute, Convention: conv}
+		g := New(7, spec)
+		p := pattern.MustCompile(conv.Pattern("MEMORY"))
+		for _, f := range g.Window(t0, t0.Add(30*time.Minute)) {
+			if !p.Matches(f.Name) {
+				t.Fatalf("convention %d: %q does not match its own pattern %q", conv, f.Name, p)
+			}
+		}
+	}
+}
+
+func TestArrivalRespectsDelayBounds(t *testing.T) {
+	spec := FeedSpec{Name: "X", Sources: 1, Period: 5 * time.Minute, MaxDelay: time.Minute, OutOfOrderProb: 0}
+	g := New(3, spec)
+	for _, f := range g.Window(t0, t0.Add(2*time.Hour)) {
+		lag := f.Arrive.Sub(f.DataTime)
+		if lag < spec.Period || lag > spec.Period+spec.MaxDelay {
+			t.Fatalf("lag = %v outside [%v, %v]", lag, spec.Period, spec.Period+spec.MaxDelay)
+		}
+	}
+}
+
+func TestOutOfOrderInjection(t *testing.T) {
+	spec := FeedSpec{Name: "X", Sources: 1, Period: 5 * time.Minute, OutOfOrderProb: 1}
+	g := New(3, spec)
+	for _, f := range g.Window(t0, t0.Add(time.Hour)) {
+		if lag := f.Arrive.Sub(f.DataTime); lag < 2*spec.Period {
+			t.Fatalf("expected full-period holdback, lag = %v", lag)
+		}
+	}
+}
+
+func TestPayloadSizeAndDeterminism(t *testing.T) {
+	f := File{DataTime: t0, Source: 3, Size: 1000}
+	p1, p2 := Payload(f), Payload(f)
+	if len(p1) != 1000 {
+		t.Fatalf("payload size = %d", len(p1))
+	}
+	if string(p1) != string(p2) {
+		t.Fatal("payload not deterministic")
+	}
+}
+
+func TestEvolutions(t *testing.T) {
+	spec := FeedSpec{Name: "MEMORY", Sources: 2, Period: 5 * time.Minute, Convention: ConvUnderscoreTS}
+	if got := EvolveNewSources.Apply(spec); got.Sources != 4 {
+		t.Errorf("new sources = %d", got.Sources)
+	}
+	if got := EvolveNewConvention.Apply(spec); got.Convention == spec.Convention {
+		t.Error("convention unchanged")
+	}
+	if got := EvolveGranularity.Apply(spec); got.Period != 10*time.Minute {
+		t.Errorf("period = %v", got.Period)
+	}
+	name := "MEMORY_POLLER1_2010092504_51.csv.gz"
+	renamed := EvolveCapitalize.Rename(name)
+	if renamed != "MEMORY_Poller1_2010092504_51.csv.gz" {
+		t.Errorf("renamed = %q", renamed)
+	}
+	// The renamed file must no longer match the ground-truth pattern —
+	// that is the whole point of the false-negative experiment.
+	p := pattern.MustCompile(ConvUnderscoreTS.Pattern("MEMORY"))
+	if p.Matches(renamed) {
+		t.Error("capitalized name still matches")
+	}
+	if EvolveNewSources.Rename(name) != name {
+		t.Error("non-renaming evolution changed the name")
+	}
+}
+
+func TestSNMPFleet(t *testing.T) {
+	specs := SNMPFleet(5, 5*time.Minute)
+	if len(specs) != 6 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if s.Sources != 5 || s.Period != 5*time.Minute {
+			t.Fatalf("spec = %+v", s)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"BPS", "PPS", "CPU", "MEMORY"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestDatedDirsConventionUsesDirectories(t *testing.T) {
+	g := New(1, FeedSpec{Name: "PPS", Sources: 1, Period: time.Hour, Convention: ConvDatedDirs})
+	files := g.Window(t0, t0.Add(2*time.Hour))
+	for _, f := range files {
+		if !strings.HasPrefix(f.Name, "2010/09/25/") {
+			t.Fatalf("name = %q", f.Name)
+		}
+	}
+}
+
+func TestIPConvention(t *testing.T) {
+	g := New(3, FeedSpec{Name: "FLOW", Sources: 3, Period: 5 * time.Minute, Convention: ConvIPNames})
+	files := g.Window(t0, t0.Add(30*time.Minute))
+	p := pattern.MustCompile(ConvIPNames.Pattern("FLOW"))
+	for _, f := range files {
+		if !p.Matches(f.Name) {
+			t.Fatalf("%q does not match %q", f.Name, p)
+		}
+		if !strings.Contains(f.Name, "10.0.") {
+			t.Fatalf("no IP in %q", f.Name)
+		}
+	}
+}
