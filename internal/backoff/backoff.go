@@ -1,0 +1,372 @@
+// Package backoff implements Bistro's fault-tolerance policies for
+// unreliable subscribers and peers (SIGMOD'11 §4.2–§4.3): exponential
+// retry backoff with full jitter, a per-resource circuit breaker
+// (closed → open → half-open), transient-vs-permanent error
+// classification, and per-transfer deadlines.
+//
+// The paper's reliability argument is that delivery to healthy
+// subscribers must continue while others fail, flap, or reconnect.
+// That requires three things the naive retry loop lacks: retries must
+// be spaced out (a fast-failing subscriber must not spin a delivery
+// worker), repeated failure must cut the subscriber out of the hot
+// path entirely (the breaker opens and a cheap probe takes over), and
+// recovery must be detected promptly but economically (half-open
+// probes on an exponential schedule rather than a fixed interval).
+//
+// Everything here is clock-injected and deterministically seedable so
+// the fault-injection experiments (E11) reproduce exactly.
+package backoff
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+// Policy bundles the tunables for one resource class (a subscriber, a
+// peer host, a source connection). The zero value is usable: every
+// field has a production default applied by WithDefaults.
+type Policy struct {
+	// Base is the first retry delay. Default 500ms.
+	Base time.Duration
+	// Max caps the grown delay. Default 30s.
+	Max time.Duration
+	// Multiplier grows the delay per consecutive failure. Default 2.
+	Multiplier float64
+	// NoJitter disables full jitter. Jitter is on by default: each
+	// delay is drawn uniformly from (0, d], which decorrelates retry
+	// storms when many subscribers fail together.
+	NoJitter bool
+	// Threshold is the consecutive-failure count that opens the
+	// circuit. Default 3.
+	Threshold int
+	// TransferDeadline bounds one transfer attempt; an attempt that
+	// exceeds it counts as a (transient) failure. 0 disables.
+	TransferDeadline time.Duration
+	// MaxRetries bounds retry loops that have an end (dialing a
+	// server, uploading one file). 0 means the caller's default; the
+	// delivery engine's in-queue retries are unbounded by design (the
+	// breaker, not a counter, decides when to stop).
+	MaxRetries int
+}
+
+// WithDefaults returns the policy with zero fields replaced by
+// production defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 500 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 30 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 3
+	}
+	return p
+}
+
+// delay computes the raw (unjittered) delay for attempt n (0-based).
+func (p Policy) delay(attempt int) time.Duration {
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
+// Seed derives a deterministic RNG seed from a resource name, so
+// per-subscriber jitter is stable across runs of an experiment.
+func Seed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}
+
+// Backoff tracks the retry schedule for one resource. It is
+// goroutine-safe.
+type Backoff struct {
+	mu      sync.Mutex
+	policy  Policy
+	attempt int
+	rnd     *rand.Rand
+}
+
+// New builds a Backoff from a policy (defaults applied) and a seed
+// (use Seed(name) for determinism, or any value).
+func New(p Policy, seed int64) *Backoff {
+	return &Backoff{policy: p.WithDefaults(), rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to wait before the next attempt and advances
+// the schedule.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.policy.delay(b.attempt)
+	b.attempt++
+	if !b.policy.NoJitter && d > 0 {
+		// Full jitter: uniform in (0, d].
+		d = time.Duration(b.rnd.Int63n(int64(d))) + 1
+	}
+	return d
+}
+
+// Peek returns the delay the next call to Next would use, without
+// advancing (and without jitter).
+func (b *Backoff) Peek() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.policy.delay(b.attempt)
+}
+
+// Attempt reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Reset rewinds the schedule after a success.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.attempt = 0
+}
+
+// Class partitions errors by retry-worthiness.
+type Class int
+
+// Error classes.
+const (
+	// ClassTransient errors are worth retrying: timeouts, connection
+	// resets, injected faults, a subscriber mid-flap.
+	ClassTransient Class = iota
+	// ClassPermanent errors will not heal with time: unknown
+	// subscriber, malformed request, configuration mistakes. Retrying
+	// burns capacity for nothing.
+	ClassPermanent
+)
+
+func (c Class) String() string {
+	if c == ClassPermanent {
+		return "permanent"
+	}
+	return "transient"
+}
+
+// permanentError marks an error as not retryable.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Classify reports it as ClassPermanent.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// ErrDeadline is returned by Do when an attempt exceeds its deadline.
+// It classifies as transient.
+var ErrDeadline = errors.New("backoff: transfer deadline exceeded")
+
+// Classify reports an error's retry class. Unknown errors default to
+// transient — the breaker bounds how long optimism can last.
+func Classify(err error) Class {
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return ClassPermanent
+	}
+	return ClassTransient
+}
+
+// State is a circuit breaker state.
+type State int
+
+// Breaker states.
+const (
+	// Closed: requests flow; failures are counted.
+	Closed State = iota
+	// Open: requests are rejected until the open window elapses.
+	Open
+	// HalfOpen: one probe is admitted; its outcome decides the next
+	// state.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-resource circuit breaker. Time is supplied by the
+// caller (from an injected clock) so the breaker itself stays
+// deterministic. It is goroutine-safe.
+type Breaker struct {
+	mu       sync.Mutex
+	policy   Policy
+	bo       *Backoff
+	state    State
+	fails    int       // consecutive failures while closed
+	probeAt  time.Time // when Open admits a half-open probe
+	lastErr  error
+	openings int // cumulative closed/half-open → open transitions
+}
+
+// NewBreaker builds a breaker with the policy's threshold and an
+// exponential open-window schedule derived from the same policy.
+func NewBreaker(p Policy, seed int64) *Breaker {
+	p = p.WithDefaults()
+	return &Breaker{policy: p, bo: New(p, seed)}
+}
+
+// State reports the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Openings reports how many times the breaker has opened (including
+// reopens after failed half-open probes).
+func (b *Breaker) Openings() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openings
+}
+
+// Allow reports whether a request may proceed at time now. In Open it
+// transitions to HalfOpen (admitting exactly one probe) once the open
+// window has elapsed.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if !now.Before(b.probeAt) {
+			b.state = HalfOpen
+			return true
+		}
+		return false
+	default: // HalfOpen: a probe is already in flight
+		return false
+	}
+}
+
+// ProbeIn reports how long until Allow will admit a probe (0 when it
+// would admit one now, or when the breaker is closed).
+func (b *Breaker) ProbeIn(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != Open || !now.Before(b.probeAt) {
+		return 0
+	}
+	return b.probeAt.Sub(now)
+}
+
+// Success records a successful request: the breaker closes and all
+// schedules rewind.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+	b.lastErr = nil
+	b.bo.Reset()
+}
+
+// Failure records a failed request at time now and returns true when
+// the call transitioned the breaker to Open (from Closed past the
+// threshold, or a failed half-open probe reopening it). The open
+// window grows exponentially with consecutive openings.
+func (b *Breaker) Failure(now time.Time, err error) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastErr = err
+	switch b.state {
+	case Closed:
+		b.fails++
+		if b.fails < b.policy.Threshold {
+			return false
+		}
+		b.open(now)
+		return true
+	case HalfOpen:
+		b.open(now)
+		return true
+	default: // Open: a straggling in-flight failure; keep state
+		return false
+	}
+}
+
+// open transitions to Open under the lock.
+func (b *Breaker) open(now time.Time) {
+	b.state = Open
+	b.openings++
+	b.probeAt = now.Add(b.bo.Next())
+}
+
+// Trip forces the breaker open at time now (administrative action or
+// an unambiguous hard failure).
+func (b *Breaker) Trip(now time.Time, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open {
+		return
+	}
+	b.lastErr = err
+	b.open(now)
+}
+
+// LastErr returns the most recent recorded failure.
+func (b *Breaker) LastErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// Do runs fn, bounding it by deadline d on clk. When fn has not
+// returned in time, Do returns ErrDeadline (transient) and abandons
+// the attempt: fn keeps running in its goroutine until it finishes,
+// and its late result is discarded. d <= 0 runs fn inline with no
+// deadline.
+func Do(clk clock.Clock, d time.Duration, fn func() error) error {
+	if d <= 0 {
+		return fn()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	t := clk.NewTimer(d)
+	select {
+	case err := <-done:
+		t.Stop()
+		return err
+	case <-t.C():
+		return fmt.Errorf("%w (after %s)", ErrDeadline, d)
+	}
+}

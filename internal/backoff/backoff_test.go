@@ -1,0 +1,209 @@
+package backoff
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 10 * time.Second, Multiplier: 2, NoJitter: true}
+	b := New(p, 1)
+	want := []time.Duration{
+		time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		10 * time.Second, 10 * time.Second,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("attempt %d: delay = %s, want %s", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != time.Second {
+		t.Fatalf("after reset: delay = %s", got)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 30 * time.Second, Multiplier: 2}
+	a := New(p, Seed("wh"))
+	b := New(p, Seed("wh"))
+	for i := 0; i < 20; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %s vs %s", i, da, db)
+		}
+		raw := p.WithDefaults().delay(i)
+		if da <= 0 || da > raw {
+			t.Fatalf("attempt %d: jittered delay %s outside (0, %s]", i, da, raw)
+		}
+	}
+	c := New(p, Seed("other"))
+	diverged := false
+	d := New(p, Seed("wh"))
+	for i := 0; i < 10; i++ {
+		if c.Next() != d.Next() {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := Policy{}.WithDefaults()
+	if p.Base != 500*time.Millisecond || p.Max != 30*time.Second ||
+		p.Multiplier != 2 || p.Threshold != 3 {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(errors.New("boom")) != ClassTransient {
+		t.Fatal("plain error should be transient")
+	}
+	perm := Permanent(errors.New("unknown subscriber"))
+	if Classify(perm) != ClassPermanent {
+		t.Fatal("wrapped error should be permanent")
+	}
+	// Wrapping again (fmt %w) preserves the class.
+	if Classify(fmt.Errorf("context: %w", perm)) != ClassPermanent {
+		t.Fatal("class lost through wrapping")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if !errors.Is(fmt.Errorf("x: %w", ErrDeadline), ErrDeadline) {
+		t.Fatal("deadline error lost identity")
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 8 * time.Second, Multiplier: 2, NoJitter: true, Threshold: 2}
+	br := NewBreaker(p, 1)
+	now := time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+
+	if !br.Allow(now) || br.State() != Closed {
+		t.Fatal("new breaker should be closed")
+	}
+	if br.Failure(now, errors.New("f1")) {
+		t.Fatal("first failure opened breaker below threshold")
+	}
+	if !br.Failure(now, errors.New("f2")) {
+		t.Fatal("threshold failure did not open breaker")
+	}
+	if br.State() != Open {
+		t.Fatalf("state = %s", br.State())
+	}
+	// Open window: base delay 1s, no probe before it elapses.
+	if br.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("probe admitted inside open window")
+	}
+	if d := br.ProbeIn(now); d != time.Second {
+		t.Fatalf("ProbeIn = %s, want 1s", d)
+	}
+	// After the window: exactly one half-open probe.
+	at := now.Add(time.Second)
+	if !br.Allow(at) {
+		t.Fatal("probe not admitted after open window")
+	}
+	if br.State() != HalfOpen {
+		t.Fatalf("state = %s, want half-open", br.State())
+	}
+	if br.Allow(at) {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+	// Failed probe reopens with a grown window (2s).
+	if !br.Failure(at, errors.New("probe failed")) {
+		t.Fatal("failed half-open probe should report reopening")
+	}
+	if br.Allow(at.Add(1500 * time.Millisecond)) {
+		t.Fatal("probe admitted inside grown open window")
+	}
+	at2 := at.Add(2 * time.Second)
+	if !br.Allow(at2) {
+		t.Fatal("probe not admitted after grown window")
+	}
+	// Successful probe closes and rewinds everything.
+	br.Success()
+	if br.State() != Closed || !br.Allow(at2) {
+		t.Fatal("success did not close breaker")
+	}
+	if br.Openings() != 2 {
+		t.Fatalf("openings = %d, want 2", br.Openings())
+	}
+	// Threshold counts reset too: one failure must not reopen.
+	if br.Failure(at2, errors.New("f")) {
+		t.Fatal("single failure after close reopened breaker")
+	}
+}
+
+func TestBreakerOpenWindowGrowsToCap(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 4 * time.Second, Multiplier: 2, NoJitter: true, Threshold: 1}
+	br := NewBreaker(p, 1)
+	now := time.Unix(0, 0)
+	windows := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i, w := range windows {
+		br.Failure(now, errors.New("x"))
+		if d := br.ProbeIn(now); d != w {
+			t.Fatalf("opening %d: window = %s, want %s", i, d, w)
+		}
+		at := now.Add(w)
+		if !br.Allow(at) {
+			t.Fatalf("opening %d: probe not admitted", i)
+		}
+		now = at
+	}
+}
+
+func TestTripForcesOpen(t *testing.T) {
+	br := NewBreaker(Policy{NoJitter: true}, 1)
+	now := time.Unix(100, 0)
+	br.Trip(now, errors.New("administrative"))
+	if br.State() != Open {
+		t.Fatal("trip did not open breaker")
+	}
+	if br.LastErr() == nil {
+		t.Fatal("trip lost its error")
+	}
+}
+
+func TestDoDeadline(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(clk, time.Second, func() error {
+			clk.Sleep(5 * time.Second) // hangs past the deadline
+			return nil
+		})
+	}()
+	// Advance past the deadline; Do must give up even though fn is
+	// still blocked.
+	for i := 0; i < 20; i++ {
+		clk.Advance(500 * time.Millisecond)
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrDeadline) {
+				t.Fatalf("err = %v, want deadline", err)
+			}
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("Do did not time out")
+}
+
+func TestDoFastPath(t *testing.T) {
+	clk := clock.NewReal()
+	if err := Do(clk, time.Second, func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Do(clk, 0, func() error { return errors.New("x") }); err == nil {
+		t.Fatal("no-deadline path lost the error")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"bistro/internal/backoff"
 	"bistro/internal/pattern"
 )
 
@@ -127,6 +128,69 @@ type Subscriber struct {
 	// Class is the scheduling partition hint: "" (auto), "interactive",
 	// or "bulk".
 	Class string
+	// Backoff, when non-nil, overrides the server-wide retry and
+	// circuit-breaker policy for this subscriber.
+	Backoff *BackoffSpec
+}
+
+// BackoffSpec is a backoff { ... } block: retry and circuit-breaker
+// tuning, either server-wide or per subscriber. Zero fields mean "not
+// written" and leave the level below (server policy, then the built-in
+// defaults) in force; Jitter uses an explicit set-flag because off is
+// a meaningful override of the jitter-on default.
+type BackoffSpec struct {
+	// Base is the first retry delay.
+	Base time.Duration
+	// Max caps the grown delay.
+	Max time.Duration
+	// Multiplier grows the delay per consecutive failure.
+	Multiplier float64
+	// NoJitter disables full jitter (meaningful when JitterSet).
+	NoJitter bool
+	// JitterSet records that the block spelled out jitter on|off.
+	JitterSet bool
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (and flags the subscriber offline).
+	Threshold int
+	// Deadline bounds one transfer attempt.
+	Deadline time.Duration
+	// Retries bounds bounded retry loops (dial, upload).
+	Retries int
+}
+
+// Apply layers the spec's written fields over a base policy.
+func (b *BackoffSpec) Apply(p backoff.Policy) backoff.Policy {
+	if b == nil {
+		return p
+	}
+	if b.Base > 0 {
+		p.Base = b.Base
+	}
+	if b.Max > 0 {
+		p.Max = b.Max
+	}
+	if b.Multiplier > 0 {
+		p.Multiplier = b.Multiplier
+	}
+	if b.JitterSet {
+		p.NoJitter = b.NoJitter
+	}
+	if b.Threshold > 0 {
+		p.Threshold = b.Threshold
+	}
+	if b.Deadline > 0 {
+		p.TransferDeadline = b.Deadline
+	}
+	if b.Retries > 0 {
+		p.MaxRetries = b.Retries
+	}
+	return p
+}
+
+// Policy converts the spec into a backoff policy over the built-in
+// defaults.
+func (b *BackoffSpec) Policy() backoff.Policy {
+	return b.Apply(backoff.Policy{})
 }
 
 // PartitionSpec is one scheduler partition from the configuration.
@@ -172,6 +236,9 @@ type Config struct {
 	// Scheduler, when non-nil, overrides the server's default
 	// partition layout.
 	Scheduler *SchedulerSpec
+	// Backoff, when non-nil, sets the server-wide retry and
+	// circuit-breaker policy.
+	Backoff *BackoffSpec
 }
 
 // FeedByPath returns the feed with the given full path.
@@ -280,6 +347,15 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.Scheduler = spec
+		case "backoff":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.backoffSpec()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Backoff = spec
 		default:
 			return nil, p.errf("unknown statement %q", p.tok.text)
 		}
@@ -557,6 +633,10 @@ func (p *parser) subscriber() (*Subscriber, error) {
 			if err := p.trigger(&s.Trigger); err != nil {
 				return nil, err
 			}
+		case "backoff":
+			if s.Backoff, err = p.backoffSpec(); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, p.errPrevf("unknown subscriber statement %q", kw)
 		}
@@ -621,6 +701,80 @@ func (p *parser) trigger(spec *TriggerSpec) error {
 			return p.errPrevf("unknown trigger option %q", kw)
 		}
 	}
+}
+
+// backoffSpec parses:
+//
+//	backoff {
+//	    base D  max D  multiplier F  jitter on|off
+//	    threshold N  deadline D  retries N
+//	}
+func (p *parser) backoffSpec() (*BackoffSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &BackoffSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "base":
+			if spec.Base, err = p.duration(); err != nil {
+				return nil, err
+			}
+		case "max":
+			if spec.Max, err = p.duration(); err != nil {
+				return nil, err
+			}
+		case "multiplier":
+			text, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, err
+			}
+			m, err := strconv.ParseFloat(text, 64)
+			if err != nil || m < 1 {
+				return nil, p.errPrevf("multiplier must be a number >= 1, got %q", text)
+			}
+			spec.Multiplier = m
+		case "jitter":
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch v {
+			case "on":
+				spec.NoJitter = false
+			case "off":
+				spec.NoJitter = true
+			default:
+				return nil, p.errPrevf("jitter takes on or off, got %q", v)
+			}
+			spec.JitterSet = true
+		case "threshold":
+			if spec.Threshold, err = p.integer(); err != nil {
+				return nil, err
+			}
+			if spec.Threshold < 1 {
+				return nil, p.errPrevf("threshold must be >= 1")
+			}
+		case "deadline":
+			if spec.Deadline, err = p.duration(); err != nil {
+				return nil, err
+			}
+		case "retries":
+			if spec.Retries, err = p.integer(); err != nil {
+				return nil, err
+			}
+			if spec.Retries < 1 {
+				return nil, p.errPrevf("retries must be >= 1")
+			}
+		default:
+			return nil, p.errPrevf("unknown backoff statement %q", kw)
+		}
+	}
+	return spec, p.advance() // consume '}'
 }
 
 // schedulerSpec parses: { [migrate on|off] partition NAME { ... }+ }

@@ -3,6 +3,7 @@ package config
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -49,6 +50,11 @@ func Format(cfg *Config) string {
 			b.WriteString("    }\n")
 		}
 		b.WriteString("}\n\n")
+	}
+
+	if cfg.Backoff != nil {
+		writeBackoff(&b, cfg.Backoff, "")
+		b.WriteString("\n")
 	}
 
 	// Rebuild the hierarchy: a trie of path segments.
@@ -149,7 +155,41 @@ func writeSubscriber(b *strings.Builder, s *Subscriber) {
 	if s.Class != "" {
 		fmt.Fprintf(b, "    class %s\n", s.Class)
 	}
+	if s.Backoff != nil {
+		writeBackoff(b, s.Backoff, "    ")
+	}
 	fmt.Fprintf(b, "}\n\n")
+}
+
+// writeBackoff renders a backoff block (only the written fields).
+func writeBackoff(b *strings.Builder, sp *BackoffSpec, ind string) {
+	fmt.Fprintf(b, "%sbackoff {\n", ind)
+	if sp.Base > 0 {
+		fmt.Fprintf(b, "%s    base %s\n", ind, formatDuration(sp.Base))
+	}
+	if sp.Max > 0 {
+		fmt.Fprintf(b, "%s    max %s\n", ind, formatDuration(sp.Max))
+	}
+	if sp.Multiplier > 0 {
+		fmt.Fprintf(b, "%s    multiplier %s\n", ind, strconv.FormatFloat(sp.Multiplier, 'g', -1, 64))
+	}
+	if sp.JitterSet {
+		v := "on"
+		if sp.NoJitter {
+			v = "off"
+		}
+		fmt.Fprintf(b, "%s    jitter %s\n", ind, v)
+	}
+	if sp.Threshold > 0 {
+		fmt.Fprintf(b, "%s    threshold %d\n", ind, sp.Threshold)
+	}
+	if sp.Deadline > 0 {
+		fmt.Fprintf(b, "%s    deadline %s\n", ind, formatDuration(sp.Deadline))
+	}
+	if sp.Retries > 0 {
+		fmt.Fprintf(b, "%s    retries %d\n", ind, sp.Retries)
+	}
+	fmt.Fprintf(b, "%s}\n", ind)
 }
 
 func remoteWord(t TriggerSpec) string {

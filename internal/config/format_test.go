@@ -66,6 +66,12 @@ func equalConfigs(t *testing.T, a, b *Config) {
 		if !reflect.DeepEqual(sa.Feeds, sb.Feeds) {
 			t.Fatalf("subscriber %s feeds: %v vs %v", sa.Name, sa.Feeds, sb.Feeds)
 		}
+		if !reflect.DeepEqual(sa.Backoff, sb.Backoff) {
+			t.Fatalf("subscriber %s backoff: %+v vs %+v", sa.Name, sa.Backoff, sb.Backoff)
+		}
+	}
+	if !reflect.DeepEqual(a.Backoff, b.Backoff) {
+		t.Fatalf("backoff: %+v vs %+v", a.Backoff, b.Backoff)
 	}
 }
 
@@ -153,6 +159,87 @@ func TestFormatDuration(t *testing.T) {
 		}
 		if cfg.Window != d {
 			t.Fatalf("duration %v round-tripped to %v", d, cfg.Window)
+		}
+	}
+}
+
+func TestBackoffBlockRoundTrip(t *testing.T) {
+	src := `
+backoff {
+    base 250ms
+    max 1m0s
+    multiplier 1.5
+    jitter off
+    threshold 5
+    deadline 10s
+    retries 8
+}
+
+feed TOP { pattern "top_%Y.log" }
+
+subscriber s1 {
+    dest "d"
+    subscribe TOP
+    backoff {
+        base 2s
+        jitter on
+    }
+}
+`
+	orig, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &BackoffSpec{
+		Base: 250 * time.Millisecond, Max: time.Minute, Multiplier: 1.5,
+		NoJitter: true, JitterSet: true, Threshold: 5,
+		Deadline: 10 * time.Second, Retries: 8,
+	}
+	if !reflect.DeepEqual(orig.Backoff, want) {
+		t.Fatalf("parsed backoff = %+v, want %+v", orig.Backoff, want)
+	}
+	sb := orig.Subscribers[0].Backoff
+	if sb == nil || sb.Base != 2*time.Second || !sb.JitterSet || sb.NoJitter {
+		t.Fatalf("subscriber backoff = %+v", sb)
+	}
+	text := Format(orig)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+	}
+	equalConfigs(t, orig, back)
+	if again := Format(back); again != text {
+		t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}
+
+func TestBackoffSpecApply(t *testing.T) {
+	spec := &BackoffSpec{Base: time.Second, Threshold: 4, NoJitter: true, JitterSet: true}
+	p := spec.Policy().WithDefaults()
+	if p.Base != time.Second || p.Threshold != 4 || !p.NoJitter {
+		t.Fatalf("policy = %+v", p)
+	}
+	// Unwritten fields fall through to defaults.
+	if p.Multiplier != 2 || p.Max != 30*time.Second {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	// Nil spec is the identity.
+	var nilSpec *BackoffSpec
+	base := spec.Policy()
+	if got := nilSpec.Apply(base); got != base {
+		t.Fatalf("nil apply changed policy: %+v", got)
+	}
+}
+
+func TestBackoffBlockErrors(t *testing.T) {
+	for _, src := range []string{
+		`backoff { multiplier 0.5 }` + "\nfeed F { pattern \"f_%Y.gz\" }",
+		`backoff { jitter maybe }` + "\nfeed F { pattern \"f_%Y.gz\" }",
+		`backoff { threshold 0 }` + "\nfeed F { pattern \"f_%Y.gz\" }",
+		`backoff { bogus 1 }` + "\nfeed F { pattern \"f_%Y.gz\" }",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("bad block accepted: %s", src)
 		}
 	}
 }

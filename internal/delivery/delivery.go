@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"bistro/internal/backoff"
 	"bistro/internal/batch"
 	"bistro/internal/clock"
 	"bistro/internal/config"
@@ -47,6 +48,14 @@ const (
 	EvSubscriberOffline
 	EvSubscriberOnline
 	EvBackfillQueued
+	// EvRetryScheduled: a transient failure requeued the job with a
+	// backoff delay (Delay, Attempt populated).
+	EvRetryScheduled
+	// EvCircuitOpen: the subscriber's circuit breaker opened; no
+	// transfers until a half-open probe succeeds (Delay = probe wait).
+	EvCircuitOpen
+	// EvCircuitHalfOpen: the breaker admitted a single recovery probe.
+	EvCircuitHalfOpen
 )
 
 func (k EventKind) String() string {
@@ -63,6 +72,12 @@ func (k EventKind) String() string {
 		return "subscriber-online"
 	case EvBackfillQueued:
 		return "backfill-queued"
+	case EvRetryScheduled:
+		return "retry-scheduled"
+	case EvCircuitOpen:
+		return "circuit-open"
+	case EvCircuitHalfOpen:
+		return "circuit-half-open"
 	default:
 		return "unknown"
 	}
@@ -75,7 +90,9 @@ type Event struct {
 	Feed       string
 	Name       string
 	FileID     uint64
-	Count      int // backfill-queued: number of files
+	Count      int           // backfill-queued: number of files
+	Delay      time.Duration // retry-scheduled / circuit-open: wait time
+	Attempt    int           // retry-scheduled: consecutive failure count
 	Err        error
 	At         time.Time
 }
@@ -99,8 +116,14 @@ type Options struct {
 	// Default 1 minute (the paper's sub-minute propagation goal).
 	Deadline time.Duration
 	// OfflineAfter flags a subscriber offline after this many
-	// consecutive transfer failures. Default 3.
+	// consecutive transfer failures. Default 3. Used as the circuit
+	// breaker threshold unless Backoff.Threshold is set explicitly.
 	OfflineAfter int
+	// Backoff is the engine-wide retry/circuit-breaker policy. Zero
+	// fields take production defaults; per-subscriber config overrides
+	// (Subscriber.Backoff, and the legacy Retry interval as the base
+	// delay) are layered on top.
+	Backoff backoff.Policy
 	// StreamThreshold switches delivery to streaming (no in-memory
 	// copy; chunked over TCP) for staged files at or above this size.
 	// Default 4 MiB.
@@ -128,7 +151,7 @@ type Engine struct {
 	mu      sync.Mutex
 	subs    map[string]*config.Subscriber
 	offline map[string]bool
-	fails   map[string]int
+	states  map[string]*subState
 	probing map[string]bool
 	stats   map[string]*SubscriberStats
 
@@ -175,6 +198,11 @@ func New(opts Options) (*Engine, error) {
 	if len(opts.Scheduler.Partitions) == 0 {
 		opts.Scheduler = DefaultSchedulerConfig()
 	}
+	if opts.Scheduler.Clock == nil {
+		// Delayed retries must tick on the engine's clock (simulated in
+		// experiments).
+		opts.Scheduler.Clock = opts.Clock
+	}
 	if opts.TriggerInvoker == nil {
 		opts.TriggerInvoker = trigger.ExecInvoker{}
 	}
@@ -190,7 +218,7 @@ func New(opts Options) (*Engine, error) {
 		trans:   opts.Transport,
 		subs:    make(map[string]*config.Subscriber),
 		offline: make(map[string]bool),
-		fails:   make(map[string]int),
+		states:  make(map[string]*subState),
 		probing: make(map[string]bool),
 		stats:   make(map[string]*SubscriberStats),
 		stopCh:  make(chan struct{}),
@@ -215,6 +243,51 @@ func (e *Engine) subscriber(name string) *config.Subscriber {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.subs[name]
+}
+
+// subState is the per-subscriber fault-tolerance machinery: a circuit
+// breaker deciding online/offline and an in-queue retry schedule.
+type subState struct {
+	pol     backoff.Policy
+	breaker *backoff.Breaker
+	retry   *backoff.Backoff
+}
+
+// policyFor layers the per-subscriber overrides onto the engine-wide
+// policy: the legacy per-subscriber retry interval becomes the base
+// delay, OfflineAfter the breaker threshold, and an explicit
+// config-level backoff block wins over both.
+func (e *Engine) policyFor(s *config.Subscriber) backoff.Policy {
+	p := e.opts.Backoff
+	if p.Threshold == 0 {
+		p.Threshold = e.opts.OfflineAfter
+	}
+	if s != nil {
+		if p.Base == 0 && s.Retry > 0 {
+			p.Base = s.Retry
+		}
+		if s.Backoff != nil {
+			p = s.Backoff.Apply(p)
+		}
+	}
+	return p.WithDefaults()
+}
+
+// stateFor returns (creating on first use) a subscriber's fault state.
+func (e *Engine) stateFor(sub string) *subState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.states[sub]
+	if st == nil {
+		pol := e.policyFor(e.subs[sub])
+		st = &subState{
+			pol:     pol,
+			breaker: backoff.NewBreaker(pol, backoff.Seed(sub+"/breaker")),
+			retry:   backoff.New(pol, backoff.Seed(sub+"/retry")),
+		}
+		e.states[sub] = st
+	}
+	return st
 }
 
 // AddSubscriber registers a subscriber at runtime (§4.2: new
@@ -436,16 +509,22 @@ func (e *Engine) deliverOne(j *scheduler.Job, data []byte, stagedAbs string, met
 		CRC:    meta.Checksum,
 		Size:   meta.Size,
 	}
-	var err error
+	st := e.stateFor(j.Subscriber)
 	kind := EvDelivered
-	started := e.clk.Now()
 	if s.Method == config.MethodNotify {
-		f.Data = nil
-		err = e.trans.Notify(j.Subscriber, f)
 		kind = EvNotified
-	} else {
-		err = e.trans.Deliver(j.Subscriber, f)
 	}
+	started := e.clk.Now()
+	// The per-transfer deadline bounds how long one attempt can hold a
+	// worker; a late attempt counts as a transient failure.
+	err := backoff.Do(e.clk, st.pol.TransferDeadline, func() error {
+		if s.Method == config.MethodNotify {
+			nf := f
+			nf.Data = nil
+			return e.trans.Notify(j.Subscriber, nf)
+		}
+		return e.trans.Deliver(j.Subscriber, f)
+	})
 	if err == nil {
 		// Feed the scheduler's responsiveness estimate (drives dynamic
 		// partition migration when enabled).
@@ -480,34 +559,47 @@ func destName(s *config.Subscriber, stagedPath string) string {
 	return filepath.ToSlash(filepath.Join(s.Dest, stagedPath))
 }
 
-// transferFailed counts a failure and, past the threshold, flags the
-// subscriber offline, drops its queue, and starts the retry prober.
+// transferFailed classifies a failure and routes it: permanent errors
+// drop the job outright; transient ones feed the circuit breaker and
+// either requeue with a backoff delay or — once the breaker opens —
+// flag the subscriber offline, drop its queue, and start the prober.
 func (e *Engine) transferFailed(j *scheduler.Job, err error) {
 	e.bumpStats(j.Subscriber, false, 0)
 	e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
-	e.mu.Lock()
-	e.fails[j.Subscriber]++
-	n := e.fails[j.Subscriber]
-	already := e.offline[j.Subscriber]
-	var startProbe bool
-	if n >= e.opts.OfflineAfter && !already {
-		e.offline[j.Subscriber] = true
-		if !e.probing[j.Subscriber] {
-			e.probing[j.Subscriber] = true
-			startProbe = true
-		}
-	}
-	e.mu.Unlock()
-	if n < e.opts.OfflineAfter {
-		// Transient: retry through the queue (Requeue releases the
-		// claimed slot).
-		e.sched.Requeue(j)
+	if backoff.Classify(err) == backoff.ClassPermanent {
+		// Retrying cannot help and says nothing about liveness; the
+		// receipt database keeps the file pending should config change.
+		e.sched.Done(j)
 		return
 	}
-	// Past the threshold: the job is dropped, not requeued — the
-	// receipt database will resurface it as backfill on reconnect.
+	st := e.stateFor(j.Subscriber)
+	now := e.clk.Now()
+	opened := st.breaker.Failure(now, err)
+	if !opened && st.breaker.State() == backoff.Closed {
+		// Below the threshold: retry through the queue after a jittered
+		// backoff delay (RequeueAfter releases the claimed slot and
+		// keeps the job invisible until the delay elapses).
+		delay := st.retry.Next()
+		e.emit(Event{Kind: EvRetryScheduled, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Delay: delay, Attempt: st.retry.Attempt(), Err: err})
+		e.sched.RequeueAfter(j, now.Add(delay))
+		return
+	}
+	// Breaker open: the job is dropped, not requeued — the receipt
+	// database will resurface it as backfill on reconnect.
 	e.sched.Done(j)
 	e.sched.DropSubscriber(j.Subscriber)
+	e.mu.Lock()
+	already := e.offline[j.Subscriber]
+	e.offline[j.Subscriber] = true
+	var startProbe bool
+	if !e.probing[j.Subscriber] {
+		e.probing[j.Subscriber] = true
+		startProbe = true
+	}
+	e.mu.Unlock()
+	if opened {
+		e.emit(Event{Kind: EvCircuitOpen, Subscriber: j.Subscriber, Delay: st.breaker.ProbeIn(now), Err: err})
+	}
 	if !already {
 		e.emit(Event{Kind: EvSubscriberOffline, Subscriber: j.Subscriber, Err: err})
 	}
@@ -519,9 +611,11 @@ func (e *Engine) transferFailed(j *scheduler.Job, err error) {
 
 // markAlive resets failure bookkeeping after a success.
 func (e *Engine) markAlive(sub string) {
+	st := e.stateFor(sub)
+	st.breaker.Success()
+	st.retry.Reset()
 	e.mu.Lock()
 	wasOffline := e.offline[sub]
-	e.fails[sub] = 0
 	e.offline[sub] = false
 	e.mu.Unlock()
 	if wasOffline {
@@ -529,29 +623,45 @@ func (e *Engine) markAlive(sub string) {
 	}
 }
 
-// probe periodically pings an offline subscriber; on success it brings
-// the subscriber back online and queues backfill for everything missed.
+// probe drives an offline subscriber's recovery: it sleeps until the
+// breaker's open window elapses, sends the single half-open ping the
+// breaker admits, and either closes the circuit (subscriber online,
+// backfill queued) or reopens it with an exponentially grown window.
 func (e *Engine) probe(sub string) {
 	defer e.wg.Done()
-	s := e.subscriber(sub)
-	interval := 30 * time.Second
-	if s != nil && s.Retry > 0 {
-		interval = s.Retry
-	}
+	st := e.stateFor(sub)
 	for {
-		t := e.clk.NewTimer(interval)
+		if d := st.breaker.ProbeIn(e.clk.Now()); d > 0 {
+			t := e.clk.NewTimer(d)
+			select {
+			case <-e.stopCh:
+				t.Stop()
+				return
+			case <-t.C():
+			}
+		}
 		select {
 		case <-e.stopCh:
-			t.Stop()
 			return
-		case <-t.C():
+		default:
 		}
-		if err := e.trans.Ping(sub); err != nil {
+		if !st.breaker.Allow(e.clk.Now()) {
 			continue
 		}
+		e.emit(Event{Kind: EvCircuitHalfOpen, Subscriber: sub})
+		err := backoff.Do(e.clk, st.pol.TransferDeadline, func() error {
+			return e.trans.Ping(sub)
+		})
+		if err != nil {
+			now := e.clk.Now()
+			st.breaker.Failure(now, err)
+			e.emit(Event{Kind: EvCircuitOpen, Subscriber: sub, Delay: st.breaker.ProbeIn(now), Err: err})
+			continue
+		}
+		st.breaker.Success()
+		st.retry.Reset()
 		e.mu.Lock()
 		e.offline[sub] = false
-		e.fails[sub] = 0
 		e.probing[sub] = false
 		e.mu.Unlock()
 		e.emit(Event{Kind: EvSubscriberOnline, Subscriber: sub})
@@ -600,6 +710,9 @@ type SubscriberStats struct {
 	Failures int64
 	// Offline is the engine's current liveness view.
 	Offline bool
+	// Circuit is the subscriber's breaker state ("closed", "open",
+	// "half-open").
+	Circuit string
 	// Partition is the subscriber's scheduler partition.
 	Partition int
 }
@@ -610,11 +723,14 @@ func (e *Engine) Stats() map[string]SubscriberStats {
 	defer e.mu.Unlock()
 	out := make(map[string]SubscriberStats, len(e.subs))
 	for name := range e.subs {
-		st := SubscriberStats{Offline: e.offline[name]}
+		st := SubscriberStats{Offline: e.offline[name], Circuit: backoff.Closed.String()}
 		if s := e.stats[name]; s != nil {
 			st.Delivered = s.Delivered
 			st.Bytes = s.Bytes
 			st.Failures = s.Failures
+		}
+		if fs := e.states[name]; fs != nil {
+			st.Circuit = fs.breaker.State().String()
 		}
 		st.Partition = e.sched.PartitionOf(name)
 		out[name] = st

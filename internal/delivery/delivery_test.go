@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"bistro/internal/backoff"
 	"bistro/internal/clock"
 	"bistro/internal/config"
 	"bistro/internal/netsim"
@@ -548,5 +549,93 @@ func TestStreamingLocalDelivery(t *testing.T) {
 		if got[i] != payload[i] {
 			t.Fatalf("content mismatch at %d", i)
 		}
+	}
+}
+
+// TestFlapLifecycleUnderSimulatedClock drives the full
+// offline→probe→online→backfill lifecycle on a simulated clock against
+// a scripted flap schedule: two outage windows, with recovery (and
+// half-open probe admission) between and after them.
+func TestFlapLifecycleUnderSimulatedClock(t *testing.T) {
+	start := time.Unix(1_000_000, 0)
+	clk := clock.NewSimulated(start)
+	ns := netsim.New(clk)
+	ns.Register("wh", netsim.HostConfig{})
+	ns.SetFaults("wh", netsim.FaultPlan{Windows: []netsim.FlapWindow{
+		{From: start, Until: start.Add(10 * time.Second)},
+		{From: start.Add(20 * time.Second), Until: start.Add(30 * time.Second)},
+	}})
+	h := newHarness(t, ns, []*config.Subscriber{sub("wh", "BPS")}, func(o *Options) {
+		o.Clock = clk
+		o.OfflineAfter = 2
+		o.Backoff = backoff.Policy{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, NoJitter: true}
+	})
+	h.engine.Start()
+	defer h.engine.Stop()
+
+	// advanceUntil steps simulated time while polling cond, so timers
+	// (retry releases, probe windows) keep firing.
+	advanceUntil := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			clk.Advance(50 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s (sim now %v)", what, clk.Now().Sub(start))
+	}
+
+	meta1 := h.stage("BPS/f1.csv", []string{"BPS"}, []byte("one"))
+	h.engine.EnqueueFile(meta1)
+
+	// First failure is below the threshold: a delayed retry, not
+	// offline.
+	advanceUntil("first retry scheduled", func() bool { return h.events.count(EvRetryScheduled) >= 1 })
+	// Second failure trips the breaker: offline + prober started.
+	advanceUntil("circuit open", func() bool {
+		return h.events.count(EvCircuitOpen) >= 1 && h.engine.Offline("wh")
+	})
+	if h.events.count(EvSubscriberOffline) != 1 {
+		t.Fatalf("offline events = %d, want 1", h.events.count(EvSubscriberOffline))
+	}
+	// While still inside the outage window the breaker must admit at
+	// least one half-open probe, fail it, and reopen.
+	advanceUntil("failed half-open probe", func() bool {
+		return h.events.count(EvCircuitHalfOpen) >= 1 && h.events.count(EvCircuitOpen) >= 2
+	})
+	if clk.Now().After(start.Add(10 * time.Second)) {
+		t.Fatalf("probe churn took past the outage window: %v", clk.Now().Sub(start))
+	}
+	// Past the window a probe succeeds: online + backfill delivers f1.
+	advanceUntil("recovery and backfill", func() bool {
+		return h.events.count(EvSubscriberOnline) >= 1 && h.store.Delivered(meta1.ID, "wh")
+	})
+	if h.events.count(EvBackfillQueued) < 1 {
+		t.Fatalf("no backfill queued on recovery")
+	}
+	if ns.Pings("wh") < 2 {
+		t.Fatalf("pings = %d, want >= 2 (one failed, one successful probe)", ns.Pings("wh"))
+	}
+
+	// Second flap: advance into the next outage window, enqueue more
+	// traffic, and watch the lifecycle repeat.
+	clk.AdvanceTo(start.Add(21 * time.Second))
+	time.Sleep(5 * time.Millisecond)
+	meta2 := h.stage("BPS/f2.csv", []string{"BPS"}, []byte("two"))
+	h.engine.EnqueueFile(meta2)
+	advanceUntil("second offline", func() bool { return h.events.count(EvSubscriberOffline) >= 2 })
+	advanceUntil("second recovery", func() bool {
+		return h.events.count(EvSubscriberOnline) >= 2 && h.store.Delivered(meta2.ID, "wh")
+	})
+
+	st := h.engine.Stats()["wh"]
+	if st.Offline || st.Circuit != "closed" {
+		t.Fatalf("final state = %+v, want online/closed", st)
+	}
+	if got := len(ns.Delivered("wh")); got != 2 {
+		t.Fatalf("delivered = %d files, want 2", got)
 	}
 }

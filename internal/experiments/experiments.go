@@ -111,5 +111,6 @@ func All() []Runner {
 		{"e8", "new-feed discovery precision/recall", E8Discovery},
 		{"e9", "false-negative detection vs edit-distance baseline", E9FalseNegatives},
 		{"e10", "crash recovery, exactly-once delivery, WAL throughput", E10Recovery},
+		{"e11", "graceful degradation under fault injection", E11Degradation},
 	}
 }

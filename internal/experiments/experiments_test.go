@@ -261,6 +261,39 @@ func TestE10Shape(t *testing.T) {
 	}
 }
 
+func TestE11Shape(t *testing.T) {
+	tab, err := E11Degradation(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nofault := row(t, tab, "no-fault")
+	fault := row(t, tab, "flap-fault")
+	// Everything arrives eventually in both scenarios (3 subscribers x
+	// same arrival count).
+	if nofault[1] != fault[1] {
+		t.Fatalf("delivered counts differ: %s", tab.Format())
+	}
+	// Graceful degradation: a flapping peer must not spill into the
+	// healthy subscribers' tardiness (<= 2x no-fault plus 1s epsilon).
+	if num(t, fault[2]) > 2*num(t, nofault[2])+1 {
+		t.Fatalf("healthy mean tardiness degraded: %s", tab.Format())
+	}
+	// The fault run exercises the retry and probe paths.
+	if num(t, fault[4]) == 0 || num(t, fault[5]) == 0 {
+		t.Fatalf("no retries/probes under faults: %s", tab.Format())
+	}
+	if num(t, nofault[4]) != 0 || num(t, nofault[5]) != 0 {
+		t.Fatalf("retries/probes without faults: %s", tab.Format())
+	}
+	// Exponential probing reaches the dead host with strictly less
+	// traffic than the fixed interval over the same window.
+	fixed := row(t, tab, "probe-fixed=15s")
+	exp := row(t, tab, "probe-exp=15s..2m")
+	if f, e := num(t, fixed[5]), num(t, exp[5]); e >= f || e == 0 {
+		t.Fatalf("exp probes %v not below fixed %v: %s", e, f, tab.Format())
+	}
+}
+
 func TestTableFormat(t *testing.T) {
 	tab := Table{
 		ID: "EX", Title: "demo", Claim: "c",
@@ -278,8 +311,8 @@ func TestTableFormat(t *testing.T) {
 
 func TestAllRunnersListed(t *testing.T) {
 	rs := All()
-	if len(rs) != 10 {
-		t.Fatalf("runners = %d, want 10", len(rs))
+	if len(rs) != 11 {
+		t.Fatalf("runners = %d, want 11", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

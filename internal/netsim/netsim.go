@@ -8,6 +8,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -28,27 +29,67 @@ type HostConfig struct {
 	TimeScale int64
 }
 
+// FlapWindow is one scripted outage: the host is unreachable from From
+// (inclusive) until Until (exclusive), measured on the transport's
+// clock. A schedule of windows models a flapping subscriber
+// deterministically.
+type FlapWindow struct {
+	From  time.Time
+	Until time.Time
+}
+
+// FaultPlan injects failures into one host's operations. Probabilities
+// are per attempt and drawn from the transport's seeded RNG, so a run
+// is reproducible given the same seed and operation order.
+type FaultPlan struct {
+	// FailProb is the probability a transfer fails outright
+	// (connection refused: no service time consumed).
+	FailProb float64
+	// CutProb is the probability a transfer is cut mid-stream: half
+	// the service time elapses, then the transfer errors.
+	CutProb float64
+	// SpikeProb is the probability an attempt suffers a latency spike
+	// of Spike (added before bandwidth scaling's TimeScale division).
+	SpikeProb float64
+	// Spike is the injected extra latency.
+	Spike time.Duration
+	// Windows is the scripted flap schedule; the host is down inside
+	// any window, regardless of SetDown.
+	Windows []FlapWindow
+}
+
 // Transport is a simulated transport. It implements
 // transport.Transport.
 type Transport struct {
 	clk clock.Clock
 
 	mu    sync.Mutex
+	rng   *rand.Rand
 	hosts map[string]*host
 }
 
 type host struct {
 	cfg       HostConfig
 	down      bool
+	plan      FaultPlan
 	delivered []transport.File
 	notified  []transport.File
 	triggered []string
+	pings     int
 	busy      time.Duration // cumulative service time (for stats)
 }
 
 // New creates a simulated transport using clk for service-time sleeps.
+// Fault draws use a fixed default seed; call Seed to vary it.
 func New(clk clock.Clock) *Transport {
-	return &Transport{clk: clk, hosts: make(map[string]*host)}
+	return &Transport{clk: clk, rng: rand.New(rand.NewSource(1)), hosts: make(map[string]*host)}
+}
+
+// Seed resets the fault-injection RNG.
+func (t *Transport) Seed(seed int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rng = rand.New(rand.NewSource(seed))
 }
 
 // Register adds a simulated subscriber host.
@@ -65,6 +106,29 @@ func (t *Transport) SetDown(sub string, down bool) {
 	if h, ok := t.hosts[sub]; ok {
 		h.down = down
 	}
+}
+
+// SetFaults installs a host's fault plan (replacing any previous one).
+func (t *Transport) SetFaults(sub string, plan FaultPlan) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h, ok := t.hosts[sub]; ok {
+		h.plan = plan
+	}
+}
+
+// downAt reports whether the host is unreachable at time now, either
+// by explicit SetDown or inside a scripted flap window.
+func (h *host) downAt(now time.Time) bool {
+	if h.down {
+		return true
+	}
+	for _, w := range h.plan.Windows {
+		if !now.Before(w.From) && now.Before(w.Until) {
+			return true
+		}
+	}
+	return false
 }
 
 func (t *Transport) host(sub string) (*host, error) {
@@ -90,7 +154,7 @@ func serviceTime(cfg HostConfig, bytes int64) time.Duration {
 }
 
 // Deliver simulates a transfer: sleeps the service time, fails when
-// the host is down.
+// the host is down (or a fault plan injects a failure or cut).
 func (t *Transport) Deliver(sub string, f transport.File) error {
 	h, err := t.host(sub)
 	if err != nil {
@@ -101,12 +165,43 @@ func (t *Transport) Deliver(sub string, f transport.File) error {
 		bytes = f.Size
 	}
 	d := serviceTime(h.cfg, bytes)
+	// Draw this attempt's faults up front, under the lock, so a seeded
+	// run is reproducible regardless of sleep interleaving.
+	t.mu.Lock()
+	p := h.plan
+	var fail, cut bool
+	if p.SpikeProb > 0 && t.rng.Float64() < p.SpikeProb {
+		spike := p.Spike
+		if h.cfg.TimeScale > 1 {
+			spike /= time.Duration(h.cfg.TimeScale)
+		}
+		d += spike
+	}
+	if p.FailProb > 0 && t.rng.Float64() < p.FailProb {
+		fail = true
+	}
+	if !fail && p.CutProb > 0 && t.rng.Float64() < p.CutProb {
+		cut = true
+	}
+	t.mu.Unlock()
+	if fail {
+		return fmt.Errorf("netsim: injected transfer failure to %q", sub)
+	}
+	if cut {
+		if d/2 > 0 {
+			t.clk.Sleep(d / 2)
+		}
+		t.mu.Lock()
+		h.busy += d / 2
+		t.mu.Unlock()
+		return fmt.Errorf("netsim: transfer to %q cut mid-stream", sub)
+	}
 	if d > 0 {
 		t.clk.Sleep(d)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if h.down {
+	if h.downAt(t.clk.Now()) {
 		return fmt.Errorf("netsim: subscriber %q is down", sub)
 	}
 	h.busy += d
@@ -127,7 +222,7 @@ func (t *Transport) Notify(sub string, f transport.File) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if h.down {
+	if h.downAt(t.clk.Now()) {
 		return fmt.Errorf("netsim: subscriber %q is down", sub)
 	}
 	f.Data = nil
@@ -143,14 +238,15 @@ func (t *Transport) Trigger(sub string, command string, paths []string) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if h.down {
+	if h.downAt(t.clk.Now()) {
 		return fmt.Errorf("netsim: subscriber %q is down", sub)
 	}
 	h.triggered = append(h.triggered, command)
 	return nil
 }
 
-// Ping probes liveness without a transfer.
+// Ping probes liveness without a transfer. Every attempt is counted
+// (Pings), so experiments can compare probe traffic across policies.
 func (t *Transport) Ping(sub string) error {
 	h, err := t.host(sub)
 	if err != nil {
@@ -158,10 +254,22 @@ func (t *Transport) Ping(sub string) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if h.down {
+	h.pings++
+	if h.downAt(t.clk.Now()) {
 		return fmt.Errorf("netsim: subscriber %q is down", sub)
 	}
 	return nil
+}
+
+// Pings reports how many liveness probes sub has received (successful
+// or not).
+func (t *Transport) Pings(sub string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h, ok := t.hosts[sub]; ok {
+		return h.pings
+	}
+	return 0
 }
 
 // Delivered returns a copy of the files delivered to sub so far.

@@ -104,3 +104,120 @@ func TestTriggeredRecorded(t *testing.T) {
 		t.Fatalf("triggered = %v", cmds)
 	}
 }
+
+func TestInjectedFailureProbability(t *testing.T) {
+	n := New(clock.NewReal())
+	n.Seed(42)
+	n.Register("s", HostConfig{})
+	n.SetFaults("s", FaultPlan{FailProb: 0.5})
+	fails := 0
+	for i := 0; i < 200; i++ {
+		if err := n.Deliver("s", transport.File{Data: []byte("x")}); err != nil {
+			fails++
+		}
+	}
+	if fails < 60 || fails > 140 {
+		t.Fatalf("fail rate %d/200 far from 0.5", fails)
+	}
+	// Same seed, same operation order: identical outcome.
+	m := New(clock.NewReal())
+	m.Seed(42)
+	m.Register("s", HostConfig{})
+	m.SetFaults("s", FaultPlan{FailProb: 0.5})
+	fails2 := 0
+	for i := 0; i < 200; i++ {
+		if err := m.Deliver("s", transport.File{Data: []byte("x")}); err != nil {
+			fails2++
+		}
+	}
+	if fails != fails2 {
+		t.Fatalf("seeded runs diverged: %d vs %d", fails, fails2)
+	}
+}
+
+func TestMidTransferCutConsumesHalfServiceTime(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	n := New(clk)
+	n.Register("s", HostConfig{Bandwidth: 100}) // 1s per 100 bytes
+	n.SetFaults("s", FaultPlan{CutProb: 1})
+	done := make(chan error, 1)
+	go func() { done <- n.Deliver("s", transport.File{Data: make([]byte, 100)}) }()
+	// Full service time would be 1s; the cut errors after 500ms.
+	for i := 0; i < 100; i++ {
+		clk.Advance(50 * time.Millisecond)
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("cut transfer succeeded")
+			}
+			if got := n.BusyTime("s"); got != 500*time.Millisecond {
+				t.Fatalf("busy = %s, want 500ms", got)
+			}
+			return
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	t.Fatal("cut transfer never returned")
+}
+
+func TestLatencySpike(t *testing.T) {
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	n := New(clk)
+	n.Register("s", HostConfig{})
+	n.SetFaults("s", FaultPlan{SpikeProb: 1, Spike: 2 * time.Second})
+	done := make(chan error, 1)
+	go func() { done <- n.Deliver("s", transport.File{Data: []byte("x")}) }()
+	fired := false
+	for i := 0; i < 100 && !fired; i++ {
+		clk.Advance(100 * time.Millisecond)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired = true
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !fired {
+		t.Fatal("spiked delivery never completed")
+	}
+	if now := clk.Now(); now.Before(time.Unix(2, 0)) {
+		t.Fatalf("delivery completed at %s, before the 2s spike elapsed", now)
+	}
+}
+
+func TestScriptedFlapWindows(t *testing.T) {
+	start := time.Unix(1000, 0)
+	clk := clock.NewSimulated(start)
+	n := New(clk)
+	n.Register("s", HostConfig{})
+	n.SetFaults("s", FaultPlan{Windows: []FlapWindow{
+		{From: start.Add(10 * time.Second), Until: start.Add(20 * time.Second)},
+		{From: start.Add(30 * time.Second), Until: start.Add(40 * time.Second)},
+	}})
+	check := func(wantUp bool) {
+		t.Helper()
+		err := n.Ping("s")
+		if wantUp && err != nil {
+			t.Fatalf("at %s: ping failed: %v", clk.Now(), err)
+		}
+		if !wantUp && err == nil {
+			t.Fatalf("at %s: ping succeeded inside flap window", clk.Now())
+		}
+	}
+	check(true)
+	clk.Advance(10 * time.Second) // t=10: first window opens
+	check(false)
+	clk.Advance(10 * time.Second) // t=20: recovered
+	check(true)
+	clk.Advance(10 * time.Second) // t=30: second window
+	check(false)
+	clk.Advance(10 * time.Second) // t=40: recovered again
+	check(true)
+	if got := n.Pings("s"); got != 5 {
+		t.Fatalf("pings = %d, want 5", got)
+	}
+}

@@ -20,16 +20,30 @@ import (
 	"os"
 )
 
+// walFile is the file surface the log needs; *os.File satisfies it,
+// and tests substitute fault-injecting implementations.
+type walFile interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // wal is the append-only log. Entries are framed as
 //
 //	u32 payloadLen | u32 crc32(payload) | payload
 //
 // and a payload is one or more encoded records (a transaction).
 type wal struct {
-	f   *os.File
+	f   walFile
 	buf []byte
 	// size is the current valid length of the file.
 	size int64
+	// err is sticky: set when a failed write could not be rolled back,
+	// leaving the file position unknown. All later appends refuse.
+	err error
 }
 
 const walName = "receipts.wal"
@@ -48,8 +62,15 @@ func openWAL(path string) (*wal, error) {
 }
 
 // append frames payload and writes it. It does not sync; the caller
-// controls durability via sync().
+// controls durability via sync(). A failed or short write is rolled
+// back by truncating to the last good frame boundary — otherwise the
+// half-written frame would sit as a torn entry in front of every later
+// append, and replay (which stops at the first bad frame) would
+// silently drop them all.
 func (w *wal) append(payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
 	w.buf = w.buf[:0]
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -57,10 +78,21 @@ func (w *wal) append(payload []byte) error {
 	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, payload...)
 	n, err := w.f.Write(w.buf)
-	w.size += int64(n)
+	if err == nil && n < len(w.buf) {
+		err = io.ErrShortWrite
+	}
 	if err != nil {
+		if terr := w.f.Truncate(w.size); terr != nil {
+			w.err = fmt.Errorf("receipts: wal rollback truncate: %w (after write: %v)", terr, err)
+			return w.err
+		}
+		if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+			w.err = fmt.Errorf("receipts: wal rollback seek: %w (after write: %v)", serr, err)
+			return w.err
+		}
 		return fmt.Errorf("receipts: wal write: %w", err)
 	}
+	w.size += int64(n)
 	return nil
 }
 

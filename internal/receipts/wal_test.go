@@ -1,0 +1,136 @@
+package receipts
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// flakyFile wraps a real file and injects one partial write.
+type flakyFile struct {
+	*os.File
+	// failNext makes the next Write persist only `partial` bytes and
+	// then report an error.
+	failNext bool
+	partial  int
+	// breakTruncate makes rollback itself fail.
+	breakTruncate bool
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.failNext {
+		f.failNext = false
+		n := f.partial
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if _, err := f.File.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return n, errDiskFull
+	}
+	return f.File.Write(p)
+}
+
+func (f *flakyFile) Truncate(size int64) error {
+	if f.breakTruncate {
+		return errors.New("truncate refused")
+	}
+	return f.File.Truncate(size)
+}
+
+func openFlakyWAL(t *testing.T) (*wal, *flakyFile) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(t.TempDir(), walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	ff := &flakyFile{File: f}
+	return &wal{f: ff}, ff
+}
+
+func TestAppendRollsBackPartialWrite(t *testing.T) {
+	w, ff := openFlakyWAL(t)
+	if err := w.append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	good := w.size
+
+	ff.failNext = true
+	ff.partial = 5 // header plus a byte of payload reaches the disk
+	if err := w.append([]byte("doomed")); !errors.Is(err, errDiskFull) {
+		t.Fatalf("append err = %v, want disk full", err)
+	}
+	if w.size != good {
+		t.Fatalf("size = %d after failed append, want %d", w.size, good)
+	}
+
+	// The log stayed usable: a later append lands on a clean boundary
+	// and replay sees both good frames, nothing else.
+	if err := w.append([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := w.replay(func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("replayed %q, want [first second]", got)
+	}
+}
+
+func TestAppendShortWriteWithoutErrorRollsBack(t *testing.T) {
+	w, ff := openFlakyWAL(t)
+	if err := w.append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	ff.failNext = true
+	ff.partial = 3
+	// Simulate a writer that reports a short count with a generic
+	// error; the rollback path must still fire.
+	if err := w.append([]byte("torn-entry")); err == nil {
+		t.Fatal("expected error from short write")
+	}
+	if err := w.append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := w.replay(func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "keep" || got[1] != "after" {
+		t.Fatalf("replayed %q, want [keep after]", got)
+	}
+}
+
+func TestAppendStickyErrorWhenRollbackFails(t *testing.T) {
+	w, ff := openFlakyWAL(t)
+	if err := w.append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ff.failNext = true
+	ff.partial = 2
+	ff.breakTruncate = true
+	err := w.append([]byte("boom"))
+	if err == nil || !strings.Contains(err.Error(), "rollback truncate") {
+		t.Fatalf("err = %v, want rollback truncate failure", err)
+	}
+	// Position is unknown now: every later append must refuse with the
+	// same sticky error rather than write at a garbage offset.
+	if err2 := w.append([]byte("more")); err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("sticky err = %v, want %v", err2, err)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"bistro/internal/clock"
 )
 
 // BackfillMode selects how historical catch-up work shares the
@@ -67,6 +69,9 @@ type Config struct {
 	// Migration configures observation-driven dynamic partition
 	// reassignment (the paper's §4.3 future-work extension).
 	Migration MigrationConfig
+	// Clock drives delayed-requeue release timers (RequeueAfter).
+	// Default: the wall clock.
+	Clock clock.Clock
 }
 
 // Scheduler assigns delivery jobs to partitioned worker pools.
@@ -76,6 +81,7 @@ type Config struct {
 // job group is available for the given partition lane.
 type Scheduler struct {
 	cfg Config
+	clk clock.Clock
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -85,6 +91,12 @@ type Scheduler struct {
 	seq      uint64
 	closed   bool
 
+	// Delayed-release timer bookkeeping: timerAt is the armed timer's
+	// fire time (zero = none armed); timerGen invalidates stale timer
+	// goroutines.
+	timerAt  time.Time
+	timerGen uint64
+
 	migr *migrator
 }
 
@@ -92,6 +104,9 @@ type partition struct {
 	cfg      PartitionConfig
 	realtime *queue
 	backfill *queue
+	// delayed holds requeued jobs whose Release (not-before retry
+	// time) is still in the future, ordered by Release.
+	delayed delayHeap
 }
 
 // New builds a scheduler. It validates the partition layout.
@@ -102,8 +117,12 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.MaxInFlightPerSubscriber == 0 {
 		cfg.MaxInFlightPerSubscriber = 1
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
 	s := &Scheduler{
 		cfg:      cfg,
+		clk:      cfg.Clock,
 		subPart:  make(map[string]int),
 		inflight: make(map[string]int),
 	}
@@ -188,6 +207,7 @@ func (s *Scheduler) Next(part int, lane Lane) []*Job {
 		if s.closed {
 			return nil
 		}
+		s.promoteDueLocked()
 		p := s.parts[part]
 		var jobs []*Job
 		switch lane {
@@ -203,6 +223,7 @@ func (s *Scheduler) Next(part int, lane Lane) []*Job {
 		if jobs != nil {
 			return jobs
 		}
+		s.armTimerLocked()
 		s.cond.Wait()
 	}
 }
@@ -214,6 +235,7 @@ func (s *Scheduler) TryNext(part int, lane Lane) []*Job {
 	if s.closed {
 		return nil
 	}
+	s.promoteDueLocked()
 	p := s.parts[part]
 	var jobs []*Job
 	switch lane {
@@ -226,6 +248,88 @@ func (s *Scheduler) TryNext(part int, lane Lane) []*Job {
 		jobs = s.claimLocked(p, p.backfill)
 	}
 	return jobs
+}
+
+// promoteDueLocked moves delayed jobs whose release time has arrived
+// into their partition's lane queues.
+func (s *Scheduler) promoteDueLocked() {
+	now := s.clk.Now()
+	for _, p := range s.parts {
+		for p.delayed.Len() > 0 && !p.delayed[0].Release.After(now) {
+			j := heap.Pop(&p.delayed).(*Job)
+			if j.Backfill && s.cfg.Backfill == BackfillConcurrent {
+				p.backfill.push(j)
+			} else {
+				p.realtime.push(j)
+			}
+		}
+	}
+}
+
+// armTimerLocked makes sure a wake-up fires at the earliest pending
+// release time, so workers blocked in Next pick delayed jobs up the
+// moment they become runnable. Stale timers are tolerated: they fire,
+// find their generation superseded (or nothing due yet), and only cost
+// a broadcast.
+func (s *Scheduler) armTimerLocked() {
+	var earliest time.Time
+	for _, p := range s.parts {
+		if p.delayed.Len() == 0 {
+			continue
+		}
+		if at := p.delayed[0].Release; earliest.IsZero() || at.Before(earliest) {
+			earliest = at
+		}
+	}
+	if earliest.IsZero() {
+		return
+	}
+	if !s.timerAt.IsZero() && !s.timerAt.After(earliest) {
+		return // an armed timer already covers this release
+	}
+	s.timerGen++
+	gen := s.timerGen
+	s.timerAt = earliest
+	d := earliest.Sub(s.clk.Now())
+	if d < 0 {
+		d = 0
+	}
+	t := s.clk.NewTimer(d)
+	go func() {
+		<-t.C()
+		s.mu.Lock()
+		if s.timerGen == gen {
+			s.timerAt = time.Time{}
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}()
+}
+
+// RequeueAfter returns a claimed job to its partition with a
+// not-before release time (transfer failed; the backoff policy decides
+// when it is worth trying again), releasing its in-flight slot. Before
+// notBefore the job is invisible to Next/TryNext, so a fast-failing
+// subscriber cannot spin a worker.
+func (s *Scheduler) RequeueAfter(j *Job, notBefore time.Time) {
+	s.mu.Lock()
+	j.Release = notBefore
+	p := s.parts[s.partitionOfLocked(j.Subscriber)]
+	if notBefore.After(s.clk.Now()) {
+		heap.Push(&p.delayed, j)
+		s.armTimerLocked()
+	} else if j.Backfill && s.cfg.Backfill == BackfillConcurrent {
+		p.backfill.push(j)
+	} else {
+		p.realtime.push(j)
+	}
+	if n := s.inflight[j.Subscriber]; n > 1 {
+		s.inflight[j.Subscriber] = n - 1
+	} else {
+		delete(s.inflight, j.Subscriber)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
 }
 
 // claimLocked pops the best eligible job (subscriber under its
@@ -283,9 +387,9 @@ func (s *Scheduler) Requeue(j *Job) {
 	s.cond.Broadcast()
 }
 
-// DropSubscriber removes every queued job for a subscriber (it went
-// offline; its queue will be recomputed from receipts on reconnect).
-// Returns the number of jobs dropped.
+// DropSubscriber removes every queued job for a subscriber — delayed
+// retries included (it went offline; its queue will be recomputed from
+// receipts on reconnect). Returns the number of jobs dropped.
 func (s *Scheduler) DropSubscriber(sub string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -307,8 +411,46 @@ func (s *Scheduler) DropSubscriber(sub string) int {
 			// Restore heap order after filtering.
 			rebuildHeap(q)
 		}
+		keptD := p.delayed[:0:0]
+		for _, j := range p.delayed {
+			if j.Subscriber == sub {
+				dropped++
+			} else {
+				keptD = append(keptD, j)
+			}
+		}
+		p.delayed = keptD
+		heap.Init(&p.delayed)
 	}
 	return dropped
+}
+
+// DelayedLen reports jobs parked in a partition's delayed-retry heap.
+func (s *Scheduler) DelayedLen(part int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parts[part].delayed.Len()
+}
+
+// delayHeap orders delayed jobs by release time (ties by sequence).
+type delayHeap []*Job
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if !h[i].Release.Equal(h[j].Release) {
+		return h[i].Release.Before(h[j].Release)
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
 }
 
 // rebuildHeap restores heap order after bulk surgery on q.jobs.

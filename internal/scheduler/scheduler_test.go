@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"bistro/internal/clock"
 )
 
 var t0 = time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
@@ -444,5 +446,110 @@ func BenchmarkSubmitClaimEDF(b *testing.B) {
 		s.Submit(job("a", uint64(i), t0.Add(time.Duration(i)*time.Second)))
 		js := s.TryNext(0, LaneRealtime)
 		s.Done(js[0])
+	}
+}
+
+func TestRequeueAfterHidesJobUntilRelease(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	cfg := onePartition(EDF)
+	cfg.Clock = clk
+	s := mustNew(t, cfg)
+	s.Submit(job("a", 1, t0.Add(time.Minute)))
+	js := s.TryNext(0, LaneRealtime)
+	if len(js) != 1 {
+		t.Fatalf("claim = %v", js)
+	}
+	s.RequeueAfter(js[0], clk.Now().Add(10*time.Second))
+	if got := s.TryNext(0, LaneRealtime); got != nil {
+		t.Fatalf("delayed job claimable before release: %v", got)
+	}
+	if n := s.DelayedLen(0); n != 1 {
+		t.Fatalf("DelayedLen = %d, want 1", n)
+	}
+	clk.Advance(10 * time.Second)
+	js = s.TryNext(0, LaneRealtime)
+	if len(js) != 1 || js[0].FileID != 1 {
+		t.Fatalf("job not promoted at release time: %v", js)
+	}
+	if n := s.DelayedLen(0); n != 0 {
+		t.Fatalf("DelayedLen after promotion = %d", n)
+	}
+}
+
+func TestRequeueAfterOrdersByRelease(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	cfg := onePartition(EDF)
+	cfg.Clock = clk
+	s := mustNew(t, cfg)
+	s.Submit(job("a", 1, t0.Add(time.Minute)))
+	s.Submit(job("b", 2, t0.Add(time.Minute)))
+	ja := s.TryNext(0, LaneRealtime)[0]
+	jb := s.TryNext(0, LaneRealtime)[0]
+	s.RequeueAfter(ja, clk.Now().Add(20*time.Second))
+	s.RequeueAfter(jb, clk.Now().Add(5*time.Second))
+	clk.Advance(5 * time.Second)
+	js := s.TryNext(0, LaneRealtime)
+	if len(js) != 1 || js[0].Subscriber != "b" {
+		t.Fatalf("earlier release not promoted first: %v", js)
+	}
+	if got := s.TryNext(0, LaneRealtime); got != nil {
+		t.Fatalf("later release promoted early: %v", got)
+	}
+	clk.Advance(15 * time.Second)
+	js = s.TryNext(0, LaneRealtime)
+	if len(js) != 1 || js[0].Subscriber != "a" {
+		t.Fatalf("second release not promoted: %v", js)
+	}
+}
+
+func TestRequeueAfterPastReleaseIsImmediate(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	cfg := onePartition(EDF)
+	cfg.Clock = clk
+	s := mustNew(t, cfg)
+	s.Submit(job("a", 1, t0.Add(time.Minute)))
+	j := s.TryNext(0, LaneRealtime)[0]
+	s.RequeueAfter(j, clk.Now().Add(-time.Second))
+	if got := s.TryNext(0, LaneRealtime); len(got) != 1 {
+		t.Fatalf("past-release requeue not immediately claimable: %v", got)
+	}
+}
+
+func TestRequeueAfterWakesBlockedWorker(t *testing.T) {
+	s := mustNew(t, onePartition(EDF)) // real clock
+	s.Submit(job("a", 1, t0.Add(time.Minute)))
+	j := s.TryNext(0, LaneRealtime)[0]
+	s.RequeueAfter(j, time.Now().Add(30*time.Millisecond))
+	done := make(chan []*Job, 1)
+	go func() { done <- s.Next(0, LaneRealtime) }()
+	select {
+	case js := <-done:
+		if len(js) != 1 {
+			t.Fatalf("Next = %v", js)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked worker never woke for delayed release")
+	}
+	s.Close()
+}
+
+func TestDropSubscriberPurgesDelayed(t *testing.T) {
+	clk := clock.NewSimulated(t0)
+	cfg := onePartition(EDF)
+	cfg.Clock = clk
+	s := mustNew(t, cfg)
+	s.Submit(job("a", 1, t0.Add(time.Minute)))
+	s.Submit(job("b", 2, t0.Add(time.Minute)))
+	ja := s.TryNext(0, LaneRealtime)[0]
+	jb := s.TryNext(0, LaneRealtime)[0]
+	s.RequeueAfter(ja, clk.Now().Add(10*time.Second))
+	s.RequeueAfter(jb, clk.Now().Add(10*time.Second))
+	if n := s.DropSubscriber("a"); n != 1 {
+		t.Fatalf("DropSubscriber = %d, want 1", n)
+	}
+	clk.Advance(10 * time.Second)
+	js := s.TryNext(0, LaneRealtime)
+	if len(js) != 1 || js[0].Subscriber != "b" {
+		t.Fatalf("surviving delayed job = %v", js)
 	}
 }

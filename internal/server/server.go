@@ -190,6 +190,8 @@ func New(opts Options) (*Server, error) {
 			feedPrio[f.Path] = f.Priority
 		}
 	}
+	schedCfg := schedulerConfig(cfg.Scheduler)
+	schedCfg.Clock = s.clk
 	engine, err := delivery.New(delivery.Options{
 		Clock:           s.clk,
 		Store:           store,
@@ -199,7 +201,8 @@ func New(opts Options) (*Server, error) {
 		Deadline:        opts.Deadline,
 		StreamThreshold: opts.StreamThreshold,
 		FeedPriority:    feedPrio,
-		Scheduler:       schedulerConfig(cfg.Scheduler),
+		Scheduler:       schedCfg,
+		Backoff:         cfg.Backoff.Policy(),
 		OnEvent:         s.onDeliveryEvent,
 	})
 	if err != nil {
@@ -277,7 +280,7 @@ func (s *Server) resolveDir(dir, fallback string) string {
 // with hosts, local directories for the rest.
 func (s *Server) buildTransport() *compositeTransport {
 	local := transport.NewLocalDir()
-	remote := newTCPTransport(5 * time.Second)
+	remote := newTCPTransport(5*time.Second, s.clk, s.cfg.Backoff.Policy())
 	comp := &compositeTransport{local: local, remote: remote, hosts: make(map[string]string)}
 	for _, sub := range s.cfg.Subscribers {
 		if sub.Host != "" {
@@ -308,6 +311,14 @@ func (s *Server) onDeliveryEvent(ev delivery.Event) {
 		s.logger.Logf("subscriber", "%s back online", ev.Subscriber)
 	case delivery.EvBackfillQueued:
 		s.logger.Logf("subscriber", "%s backfill queued: %d files", ev.Subscriber, ev.Count)
+	case delivery.EvRetryScheduled:
+		s.logger.Logf("subscriber", "%s retry %d for %s in %s: %v",
+			ev.Subscriber, ev.Attempt, ev.Name, ev.Delay, ev.Err)
+	case delivery.EvCircuitOpen:
+		s.logger.Logf("subscriber", "%s circuit open (probe in %s): %v",
+			ev.Subscriber, ev.Delay, ev.Err)
+	case delivery.EvCircuitHalfOpen:
+		s.logger.Logf("subscriber", "%s circuit half-open: probing", ev.Subscriber)
 	}
 	if s.opts.OnEvent != nil {
 		s.opts.OnEvent(ev)
@@ -422,8 +433,8 @@ func (s *Server) StatusSummary() string {
 		if st.Offline {
 			state = "OFFLINE"
 		}
-		fmt.Fprintf(&b, "%s: delivered=%d bytes=%d failures=%d partition=%d %s\n",
-			name, st.Delivered, st.Bytes, st.Failures, st.Partition, state)
+		fmt.Fprintf(&b, "%s: delivered=%d bytes=%d failures=%d partition=%d circuit=%s %s\n",
+			name, st.Delivered, st.Bytes, st.Failures, st.Partition, st.Circuit, state)
 	}
 	st := s.store.Stats()
 	fmt.Fprintf(&b, "== receipts ==\nfiles=%d expired=%d feeds=%d commits=%d wal_bytes=%d\n",

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"bistro/internal/backoff"
+	"bistro/internal/clock"
 	"bistro/internal/protocol"
 	"bistro/internal/transport"
 )
@@ -71,16 +73,38 @@ func (c *compositeTransport) Ping(sub string) error {
 var _ transport.Transport = (*compositeTransport)(nil)
 
 // tcpTransport pushes protocol messages to subscriber daemons,
-// maintaining one connection per host.
+// maintaining one connection per host. Redials are gated by a per-host
+// backoff: after a dial failure, further attempts inside the backoff
+// window fail fast instead of re-paying the connect timeout — the
+// delivery engine's own retry schedule decides when to come back.
 type tcpTransport struct {
 	timeout time.Duration
+	clk     clock.Clock
+	pol     backoff.Policy
 
 	mu    sync.Mutex
 	conns map[string]*protocol.Conn
+	gates map[string]*dialGate
 }
 
-func newTCPTransport(timeout time.Duration) *tcpTransport {
-	return &tcpTransport{timeout: timeout, conns: make(map[string]*protocol.Conn)}
+// dialGate throttles redial attempts to one unreachable host.
+type dialGate struct {
+	bo        *backoff.Backoff
+	notBefore time.Time
+	lastErr   error
+}
+
+func newTCPTransport(timeout time.Duration, clk clock.Clock, pol backoff.Policy) *tcpTransport {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &tcpTransport{
+		timeout: timeout,
+		clk:     clk,
+		pol:     pol.WithDefaults(),
+		conns:   make(map[string]*protocol.Conn),
+		gates:   make(map[string]*dialGate),
+	}
 }
 
 // withConn runs fn holding the (cached) connection to host, dropping
@@ -91,12 +115,25 @@ func (t *tcpTransport) withConn(host string, fn func(*protocol.Conn) error) erro
 	t.mu.Lock()
 	conn, ok := t.conns[host]
 	if !ok {
+		g := t.gates[host]
+		if g != nil && t.clk.Now().Before(g.notBefore) {
+			err := g.lastErr
+			t.mu.Unlock()
+			return fmt.Errorf("server: dial %s suppressed by backoff: %w", host, err)
+		}
 		var err error
 		conn, err = protocol.Dial(host, t.timeout)
 		if err != nil {
+			if g == nil {
+				g = &dialGate{bo: backoff.New(t.pol, backoff.Seed(host))}
+				t.gates[host] = g
+			}
+			g.notBefore = t.clk.Now().Add(g.bo.Next())
+			g.lastErr = err
 			t.mu.Unlock()
 			return err
 		}
+		delete(t.gates, host) // dialed fine: forget the backoff history
 		conn.Timeout = t.timeout
 		t.conns[host] = conn
 	}

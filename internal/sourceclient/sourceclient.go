@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"bistro/internal/backoff"
 	"bistro/internal/clock"
 	"bistro/internal/protocol"
 )
@@ -36,6 +37,36 @@ func Dial(addr, name string, timeout time.Duration) (*Client, error) {
 		return nil, fmt.Errorf("sourceclient: hello: %w", err)
 	}
 	return c, nil
+}
+
+// DialRetry dials with an exponential-backoff retry schedule: sources
+// started before (or surviving a restart of) the Bistro server keep
+// trying instead of failing the producer's startup. pol.MaxRetries
+// bounds the attempts (default 5 when unset); a nil clk uses the wall
+// clock. Permanent errors abort immediately.
+func DialRetry(addr, name string, timeout time.Duration, pol backoff.Policy, clk clock.Clock) (*Client, error) {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	pol = pol.WithDefaults()
+	retries := pol.MaxRetries
+	if retries <= 0 {
+		retries = 5
+	}
+	bo := backoff.New(pol, backoff.Seed(name+"@"+addr))
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		c, err := Dial(addr, name, timeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if attempt >= retries || backoff.Classify(err) == backoff.ClassPermanent {
+			break
+		}
+		clk.Sleep(bo.Next())
+	}
+	return nil, fmt.Errorf("sourceclient: dial %s gave up after %d attempts: %w", addr, retries, lastErr)
 }
 
 // Upload ships file content to the server's landing zone (sources
@@ -76,6 +107,10 @@ type WatchOptions struct {
 	OnUpload func(name string, err error)
 	// Remove deletes local files after successful upload.
 	Remove bool
+	// Backoff stretches the poll interval after a scan with upload
+	// failures (zero value = defaults), so a down server is not
+	// hammered at the poll cadence. A clean scan resets the stretch.
+	Backoff backoff.Policy
 }
 
 // WatchDir polls dir and uploads every new regular file to the server
@@ -96,8 +131,9 @@ func (c *Client) WatchDir(dir string, opts WatchOptions) error {
 		mod  time.Time
 	}
 	seen := make(map[string]stamp)
-	scan := func() error {
-		return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+	bo := backoff.New(opts.Backoff.WithDefaults(), backoff.Seed(c.name+":"+dir))
+	scan := func() (failed bool, _ error) {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
 				if os.IsNotExist(err) {
 					return nil
@@ -131,18 +167,30 @@ func (c *Client) WatchDir(dir string, opts WatchOptions) error {
 					os.Remove(path)
 					delete(seen, key)
 				}
+			} else {
+				failed = true
 			}
 			if opts.OnUpload != nil {
 				opts.OnUpload(key, uerr)
 			}
 			return nil
 		})
+		return failed, err
 	}
 	for {
-		if err := scan(); err != nil {
+		failed, err := scan()
+		if err != nil {
 			return fmt.Errorf("sourceclient: watch scan: %w", err)
 		}
-		t := opts.Clock.NewTimer(opts.Interval)
+		wait := opts.Interval
+		if failed {
+			if d := bo.Next(); d > wait {
+				wait = d
+			}
+		} else {
+			bo.Reset()
+		}
+		t := opts.Clock.NewTimer(wait)
 		select {
 		case <-opts.Stop:
 			t.Stop()

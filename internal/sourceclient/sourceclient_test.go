@@ -10,6 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"bistro/internal/backoff"
+	"bistro/internal/clock"
 	"bistro/internal/protocol"
 )
 
@@ -240,6 +242,86 @@ func TestWatchDirRemove(t *testing.T) {
 		close(stop)
 	}()
 	if err := c.WatchDir(dir, WatchOptions{Interval: 5 * time.Millisecond, Stop: stop, Remove: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialRetryConnects(t *testing.T) {
+	fs := newFakeServer(t)
+	c, err := DialRetry(fs.ln.Addr().String(), "p", time.Second, backoff.Policy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestDialRetryGivesUpAfterMaxRetries(t *testing.T) {
+	pol := backoff.Policy{Base: time.Millisecond, Max: time.Millisecond, NoJitter: true, MaxRetries: 3}
+	_, err := DialRetry("127.0.0.1:1", "p", 50*time.Millisecond, pol, nil)
+	if err == nil || !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWatchDirBacksOffOnUploadFailure(t *testing.T) {
+	fs := newFakeServer(t)
+	c, err := Dial(fs.ln.Addr().String(), "agent", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fs.mu.Lock()
+	fs.fail = true
+	fs.mu.Unlock()
+
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.csv"), []byte("1"), 0o644)
+
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	var mu sync.Mutex
+	attempts := 0
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.WatchDir(dir, WatchOptions{
+			Interval: time.Second,
+			Clock:    clk,
+			Stop:     stop,
+			OnUpload: func(name string, err error) {
+				mu.Lock()
+				attempts++
+				mu.Unlock()
+			},
+			Backoff: backoff.Policy{Base: 4 * time.Second, Max: 4 * time.Second, NoJitter: true},
+		})
+	}()
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return attempts
+	}
+	waitCond(t, func() bool { return count() == 1 })
+	// The failed upload stretches the wait to the 4s backoff delay:
+	// advancing by the plain 1s poll interval must not rescan.
+	for i := 0; i < 3; i++ {
+		clk.Advance(time.Second)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := count(); got != 1 {
+		t.Fatalf("attempts = %d during backoff window, want 1", got)
+	}
+	// Heal the server; crossing the backoff deadline retries and
+	// succeeds, resetting the stretch back to the poll interval.
+	fs.mu.Lock()
+	fs.fail = false
+	fs.mu.Unlock()
+	clk.Advance(time.Second + time.Millisecond)
+	waitCond(t, func() bool { return count() == 2 })
+	os.WriteFile(filepath.Join(dir, "b.csv"), []byte("2"), 0o644)
+	clk.Advance(time.Second + time.Millisecond)
+	waitCond(t, func() bool { return count() == 3 })
+	close(stop)
+	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
 }
