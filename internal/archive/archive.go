@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bistro/internal/clock"
+	"bistro/internal/diskfault"
 	"bistro/internal/receipts"
 )
 
@@ -27,6 +28,8 @@ type Archiver struct {
 	// Window is the staged retention period; files whose data time (or
 	// arrival) is older move to the archive. Zero disables expiry.
 	Window time.Duration
+	// FS is the filesystem seam; defaults to the real filesystem.
+	FS diskfault.FS
 }
 
 // New creates an Archiver rooted at archiveRoot (created if missing).
@@ -42,6 +45,7 @@ func New(store *receipts.Store, clk clock.Clock, stagingRoot, archiveRoot string
 		stagingRoot: stagingRoot,
 		archiveRoot: archiveRoot,
 		Window:      window,
+		FS:          diskfault.OS(),
 	}, nil
 }
 
@@ -58,48 +62,71 @@ func (a *Archiver) ExpireOnce() (int, error) {
 		return 0, err
 	}
 	for _, v := range victims {
-		src := filepath.Join(a.stagingRoot, filepath.FromSlash(v.StagedPath))
-		if a.archiveRoot == "" {
-			os.Remove(src)
-			continue
-		}
-		dst := filepath.Join(a.archiveRoot, filepath.FromSlash(v.StagedPath))
-		if err := moveFile(src, dst); err != nil && !os.IsNotExist(err) {
-			return len(victims), fmt.Errorf("archive: move %s: %w", v.StagedPath, err)
+		if err := a.MoveExpired(v); err != nil {
+			return len(victims), err
 		}
 	}
 	return len(victims), nil
 }
 
+// MoveExpired moves one expired file's staged content into the archive
+// tree (or deletes it when no archive root is configured). Startup
+// reconciliation re-runs it for expired receipts whose staged file
+// still lingers — an archive move interrupted by a crash.
+func (a *Archiver) MoveExpired(v receipts.FileMeta) error {
+	src := filepath.Join(a.stagingRoot, filepath.FromSlash(v.StagedPath))
+	if a.archiveRoot == "" {
+		a.FS.Remove(src)
+		return nil
+	}
+	dst := filepath.Join(a.archiveRoot, filepath.FromSlash(v.StagedPath))
+	if err := a.moveFile(src, dst); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("archive: move %s: %w", v.StagedPath, err)
+	}
+	return nil
+}
+
 // moveFile renames when possible and falls back to copy+remove across
-// filesystems.
-func moveFile(src, dst string) error {
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+// filesystems. Either way the destination is made durable before the
+// source disappears: after a rename the destination directory is
+// fsynced; in the copy fallback the destination file and its directory
+// are fsynced before os.Remove(src) — otherwise a crash in the gap
+// loses the file on both sides.
+func (a *Archiver) moveFile(src, dst string) error {
+	if err := a.FS.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return err
 	}
-	if err := os.Rename(src, dst); err == nil {
-		return nil
+	if err := a.FS.Rename(src, dst); err == nil {
+		return a.FS.SyncDir(filepath.Dir(dst))
 	} else if os.IsNotExist(err) {
 		return err
 	}
-	in, err := os.Open(src)
+	in, err := a.FS.Open(src)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	out, err := os.Create(dst)
+	out, err := a.FS.Create(dst)
 	if err != nil {
 		return err
 	}
 	if _, err := io.Copy(out, in); err != nil {
 		out.Close()
-		os.Remove(dst)
+		a.FS.Remove(dst)
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		a.FS.Remove(dst)
 		return err
 	}
 	if err := out.Close(); err != nil {
 		return err
 	}
-	return os.Remove(src)
+	if err := a.FS.SyncDir(filepath.Dir(dst)); err != nil {
+		return err
+	}
+	return a.FS.Remove(src)
 }
 
 // Open serves a file from long-term storage (long-horizon analysis
@@ -108,7 +135,7 @@ func (a *Archiver) Open(stagedPath string) (io.ReadCloser, error) {
 	if a.archiveRoot == "" {
 		return nil, fmt.Errorf("archive: no archive configured")
 	}
-	f, err := os.Open(filepath.Join(a.archiveRoot, filepath.FromSlash(stagedPath)))
+	f, err := a.FS.Open(filepath.Join(a.archiveRoot, filepath.FromSlash(stagedPath)))
 	if err != nil {
 		return nil, fmt.Errorf("archive: open: %w", err)
 	}
@@ -139,7 +166,7 @@ func (a *Archiver) BackupReceipts(receiptsDir string) error {
 		if e.IsDir() {
 			continue
 		}
-		if err := copyFile(filepath.Join(receiptsDir, e.Name()), filepath.Join(dstDir, e.Name())); err != nil {
+		if err := a.copyFile(filepath.Join(receiptsDir, e.Name()), filepath.Join(dstDir, e.Name())); err != nil {
 			return fmt.Errorf("archive: backup %s: %w", e.Name(), err)
 		}
 	}
@@ -161,24 +188,28 @@ func (a *Archiver) RestoreReceipts(receiptsDir string) error {
 		if e.IsDir() {
 			continue
 		}
-		if err := copyFile(filepath.Join(srcDir, e.Name()), filepath.Join(receiptsDir, e.Name())); err != nil {
+		if err := a.copyFile(filepath.Join(srcDir, e.Name()), filepath.Join(receiptsDir, e.Name())); err != nil {
 			return fmt.Errorf("archive: restore %s: %w", e.Name(), err)
 		}
 	}
 	return nil
 }
 
-func copyFile(src, dst string) error {
-	in, err := os.Open(src)
+func (a *Archiver) copyFile(src, dst string) error {
+	in, err := a.FS.Open(src)
 	if err != nil {
 		return err
 	}
 	defer in.Close()
-	out, err := os.Create(dst)
+	out, err := a.FS.Create(dst)
 	if err != nil {
 		return err
 	}
 	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
 		out.Close()
 		return err
 	}

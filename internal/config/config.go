@@ -227,6 +227,10 @@ type Config struct {
 	LandingDir string
 	StagingDir string
 	ArchiveDir string
+	// QuarantineDir is where startup reconciliation moves staged files
+	// that diverge from their receipts (missing, corrupt, or orphaned).
+	// Defaults to "quarantine" under the server root.
+	QuarantineDir string
 	// Feeds are all leaf feeds, in definition order.
 	Feeds []*Feed
 	// Groups maps each group path to its descendant leaf feed paths.
@@ -313,6 +317,12 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.ArchiveDir = s
+		case "quarantine":
+			s, err := p.keywordString()
+			if err != nil {
+				return nil, err
+			}
+			cfg.QuarantineDir = s
 		case "feed":
 			if err := p.advance(); err != nil {
 				return nil, err

@@ -27,6 +27,9 @@ func Format(cfg *Config) string {
 	if cfg.ArchiveDir != "" {
 		fmt.Fprintf(&b, "archive %s\n", quote(cfg.ArchiveDir))
 	}
+	if cfg.QuarantineDir != "" && cfg.QuarantineDir != "quarantine" {
+		fmt.Fprintf(&b, "quarantine %s\n", quote(cfg.QuarantineDir))
+	}
 	if b.Len() > 0 {
 		b.WriteString("\n")
 	}

@@ -1,0 +1,181 @@
+// Package diskfault is the disk-level analog of internal/netsim: a
+// filesystem seam threaded through Bistro's storage path (receipt WAL
+// and checkpoints, staging promotion, archive moves, landing deposits)
+// so that real code and tests share one I/O surface, plus a
+// fault-injecting implementation driven by a seeded RNG.
+//
+// The fault model covers the failure classes a data feed manager
+// actually meets on disks: injected write/sync/rename errors, ENOSPC
+// with partial writes, and — the interesting one — a simulated power
+// cut. In power-cut mode the Faulty filesystem journals every
+// not-yet-durable state change (data beyond the last fsync, creates,
+// renames and removes whose parent directory was never fsynced) and,
+// on Crash, rolls the real on-disk tree back to exactly the durable
+// prefix, optionally tearing the unsynced tail of the last written
+// block. Code that survives this model survives a real power cut on a
+// POSIX filesystem with strict fsync semantics.
+//
+// Model simplifications (documented, deliberate):
+//   - fsync of a file makes its *data* durable; its directory entry
+//     needs a separate SyncDir of the parent (strict POSIX — ext4's
+//     auto_da_alloc leniency is NOT assumed, so missing dir syncs are
+//     caught).
+//   - a rename becomes durable when the destination's parent directory
+//     is synced.
+//   - truncation is applied immediately and is not rolled back (every
+//     truncate in the storage path is followed by an fsync on the same
+//     handle before anything depends on it).
+//   - directory creation survives crashes (MkdirAll is not journaled).
+package diskfault
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the file-handle surface Bistro's storage path needs;
+// *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem abstraction. All paths are interpreted like the
+// corresponding os functions.
+type FS interface {
+	// OpenFile is the generalized open.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens for reading.
+	Open(name string) (File, error)
+	// Create truncates or creates for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a fresh temp file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat describes a file.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory, making its entries (creates, renames,
+	// removes) durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the passthrough implementation backed by the real
+// filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)           { return os.Open(name) }
+func (osFS) Create(name string) (File, error)         { return os.Create(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (os.FileInfo, error)       { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// nosyncFS wraps an FS making every Sync and SyncDir a no-op — for
+// tests and simulations where durability is irrelevant and fsync cost
+// is not.
+type nosyncFS struct{ FS }
+
+// NoSync returns fsys with all syncs disabled.
+func NoSync(fsys FS) FS { return nosyncFS{fsys} }
+
+func (n nosyncFS) SyncDir(string) error { return nil }
+
+func (n nosyncFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := n.FS.OpenFile(name, flag, perm)
+	return nosyncFile{f}, err
+}
+func (n nosyncFS) Open(name string) (File, error) {
+	f, err := n.FS.Open(name)
+	return nosyncFile{f}, err
+}
+func (n nosyncFS) Create(name string) (File, error) {
+	f, err := n.FS.Create(name)
+	return nosyncFile{f}, err
+}
+func (n nosyncFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := n.FS.CreateTemp(dir, pattern)
+	return nosyncFile{f}, err
+}
+
+type nosyncFile struct{ File }
+
+func (f nosyncFile) Sync() error { return nil }
+
+// WriteFile writes data to name via fsys (no fsync — callers that need
+// durability sync explicitly).
+func WriteFile(fsys FS, name string, data []byte, perm os.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// ReadFile reads the whole of name via fsys.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteDurable writes data and makes it fully durable: file contents
+// fsynced, then the parent directory entry fsynced.
+func WriteDurable(fsys FS, name string, data []byte, perm os.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(name))
+}

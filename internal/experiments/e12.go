@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bistro/internal/config"
+	"bistro/internal/delivery"
+	"bistro/internal/diskfault"
+	"bistro/internal/normalize"
+	"bistro/internal/receipts"
+	"bistro/internal/server"
+)
+
+// E12CrashConsistency is the randomized crash-restart property harness
+// for the §4.2 durability contract: the full server runs over the
+// diskfault power-cut filesystem, the power is cut at a random point
+// in each round, and the restarted server must show (a) every
+// acknowledged arrival still present, deliverable, and never
+// quarantined, (b) zero staging/DB divergences surviving the startup
+// reconcile, and (c) at-least-once delivery with duplicates bounded by
+// the receipts lost to the cut. It also measures recovery time against
+// the checkpoint policy.
+func E12CrashConsistency(o Options) (Table, error) {
+	t := Table{
+		ID:     "E12",
+		Title:  "crash-consistency under randomized power cuts",
+		Claim:  "the receipt DB and the staged payloads it points at survive power cuts together; startup reconciliation quarantines any divergence instead of failing transfers (§4.2)",
+		Header: []string{"measure", "value"},
+	}
+	rounds := 50
+	perRound := 6
+	if o.Quick {
+		perRound = 4
+	}
+	res, err := RunCrashRounds(CrashRoundsConfig{
+		Rounds:   rounds,
+		PerRound: perRound,
+		Seed:     1106,
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"crash-restart rounds", fmt.Sprintf("%d", res.Rounds)},
+		[]string{"deposits attempted", fmt.Sprintf("%d", res.Attempted)},
+		[]string{"deposits acknowledged", fmt.Sprintf("%d", res.Acked)},
+		[]string{"power cuts mid-operation", fmt.Sprintf("%d", res.MidOpCrashes)},
+		[]string{"acked arrivals lost", fmt.Sprintf("%d", res.LostAcked)},
+		[]string{"unreconciled staging/DB divergences", fmt.Sprintf("%d", res.Divergences)},
+		[]string{"receipts quarantined", fmt.Sprintf("%d", res.Quarantined)},
+		[]string{"orphan staged files re-ingested", fmt.Sprintf("%d", res.Reingested)},
+		[]string{"acked files missing at subscriber", fmt.Sprintf("%d", res.Undelivered)},
+		[]string{"duplicate deliveries (at-least-once)", fmt.Sprintf("%d", res.Duplicates)},
+	)
+	if v := res.Violations(); v != 0 {
+		return t, fmt.Errorf("e12: %d invariant violations: %+v", v, res)
+	}
+
+	// Recovery time vs checkpoint policy: replaying a long WAL tail
+	// against recovering from a snapshot.
+	n := 5000
+	if o.Quick {
+		n = 1500
+	}
+	replay, err := recoveryTime(n, false)
+	if err != nil {
+		return t, err
+	}
+	ckpt, err := recoveryTime(n, true)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{fmt.Sprintf("recovery time, %d receipts, full WAL replay", n), ms(replay)},
+		[]string{fmt.Sprintf("recovery time, %d receipts, after checkpoint", n), ms(ckpt)},
+	)
+	t.Notes = append(t.Notes,
+		"each round arms a random power cut, runs ingest+delivery over the fault filesystem, rolls the disk back to the fsync-covered state, and restarts",
+		"staged promotes fsync file+directory before the arrival receipt commits, so a surviving receipt implies a surviving payload",
+		"delivery receipts lost to a cut cause bounded redelivery: at-least-once, duplicates overwrite in place",
+		"checkpoints bound recovery to the snapshot decode instead of the full WAL replay")
+	return t, nil
+}
+
+// CrashRoundsConfig parameterizes the crash-restart property harness.
+type CrashRoundsConfig struct {
+	// Rounds is how many crash-restart cycles to run.
+	Rounds int
+	// PerRound is how many files are deposited per round.
+	PerRound int
+	// Seed drives the per-round fault RNGs and crash points.
+	Seed int64
+	// Fault overlays extra diskfault behaviour on every round —
+	// LieSyncSubstr in particular deliberately reintroduces the
+	// non-durable-rename bug class so tests can prove the harness
+	// detects it. PowerCut and TornWrites are always forced on.
+	Fault diskfault.Options
+}
+
+// CrashRoundsResult aggregates the harness counters.
+type CrashRoundsResult struct {
+	Rounds       int
+	Attempted    int
+	Acked        int
+	MidOpCrashes int
+	// LostAcked counts acknowledged arrivals missing from the receipt
+	// DB after restart, or quarantined, or with a bad payload — the
+	// headline durability violation.
+	LostAcked int
+	// Divergences counts receipts (acked or not) whose staged payload
+	// is missing or corrupt after the startup reconcile supposedly
+	// repaired the tree.
+	Divergences int
+	Quarantined int
+	Reingested  int
+	// Undelivered counts acked files absent from the subscriber tree
+	// after the final clean run drained all queues.
+	Undelivered int
+	Duplicates  int
+}
+
+// Violations is the number of invariant breaches (zero for a healthy
+// storage path).
+func (r *CrashRoundsResult) Violations() int {
+	return r.LostAcked + r.Divergences + r.Undelivered
+}
+
+const e12Config = `
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+subscriber wh { dest "in" subscribe CPU }
+`
+
+// RunCrashRounds executes the crash-restart property loop and checks
+// the invariants after every restart. It is exported (within the
+// experiments package's test surface) so a test can rerun it with a
+// lying fsync and assert the violations become visible.
+func RunCrashRounds(cfg CrashRoundsConfig) (*CrashRoundsResult, error) {
+	root, err := os.MkdirTemp("", "bistro-e12-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &CrashRoundsResult{Rounds: cfg.Rounds}
+	acked := make(map[string]string) // original name -> payload
+	var mu sync.Mutex
+	deliveredEvents := 0
+	onEvent := func(ev delivery.Event) {
+		if ev.Kind == delivery.EvDelivered {
+			mu.Lock()
+			deliveredEvents++
+			mu.Unlock()
+		}
+	}
+
+	base := time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+	fileNo := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		dfOpts := cfg.Fault
+		dfOpts.Seed = cfg.Seed + int64(round) + 1
+		dfOpts.PowerCut = true
+		dfOpts.TornWrites = true
+		// NoSync below the fault layer: the simulation tracks durability
+		// itself, so real fsyncs would only slow the harness down.
+		faulty := diskfault.NewFaulty(diskfault.NoSync(diskfault.OS()), dfOpts)
+
+		srv, err := newE12Server(root, faulty, onEvent)
+		if err != nil {
+			return nil, fmt.Errorf("e12 round %d: restart: %w", round, err)
+		}
+		if err := checkInvariants(srv, root, acked, res); err != nil {
+			srv.Stop()
+			return nil, err
+		}
+
+		// Arm the cut somewhere inside this round's operation stream,
+		// then feed deposits; ingest and delivery race the countdown.
+		faulty.SetCrashAfter(3 + rng.Int63n(45))
+		for i := 0; i < cfg.PerRound; i++ {
+			name := fmt.Sprintf("CPU_POLL%d_%s.txt", i%3+1, base.Add(time.Duration(fileNo)*time.Minute).Format("200601021504"))
+			fileNo++
+			payload := fmt.Sprintf("round=%d file=%d payload=%032d", round, fileNo, fileNo)
+			res.Attempted++
+			if err := srv.Deposit(name, []byte(payload)); err == nil {
+				res.Acked++
+				acked[name] = payload
+			}
+		}
+		// Let in-flight deliveries race the countdown briefly.
+		deadline := time.Now().Add(300 * time.Millisecond)
+		for time.Now().Before(deadline) && !faulty.Crashed() {
+			if srv.Store().DeliveredCount("wh") >= len(acked) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if faulty.Crashed() {
+			res.MidOpCrashes++
+		}
+		srv.Stop()
+		// Pull the plug: roll the disk back to the durable prefix.
+		if err := faulty.Crash(); err != nil {
+			return nil, fmt.Errorf("e12 round %d: crash rollback: %w", round, err)
+		}
+	}
+
+	// Final clean run: drain every queue and verify at-least-once
+	// delivery of all acknowledged files.
+	srv, err := newE12Server(root, diskfault.OS(), onEvent)
+	if err != nil {
+		return nil, fmt.Errorf("e12 final restart: %w", err)
+	}
+	defer srv.Stop()
+	if err := checkInvariants(srv, root, acked, res); err != nil {
+		return nil, err
+	}
+	st := srv.Store().Stats()
+	res.Quarantined = st.Quarantined
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.Store().PendingFor("wh", []string{"CPU"})) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for name, payload := range acked {
+		got, err := os.ReadFile(filepath.Join(root, "in", "CPU", name))
+		if err != nil || string(got) != payload {
+			res.Undelivered++
+		}
+	}
+	mu.Lock()
+	res.Duplicates = deliveredEvents - (st.Files - st.Quarantined)
+	if res.Duplicates < 0 {
+		res.Duplicates = 0
+	}
+	mu.Unlock()
+	return res, nil
+}
+
+func newE12Server(root string, fsys diskfault.FS, onEvent func(delivery.Event)) (*server.Server, error) {
+	cfg, err := config.Parse(e12Config)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Options{
+		Config: cfg, Root: root, ScanInterval: -1,
+		FS: fsys, OnEvent: onEvent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		srv.Stop()
+		return nil, err
+	}
+	return srv, nil
+}
+
+// checkInvariants runs after every restart (reconcile already ran
+// inside Start): every acked arrival must be present, unquarantined,
+// and its staged payload intact; no surviving receipt may point at a
+// missing or corrupt staged file.
+func checkInvariants(srv *server.Server, root string, acked map[string]string, res *CrashRoundsResult) error {
+	store := srv.Store()
+	byName := make(map[string]receipts.FileMeta)
+	res.Reingested = 0
+	for _, meta := range store.AllFiles() {
+		byName[meta.Name] = meta
+		if _, ok := acked[meta.Name]; !ok {
+			// A receipt the depositor never got an ack for: either the
+			// commit raced the cut, or reconcile re-ingested an orphan.
+			res.Reingested++
+		}
+		if store.Quarantined(meta.ID) || store.IsExpired(meta.ID) {
+			continue
+		}
+		staged := filepath.Join(root, "staging", filepath.FromSlash(meta.StagedPath))
+		crc, size, err := normalize.ChecksumFile(staged)
+		if err != nil || size != meta.Size || crc != meta.Checksum {
+			res.Divergences++
+		}
+	}
+	for name := range acked {
+		meta, ok := byName[name]
+		if !ok || store.Quarantined(meta.ID) {
+			res.LostAcked++
+		}
+	}
+	return nil
+}
+
+// recoveryTime measures receipts.Open over a store holding n arrivals,
+// with or without a checkpoint taken before the crash point.
+func recoveryTime(n int, checkpoint bool) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "bistro-e12-rec-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := receipts.Open(dir, receipts.Options{NoSync: true})
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := store.RecordArrival(receipts.FileMeta{
+			Name: fmt.Sprintf("f%d", i), StagedPath: fmt.Sprintf("F/f%d", i),
+			Feeds: []string{"F"}, Size: 128, Checksum: uint32(i), Arrived: time.Now(),
+		}); err != nil {
+			store.Close()
+			return 0, err
+		}
+	}
+	if checkpoint {
+		if err := store.Checkpoint(); err != nil {
+			store.Close()
+			return 0, err
+		}
+	}
+	if err := store.Close(); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	reopened, err := receipts.Open(dir, receipts.Options{NoSync: true})
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	defer reopened.Close()
+	if got := reopened.Stats().Files; got != n {
+		return 0, fmt.Errorf("e12: recovered %d receipts, want %d", got, n)
+	}
+	return elapsed, nil
+}

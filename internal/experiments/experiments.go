@@ -112,5 +112,6 @@ func All() []Runner {
 		{"e9", "false-negative detection vs edit-distance baseline", E9FalseNegatives},
 		{"e10", "crash recovery, exactly-once delivery, WAL throughput", E10Recovery},
 		{"e11", "graceful degradation under fault injection", E11Degradation},
+		{"e12", "crash-consistency under randomized power cuts", E12CrashConsistency},
 	}
 }

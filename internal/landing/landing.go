@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"bistro/internal/clock"
+	"bistro/internal/diskfault"
 )
 
 // Ingest consumes one deposited file. It receives the path relative to
@@ -33,6 +34,10 @@ type Manager struct {
 	// ScanInterval is the fallback poll cadence for non-cooperating
 	// sources (0 disables the scanner).
 	scanInterval time.Duration
+	// FS is the filesystem seam for deposits; defaults to the real
+	// filesystem. Deposits are not fsynced — a file is the provider's
+	// responsibility until ingest acknowledges it.
+	FS diskfault.FS
 
 	mu      sync.Mutex
 	stopCh  chan struct{}
@@ -52,6 +57,7 @@ func New(dir string, ingest Ingest, clk clock.Clock, scanInterval time.Duration)
 		ingest:       ingest,
 		clk:          clk,
 		scanInterval: scanInterval,
+		FS:           diskfault.OS(),
 		stopCh:       make(chan struct{}),
 	}, nil
 }
@@ -67,10 +73,10 @@ func (m *Manager) Deposit(name string, data []byte) error {
 		return err
 	}
 	dst := filepath.Join(m.dir, rel)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	if err := m.FS.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("landing: mkdir: %w", err)
 	}
-	if err := os.WriteFile(dst, data, 0o644); err != nil {
+	if err := diskfault.WriteFile(m.FS, dst, data, 0o644); err != nil {
 		return fmt.Errorf("landing: write: %w", err)
 	}
 	return m.ingest(rel)

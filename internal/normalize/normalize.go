@@ -12,11 +12,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 
 	"bistro/internal/config"
+	"bistro/internal/diskfault"
 	"bistro/internal/pattern"
 )
 
@@ -73,15 +73,25 @@ type Result struct {
 // (write to a temp file in dst's directory, then rename). It returns
 // the staged size and checksum used for delivery verification.
 func Process(src, dst string, mode config.Compression) (Result, error) {
-	in, err := os.Open(src)
+	return ProcessFS(diskfault.OS(), src, dst, mode)
+}
+
+// ProcessFS is Process over an explicit filesystem seam, and it is the
+// durable variant the server uses: the receipt DB will point at dst,
+// so the temp file is fsynced before the rename and the parent
+// directory is fsynced after it. Without both, a power cut after the
+// arrival receipt commits can leave the receipt referencing a
+// truncated or missing staged file.
+func ProcessFS(fsys diskfault.FS, src, dst string, mode config.Compression) (Result, error) {
+	in, err := fsys.Open(src)
 	if err != nil {
 		return Result{}, fmt.Errorf("normalize: open source: %w", err)
 	}
 	defer in.Close()
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return Result{}, fmt.Errorf("normalize: mkdir: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ".bistro-tmp-*")
+	tmp, err := fsys.CreateTemp(filepath.Dir(dst), ".bistro-tmp-*")
 	if err != nil {
 		return Result{}, fmt.Errorf("normalize: temp file: %w", err)
 	}
@@ -89,16 +99,24 @@ func Process(src, dst string, mode config.Compression) (Result, error) {
 	res, err := transform(in, tmp, mode)
 	if err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return Result{}, err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		fsys.Remove(tmpName)
+		return Result{}, fmt.Errorf("normalize: sync temp: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return Result{}, fmt.Errorf("normalize: close temp: %w", err)
 	}
-	if err := os.Rename(tmpName, dst); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, dst); err != nil {
+		fsys.Remove(tmpName)
 		return Result{}, fmt.Errorf("normalize: rename: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(dst)); err != nil {
+		return Result{}, fmt.Errorf("normalize: sync dir: %w", err)
 	}
 	return res, nil
 }
@@ -156,7 +174,12 @@ func (cw *countWriter) Write(p []byte) (int, error) {
 // ChecksumFile computes the CRC32 of a file's content, used by
 // subscribers to verify received files.
 func ChecksumFile(path string) (uint32, int64, error) {
-	f, err := os.Open(path)
+	return ChecksumFileFS(diskfault.OS(), path)
+}
+
+// ChecksumFileFS is ChecksumFile over an explicit filesystem seam.
+func ChecksumFileFS(fsys diskfault.FS, path string) (uint32, int64, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("normalize: open: %w", err)
 	}

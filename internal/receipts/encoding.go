@@ -8,9 +8,10 @@ import (
 
 // Record types in WAL payloads.
 const (
-	recArrival  byte = 1
-	recDelivery byte = 2
-	recExpire   byte = 3
+	recArrival    byte = 1
+	recDelivery   byte = 2
+	recExpire     byte = 3
+	recQuarantine byte = 4
 )
 
 // op is one decoded WAL record.
@@ -56,7 +57,7 @@ func encodeOp(b []byte, o op) []byte {
 		b = binary.AppendUvarint(b, o.id)
 		b = appendString(b, o.sub)
 		b = binary.AppendVarint(b, o.at.UnixNano())
-	case recExpire:
+	case recExpire, recQuarantine:
 		b = binary.AppendUvarint(b, o.id)
 	}
 	return b
@@ -155,7 +156,7 @@ func decodeOps(b []byte) ([]op, error) {
 			}
 			o.at = time.Unix(0, iv).UTC()
 			b = b[sz:]
-		case recExpire:
+		case recExpire, recQuarantine:
 			var n uint64
 			var sz int
 			if n, sz = binary.Uvarint(b); sz <= 0 {

@@ -3,11 +3,12 @@ package receipts
 import (
 	"encoding/gob"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
+
+	"bistro/internal/diskfault"
 )
 
 // FileMeta is the arrival receipt for one received file.
@@ -46,6 +47,10 @@ type Options struct {
 	// grows past this size (0 = never automatic). Bounds recovery time
 	// independent of transaction count.
 	CheckpointBytes int64
+	// FS is the filesystem seam (nil = the real filesystem). Fault
+	// injection and crash simulations substitute diskfault
+	// implementations here.
+	FS diskfault.FS
 }
 
 // Store is the receipt database. All methods are safe for concurrent
@@ -53,6 +58,7 @@ type Options struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   diskfault.FS
 
 	// commitLock serializes checkpoints against in-flight commits:
 	// every commit holds it shared across its WAL append + memory
@@ -69,7 +75,11 @@ type Store struct {
 	// delivered[sub] is the set of file ids delivered to sub.
 	delivered map[string]map[uint64]time.Time
 	expired   map[uint64]bool
-	commits   int
+	// quarantined[id] marks arrivals whose staged payload was found
+	// missing or corrupt by startup reconciliation; they are excluded
+	// from delivery queues until an operator re-ingests them.
+	quarantined map[uint64]bool
+	commits     int
 	walBytes  int64 // approximate WAL size since the last checkpoint
 	closed    bool
 
@@ -91,24 +101,38 @@ const checkpointName = "receipts.ckpt"
 
 // Open opens (creating if necessary) the receipt store in dir.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = diskfault.OS()
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("receipts: mkdir: %w", err)
 	}
 	s := &Store{
-		dir:       dir,
-		opts:      opts,
-		nextID:    1,
-		files:     make(map[uint64]*FileMeta),
-		feedFiles: make(map[string][]uint64),
-		delivered: make(map[string]map[uint64]time.Time),
-		expired:   make(map[uint64]bool),
+		dir:         dir,
+		opts:        opts,
+		fs:          fsys,
+		nextID:      1,
+		files:       make(map[uint64]*FileMeta),
+		feedFiles:   make(map[string][]uint64),
+		delivered:   make(map[string]map[uint64]time.Time),
+		expired:     make(map[uint64]bool),
+		quarantined: make(map[uint64]bool),
 	}
 	if err := s.loadCheckpoint(); err != nil {
 		return nil, err
 	}
-	w, err := openWAL(filepath.Join(dir, walName))
+	w, err := openWAL(fsys, filepath.Join(dir, walName))
 	if err != nil {
 		return nil, err
+	}
+	if !opts.NoSync {
+		// The WAL file may have just been created: make its directory
+		// entry durable before the first synced append relies on it.
+		if err := fsys.SyncDir(dir); err != nil {
+			w.close()
+			return nil, fmt.Errorf("receipts: sync dir: %w", err)
+		}
 	}
 	s.wal = w
 	if err := w.replay(func(payload []byte) error {
@@ -148,6 +172,8 @@ func (s *Store) applyLocked(o op) {
 		m[o.id] = o.at
 	case recExpire:
 		s.expired[o.id] = true
+	case recQuarantine:
+		s.quarantined[o.id] = true
 	}
 }
 
@@ -273,6 +299,41 @@ func (s *Store) RecordExpire(id uint64) error {
 	return s.commit([]op{{kind: recExpire, id: id}})
 }
 
+// RecordQuarantine durably marks an arrival whose staged payload was
+// found missing or corrupt; quarantined files never enter delivery
+// queues (§4.2 reconciliation — a diverged receipt must not crash a
+// transfer mid-stream).
+func (s *Store) RecordQuarantine(id uint64) error {
+	return s.commit([]op{{kind: recQuarantine, id: id}})
+}
+
+// Quarantined reports whether id is quarantined.
+func (s *Store) Quarantined(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined[id]
+}
+
+// IsExpired reports whether id has expired from the retention window.
+func (s *Store) IsExpired(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired[id]
+}
+
+// AllFiles returns every arrival receipt in id order, regardless of
+// expiry or quarantine state — the startup reconciliation input.
+func (s *Store) AllFiles() []FileMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FileMeta, 0, len(s.files))
+	for _, f := range s.files {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // File returns the arrival receipt for id.
 func (s *Store) File(id uint64) (FileMeta, bool) {
 	s.mu.Lock()
@@ -307,7 +368,7 @@ func (s *Store) FilesInFeed(feed string) []FileMeta {
 	ids := s.feedFiles[feed]
 	out := make([]FileMeta, 0, len(ids))
 	for _, id := range ids {
-		if s.expired[id] {
+		if s.expired[id] || s.quarantined[id] {
 			continue
 		}
 		if f, ok := s.files[id]; ok {
@@ -329,7 +390,7 @@ func (s *Store) PendingFor(sub string, feeds []string) []FileMeta {
 	var out []FileMeta
 	for _, feed := range feeds {
 		for _, id := range s.feedFiles[feed] {
-			if seen[id] || s.expired[id] {
+			if seen[id] || s.expired[id] || s.quarantined[id] {
 				continue
 			}
 			seen[id] = true
@@ -352,7 +413,7 @@ func (s *Store) ExpireBefore(cutoff time.Time) ([]FileMeta, error) {
 	s.mu.Lock()
 	var victims []FileMeta
 	for id, f := range s.files {
-		if s.expired[id] {
+		if s.expired[id] || s.quarantined[id] {
 			continue
 		}
 		t := f.DataTime
@@ -382,6 +443,7 @@ func (s *Store) ExpireBefore(cutoff time.Time) ([]FileMeta, error) {
 type Stats struct {
 	Files       int
 	Expired     int
+	Quarantined int
 	Feeds       int
 	Subscribers int
 	Commits     int
@@ -395,6 +457,7 @@ func (s *Store) Stats() Stats {
 	return Stats{
 		Files:       len(s.files),
 		Expired:     len(s.expired),
+		Quarantined: len(s.quarantined),
 		Feeds:       len(s.feedFiles),
 		Subscribers: len(s.delivered),
 		Commits:     s.commits,
@@ -404,11 +467,12 @@ func (s *Store) Stats() Stats {
 
 // checkpointState is the gob-serialized snapshot.
 type checkpointState struct {
-	NextID    uint64
-	Files     map[uint64]*FileMeta
-	FeedFiles map[string][]uint64
-	Delivered map[string]map[uint64]time.Time
-	Expired   map[uint64]bool
+	NextID      uint64
+	Files       map[uint64]*FileMeta
+	FeedFiles   map[string][]uint64
+	Delivered   map[string]map[uint64]time.Time
+	Expired     map[uint64]bool
+	Quarantined map[uint64]bool
 }
 
 // Checkpoint atomically persists the full in-memory state and resets
@@ -419,14 +483,15 @@ func (s *Store) Checkpoint() error {
 	defer s.commitLock.Unlock()
 	s.mu.Lock()
 	st := checkpointState{
-		NextID:    s.nextID,
-		Files:     s.files,
-		FeedFiles: s.feedFiles,
-		Delivered: s.delivered,
-		Expired:   s.expired,
+		NextID:      s.nextID,
+		Files:       s.files,
+		FeedFiles:   s.feedFiles,
+		Delivered:   s.delivered,
+		Expired:     s.expired,
+		Quarantined: s.quarantined,
 	}
 	tmp := filepath.Join(s.dir, checkpointName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
 		s.mu.Unlock()
 		return fmt.Errorf("receipts: checkpoint create: %w", err)
@@ -435,20 +500,28 @@ func (s *Store) Checkpoint() error {
 	s.mu.Unlock()
 	if err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("receipts: checkpoint encode: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("receipts: checkpoint sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return fmt.Errorf("receipts: checkpoint close: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
 		return fmt.Errorf("receipts: checkpoint rename: %w", err)
+	}
+	// fsync the directory so a crash cannot revert to a stale (or no)
+	// checkpoint after the WAL below has already been reset — without
+	// this, the rename may still be sitting in the page cache when the
+	// reset hits the disk, and recovery would see neither the history
+	// nor the snapshot.
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("receipts: checkpoint dir sync: %w", err)
 	}
 	s.mu.Lock()
 	s.walBytes = 0
@@ -458,8 +531,8 @@ func (s *Store) Checkpoint() error {
 
 // loadCheckpoint restores state from the latest checkpoint, if any.
 func (s *Store) loadCheckpoint() error {
-	f, err := os.Open(filepath.Join(s.dir, checkpointName))
-	if os.IsNotExist(err) {
+	f, err := s.fs.Open(filepath.Join(s.dir, checkpointName))
+	if err != nil && !fileExists(s.fs, filepath.Join(s.dir, checkpointName)) {
 		return nil
 	}
 	if err != nil {
@@ -483,7 +556,16 @@ func (s *Store) loadCheckpoint() error {
 	if st.Expired != nil {
 		s.expired = st.Expired
 	}
+	if st.Quarantined != nil {
+		s.quarantined = st.Quarantined
+	}
 	return nil
+}
+
+// fileExists reports whether path exists via the seam.
+func fileExists(fsys diskfault.FS, path string) bool {
+	_, err := fsys.Stat(path)
+	return err == nil
 }
 
 // Close flushes and closes the store.

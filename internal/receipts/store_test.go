@@ -513,3 +513,96 @@ func TestAutomaticCheckpointBySize(t *testing.T) {
 		t.Fatalf("recovered files = %d", got)
 	}
 }
+
+func TestPendingForAcrossCheckpointAndReopen(t *testing.T) {
+	// Queue recomputation must be identical before and after WAL
+	// compaction: checkpoint, reopen, and compare PendingFor snapshots.
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	var ids []uint64
+	for i := 0; i < 8; i++ {
+		feeds := []string{"bps"}
+		if i%2 == 0 {
+			feeds = append(feeds, "pps")
+		}
+		id, err := s.RecordArrival(meta(fmt.Sprintf("f%d", i), feeds...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	s.RecordDelivery(ids[0], "sub1", t0)
+	s.RecordDelivery(ids[3], "sub1", t0)
+	s.RecordExpire(ids[1])
+
+	snapshot := func(st *Store) map[string][]uint64 {
+		out := make(map[string][]uint64)
+		for _, q := range []struct {
+			sub   string
+			feeds []string
+		}{
+			{"sub1", []string{"bps"}},
+			{"sub1", []string{"bps", "pps"}},
+			{"latecomer", []string{"pps"}},
+		} {
+			var got []uint64
+			for _, f := range st.PendingFor(q.sub, q.feeds) {
+				got = append(got, f.ID)
+			}
+			out[q.sub+"/"+fmt.Sprint(q.feeds)] = got
+		}
+		return out
+	}
+	before := snapshot(s)
+
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	afterCkpt := snapshot(s)
+	if fmt.Sprint(before) != fmt.Sprint(afterCkpt) {
+		t.Fatalf("pending diverged across checkpoint:\n before %v\n after  %v", before, afterCkpt)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	defer s2.Close()
+	afterReopen := snapshot(s2)
+	if fmt.Sprint(before) != fmt.Sprint(afterReopen) {
+		t.Fatalf("pending diverged across reopen:\n before %v\n after  %v", before, afterReopen)
+	}
+}
+
+func TestQuarantineExcludedAndDurable(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	id2, _ := s.RecordArrival(meta("b", "bps"))
+	if err := s.RecordQuarantine(id1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Quarantined(id1) || s.Quarantined(id2) {
+		t.Fatal("Quarantined bookkeeping wrong")
+	}
+	pend := s.PendingFor("sub1", []string{"bps"})
+	if len(pend) != 1 || pend[0].ID != id2 {
+		t.Fatalf("pending should exclude quarantined: %+v", pend)
+	}
+	if got := s.Stats().Quarantined; got != 1 {
+		t.Fatalf("Stats.Quarantined = %d, want 1", got)
+	}
+	// Survives a checkpoint and a reopen.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openTest(t, dir, Options{})
+	defer s2.Close()
+	if !s2.Quarantined(id1) {
+		t.Fatal("quarantine lost across checkpoint+reopen")
+	}
+	if got := len(s2.PendingFor("sub1", []string{"bps"})); got != 1 {
+		t.Fatalf("recovered pending = %d, want 1", got)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"bistro/internal/diskfault"
 )
 
 // walFile is the file surface the log needs; *os.File satisfies it,
@@ -48,12 +50,12 @@ type wal struct {
 
 const walName = "receipts.wal"
 
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openWAL(fsys diskfault.FS, path string) (*wal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("receipts: open wal: %w", err)
 	}
-	st, err := f.Stat()
+	st, err := fsys.Stat(path)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("receipts: stat wal: %w", err)

@@ -31,6 +31,7 @@ import (
 	"bistro/internal/config"
 	"bistro/internal/delivery"
 	"bistro/internal/discovery"
+	"bistro/internal/diskfault"
 	"bistro/internal/feedlog"
 	"bistro/internal/landing"
 	"bistro/internal/normalize"
@@ -82,6 +83,11 @@ type Options struct {
 	OnEvent func(delivery.Event)
 	// NoSync disables receipt fsyncs (tests and experiments).
 	NoSync bool
+	// FS overrides the filesystem for the storage path — receipt WAL
+	// and checkpoints, staging promotion, archive moves, landing
+	// deposits (fault injection, crash simulation). Default: the real
+	// filesystem.
+	FS diskfault.FS
 	// AnalyzerSample bounds how many observations per feed (and
 	// unmatched) the analyzer retains. Default 10000.
 	AnalyzerSample int
@@ -92,9 +98,11 @@ type Server struct {
 	opts   Options
 	cfg    *config.Config
 	clk    clock.Clock
+	fs     diskfault.FS
 	root   string
 	stage  string
 	dbDir  string
+	quar   string
 	logger *feedlog.Logger
 
 	store  *receipts.Store
@@ -143,10 +151,18 @@ func New(opts Options) (*Server, error) {
 		opts.AnalyzerSample = 10000
 	}
 	cfg := opts.Config
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = diskfault.OS()
+	}
+	if opts.NoSync {
+		fsys = diskfault.NoSync(fsys)
+	}
 	s := &Server{
 		opts:    opts,
 		cfg:     cfg,
 		clk:     opts.Clock,
+		fs:      fsys,
 		root:    opts.Root,
 		matched: make(map[string][]discovery.Observation),
 		conns:   make(map[*protocol.Conn]struct{}),
@@ -154,8 +170,9 @@ func New(opts Options) (*Server, error) {
 	}
 	s.stage = s.resolveDir(cfg.StagingDir, "staging")
 	s.dbDir = filepath.Join(opts.Root, "receipts")
+	s.quar = s.resolveDir(cfg.QuarantineDir, "quarantine")
 	for _, dir := range []string{s.stage, s.dbDir} {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: mkdir %s: %w", dir, err)
 		}
 	}
@@ -169,6 +186,7 @@ func New(opts Options) (*Server, error) {
 
 	store, err := receipts.Open(s.dbDir, receipts.Options{
 		NoSync: opts.NoSync,
+		FS:     s.fs,
 		// Bound recovery time: snapshot once the WAL reaches 16 MiB.
 		CheckpointBytes: 16 << 20,
 	})
@@ -216,6 +234,7 @@ func New(opts Options) (*Server, error) {
 		store.Close()
 		return nil, err
 	}
+	land.FS = s.fs
 	s.land = land
 
 	archRoot := ""
@@ -227,6 +246,7 @@ func New(opts Options) (*Server, error) {
 		store.Close()
 		return nil, err
 	}
+	arch.FS = s.fs
 	s.arch = arch
 	return s, nil
 }
@@ -331,6 +351,14 @@ func (s *Server) onDeliveryEvent(ev delivery.Event) {
 // a revised feed definition disseminates everything it now matches
 // (§4.2: "all the files matching new definition will be delivered").
 func (s *Server) Start() error {
+	if n := s.cleanStaleTmp(); n > 0 {
+		s.logger.Logf("reconcile", "removed %d stale temp files", n)
+	}
+	if rep, err := s.Reconcile(); err != nil {
+		s.logger.Logf("reconcile", "error: %v", err)
+	} else if !rep.Clean() {
+		s.logger.Logf("reconcile", "%s", rep)
+	}
 	if n, err := s.ReprocessUnmatched(); err != nil {
 		s.logger.Logf("unmatched", "reprocess error: %v", err)
 	} else if n > 0 {
@@ -437,8 +465,8 @@ func (s *Server) StatusSummary() string {
 			name, st.Delivered, st.Bytes, st.Failures, st.Partition, st.Circuit, state)
 	}
 	st := s.store.Stats()
-	fmt.Fprintf(&b, "== receipts ==\nfiles=%d expired=%d feeds=%d commits=%d wal_bytes=%d\n",
-		st.Files, st.Expired, st.Feeds, st.Commits, st.WALBytes)
+	fmt.Fprintf(&b, "== receipts ==\nfiles=%d expired=%d quarantined=%d feeds=%d commits=%d wal_bytes=%d\n",
+		st.Files, st.Expired, st.Quarantined, st.Feeds, st.Commits, st.WALBytes)
 	return b.String()
 }
 
@@ -568,10 +596,10 @@ func (s *Server) ingestFrom(root, rel string) error {
 		// Keep the bytes — a future revised definition may claim them —
 		// but move them out of landing so scans stay cheap.
 		dst := filepath.Join(s.stage, "_unmatched", rel)
-		if _, err := normalize.Process(src, dst, config.CompressNone); err != nil {
+		if _, err := normalize.ProcessFS(s.fs, src, dst, config.CompressNone); err != nil {
 			return err
 		}
-		return os.Remove(src)
+		return s.fs.Remove(src)
 	}
 
 	primary := matches[0]
@@ -579,11 +607,11 @@ func (s *Server) ingestFrom(root, rel string) error {
 	if err != nil {
 		return fmt.Errorf("server: staging name for %s: %w", name, err)
 	}
-	res, err := normalize.Process(src, filepath.Join(s.stage, stagedName), primary.Feed.Compress)
+	res, err := normalize.ProcessFS(s.fs, src, filepath.Join(s.stage, stagedName), primary.Feed.Compress)
 	if err != nil {
 		return fmt.Errorf("server: normalize %s: %w", name, err)
 	}
-	if err := os.Remove(src); err != nil {
+	if err := s.fs.Remove(src); err != nil {
 		return fmt.Errorf("server: clear landing %s: %w", name, err)
 	}
 
