@@ -1,4 +1,4 @@
-// Benchmarks regenerating the paper-reproduction experiments E1–E10.
+// Benchmarks regenerating the paper-reproduction experiments.
 // Each benchmark runs the corresponding experiment from
 // internal/experiments at reduced (Quick) scale and reports its key
 // figure as a custom metric; `go run ./cmd/bistro-bench` prints the
@@ -146,6 +146,18 @@ func BenchmarkE10Recovery(b *testing.B) {
 		}
 		if strings.HasPrefix(row[0], "wal commits/sec (group") {
 			b.ReportMetric(metric(row[1]), "wal_group_commits_per_sec")
+		}
+	}
+}
+
+func BenchmarkE13Overhead(b *testing.B) {
+	t := runExperiment(b, experiments.E13Overhead)
+	for _, row := range t.Rows {
+		if strings.HasPrefix(row[0], "classifier") {
+			b.ReportMetric(metric(strings.TrimPrefix(row[3], "+")), "classifier_overhead_pct")
+		}
+		if strings.HasPrefix(row[0], "delivery") {
+			b.ReportMetric(metric(strings.TrimPrefix(row[3], "+")), "delivery_overhead_pct")
 		}
 	}
 }

@@ -1,6 +1,7 @@
 // Command bistroctl is the source-side client for a Bistro server: it
 // uploads files into the landing zone, announces files deposited via a
-// shared filesystem, and marks end-of-batch punctuation.
+// shared filesystem, marks end-of-batch punctuation, and renders the
+// server's live status from the admin endpoint.
 //
 // Usage:
 //
@@ -8,6 +9,7 @@
 //	bistroctl -server host:port ready rel/path1 [rel/path2 ...]
 //	bistroctl -server host:port eob [feed]
 //	bistroctl -server host:port watch dir       # agent mode: poll dir, upload new files
+//	bistroctl -admin host:port status           # render /statusz from the admin endpoint
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 func main() {
 	var (
 		serverAddr = flag.String("server", "127.0.0.1:9400", "Bistro server address")
+		adminAddr  = flag.String("admin", "127.0.0.1:9090", "Bistro admin endpoint address (status)")
 		name       = flag.String("name", "bistroctl", "source name")
 		timeout    = flag.Duration("timeout", 10*time.Second, "operation timeout")
 		interval   = flag.Duration("interval", 2*time.Second, "watch poll interval")
@@ -34,6 +37,15 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// status talks HTTP to the admin endpoint, not the feed protocol —
+	// handle it before dialing the protocol listener.
+	if args[0] == "status" {
+		if err := runStatus(*adminAddr, *timeout, os.Stdout); err != nil {
+			fatal("status: %v", err)
+		}
+		return
 	}
 
 	client, err := sourceclient.Dial(*serverAddr, *name, *timeout)
@@ -110,6 +122,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bistroctl -server host:port {upload files... | ready paths... | eob [feed] | watch dir}")
+	fmt.Fprintln(os.Stderr, "       bistroctl -admin host:port status")
 	os.Exit(2)
 }
 

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// statusDoc mirrors the /statusz JSON document (internal/server.Status)
+// with just the fields the renderer uses, so bistroctl does not link
+// the whole server package.
+type statusDoc struct {
+	Time  time.Time `json:"time"`
+	Feeds map[string]struct {
+		Files     int64
+		Bytes     int64
+		Delivered int64
+		Failures  int64
+	} `json:"feeds"`
+	Unmatched   int64 `json:"unmatched"`
+	Subscribers map[string]struct {
+		Delivered int64
+		Bytes     int64
+		Failures  int64
+		Offline   bool
+		Circuit   string
+		Partition int
+	} `json:"subscribers"`
+	Receipts struct {
+		Files       int
+		Expired     int
+		Quarantined int
+		Feeds       int
+		Commits     int
+		WALBytes    int64
+	} `json:"receipts"`
+	Partitions []struct {
+		Name     string `json:"name"`
+		Realtime int    `json:"realtime"`
+		Backfill int    `json:"backfill"`
+		Delayed  int    `json:"delayed"`
+	} `json:"partitions"`
+	Inflight int `json:"inflight"`
+	Alarms   []struct {
+		Feed    string
+		Message string
+		At      time.Time
+	} `json:"alarms"`
+}
+
+// runStatus fetches /statusz from the admin endpoint and renders it.
+func runStatus(addr string, timeout time.Duration, w io.Writer) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/statusz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, string(body))
+	}
+	var doc statusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decode /statusz: %w", err)
+	}
+	renderStatus(&doc, w)
+	return nil
+}
+
+// renderStatus writes the human-readable status report.
+func renderStatus(doc *statusDoc, w io.Writer) {
+	fmt.Fprintf(w, "bistro status at %s\n", doc.Time.Format(time.RFC3339))
+	fmt.Fprintln(w, "== feeds ==")
+	feedNames := make([]string, 0, len(doc.Feeds))
+	for name := range doc.Feeds {
+		feedNames = append(feedNames, name)
+	}
+	sort.Strings(feedNames)
+	for _, name := range feedNames {
+		f := doc.Feeds[name]
+		fmt.Fprintf(w, "%s: files=%d bytes=%d delivered=%d failures=%d\n",
+			name, f.Files, f.Bytes, f.Delivered, f.Failures)
+	}
+	fmt.Fprintf(w, "unmatched: %d\n", doc.Unmatched)
+	fmt.Fprintln(w, "== subscribers ==")
+	subNames := make([]string, 0, len(doc.Subscribers))
+	for name := range doc.Subscribers {
+		subNames = append(subNames, name)
+	}
+	sort.Strings(subNames)
+	for _, name := range subNames {
+		s := doc.Subscribers[name]
+		state := "online"
+		if s.Offline {
+			state = "OFFLINE"
+		}
+		fmt.Fprintf(w, "%s: delivered=%d bytes=%d failures=%d partition=%d circuit=%s %s\n",
+			name, s.Delivered, s.Bytes, s.Failures, s.Partition, s.Circuit, state)
+	}
+	fmt.Fprintln(w, "== scheduler ==")
+	for _, p := range doc.Partitions {
+		fmt.Fprintf(w, "%s: realtime=%d backfill=%d delayed=%d\n",
+			p.Name, p.Realtime, p.Backfill, p.Delayed)
+	}
+	fmt.Fprintf(w, "inflight: %d\n", doc.Inflight)
+	r := doc.Receipts
+	fmt.Fprintf(w, "== receipts ==\nfiles=%d expired=%d quarantined=%d feeds=%d commits=%d wal_bytes=%d\n",
+		r.Files, r.Expired, r.Quarantined, r.Feeds, r.Commits, r.WALBytes)
+	if len(doc.Alarms) > 0 {
+		fmt.Fprintln(w, "== alarms ==")
+		for _, a := range doc.Alarms {
+			fmt.Fprintf(w, "%s %s: %s\n", a.At.Format(time.RFC3339), a.Feed, a.Message)
+		}
+	}
+}

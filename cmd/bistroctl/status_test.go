@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleStatusJSON is a /statusz document as the server emits it
+// (internal/server.Status marshalled with Go field names).
+const sampleStatusJSON = `{
+  "time": "2010-09-25T04:51:00Z",
+  "feeds": {
+    "SNMP/BPS": {"Files": 3, "Bytes": 120, "Delivered": 2, "Failures": 1}
+  },
+  "unmatched": 4,
+  "subscribers": {
+    "wh":   {"Delivered": 2, "Bytes": 120, "Failures": 0, "Offline": false, "Circuit": "closed", "Partition": 1},
+    "down": {"Delivered": 0, "Bytes": 0, "Failures": 5, "Offline": true, "Circuit": "open", "Partition": 0}
+  },
+  "receipts": {"Files": 3, "Expired": 0, "Quarantined": 1, "Feeds": 1, "Commits": 5, "WALBytes": 512},
+  "partitions": [
+    {"name": "interactive", "realtime": 0, "backfill": 0, "delayed": 2}
+  ],
+  "inflight": 1,
+  "alarms": [
+    {"Feed": "SNMP/BPS", "Message": "no data for 10m0s", "At": "2010-09-25T04:50:00Z"}
+  ]
+}`
+
+func TestRenderStatus(t *testing.T) {
+	var doc statusDoc
+	if err := json.Unmarshal([]byte(sampleStatusJSON), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	renderStatus(&doc, &b)
+	out := b.String()
+	for _, want := range []string{
+		"SNMP/BPS: files=3 bytes=120 delivered=2 failures=1",
+		"unmatched: 4",
+		"down: delivered=0 bytes=0 failures=5 partition=0 circuit=open OFFLINE",
+		"wh: delivered=2 bytes=120 failures=0 partition=1 circuit=closed online",
+		"interactive: realtime=0 backfill=0 delayed=2",
+		"inflight: 1",
+		"files=3 expired=0 quarantined=1 feeds=1 commits=5 wal_bytes=512",
+		"SNMP/BPS: no data for 10m0s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered status missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStatusAgainstHTTP(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/statusz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(sampleStatusJSON))
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	var b strings.Builder
+	if err := runStatus(addr, 2*time.Second, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wh: delivered=2") {
+		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestRunStatusErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	var b strings.Builder
+	if err := runStatus(addr, 2*time.Second, &b); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}

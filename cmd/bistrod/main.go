@@ -71,6 +71,9 @@ func main() {
 	if addr := srv.Addr(); addr != "" {
 		fmt.Fprintf(os.Stderr, ", listening on %s", addr)
 	}
+	if addr := srv.AdminAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, ", admin on http://%s", addr)
+	}
 	fmt.Fprintln(os.Stderr)
 
 	// SIGUSR1 dumps a monitoring snapshot to stderr.

@@ -1,0 +1,109 @@
+// Package admin serves Bistro's observability endpoints over HTTP:
+//
+//   - /metrics  — Prometheus text exposition of the server's registry;
+//   - /healthz  — liveness probe (200 ok / 503 with the error);
+//   - /statusz  — structured JSON snapshot (feeds, subscribers,
+//     receipts, scheduler load, recent alarms), the machine-readable
+//     twin of `bistroctl status`.
+//
+// The endpoint is deliberately separate from the source/subscriber
+// protocol listener: operators point scrapers and dashboards at it
+// without touching the data path, and it can be bound to a loopback or
+// management interface independently.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"bistro/internal/metrics"
+)
+
+// Options configure an admin endpoint.
+type Options struct {
+	// Listen is the HTTP address ("127.0.0.1:0" for an ephemeral port).
+	Listen string
+	// Registry backs /metrics.
+	Registry *metrics.Registry
+	// OnScrape, when set, runs before each /metrics exposition. The
+	// server uses it to refresh snapshot-derived gauges (queue depths,
+	// breaker states, per-feed totals) so hot paths never pay for them.
+	OnScrape func()
+	// Status, when set, produces the /statusz JSON document.
+	Status func() any
+	// Healthy, when set, gates /healthz; a non-nil error yields 503.
+	Healthy func() error
+}
+
+// Server is a running admin endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Start binds the listener and begins serving. The returned server is
+// already accepting; Addr reports the bound address.
+func Start(opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", opts.Listen, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if opts.OnScrape != nil {
+			opts.OnScrape()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if opts.Registry != nil {
+			opts.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Healthy != nil {
+			if err := opts.Healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Status == nil {
+			http.Error(w, "status unavailable", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(opts.Status())
+	})
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stop closes the listener and waits for the serve loop to exit.
+// In-flight handlers are not drained; every handler is a fast
+// read-only snapshot.
+func (s *Server) Stop() {
+	s.srv.Close()
+	<-s.done
+}

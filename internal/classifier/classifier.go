@@ -15,8 +15,41 @@ package classifier
 
 import (
 	"bistro/internal/config"
+	"bistro/internal/metrics"
 	"bistro/internal/pattern"
 )
+
+// Metrics holds the classifier's instrumentation. All fields are
+// optional; a nil Metrics (or nil field) costs the hot path nothing
+// beyond one pointer test per Classify call.
+type Metrics struct {
+	// Matched counts Classify calls that matched at least one feed.
+	Matched *metrics.Counter
+	// Unmatched counts Classify calls no feed claimed.
+	Unmatched *metrics.Counter
+	// PatternsTried counts full pattern evaluations (the work the
+	// prefix index exists to avoid).
+	PatternsTried *metrics.Counter
+	// PrefixIndexHits counts pattern candidates reached through the
+	// prefix trie (vs. the always-checked open list or a disabled
+	// index). PatternsTried − PrefixIndexHits is the unindexed residue.
+	PrefixIndexHits *metrics.Counter
+}
+
+// NewMetrics registers the classifier metric families on r using the
+// canonical names catalogued in docs/OBSERVABILITY.md.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	files := r.CounterVec("bistro_classifier_files_total",
+		"Classified files by result.", "result")
+	return &Metrics{
+		Matched:   files.With("matched"),
+		Unmatched: files.With("unmatched"),
+		PatternsTried: r.Counter("bistro_classifier_patterns_tried_total",
+			"Full pattern evaluations performed."),
+		PrefixIndexHits: r.Counter("bistro_classifier_prefix_index_hits_total",
+			"Pattern candidates reached via the literal-prefix trie."),
+	}
+}
 
 // Match records one successful file-to-feed classification.
 type Match struct {
@@ -33,6 +66,9 @@ type Options struct {
 	// DisablePrefixIndex forces the classifier to try every pattern on
 	// every file (the E7 ablation baseline).
 	DisablePrefixIndex bool
+	// Metrics, when non-nil, receives match-rate and index-efficiency
+	// counters.
+	Metrics *Metrics
 }
 
 // entry pairs a pattern with its owning feed.
@@ -96,11 +132,15 @@ func (c *Classifier) NumPatterns() int { return len(c.all) }
 // if several of its patterns match; the first matching pattern wins.
 func (c *Classifier) Classify(name string) []Match {
 	var out []Match
+	// tried/indexHits accumulate locally; the hot path pays at most a
+	// handful of atomic adds per call, at the end.
+	var tried, indexHits int64
 	seen := make(map[*config.Feed]bool)
 	try := func(e entry) {
 		if seen[e.feed] {
 			return
 		}
+		tried++
 		if fields, ok := e.pat.Match(name); ok {
 			seen[e.feed] = true
 			out = append(out, Match{Feed: e.feed, Pattern: e.pat, Fields: fields})
@@ -110,6 +150,7 @@ func (c *Classifier) Classify(name string) []Match {
 		for _, e := range c.all {
 			try(e)
 		}
+		c.countClassify(out, tried, 0)
 		return out
 	}
 	for _, e := range c.open {
@@ -121,11 +162,28 @@ func (c *Classifier) Classify(name string) []Match {
 		if n == nil {
 			break
 		}
+		indexHits += int64(len(n.entries))
 		for _, e := range n.entries {
 			try(e)
 		}
 	}
+	c.countClassify(out, tried, indexHits)
 	return out
+}
+
+// countClassify flushes one Classify call's accumulated counts.
+func (c *Classifier) countClassify(out []Match, tried, indexHits int64) {
+	m := c.opts.Metrics
+	if m == nil {
+		return
+	}
+	if len(out) > 0 {
+		m.Matched.Inc()
+	} else {
+		m.Unmatched.Inc()
+	}
+	m.PatternsTried.Add(tried)
+	m.PrefixIndexHits.Add(indexHits)
 }
 
 // FeedPaths is a convenience that returns just the matched feed paths.

@@ -219,6 +219,13 @@ type SchedulerSpec struct {
 	Migrate bool
 }
 
+// AdminSpec is an admin { ... } block: the observability HTTP endpoint
+// serving /metrics (Prometheus text), /healthz, and /statusz (JSON).
+type AdminSpec struct {
+	// Listen is the admin HTTP address ("127.0.0.1:0" for ephemeral).
+	Listen string
+}
+
 // Config is a fully parsed and validated Bistro server configuration.
 type Config struct {
 	// Window is the retention window for staged files (0 = infinite).
@@ -243,6 +250,8 @@ type Config struct {
 	// Backoff, when non-nil, sets the server-wide retry and
 	// circuit-breaker policy.
 	Backoff *BackoffSpec
+	// Admin, when non-nil, enables the observability HTTP endpoint.
+	Admin *AdminSpec
 }
 
 // FeedByPath returns the feed with the given full path.
@@ -366,6 +375,15 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.Backoff = spec
+		case "admin":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.adminSpec()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Admin = spec
 		default:
 			return nil, p.errf("unknown statement %q", p.tok.text)
 		}
@@ -482,7 +500,9 @@ func (p *parser) feedgroup(prefix string, cfg *Config) error {
 	if _, err := p.expect(tokLBrace); err != nil {
 		return err
 	}
-	cfg.Groups[path] = cfg.Groups[path] // register even if empty
+	if _, ok := cfg.Groups[path]; !ok {
+		cfg.Groups[path] = nil // register even if empty
+	}
 	for p.tok.kind != tokRBrace {
 		kw, err := p.expect(tokIdent)
 		if err != nil {
@@ -785,6 +805,35 @@ func (p *parser) backoffSpec() (*BackoffSpec, error) {
 		}
 	}
 	return spec, p.advance() // consume '}'
+}
+
+// adminSpec parses: { listen "addr" }
+func (p *parser) adminSpec() (*AdminSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &AdminSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "listen":
+			if spec.Listen, err = p.expect(tokString); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errPrevf("unknown admin statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if spec.Listen == "" {
+		return nil, fmt.Errorf("config: admin block needs listen")
+	}
+	return spec, nil
 }
 
 // schedulerSpec parses: { [migrate on|off] partition NAME { ... }+ }

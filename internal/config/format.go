@@ -60,6 +60,10 @@ func Format(cfg *Config) string {
 		b.WriteString("\n")
 	}
 
+	if cfg.Admin != nil {
+		fmt.Fprintf(&b, "admin {\n    listen %s\n}\n\n", quote(cfg.Admin.Listen))
+	}
+
 	// Rebuild the hierarchy: a trie of path segments.
 	root := &groupNode{children: map[string]*groupNode{}}
 	for _, f := range cfg.Feeds {

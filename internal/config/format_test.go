@@ -73,6 +73,9 @@ func equalConfigs(t *testing.T, a, b *Config) {
 	if !reflect.DeepEqual(a.Backoff, b.Backoff) {
 		t.Fatalf("backoff: %+v vs %+v", a.Backoff, b.Backoff)
 	}
+	if !reflect.DeepEqual(a.Admin, b.Admin) {
+		t.Fatalf("admin: %+v vs %+v", a.Admin, b.Admin)
+	}
 }
 
 func TestFormatRoundTrip(t *testing.T) {
@@ -96,6 +99,10 @@ func TestFormatRoundTripAllFeatures(t *testing.T) {
 	src := `
 window 1h30m0s
 archive "arch"
+
+admin {
+    listen "127.0.0.1:9090"
+}
 
 scheduler {
     migrate on
@@ -147,6 +154,20 @@ subscriber s2 {
 	}
 	if back.Scheduler.Partitions[0].MaxService != 100*time.Millisecond {
 		t.Fatalf("maxservice lost: %+v", back.Scheduler.Partitions[0])
+	}
+	if back.Admin == nil || back.Admin.Listen != "127.0.0.1:9090" {
+		t.Fatalf("admin block lost in round trip: %+v", back.Admin)
+	}
+}
+
+func TestAdminBlockErrors(t *testing.T) {
+	for _, src := range []string{
+		`admin { }` + "\nfeed F { pattern \"f_%Y.gz\" }",
+		`admin { bogus "x" }` + "\nfeed F { pattern \"f_%Y.gz\" }",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("bad admin block accepted: %s", src)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@
 package delivery
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,11 +31,64 @@ import (
 	"bistro/internal/batch"
 	"bistro/internal/clock"
 	"bistro/internal/config"
+	"bistro/internal/metrics"
 	"bistro/internal/receipts"
 	"bistro/internal/scheduler"
 	"bistro/internal/transport"
 	"bistro/internal/trigger"
 )
+
+// ErrReceiptMissing marks a job skipped because its arrival receipt
+// was missing from (or quarantined in) the receipt store at delivery
+// time. The server raises a per-feed alarm on it: delivering a file
+// with zero-value metadata (no checksum, no size) would corrupt the
+// subscriber-side integrity check silently.
+var ErrReceiptMissing = errors.New("delivery: arrival receipt missing or quarantined")
+
+// Metrics holds the delivery engine's instrumentation. Nil (or any
+// nil field) disables that series at no hot-path cost.
+type Metrics struct {
+	// Delivered, Bytes, Failures are per-subscriber counters.
+	Delivered *metrics.CounterVec
+	Bytes     *metrics.CounterVec
+	Failures  *metrics.CounterVec
+	// ReceiptMissing counts jobs skipped by the receipt guard.
+	ReceiptMissing *metrics.Counter
+	// Retries counts transient failures requeued with a backoff delay.
+	Retries *metrics.Counter
+	// Propagation observes end-to-end source→subscriber latency
+	// (arrival to successful delivery, seconds) for real-time jobs —
+	// the paper's sub-minute claim. Backfill is excluded: its latency
+	// measures outage length, not pipeline speed.
+	Propagation *metrics.Histogram
+}
+
+// NewMetrics registers the delivery metric families on r using the
+// canonical names catalogued in docs/OBSERVABILITY.md.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Delivered: r.CounterVec("bistro_delivery_delivered_total",
+			"Successful transfers (including notifications) by subscriber.", "subscriber"),
+		Bytes: r.CounterVec("bistro_delivery_bytes_total",
+			"Payload bytes delivered by subscriber.", "subscriber"),
+		Failures: r.CounterVec("bistro_delivery_failures_total",
+			"Failed transfer attempts by subscriber.", "subscriber"),
+		ReceiptMissing: r.Counter("bistro_delivery_receipt_missing_total",
+			"Jobs skipped because the arrival receipt was missing or quarantined."),
+		Retries: r.Counter("bistro_delivery_retries_total",
+			"Transient failures requeued with a backoff delay."),
+		Propagation: r.Histogram("bistro_delivery_propagation_seconds",
+			"End-to-end arrival→delivery latency for real-time jobs.", nil),
+	}
+}
+
+// subMetrics caches one subscriber's resolved counter series so the
+// per-delivery path is atomic adds only (no vec lookups).
+type subMetrics struct {
+	delivered *metrics.Counter
+	bytes     *metrics.Counter
+	failures  *metrics.Counter
+}
 
 // EventKind classifies delivery engine events for the logging
 // subsystem.
@@ -137,6 +191,8 @@ type Options struct {
 	// OnEvent receives engine events (may be nil). Called
 	// synchronously; keep it fast.
 	OnEvent func(Event)
+	// Metrics, when non-nil, receives delivery instrumentation.
+	Metrics *Metrics
 }
 
 // Engine is the delivery subsystem.
@@ -154,6 +210,7 @@ type Engine struct {
 	states  map[string]*subState
 	probing map[string]bool
 	stats   map[string]*SubscriberStats
+	subMets map[string]*subMetrics
 
 	wg      sync.WaitGroup
 	stopCh  chan struct{}
@@ -221,6 +278,7 @@ func New(opts Options) (*Engine, error) {
 		states:  make(map[string]*subState),
 		probing: make(map[string]bool),
 		stats:   make(map[string]*SubscriberStats),
+		subMets: make(map[string]*subMetrics),
 		stopCh:  make(chan struct{}),
 	}
 	for _, s := range opts.Subscribers {
@@ -463,7 +521,23 @@ func (e *Engine) worker(part int, lane scheduler.Lane) {
 // its own reader).
 func (e *Engine) execute(jobs []*scheduler.Job) {
 	abs := filepath.Join(e.opts.StagingRoot, filepath.FromSlash(jobs[0].Path))
-	meta, _ := e.store.File(jobs[0].FileID)
+	meta, ok := e.store.File(jobs[0].FileID)
+	if !ok || e.store.Quarantined(jobs[0].FileID) {
+		// A missing or quarantined receipt would yield zero-value
+		// metadata (no checksum, no size) for the whole batch and a
+		// silently corrupt transfer. Skip the jobs and account the
+		// failure; the receipt database stays the source of truth.
+		if m := e.opts.Metrics; m != nil {
+			m.ReceiptMissing.Inc()
+		}
+		for _, j := range jobs {
+			e.bumpStats(j.Subscriber, false, 0)
+			e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed,
+				Name: j.Path, FileID: j.FileID, Err: ErrReceiptMissing})
+			e.sched.Done(j)
+		}
+		return
+	}
 	if jobs[0].Size >= e.opts.StreamThreshold {
 		if _, err := os.Stat(abs); err != nil {
 			for _, j := range jobs {
@@ -545,6 +619,9 @@ func (e *Engine) deliverOne(j *scheduler.Job, data []byte, stagedAbs string, met
 	}
 	e.markAlive(j.Subscriber)
 	e.bumpStats(j.Subscriber, true, meta.Size)
+	if m := e.opts.Metrics; m != nil && !j.Backfill {
+		m.Propagation.Observe(e.clk.Now().Sub(meta.Arrived).Seconds())
+	}
 	e.emit(Event{Kind: kind, Subscriber: j.Subscriber, Feed: j.Feed, Name: f.Name, FileID: j.FileID})
 	e.trig.FileDelivered(j.Subscriber, j.Feed, s.Trigger, batch.File{
 		Name:     f.Name,
@@ -580,6 +657,9 @@ func (e *Engine) transferFailed(j *scheduler.Job, err error) {
 		// backoff delay (RequeueAfter releases the claimed slot and
 		// keeps the job invisible until the delay elapses).
 		delay := st.retry.Next()
+		if m := e.opts.Metrics; m != nil {
+			m.Retries.Inc()
+		}
 		e.emit(Event{Kind: EvRetryScheduled, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Delay: delay, Attempt: st.retry.Attempt(), Err: err})
 		e.sched.RequeueAfter(j, now.Add(delay))
 		return
@@ -738,13 +818,25 @@ func (e *Engine) Stats() map[string]SubscriberStats {
 	return out
 }
 
-// bumpStats updates counters under the engine lock.
+// bumpStats updates counters under the engine lock, mirroring them
+// into the per-subscriber metric series (resolved once per subscriber
+// and cached, so steady state is atomic adds only).
 func (e *Engine) bumpStats(sub string, delivered bool, bytes int64) {
 	e.mu.Lock()
 	st := e.stats[sub]
 	if st == nil {
 		st = &SubscriberStats{}
 		e.stats[sub] = st
+	}
+	sm := e.subMets[sub]
+	if sm == nil {
+		sm = &subMetrics{}
+		if m := e.opts.Metrics; m != nil {
+			sm.delivered = m.Delivered.With(sub)
+			sm.bytes = m.Bytes.With(sub)
+			sm.failures = m.Failures.With(sub)
+		}
+		e.subMets[sub] = sm
 	}
 	if delivered {
 		st.Delivered++
@@ -753,6 +845,12 @@ func (e *Engine) bumpStats(sub string, delivered bool, bytes int64) {
 		st.Failures++
 	}
 	e.mu.Unlock()
+	if delivered {
+		sm.delivered.Inc()
+		sm.bytes.Add(bytes)
+	} else {
+		sm.failures.Inc()
+	}
 }
 
 // Offline reports whether the engine currently considers sub offline.

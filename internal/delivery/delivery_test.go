@@ -1,6 +1,7 @@
 package delivery
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"bistro/internal/backoff"
 	"bistro/internal/clock"
 	"bistro/internal/config"
+	"bistro/internal/metrics"
 	"bistro/internal/netsim"
 	"bistro/internal/receipts"
 	"bistro/internal/scheduler"
@@ -638,4 +640,89 @@ func TestFlapLifecycleUnderSimulatedClock(t *testing.T) {
 	if got := len(ns.Delivered("wh")); got != 2 {
 		t.Fatalf("delivered = %d files, want 2", got)
 	}
+}
+
+// errsOf collects the errors attached to events of one kind.
+func (l *eventLog) errsOf(k EventKind) []error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []error
+	for _, ev := range l.evs {
+		if ev.Kind == k {
+			out = append(out, ev.Err)
+		}
+	}
+	return out
+}
+
+// Regression: a job whose arrival receipt has vanished (or was
+// quarantined by reconciliation) must be skipped with an explicit
+// failure, never delivered with zero-value metadata. Previously the
+// File() miss was ignored and the job proceeded with an empty FileMeta.
+func TestMissingReceiptSkipsJobWithFailure(t *testing.T) {
+	dest := t.TempDir()
+	lt := transport.NewLocalDir()
+	lt.Register("wh", dest)
+	reg := metrics.NewRegistry()
+	h := newHarness(t, lt, []*config.Subscriber{sub("wh", "BPS")}, func(o *Options) {
+		o.Metrics = NewMetrics(reg)
+	})
+	h.engine.Start()
+	defer h.engine.Stop()
+
+	// A receipt id the store has never seen: the enqueue-time meta
+	// says it exists, the store disagrees.
+	ghost := receipts.FileMeta{
+		ID:         9999,
+		Name:       "BPS/ghost.csv",
+		StagedPath: "BPS/ghost.csv",
+		Feeds:      []string{"BPS"},
+		Size:       3,
+		Arrived:    time.Now(),
+	}
+	h.engine.EnqueueFile(ghost)
+
+	waitFor(t, "receipt-missing failure", func() bool {
+		return h.events.count(EvDeliveryFailed) >= 1
+	})
+	for _, err := range h.events.errsOf(EvDeliveryFailed) {
+		if !errors.Is(err, ErrReceiptMissing) {
+			t.Fatalf("failure error = %v, want ErrReceiptMissing", err)
+		}
+	}
+	if h.events.count(EvDelivered) != 0 {
+		t.Fatal("ghost job was delivered")
+	}
+	if _, err := os.Stat(filepath.Join(dest, "in", "BPS", "ghost.csv")); err == nil {
+		t.Fatal("zero-value metadata produced a delivered file")
+	}
+	if st := h.engine.Stats()["wh"]; st.Failures != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := h.engine.opts.Metrics.ReceiptMissing.Value(); got != 1 {
+		t.Fatalf("receipt_missing counter = %d", got)
+	}
+
+	// A quarantined receipt is treated the same way: reconciliation
+	// has ruled the payload untrustworthy.
+	meta := h.stage("BPS/quar.csv", []string{"BPS"}, []byte("x,y\n"))
+	if err := h.store.RecordQuarantine(meta.ID); err != nil {
+		t.Fatal(err)
+	}
+	h.engine.EnqueueFile(meta)
+	waitFor(t, "quarantined receipt failure", func() bool {
+		return h.events.count(EvDeliveryFailed) >= 2
+	})
+	if h.events.count(EvDelivered) != 0 {
+		t.Fatal("quarantined job was delivered")
+	}
+	if got := h.engine.opts.Metrics.ReceiptMissing.Value(); got != 2 {
+		t.Fatalf("receipt_missing counter = %d", got)
+	}
+	// The scheduler slot was released: a healthy job still flows.
+	ok := h.stage("BPS/ok.csv", []string{"BPS"}, []byte("1\n"))
+	h.engine.EnqueueFile(ok)
+	waitFor(t, "healthy delivery after skips", func() bool {
+		return h.events.count(EvDelivered) == 1
+	})
 }

@@ -267,12 +267,12 @@ func e11Probes(window time.Duration, fixed bool) (int, error) {
 		pol.Multiplier = 1
 	}
 	eng, err := delivery.New(delivery.Options{
-		Clock:       clk,
-		Store:       store,
-		Transport:   ns,
-		Subscribers: []*config.Subscriber{{Name: "down", Dest: "in", Feeds: []string{"F"}}},
-		StagingRoot: staging,
-		Backoff:     pol,
+		Clock:          clk,
+		Store:          store,
+		Transport:      ns,
+		Subscribers:    []*config.Subscriber{{Name: "down", Dest: "in", Feeds: []string{"F"}}},
+		StagingRoot:    staging,
+		Backoff:        pol,
 		TriggerInvoker: trigger.InvokerFunc(func(trigger.Invocation) error { return nil }),
 	})
 	if err != nil {

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE13Shape(t *testing.T) {
+	tab, err := E13Overhead(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("want classifier + delivery rows: %s", tab.Format())
+	}
+	cl := row(t, tab, "classifier")
+	if num(t, cl[1]) <= 0 || num(t, cl[2]) <= 0 {
+		t.Fatalf("classifier timings not positive: %s", tab.Format())
+	}
+	del := row(t, tab, "delivery")
+	if num(t, del[1]) <= 0 || num(t, del[2]) <= 0 {
+		t.Fatalf("delivery timings not positive: %s", tab.Format())
+	}
+}
+
+// TestE13OverheadBudget enforces the design budget from the
+// observability work: instrumentation may cost the classifier and
+// delivery hot paths less than 5%. Timing comparisons on shared CI
+// hardware are noisy, so each attempt takes the min of several
+// interleaved trials and the test passes if any attempt lands inside
+// the budget.
+func TestE13OverheadBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector inflates atomic-op cost; overhead budget not meaningful")
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped in -short mode")
+	}
+
+	budget := 1.05
+	check := func(name string, trial func(bool) (time.Duration, error)) {
+		t.Helper()
+		const attempts, trials = 3, 5
+		var lastRatio float64
+		for a := 0; a < attempts; a++ {
+			bare, instr := time.Duration(1<<62), time.Duration(1<<62)
+			for i := 0; i < trials; i++ {
+				for _, on := range []bool{false, true} {
+					d, err := trial(on)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if on && d < instr {
+						instr = d
+					}
+					if !on && d < bare {
+						bare = d
+					}
+				}
+			}
+			lastRatio = float64(instr) / float64(bare)
+			if lastRatio < budget {
+				return
+			}
+		}
+		t.Errorf("%s: instrumented/bare = %.3f, budget %.2f", name, lastRatio, budget)
+	}
+
+	check("classifier", func(on bool) (time.Duration, error) {
+		return E13ClassifierTrial(100, 20000, on)
+	})
+	check("delivery", func(on bool) (time.Duration, error) {
+		return E13DeliveryTrial(40, on)
+	})
+}

@@ -113,5 +113,6 @@ func All() []Runner {
 		{"e10", "crash recovery, exactly-once delivery, WAL throughput", E10Recovery},
 		{"e11", "graceful degradation under fault injection", E11Degradation},
 		{"e12", "crash-consistency under randomized power cuts", E12CrashConsistency},
+		{"e13", "metrics instrumentation overhead on the hot paths", E13Overhead},
 	}
 }

@@ -311,8 +311,8 @@ func TestTableFormat(t *testing.T) {
 
 func TestAllRunnersListed(t *testing.T) {
 	rs := All()
-	if len(rs) != 12 {
-		t.Fatalf("runners = %d, want 12", len(rs))
+	if len(rs) != 13 {
+		t.Fatalf("runners = %d, want 13", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

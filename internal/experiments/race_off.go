@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions are skipped under -race: it multiplies the cost of the
+// atomic operations being measured and says nothing about production
+// overhead.
+const raceEnabled = false

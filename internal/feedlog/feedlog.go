@@ -277,6 +277,18 @@ func (l *Logger) Stats(feed string) (FeedStats, bool) {
 	return *s, true
 }
 
+// AllStats returns a copy of every feed's monitored state, keyed by
+// feed path (status endpoint, metric scrapes).
+func (l *Logger) AllStats() map[string]FeedStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]FeedStats, len(l.feeds))
+	for name, s := range l.feeds {
+		out[name] = *s
+	}
+	return out
+}
+
 // Unmatched returns the count of files no feed claimed.
 func (l *Logger) Unmatched() int64 {
 	l.mu.Lock()

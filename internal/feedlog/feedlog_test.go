@@ -2,6 +2,7 @@ package feedlog
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -105,9 +106,18 @@ func TestSummary(t *testing.T) {
 	l.FileClassified("B", "f", 10, t0)
 	l.FileClassified("A", "g", 20, t0)
 	l.FileUnmatched("x")
+	l.Delivered("A", "wh", "g")
+	l.DeliveryFailed("B", "down", "f", errors.New("connection refused"))
+	l.DeliveryFailed("B", "down", "f", errors.New("connection refused"))
 	sum := l.Summary()
-	if !strings.Contains(sum, "A: files=1") || !strings.Contains(sum, "unmatched: 1") {
-		t.Fatalf("summary = %q", sum)
+	for _, want := range []string{
+		"A: files=1 bytes=20 delivered=1 failures=0",
+		"B: files=1 bytes=10 delivered=0 failures=2",
+		"unmatched: 1",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q: %q", want, sum)
+		}
 	}
 	// Sorted output: A before B.
 	if strings.Index(sum, "A:") > strings.Index(sum, "B:") {

@@ -1,0 +1,469 @@
+// Package metrics is Bistro's dependency-free instrumentation
+// registry. The paper's deployment claims — >100 feeds, 300 GB/day,
+// sub-minute source→application propagation (§1, §4.1) — are exactly
+// the kind of numbers an operator must verify continuously, so every
+// subsystem exports counters, gauges, and bounded histograms here and
+// the admin endpoint renders them in Prometheus text exposition
+// format.
+//
+// Design constraints:
+//
+//   - hot paths are a single uncontended atomic add (Counter.Add,
+//     Gauge.Set) or a bounds search plus two atomic adds
+//     (Histogram.Observe) — no locks, no allocation;
+//   - callers resolve labeled series once (Vec.With) at construction
+//     time and hold the returned pointer, so per-event work never
+//     touches the registry maps;
+//   - gauges that mirror existing snapshot APIs (queue depths, breaker
+//     states, WAL size) are refreshed at scrape time by the owner, not
+//     on every event, keeping instrumentation off those hot paths
+//     entirely.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type.
+type Kind int
+
+// Metric kinds, mirroring the Prometheus TYPE values.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0; negative deltas are
+// ignored so a counter can never decrease).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a bounded-bucket histogram of float64 observations
+// (typically seconds). Buckets are cumulative in exposition, per-bucket
+// internally.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefBuckets is the default latency bucket layout, in seconds, with
+// emphasis around the paper's sub-minute propagation target.
+var DefBuckets = []float64{
+	.001, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bounds lists are short (≤ ~20); linear scan beats binary search.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// series is one labeled instance inside a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns (creating) the family, validating kind and label
+// arity against any prior registration of the same name.
+func (r *Registry) family(name, help string, kind Kind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:   name,
+			help:   help,
+			kind:   kind,
+			labels: labels,
+			bounds: bounds,
+			series: make(map[string]*series),
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s/%d labels (was %s/%d)",
+			name, kind, len(labels), f.kind, len(f.labels)))
+	}
+	return f
+}
+
+const seriesKeySep = "\x00"
+
+// get returns (creating) the series for the given label values.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, seriesKeySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelValues: append([]string(nil), values...)}
+		switch f.kind {
+		case KindCounter:
+			s.counter = &Counter{}
+		case KindGauge:
+			s.gauge = &Gauge{}
+		case KindHistogram:
+			h := &Histogram{bounds: f.bounds}
+			h.counts = make([]atomic.Int64, len(f.bounds)+1)
+			s.hist = h
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter returns the unlabeled counter with the given name, creating
+// it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, KindCounter, nil, nil).get(nil).counter
+}
+
+// Gauge returns the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, KindGauge, nil, nil).get(nil).gauge
+}
+
+// Histogram returns the unlabeled histogram with the given name.
+// Bounds must be ascending; nil takes DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.family(name, help, KindHistogram, nil, bounds).get(nil).hist
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family with the given name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, KindCounter, labels, nil)}
+}
+
+// With resolves one labeled series. Resolve once and hold the pointer;
+// With takes the family lock.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).counter
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family with the given name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, KindGauge, labels, nil)}
+}
+
+// With resolves one labeled series.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).gauge
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family with the given
+// name. Bounds must be ascending; nil takes DefBuckets.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{r.family(name, help, KindHistogram, labels, bounds)}
+}
+
+// With resolves one labeled series.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).hist
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families in registration order, series in
+// creation order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	f.mu.Lock()
+	sers := make([]*series, 0, len(f.order))
+	for _, key := range f.order {
+		sers = append(sers, f.series[key])
+	}
+	f.mu.Unlock()
+	if len(sers) == 0 {
+		return
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range sers {
+		switch f.kind {
+		case KindCounter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.labelValues, ""), s.counter.Value())
+		case KindGauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.labelValues, ""), s.gauge.Value())
+		case KindHistogram:
+			h := s.hist
+			var cum int64
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, s.labelValues, formatFloat(ub)), cum)
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labelValues, "+Inf"), cum)
+			fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labelValues, ""), formatFloat(h.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, s.labelValues, ""), h.Count())
+		}
+	}
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label.
+func labelString(keys, values []string, le string) string {
+	if len(keys) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Snapshot is a flat view of one series, for tests and /statusz.
+type Snapshot struct {
+	Name   string
+	Labels map[string]string
+	Value  float64 // counter/gauge value; histogram sum
+	Count  int64   // histogram observation count
+}
+
+// Gather returns a flat snapshot of every series, sorted by name then
+// label signature. Intended for tests and structured status, not the
+// scrape path.
+func (r *Registry) Gather() []Snapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+	var out []Snapshot
+	for _, f := range fams {
+		f.mu.Lock()
+		for _, key := range f.order {
+			s := f.series[key]
+			snap := Snapshot{Name: f.name, Labels: make(map[string]string, len(f.labels))}
+			for i, k := range f.labels {
+				snap.Labels[k] = s.labelValues[i]
+			}
+			switch f.kind {
+			case KindCounter:
+				snap.Value = float64(s.counter.Value())
+			case KindGauge:
+				snap.Value = float64(s.gauge.Value())
+			case KindHistogram:
+				snap.Value = s.hist.Sum()
+				snap.Count = s.hist.Count()
+			}
+			out = append(out, snap)
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return fmt.Sprint(out[i].Labels) < fmt.Sprint(out[j].Labels)
+	})
+	return out
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bistro_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters never decrease
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("bistro_test_depth", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Re-fetching the same name yields the same underlying series.
+	if r.Counter("bistro_test_total", "help") != c {
+		t.Fatal("counter not deduplicated by name")
+	}
+}
+
+func TestNilReceiversAreNoops(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	var cv *CounterVec
+	var gv *GaugeVec
+	var hv *HistogramVec
+	cv.With("x").Inc()
+	gv.With("x").Set(1)
+	hv.With("x").Observe(1)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bistro_test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.5+0.5+5+50; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var out strings.Builder
+	r.WritePrometheus(&out)
+	text := out.String()
+	for _, want := range []string{
+		"# TYPE bistro_test_seconds histogram",
+		`bistro_test_seconds_bucket{le="0.1"} 1`,
+		`bistro_test_seconds_bucket{le="1"} 3`,
+		`bistro_test_seconds_bucket{le="10"} 4`,
+		`bistro_test_seconds_bucket{le="+Inf"} 5`,
+		"bistro_test_seconds_count 5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("bistro_delivered_total", "deliveries", "subscriber")
+	a := cv.With("alpha")
+	b := cv.With("beta")
+	a.Add(2)
+	b.Inc()
+	if cv.With("alpha") != a {
+		t.Fatal("With must return the cached series")
+	}
+	var out strings.Builder
+	r.WritePrometheus(&out)
+	text := out.String()
+	for _, want := range []string{
+		`bistro_delivered_total{subscriber="alpha"} 2`,
+		`bistro_delivered_total{subscriber="beta"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("bistro_esc_total", "h", "name").With(`a"b\c`).Inc()
+	var out strings.Builder
+	r.WritePrometheus(&out)
+	if want := `bistro_esc_total{name="a\"b\\c"} 1`; !strings.Contains(out.String(), want) {
+		t.Fatalf("exposition missing %q in:\n%s", want, out.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bistro_conc_total", "h")
+	h := r.Histogram("bistro_conc_seconds", "h", nil)
+	var wg sync.WaitGroup
+	const workers, iters = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if diff := h.Sum() - float64(workers*iters)*0.001; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("histogram sum = %g, want ~%g", h.Sum(), float64(workers*iters)*0.001)
+	}
+}
+
+func TestGather(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "h").Add(3)
+	r.GaugeVec("a_depth", "h", "part").With("bulk").Set(9)
+	snaps := r.Gather()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0].Name != "a_depth" || snaps[0].Labels["part"] != "bulk" || snaps[0].Value != 9 {
+		t.Fatalf("bad snapshot: %+v", snaps[0])
+	}
+	if snaps[1].Name != "b_total" || snaps[1].Value != 3 {
+		t.Fatalf("bad snapshot: %+v", snaps[1])
+	}
+}

@@ -9,7 +9,37 @@ import (
 	"time"
 
 	"bistro/internal/diskfault"
+	"bistro/internal/metrics"
 )
+
+// Metrics holds the receipt store's instrumentation. Nil (or any nil
+// field) disables that series at no hot-path cost.
+type Metrics struct {
+	// Commits counts committed transactions.
+	Commits *metrics.Counter
+	// Checkpoints counts completed checkpoint snapshots.
+	Checkpoints *metrics.Counter
+	// FsyncSeconds observes WAL fsync latency (group commit batches
+	// count once — the latency every waiter in the batch shares).
+	FsyncSeconds *metrics.Histogram
+	// WALBytes tracks the WAL size since the last checkpoint.
+	WALBytes *metrics.Gauge
+}
+
+// NewMetrics registers the receipt-store metric families on r using
+// the canonical names catalogued in docs/OBSERVABILITY.md.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Commits: r.Counter("bistro_receipts_commits_total",
+			"Committed receipt transactions."),
+		Checkpoints: r.Counter("bistro_receipts_checkpoints_total",
+			"Completed receipt-store checkpoints."),
+		FsyncSeconds: r.Histogram("bistro_receipts_fsync_seconds",
+			"WAL fsync latency.", nil),
+		WALBytes: r.Gauge("bistro_receipts_wal_bytes",
+			"WAL size since the last checkpoint."),
+	}
+}
 
 // FileMeta is the arrival receipt for one received file.
 type FileMeta struct {
@@ -51,6 +81,8 @@ type Options struct {
 	// injection and crash simulations substitute diskfault
 	// implementations here.
 	FS diskfault.FS
+	// Metrics, when non-nil, receives store instrumentation.
+	Metrics *Metrics
 }
 
 // Store is the receipt database. All methods are safe for concurrent
@@ -80,8 +112,8 @@ type Store struct {
 	// from delivery queues until an operator re-ingests them.
 	quarantined map[uint64]bool
 	commits     int
-	walBytes  int64 // approximate WAL size since the last checkpoint
-	closed    bool
+	walBytes    int64 // approximate WAL size since the last checkpoint
+	closed      bool
 
 	// Group commit state.
 	gc groupCommit
@@ -195,10 +227,15 @@ func (s *Store) commit(ops []op) error {
 	}
 	s.commits++
 	s.walBytes += int64(len(payload)) + 8
+	walBytes := s.walBytes
 	doCkpt := (s.opts.CheckpointEvery > 0 && s.commits%s.opts.CheckpointEvery == 0) ||
 		(s.opts.CheckpointBytes > 0 && s.walBytes >= s.opts.CheckpointBytes)
 	s.mu.Unlock()
 	s.commitLock.RUnlock()
+	if m := s.opts.Metrics; m != nil {
+		m.Commits.Inc()
+		m.WALBytes.Set(walBytes)
+	}
 	if doCkpt {
 		return s.Checkpoint()
 	}
@@ -230,7 +267,16 @@ func (s *Store) walAppend(payloads [][]byte) error {
 	if s.opts.NoSync {
 		return nil
 	}
-	return s.wal.sync()
+	m := s.opts.Metrics
+	if m == nil {
+		return s.wal.sync()
+	}
+	start := time.Now()
+	err := s.wal.sync()
+	if err == nil {
+		m.FsyncSeconds.Observe(time.Since(start).Seconds())
+	}
+	return err
 }
 
 // groupAppend implements leader-based group commit.
@@ -526,6 +572,10 @@ func (s *Store) Checkpoint() error {
 	s.mu.Lock()
 	s.walBytes = 0
 	s.mu.Unlock()
+	if m := s.opts.Metrics; m != nil {
+		m.Checkpoints.Inc()
+		m.WALBytes.Set(0)
+	}
 	return s.wal.reset()
 }
 

@@ -432,6 +432,18 @@ func (s *Scheduler) DelayedLen(part int) int {
 	return s.parts[part].delayed.Len()
 }
 
+// InflightTotal reports claimed jobs currently held by workers across
+// all partitions (monitoring).
+func (s *Scheduler) InflightTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, n := range s.inflight {
+		total += n
+	}
+	return total
+}
+
 // delayHeap orders delayed jobs by release time (ties by sequence).
 type delayHeap []*Job
 

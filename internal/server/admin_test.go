@@ -1,0 +1,200 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const adminConfig = `
+window 72h
+
+admin {
+    listen "127.0.0.1:0"
+}
+
+feedgroup SNMP {
+    feed BPS {
+        pattern "BPS_poller%i_%Y%m%d%H%M.csv"
+        normalize "%Y/%m/%d/BPS_poller%i_%H%M.csv"
+    }
+    feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+}
+
+subscriber wh {
+    dest "wh-in"
+    subscribe SNMP
+}
+`
+
+// adminGet fetches one admin endpoint and returns the body.
+func adminGet(t *testing.T, addr, path string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	s := newServer(t, adminConfig, nil)
+	addr := s.AdminAddr()
+	if addr == "" {
+		t.Fatal("admin endpoint not started")
+	}
+
+	if err := s.Deposit("BPS_poller1_201009250451.csv", []byte("a,b\n1,2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Deposit("nobody-wants-this.tmp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery", func() bool {
+		st, _ := s.Logger().Stats("SNMP/BPS")
+		return st.Delivered == 1
+	})
+
+	code, body := adminGet(t, addr, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = adminGet(t, addr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		// Classifier counters (hot path).
+		`bistro_classifier_files_total{result="matched"} 1`,
+		`bistro_classifier_files_total{result="unmatched"} 1`,
+		"bistro_classifier_patterns_tried_total",
+		// Per-subscriber delivery counters.
+		`bistro_delivery_delivered_total{subscriber="wh"} 1`,
+		`bistro_delivery_bytes_total{subscriber="wh"} 8`,
+		// End-to-end propagation histogram saw the delivery.
+		"# TYPE bistro_delivery_propagation_seconds histogram",
+		"bistro_delivery_propagation_seconds_count 1",
+		// Receipt store / WAL (arrival + delivery receipts committed).
+		"# TYPE bistro_receipts_commits_total counter",
+		"# TYPE bistro_receipts_fsync_seconds histogram",
+		"bistro_receipts_wal_bytes",
+		// Scrape-time gauges refreshed from snapshots.
+		`bistro_feed_files{feed="SNMP/BPS"} 1`,
+		"bistro_classifier_unmatched_files 1",
+		`bistro_delivery_breaker_state{subscriber="wh"} 0`,
+		`bistro_scheduler_queue_depth{partition="interactive",lane="realtime"} 0`,
+		"bistro_receipts_files 1",
+		// Startup reconciliation outcome.
+		`bistro_reconcile_outcomes{kind="missing"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = adminGet(t, addr, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	var doc struct {
+		Feeds       map[string]struct{ Files, Delivered int64 } `json:"feeds"`
+		Unmatched   int64                                       `json:"unmatched"`
+		Subscribers map[string]struct {
+			Delivered int64
+			Circuit   string
+		} `json:"subscribers"`
+		Receipts   struct{ Files int } `json:"receipts"`
+		Partitions []struct {
+			Name string `json:"name"`
+		} `json:"partitions"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/statusz decode: %v\n%s", err, body)
+	}
+	if doc.Feeds["SNMP/BPS"].Delivered != 1 || doc.Unmatched != 1 {
+		t.Fatalf("statusz feeds = %+v unmatched=%d", doc.Feeds, doc.Unmatched)
+	}
+	if sub := doc.Subscribers["wh"]; sub.Delivered != 1 || sub.Circuit != "closed" {
+		t.Fatalf("statusz subscriber = %+v", sub)
+	}
+	if doc.Receipts.Files != 1 || len(doc.Partitions) == 0 {
+		t.Fatalf("statusz receipts=%+v partitions=%+v", doc.Receipts, doc.Partitions)
+	}
+}
+
+func TestAdminStoppedWithServer(t *testing.T) {
+	s := newServer(t, adminConfig, nil)
+	addr := s.AdminAddr()
+	s.Stop()
+	client := &http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("admin endpoint still serving after Stop")
+	}
+}
+
+func TestStatusSummaryShowsQuarantineBreakerOffline(t *testing.T) {
+	cfgSrc := `
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+
+subscriber wh { dest "wh-in" subscribe CPU }
+subscriber down {
+    host "127.0.0.1:1"
+    subscribe CPU
+    retry 50ms
+    backoff { base 5ms max 10ms threshold 1 jitter off }
+}
+`
+	s := newServer(t, cfgSrc, nil)
+	if err := s.Deposit("CPU_POLL1_201009250451.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// The unreachable subscriber's breaker opens on the first refused
+	// connection (threshold 1) and the engine flags it offline.
+	waitFor(t, "down flagged offline", func() bool {
+		return s.Engine().Offline("down")
+	})
+	waitFor(t, "wh delivery", func() bool {
+		st, _ := s.Logger().Stats("CPU")
+		return st.Delivered >= 1
+	})
+	// Quarantine the delivered file's receipt so the receipts line
+	// shows a non-zero count.
+	metas := s.Store().AllFiles()
+	if len(metas) == 0 {
+		t.Fatal("no receipts")
+	}
+	if err := s.Store().RecordQuarantine(metas[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	sum := s.StatusSummary()
+	for _, want := range []string{
+		"down: ",
+		"OFFLINE",
+		"circuit=open",
+		"wh: delivered=1",
+		"circuit=closed",
+		"quarantined=1",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	// The structured status agrees with the rendered summary.
+	st := s.Status()
+	if !st.Subscribers["down"].Offline || st.Subscribers["down"].Circuit != "open" {
+		t.Fatalf("status subscribers = %+v", st.Subscribers)
+	}
+	if st.Receipts.Quarantined != 1 {
+		t.Fatalf("status receipts = %+v", st.Receipts)
+	}
+}

@@ -14,6 +14,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"bistro/internal/admin"
 	"bistro/internal/analyzer"
 	"bistro/internal/archive"
 	"bistro/internal/classifier"
@@ -34,12 +36,14 @@ import (
 	"bistro/internal/diskfault"
 	"bistro/internal/feedlog"
 	"bistro/internal/landing"
+	"bistro/internal/metrics"
 	"bistro/internal/normalize"
 	"bistro/internal/pattern"
 	"bistro/internal/protocol"
 	"bistro/internal/receipts"
 	"bistro/internal/scheduler"
 	"bistro/internal/transport"
+	"bistro/internal/trigger"
 )
 
 // Options configure a Server.
@@ -105,6 +109,9 @@ type Server struct {
 	quar   string
 	logger *feedlog.Logger
 
+	reg     *metrics.Registry
+	metrics *serverMetrics
+
 	store  *receipts.Store
 	class  *classifier.Classifier
 	engine *delivery.Engine
@@ -112,6 +119,7 @@ type Server struct {
 	arch   *archive.Archiver
 
 	ln    net.Listener
+	adm   *admin.Server       // nil unless the config has an admin block
 	trans *compositeTransport // nil when Options.Transport overrides
 
 	mu        sync.Mutex
@@ -176,6 +184,8 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: mkdir %s: %w", dir, err)
 		}
 	}
+	s.reg = metrics.NewRegistry()
+	s.metrics = newServerMetrics(s.reg)
 	s.logger = feedlog.New(opts.LogWriter, s.clk)
 	s.logger.OnAlarm = opts.OnAlarm
 	for _, f := range cfg.Feeds {
@@ -189,12 +199,15 @@ func New(opts Options) (*Server, error) {
 		FS:     s.fs,
 		// Bound recovery time: snapshot once the WAL reaches 16 MiB.
 		CheckpointBytes: 16 << 20,
+		Metrics:         receipts.NewMetrics(s.reg),
 	})
 	if err != nil {
 		return nil, err
 	}
 	s.store = store
-	s.class = classifier.New(cfg.Feeds, classifier.Options{})
+	s.class = classifier.New(cfg.Feeds, classifier.Options{
+		Metrics: classifier.NewMetrics(s.reg),
+	})
 
 	trans := opts.Transport
 	if trans == nil {
@@ -222,12 +235,14 @@ func New(opts Options) (*Server, error) {
 		Scheduler:       schedCfg,
 		Backoff:         cfg.Backoff.Policy(),
 		OnEvent:         s.onDeliveryEvent,
+		Metrics:         delivery.NewMetrics(s.reg),
 	})
 	if err != nil {
 		store.Close()
 		return nil, err
 	}
 	s.engine = engine
+	engine.Triggers().Metrics = trigger.NewMetrics(s.reg)
 
 	land, err := landing.New(s.resolveDir(cfg.LandingDir, "landing"), s.IngestLanding, s.clk, opts.ScanInterval)
 	if err != nil {
@@ -325,6 +340,13 @@ func (s *Server) onDeliveryEvent(ev delivery.Event) {
 		s.logger.Delivered(ev.Feed, ev.Subscriber, ev.Name)
 	case delivery.EvDeliveryFailed:
 		s.logger.DeliveryFailed(ev.Feed, ev.Subscriber, ev.Name, ev.Err)
+		if errors.Is(ev.Err, delivery.ErrReceiptMissing) {
+			// The receipt DB and the delivery queue disagree — the job was
+			// skipped, not retried, so a human must look at it.
+			s.logger.Raise(ev.Feed, fmt.Sprintf(
+				"delivery to %s skipped: receipt for %s (id %d) missing or quarantined",
+				ev.Subscriber, ev.Name, ev.FileID))
+		}
 	case delivery.EvSubscriberOffline:
 		s.logger.Logf("subscriber", "%s flagged offline: %v", ev.Subscriber, ev.Err)
 	case delivery.EvSubscriberOnline:
@@ -356,8 +378,11 @@ func (s *Server) Start() error {
 	}
 	if rep, err := s.Reconcile(); err != nil {
 		s.logger.Logf("reconcile", "error: %v", err)
-	} else if !rep.Clean() {
-		s.logger.Logf("reconcile", "%s", rep)
+	} else {
+		s.recordReconcile(rep)
+		if !rep.Clean() {
+			s.logger.Logf("reconcile", "%s", rep)
+		}
 	}
 	if n, err := s.ReprocessUnmatched(); err != nil {
 		s.logger.Logf("unmatched", "reprocess error: %v", err)
@@ -389,7 +414,40 @@ func (s *Server) Start() error {
 		s.wg.Add(1)
 		go s.acceptLoop()
 	}
+	if s.cfg.Admin != nil {
+		adm, err := admin.Start(admin.Options{
+			Listen:   s.cfg.Admin.Listen,
+			Registry: s.reg,
+			OnScrape: s.RefreshMetrics,
+			Status:   func() any { return s.Status() },
+			Healthy:  s.healthy,
+		})
+		if err != nil {
+			return err
+		}
+		s.adm = adm
+		s.logger.Logf("admin", "observability endpoint on %s", adm.Addr())
+	}
 	return nil
+}
+
+// healthy gates /healthz: the server is healthy while it is running.
+func (s *Server) healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return fmt.Errorf("server stopped")
+	}
+	return nil
+}
+
+// AdminAddr returns the admin endpoint's bound address ("" when the
+// configuration has no admin block or Start has not run).
+func (s *Server) AdminAddr() string {
+	if s.adm == nil {
+		return ""
+	}
+	return s.adm.Addr()
 }
 
 // Stop drains the pipeline and closes the receipt store.
@@ -402,6 +460,9 @@ func (s *Server) Stop() {
 	s.stopped = true
 	s.mu.Unlock()
 	close(s.stopCh)
+	if s.adm != nil {
+		s.adm.Stop()
+	}
 	if s.ln != nil {
 		s.ln.Close()
 	}

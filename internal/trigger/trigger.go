@@ -19,7 +19,26 @@ import (
 	"bistro/internal/batch"
 	"bistro/internal/clock"
 	"bistro/internal/config"
+	"bistro/internal/metrics"
 )
+
+// Metrics holds the trigger engine's instrumentation. Nil (or any nil
+// field) disables that series.
+type Metrics struct {
+	// Fired counts trigger invocations attempted.
+	Fired *metrics.Counter
+	// Failures counts invocations whose command failed.
+	Failures *metrics.Counter
+}
+
+// NewMetrics registers the trigger metric families on r using the
+// canonical names catalogued in docs/OBSERVABILITY.md.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Fired:    r.Counter("bistro_trigger_fired_total", "Trigger invocations attempted."),
+		Failures: r.Counter("bistro_trigger_failures_total", "Trigger invocations that failed."),
+	}
+}
 
 // Invocation is one rendered trigger firing.
 type Invocation struct {
@@ -78,6 +97,9 @@ type Engine struct {
 	// otherwise dropped (a failing subscriber script must not wedge
 	// delivery).
 	OnError func(inv Invocation, err error)
+	// Metrics, when non-nil, counts firings and failures. Set it before
+	// the first delivery.
+	Metrics *Metrics
 
 	mu        sync.Mutex
 	detectors map[string]*detectorEntry
@@ -188,8 +210,16 @@ func (e *Engine) fire(sub, feed string, spec config.TriggerSpec, b batch.Batch) 
 		At:         b.Closed,
 		Remote:     spec.Remote,
 	}
-	if err := e.invoker.Invoke(inv); err != nil && e.OnError != nil {
-		e.OnError(inv, err)
+	if m := e.Metrics; m != nil {
+		m.Fired.Inc()
+	}
+	if err := e.invoker.Invoke(inv); err != nil {
+		if m := e.Metrics; m != nil {
+			m.Failures.Inc()
+		}
+		if e.OnError != nil {
+			e.OnError(inv, err)
+		}
 	}
 }
 
