@@ -226,6 +226,29 @@ type AdminSpec struct {
 	Listen string
 }
 
+// GroupCommitSpec is a group_commit { ... } block inside ingest:
+// tuning for the receipt WAL's batched-fsync flush window.
+type GroupCommitSpec struct {
+	// MaxBatch flushes once this many receipt transactions are queued.
+	MaxBatch int
+	// MaxDelay is how long a flush leader waits for companion commits.
+	MaxDelay time.Duration
+}
+
+// IngestSpec is an ingest { ... } block: the parallel landing→staging
+// pipeline. Workers sets the sharded classification/commit stage width
+// (files are hash-partitioned by source so per-source order is
+// preserved); Queue bounds the hand-off queue into delivery, applying
+// backpressure to sources when delivery falls behind.
+type IngestSpec struct {
+	// Workers is the shard count (>= 1; 1 reproduces the serial path).
+	Workers int
+	// Queue is the bounded delivery hand-off depth (0 = default).
+	Queue int
+	// GroupCommit, when non-nil, enables the WAL flush window.
+	GroupCommit *GroupCommitSpec
+}
+
 // Config is a fully parsed and validated Bistro server configuration.
 type Config struct {
 	// Window is the retention window for staged files (0 = infinite).
@@ -252,6 +275,9 @@ type Config struct {
 	Backoff *BackoffSpec
 	// Admin, when non-nil, enables the observability HTTP endpoint.
 	Admin *AdminSpec
+	// Ingest, when non-nil, configures the parallel ingest pipeline
+	// (shard workers, hand-off queue, WAL group-commit window).
+	Ingest *IngestSpec
 }
 
 // FeedByPath returns the feed with the given full path.
@@ -384,6 +410,15 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.Admin = spec
+		case "ingest":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.ingestSpec()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Ingest = spec
 		default:
 			return nil, p.errf("unknown statement %q", p.tok.text)
 		}
@@ -832,6 +867,88 @@ func (p *parser) adminSpec() (*AdminSpec, error) {
 	}
 	if spec.Listen == "" {
 		return nil, fmt.Errorf("config: admin block needs listen")
+	}
+	return spec, nil
+}
+
+// ingestSpec parses:
+//
+//	ingest {
+//	    workers N
+//	    queue N
+//	    group_commit { max_batch N  max_delay D }
+//	}
+func (p *parser) ingestSpec() (*IngestSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &IngestSpec{Workers: 1}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "workers":
+			if spec.Workers, err = p.integer(); err != nil {
+				return nil, err
+			}
+			if spec.Workers < 1 {
+				return nil, p.errPrevf("ingest workers must be >= 1")
+			}
+		case "queue":
+			if spec.Queue, err = p.integer(); err != nil {
+				return nil, err
+			}
+			if spec.Queue < 1 {
+				return nil, p.errPrevf("ingest queue must be >= 1")
+			}
+		case "group_commit":
+			if spec.GroupCommit, err = p.groupCommitSpec(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errPrevf("unknown ingest statement %q", kw)
+		}
+	}
+	return spec, p.advance() // consume '}'
+}
+
+// groupCommitSpec parses: { max_batch N  max_delay D }
+func (p *parser) groupCommitSpec() (*GroupCommitSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &GroupCommitSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "max_batch":
+			if spec.MaxBatch, err = p.integer(); err != nil {
+				return nil, err
+			}
+			if spec.MaxBatch < 1 {
+				return nil, p.errPrevf("group_commit max_batch must be >= 1")
+			}
+		case "max_delay":
+			if spec.MaxDelay, err = p.duration(); err != nil {
+				return nil, err
+			}
+			if spec.MaxDelay <= 0 {
+				return nil, p.errPrevf("group_commit max_delay must be > 0")
+			}
+		default:
+			return nil, p.errPrevf("unknown group_commit statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if spec.MaxBatch == 0 && spec.MaxDelay == 0 {
+		return nil, fmt.Errorf("config: group_commit block needs max_batch and/or max_delay")
 	}
 	return spec, nil
 }

@@ -64,6 +64,27 @@ func Format(cfg *Config) string {
 		fmt.Fprintf(&b, "admin {\n    listen %s\n}\n\n", quote(cfg.Admin.Listen))
 	}
 
+	if sp := cfg.Ingest; sp != nil {
+		b.WriteString("ingest {\n")
+		if sp.Workers > 0 {
+			fmt.Fprintf(&b, "    workers %d\n", sp.Workers)
+		}
+		if sp.Queue > 0 {
+			fmt.Fprintf(&b, "    queue %d\n", sp.Queue)
+		}
+		if gc := sp.GroupCommit; gc != nil {
+			b.WriteString("    group_commit {\n")
+			if gc.MaxBatch > 0 {
+				fmt.Fprintf(&b, "        max_batch %d\n", gc.MaxBatch)
+			}
+			if gc.MaxDelay > 0 {
+				fmt.Fprintf(&b, "        max_delay %s\n", formatDuration(gc.MaxDelay))
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
 	// Rebuild the hierarchy: a trie of path segments.
 	root := &groupNode{children: map[string]*groupNode{}}
 	for _, f := range cfg.Feeds {
@@ -206,9 +227,10 @@ func remoteWord(t TriggerSpec) string {
 	return ""
 }
 
-// formatDuration renders durations the lexer accepts (no spaces).
+// formatDuration renders durations the lexer accepts (no spaces, and
+// ASCII "us" for microseconds — the lexer cannot tokenize 'µ').
 func formatDuration(d time.Duration) string {
-	return d.String()
+	return strings.ReplaceAll(d.String(), "µ", "u")
 }
 
 // quote renders a string literal with the language's escapes.

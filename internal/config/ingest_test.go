@@ -1,0 +1,98 @@
+package config
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIngestBlock(t *testing.T) {
+	src := `
+ingest {
+    workers 4
+    queue 128
+    group_commit {
+        max_batch 64
+        max_delay 2ms
+    }
+}
+
+feed F { pattern "f_%Y%m%d.gz" }
+`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Ingest
+	if sp == nil {
+		t.Fatal("ingest block not parsed")
+	}
+	if sp.Workers != 4 || sp.Queue != 128 {
+		t.Fatalf("workers/queue = %d/%d, want 4/128", sp.Workers, sp.Queue)
+	}
+	gc := sp.GroupCommit
+	if gc == nil || gc.MaxBatch != 64 || gc.MaxDelay != 2*time.Millisecond {
+		t.Fatalf("group_commit = %+v, want max_batch 64 max_delay 2ms", gc)
+	}
+}
+
+func TestIngestBlockDefaults(t *testing.T) {
+	cfg, err := Parse(`ingest { queue 8 }` + "\nfeed F { pattern \"f_%Y.gz\" }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Ingest.Workers != 1 {
+		t.Fatalf("workers default = %d, want 1", cfg.Ingest.Workers)
+	}
+	if cfg.Ingest.GroupCommit != nil {
+		t.Fatalf("group_commit should be nil when absent: %+v", cfg.Ingest.GroupCommit)
+	}
+}
+
+func TestIngestBlockRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"ingest {\n    workers 4\n    queue 128\n    group_commit {\n        max_batch 64\n        max_delay 2ms\n    }\n}\n\nfeed F { pattern \"f_%Y.gz\" }",
+		"ingest {\n    workers 2\n    group_commit {\n        max_delay 500us\n    }\n}\n\nfeed F { pattern \"f_%Y.gz\" }",
+		"ingest {\n    workers 8\n    group_commit {\n        max_batch 16\n    }\n}\n\nfeed F { pattern \"f_%Y.gz\" }",
+	} {
+		orig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		text := Format(orig)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+		}
+		a, b := orig.Ingest, back.Ingest
+		if b == nil || a.Workers != b.Workers || a.Queue != b.Queue {
+			t.Fatalf("ingest lost in round trip:\n%+v\n%+v", a, b)
+		}
+		ga, gb := a.GroupCommit, b.GroupCommit
+		if (ga == nil) != (gb == nil) {
+			t.Fatalf("group_commit presence lost: %+v vs %+v", ga, gb)
+		}
+		if ga != nil && (ga.MaxBatch != gb.MaxBatch || ga.MaxDelay != gb.MaxDelay) {
+			t.Fatalf("group_commit lost in round trip:\n%+v\n%+v", ga, gb)
+		}
+		if again := Format(back); again != text {
+			t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+		}
+	}
+}
+
+func TestIngestBlockErrors(t *testing.T) {
+	feed := "\nfeed F { pattern \"f_%Y.gz\" }"
+	for _, src := range []string{
+		`ingest { workers 0 }` + feed,
+		`ingest { queue 0 }` + feed,
+		`ingest { bogus 3 }` + feed,
+		`ingest { group_commit { } }` + feed,
+		`ingest { group_commit { max_batch 0 } }` + feed,
+		`ingest { group_commit { max_delay 0s } }` + feed,
+		`ingest { group_commit { bogus 1 } }` + feed,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("bad ingest block accepted: %s", src)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package diskfault
+
+import (
+	"os"
+	"time"
+)
+
+// latencyFS wraps an FS adding a fixed delay to every Sync and
+// SyncDir — a model of real fsync cost for experiments that measure
+// how batching and parallelism amortize it (E14). Unlike NoSync it
+// changes nothing about durability; unlike Faulty it injects no
+// failures, so measured differences come purely from how many fsyncs
+// the code under test issues and how many proceed concurrently.
+type latencyFS struct {
+	FS
+	d time.Duration
+}
+
+// Latency returns fsys with every fsync (file and directory) taking at
+// least d of wall time.
+func Latency(fsys FS, d time.Duration) FS { return latencyFS{fsys, d} }
+
+func (l latencyFS) SyncDir(dir string) error {
+	time.Sleep(l.d)
+	return l.FS.SyncDir(dir)
+}
+
+func (l latencyFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := l.FS.OpenFile(name, flag, perm)
+	return latencyFile{f, l.d}, err
+}
+func (l latencyFS) Open(name string) (File, error) {
+	f, err := l.FS.Open(name)
+	return latencyFile{f, l.d}, err
+}
+func (l latencyFS) Create(name string) (File, error) {
+	f, err := l.FS.Create(name)
+	return latencyFile{f, l.d}, err
+}
+func (l latencyFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := l.FS.CreateTemp(dir, pattern)
+	return latencyFile{f, l.d}, err
+}
+
+type latencyFile struct {
+	File
+	d time.Duration
+}
+
+func (f latencyFile) Sync() error {
+	time.Sleep(f.d)
+	return f.File.Sync()
+}

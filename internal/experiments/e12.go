@@ -100,6 +100,14 @@ type CrashRoundsConfig struct {
 	// non-durable-rename bug class so tests can prove the harness
 	// detects it. PowerCut and TornWrites are always forced on.
 	Fault diskfault.Options
+	// Workers > 1 switches to the sharded ingest pipeline: three
+	// sources deposit concurrently into per-source directories, so
+	// crashes land across flush-window and shard boundaries. 0 or 1
+	// keeps the original serial harness byte-for-byte.
+	Workers int
+	// GroupCommit enables the WAL flush window (small batch/delay, so
+	// every round crosses many batch boundaries).
+	GroupCommit bool
 }
 
 // CrashRoundsResult aggregates the harness counters.
@@ -135,6 +143,31 @@ feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
 subscriber wh { dest "in" subscribe CPU }
 `
 
+// e12ConfigText renders the harness configuration for the requested
+// pipeline shape. The serial shape is the historical e12Config text.
+func e12ConfigText(cfg CrashRoundsConfig) string {
+	if cfg.Workers <= 1 && !cfg.GroupCommit {
+		return e12Config
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	text := fmt.Sprintf("ingest {\n    workers %d\n", workers)
+	if cfg.GroupCommit {
+		// A small window so every round crosses many flush boundaries.
+		text += "    group_commit { max_batch 8 max_delay 1ms }\n"
+	}
+	text += "}\n"
+	if cfg.Workers > 1 {
+		return text + `
+feed CPU { pattern "src%i/CPU_POLL%i_%Y%m%d%H%M.txt" }
+subscriber wh { dest "in" subscribe CPU }
+`
+	}
+	return text + e12Config
+}
+
 // RunCrashRounds executes the crash-restart property loop and checks
 // the invariants after every restart. It is exported (within the
 // experiments package's test surface) so a test can rerun it with a
@@ -146,6 +179,7 @@ func RunCrashRounds(cfg CrashRoundsConfig) (*CrashRoundsResult, error) {
 	}
 	defer os.RemoveAll(root)
 
+	confText := e12ConfigText(cfg)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &CrashRoundsResult{Rounds: cfg.Rounds}
 	acked := make(map[string]string) // original name -> payload
@@ -170,7 +204,7 @@ func RunCrashRounds(cfg CrashRoundsConfig) (*CrashRoundsResult, error) {
 		// itself, so real fsyncs would only slow the harness down.
 		faulty := diskfault.NewFaulty(diskfault.NoSync(diskfault.OS()), dfOpts)
 
-		srv, err := newE12Server(root, faulty, onEvent)
+		srv, err := newE12Server(root, confText, faulty, onEvent)
 		if err != nil {
 			return nil, fmt.Errorf("e12 round %d: restart: %w", round, err)
 		}
@@ -182,14 +216,49 @@ func RunCrashRounds(cfg CrashRoundsConfig) (*CrashRoundsResult, error) {
 		// Arm the cut somewhere inside this round's operation stream,
 		// then feed deposits; ingest and delivery race the countdown.
 		faulty.SetCrashAfter(3 + rng.Int63n(45))
-		for i := 0; i < cfg.PerRound; i++ {
-			name := fmt.Sprintf("CPU_POLL%d_%s.txt", i%3+1, base.Add(time.Duration(fileNo)*time.Minute).Format("200601021504"))
-			fileNo++
-			payload := fmt.Sprintf("round=%d file=%d payload=%032d", round, fileNo, fileNo)
-			res.Attempted++
-			if err := srv.Deposit(name, []byte(payload)); err == nil {
-				res.Acked++
-				acked[name] = payload
+		if cfg.Workers > 1 {
+			// Sharded shape: three sources deposit concurrently into
+			// their own directories, in per-source order, racing the
+			// armed cut across shard and flush-window boundaries.
+			const nSrc = 3
+			type dep struct{ name, payload string }
+			plan := make([][]dep, nSrc)
+			for i := 0; i < cfg.PerRound; i++ {
+				s := i % nSrc
+				name := fmt.Sprintf("src%d/CPU_POLL%d_%s.txt", s+1, s+1,
+					base.Add(time.Duration(fileNo)*time.Minute).Format("200601021504"))
+				fileNo++
+				plan[s] = append(plan[s], dep{name,
+					fmt.Sprintf("round=%d file=%d payload=%032d", round, fileNo, fileNo)})
+			}
+			var wg sync.WaitGroup
+			for s := range plan {
+				wg.Add(1)
+				go func(deps []dep) {
+					defer wg.Done()
+					for _, d := range deps {
+						err := srv.Deposit(d.name, []byte(d.payload))
+						mu.Lock()
+						res.Attempted++
+						if err == nil {
+							res.Acked++
+							acked[d.name] = d.payload
+						}
+						mu.Unlock()
+					}
+				}(plan[s])
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < cfg.PerRound; i++ {
+				name := fmt.Sprintf("CPU_POLL%d_%s.txt", i%3+1, base.Add(time.Duration(fileNo)*time.Minute).Format("200601021504"))
+				fileNo++
+				payload := fmt.Sprintf("round=%d file=%d payload=%032d", round, fileNo, fileNo)
+				res.Attempted++
+				if err := srv.Deposit(name, []byte(payload)); err == nil {
+					res.Acked++
+					acked[name] = payload
+				}
 			}
 		}
 		// Let in-flight deliveries race the countdown briefly.
@@ -212,7 +281,7 @@ func RunCrashRounds(cfg CrashRoundsConfig) (*CrashRoundsResult, error) {
 
 	// Final clean run: drain every queue and verify at-least-once
 	// delivery of all acknowledged files.
-	srv, err := newE12Server(root, diskfault.OS(), onEvent)
+	srv, err := newE12Server(root, confText, diskfault.OS(), onEvent)
 	if err != nil {
 		return nil, fmt.Errorf("e12 final restart: %w", err)
 	}
@@ -244,8 +313,8 @@ func RunCrashRounds(cfg CrashRoundsConfig) (*CrashRoundsResult, error) {
 	return res, nil
 }
 
-func newE12Server(root string, fsys diskfault.FS, onEvent func(delivery.Event)) (*server.Server, error) {
-	cfg, err := config.Parse(e12Config)
+func newE12Server(root, confText string, fsys diskfault.FS, onEvent func(delivery.Event)) (*server.Server, error) {
+	cfg, err := config.Parse(confText)
 	if err != nil {
 		return nil, err
 	}

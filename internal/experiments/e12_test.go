@@ -42,6 +42,35 @@ func TestE12Shape(t *testing.T) {
 	}
 }
 
+// TestE12GroupCommitSharded reruns the crash-restart property harness
+// with the sharded ingest pipeline and the WAL flush window enabled:
+// concurrent per-source depositors race randomized power cuts across
+// shard and group-commit batch boundaries. The acked-durability
+// invariant must hold unchanged — no Deposit acknowledgement may ever
+// precede its batch's fsync, or the rollback to the fsync-covered
+// state would surface the loss here.
+func TestE12GroupCommitSharded(t *testing.T) {
+	res, err := RunCrashRounds(CrashRoundsConfig{
+		Rounds:      20,
+		PerRound:    9,
+		Seed:        1106,
+		Workers:     4,
+		GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); v != 0 {
+		t.Fatalf("%d invariant violations with workers=4 + group commit: %+v", v, res)
+	}
+	if res.MidOpCrashes < 10 {
+		t.Fatalf("only %d mid-operation cuts — harness not biting", res.MidOpCrashes)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no deposits acknowledged — harness vacuous")
+	}
+}
+
 // TestE12DetectsNonDurableRename deliberately reintroduces the bug
 // class the harness targets: a lying fsync on the staging temp files
 // makes the promote rename non-durable again (the pre-hardening

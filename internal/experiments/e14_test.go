@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE14Shape asserts the scaling claim the tentpole was built for:
+// with fsync cost modeled at a fixed latency, 4 ingest workers with
+// the group-commit flush window must push the classify+commit path to
+// at least 2x the serial (1 worker, no window) throughput, while
+// propagation p95 stays under the paper's one-minute bound. The
+// fixed-latency filesystem makes the ratio about fsync counts and
+// overlap, not CI host speed.
+func TestE14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-server scaling trial")
+	}
+	cfg := E14TrialConfig{
+		Sources:      8,
+		PerSource:    15,
+		FsyncLatency: 2 * time.Millisecond,
+	}
+
+	serial := cfg
+	serial.Workers = 1
+	base, err := E14IngestTrial(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := cfg
+	sharded.Workers = 4
+	sharded.GroupCommit = true
+	fast, err := E14IngestTrial(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	speedup := base.IngestTime.Seconds() / fast.IngestTime.Seconds()
+	t.Logf("serial %v, 4 workers+gc %v: %.2fx", base.IngestTime, fast.IngestTime, speedup)
+	if speedup < 2 {
+		t.Fatalf("classify+commit speedup %.2fx at 4 workers, want >= 2x (serial %v, sharded %v)",
+			speedup, base.IngestTime, fast.IngestTime)
+	}
+	for name, r := range map[string]*E14TrialResult{"serial": base, "sharded": fast} {
+		if r.PropagationP95 >= time.Minute {
+			t.Fatalf("%s propagation p95 %v breaches the one-minute bound", name, r.PropagationP95)
+		}
+	}
+}

@@ -114,5 +114,6 @@ func All() []Runner {
 		{"e11", "graceful degradation under fault injection", E11Degradation},
 		{"e12", "crash-consistency under randomized power cuts", E12CrashConsistency},
 		{"e13", "metrics instrumentation overhead on the hot paths", E13Overhead},
+		{"e14", "parallel sharded ingest with WAL group-commit", E14ParallelIngest},
 	}
 }

@@ -1,0 +1,215 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/metrics"
+	"bistro/internal/receipts"
+)
+
+// TestPerSourceOrder checks the partitioning invariant: with many
+// workers and many sources submitting concurrently, each source's
+// files reach Process — and then Deliver — in submission order.
+func TestPerSourceOrder(t *testing.T) {
+	const sources, files = 6, 50
+	var mu sync.Mutex
+	processed := make(map[string][]int)
+	delivered := make(map[string][]int)
+	p, err := New(Options{
+		Workers: 4,
+		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
+			src := SourceKey(rel)
+			var seq int
+			fmt.Sscanf(rel[len(src)+1:], "f%d", &seq)
+			mu.Lock()
+			processed[src] = append(processed[src], seq)
+			mu.Unlock()
+			return receipts.FileMeta{Name: rel, Size: int64(seq)}, true, nil
+		},
+		Deliver: func(meta receipts.FileMeta) {
+			src := SourceKey(meta.Name)
+			mu.Lock()
+			delivered[src] = append(delivered[src], int(meta.Size))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < sources; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for f := 0; f < files; f++ {
+				rel := fmt.Sprintf("src%d/f%d", s, f)
+				if err := p.Ingest("root", rel); err != nil {
+					t.Errorf("ingest %s: %v", rel, err)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	p.Stop()
+	for s := 0; s < sources; s++ {
+		key := fmt.Sprintf("src%d", s)
+		for name, got := range map[string][]int{"processed": processed[key], "delivered": delivered[key]} {
+			if len(got) != files {
+				t.Fatalf("%s %s: %d files, want %d", key, name, len(got), files)
+			}
+			for i, seq := range got {
+				if seq != i {
+					t.Fatalf("%s %s out of order at %d: %v", key, name, i, got[:i+1])
+				}
+			}
+		}
+	}
+}
+
+// TestBackpressure checks that a stalled delivery path blocks
+// submitters instead of queueing unboundedly, and that the stall is
+// visible in the metrics.
+func TestBackpressure(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	gate := make(chan struct{})
+	p, err := New(Options{
+		Workers:      1,
+		ShardDepth:   1,
+		HandoffDepth: 1,
+		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
+			return receipts.FileMeta{Name: rel}, true, nil
+		},
+		Deliver: func(receipts.FileMeta) { <-gate },
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver stalls on the gate: file 1 occupies Deliver, file 2 fills
+	// the hand-off queue, file 3's worker push blocks, file 4 fills the
+	// shard queue, so file 5's Ingest must block in the shard send.
+	done := make(chan int, 8)
+	for i := 1; i <= 5; i++ {
+		go func(i int) {
+			if err := p.Ingest("root", fmt.Sprintf("f%d", i)); err != nil {
+				t.Errorf("ingest f%d: %v", i, err)
+			}
+			done <- i
+		}(i)
+		time.Sleep(20 * time.Millisecond)
+	}
+	completed := 0
+drain:
+	for {
+		select {
+		case <-done:
+			completed++
+		case <-time.After(100 * time.Millisecond):
+			break drain
+		}
+	}
+	if completed > 2 {
+		t.Fatalf("%d submitters completed with delivery stalled, want <= 2", completed)
+	}
+	if m.HandoffBlocked.Value() == 0 {
+		t.Fatal("handoff_blocked counter did not record the stall")
+	}
+	close(gate)
+	for completed < 5 {
+		select {
+		case <-done:
+			completed++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("pipeline did not drain after gate opened (%d/5)", completed)
+		}
+	}
+	p.Stop()
+	if v := m.Ingested.Value(); v != 5 {
+		t.Fatalf("ingested counter = %d, want 5", v)
+	}
+	for _, g := range []*metrics.Gauge{m.QueueDepth, m.HandoffDepth} {
+		if v := g.Value(); v != 0 {
+			t.Fatalf("depth gauge nonzero after drain: %d", v)
+		}
+	}
+}
+
+// TestErrorPropagation checks a failed Process resolves the submitter
+// with the error and never reaches delivery.
+func TestErrorPropagation(t *testing.T) {
+	reg := metrics.NewRegistry()
+	m := NewMetrics(reg)
+	boom := errors.New("boom")
+	p, err := New(Options{
+		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
+			return receipts.FileMeta{}, false, boom
+		},
+		Deliver: func(receipts.FileMeta) { t.Error("deliver called for failed file") },
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest("root", "x"); !errors.Is(err, boom) {
+		t.Fatalf("ingest error = %v, want boom", err)
+	}
+	p.Stop()
+	if m.Errors.Value() != 1 || m.Ingested.Value() != 0 {
+		t.Fatalf("errors/ingested = %d/%d, want 1/0", m.Errors.Value(), m.Ingested.Value())
+	}
+}
+
+// TestStop checks Stop rejects new submissions and is idempotent.
+func TestStop(t *testing.T) {
+	p, err := New(Options{
+		Workers: 2,
+		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
+			return receipts.FileMeta{Name: rel}, true, nil
+		},
+		Deliver: func(receipts.FileMeta) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest("root", "a/b"); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	p.Stop()
+	if err := p.Ingest("root", "a/c"); !errors.Is(err, ErrStopped) {
+		t.Fatalf("ingest after stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestFlatDepositsShareShard documents that un-directoried deposits
+// form one source and stay totally ordered regardless of worker count.
+func TestFlatDepositsShareShard(t *testing.T) {
+	var order []string
+	p, err := New(Options{
+		Workers: 8,
+		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
+			order = append(order, rel) // single shard: no race
+			return receipts.FileMeta{}, false, nil
+		},
+		Deliver: func(receipts.FileMeta) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := p.Ingest("root", fmt.Sprintf("f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Stop()
+	for i, rel := range order {
+		if want := fmt.Sprintf("f%02d", i); rel != want {
+			t.Fatalf("flat order broken at %d: got %s want %s", i, rel, want)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package pattern
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAdversarialBacktracking pins the memoization fix: patterns with
+// repeated bounded conversions are legal but used to backtrack
+// exponentially on all-digit or all-separator names. With failed-state
+// memoization each must finish in milliseconds, not hours.
+func TestAdversarialBacktracking(t *testing.T) {
+	cases := []struct{ src, name string }{
+		{strings.Repeat("%i", 12) + "x", strings.Repeat("1", 48)},
+		{strings.Repeat("%i_", 12) + "x", strings.Repeat("1", 48)},
+		{strings.Repeat("%s_", 12) + "x", strings.Repeat("_", 48)},
+		{strings.Repeat("*_", 12) + "x", strings.Repeat("_", 48)},
+	}
+	for _, c := range cases {
+		p, err := Compile(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		start := time.Now()
+		if p.Matches(c.name) {
+			t.Fatalf("%s unexpectedly matched %s", c.src, c.name)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("%s vs %s took %v — backtracking blowup", c.src, c.name, d)
+		}
+	}
+}
+
+// FuzzPatternRoundTrip drives the full compile→match→render→rematch
+// loop with arbitrary pattern sources and names. Invariants:
+//   - Compile never panics, and a compiled pattern's String()
+//     recompiles to an equivalent pattern;
+//   - Match never panics and terminates (the memoized matcher);
+//   - a successful Match renders via its own Fields, and the rendered
+//     name matches again (round-trip: Render is Match's inverse up to
+//     wildcard text and leading zeros on %i);
+//   - every Match is sanctioned by the pattern's Regexp (the regexp
+//     accepts a superset — it skips the calendar check).
+func FuzzPatternRoundTrip(f *testing.F) {
+	f.Add("CPU_POLL%i_%Y%m%d%H%M.txt", "CPU_POLL7_201009250451.txt")
+	f.Add("%Y/%m/%d/poller%i.csv.gz", "2010/09/25/poller3.csv.gz")
+	f.Add("MEM_%s_%y%m%d.gz", "MEM_east_100925.gz")
+	f.Add("a*b%ic", "axxb12c")
+	f.Add("%i%i%i", "111111")
+	f.Add("%%escaped%s", "%escapedx")
+	f.Add("%H%M%S", "045159")
+	f.Add("*", "")
+	f.Fuzz(func(t *testing.T, src, name string) {
+		p, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// String() must reproduce a pattern that compiles and agrees on
+		// this name.
+		p2, err := Compile(p.String())
+		if err != nil {
+			t.Fatalf("String() %q does not recompile: %v", p.String(), err)
+		}
+		fields, ok := p.Match(name)
+		if ok2 := p2.Matches(name); ok != ok2 {
+			t.Fatalf("pattern %q and its String() recompile disagree on %q: %v vs %v", src, name, ok, ok2)
+		}
+		if !ok {
+			return
+		}
+		re, err := regexp.Compile(p.Regexp())
+		if err != nil {
+			t.Fatalf("Regexp() %q does not compile: %v", p.Regexp(), err)
+		}
+		if !re.MatchString(name) {
+			t.Fatalf("pattern %q matched %q but Regexp() %q rejects it", src, name, p.Regexp())
+		}
+		rendered, err := p.Render(fields)
+		if err != nil {
+			t.Fatalf("pattern %q matched %q but Render failed: %v", src, name, err)
+		}
+		if !p.Matches(rendered) {
+			t.Fatalf("pattern %q: rendered %q (from %q) does not re-match", src, rendered, name)
+		}
+	})
+}

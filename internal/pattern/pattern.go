@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode/utf8"
 )
 
 // Kind identifies a pattern segment type.
@@ -119,6 +120,12 @@ type Pattern struct {
 func Compile(src string) (*Pattern, error) {
 	if src == "" {
 		return nil, fmt.Errorf("pattern: empty pattern")
+	}
+	// Pattern sources are configuration text; rejecting invalid UTF-8
+	// here keeps every downstream rendering (Regexp in particular)
+	// well-formed. Matched names stay raw bytes.
+	if !utf8.ValidString(src) {
+		return nil, fmt.Errorf("pattern %q: not valid UTF-8", src)
 	}
 	p := &Pattern{src: src, timeKind: make(map[Kind]bool)}
 	var lit strings.Builder
@@ -355,13 +362,26 @@ func (tp TimeParts) Granularity() time.Duration {
 // conversions; a filename must match in its entirety.
 func (p *Pattern) Match(name string) (*Fields, bool) {
 	f := &Fields{}
-	if !p.match(name, 0, 0, f) {
+	st := matchState{budget: 4 * (len(name) + 1) * (len(p.segs) + 1)}
+	if !p.match(name, 0, 0, f, &st) {
 		return nil, false
 	}
 	if !f.Time.Valid() {
 		return nil, false
 	}
 	return f, true
+}
+
+// matchState bounds backtracking. Patterns like %i%i%i or repeated
+// %s_ groups are legal (they have anchors or bounded runs) but
+// backtrack exponentially on adversarial names; once a match exceeds
+// its call budget, failed (position, segment) states are memoized so
+// the search degrades to polynomial instead. The budget keeps the
+// common non-backtracking match allocation-free.
+type matchState struct {
+	calls  int
+	budget int
+	failed map[int32]struct{}
 }
 
 // Matches is Match without field extraction cost for callers that only
@@ -373,7 +393,28 @@ func (p *Pattern) Matches(name string) bool {
 
 // match attempts to match name[pos:] against segs[si:], appending
 // captures to f. On backtrack it truncates the captures it added.
-func (p *Pattern) match(name string, pos, si int, f *Fields) bool {
+// Whether (pos, si) can match is independent of the captures taken so
+// far, so failed states can be memoized once backtracking blows the
+// call budget.
+func (p *Pattern) match(name string, pos, si int, f *Fields, st *matchState) bool {
+	st.calls++
+	if st.calls <= st.budget {
+		return p.matchSeg(name, pos, si, f, st)
+	}
+	key := int32(pos*(len(p.segs)+1) + si)
+	if st.failed == nil {
+		st.failed = make(map[int32]struct{})
+	} else if _, ok := st.failed[key]; ok {
+		return false
+	}
+	ok := p.matchSeg(name, pos, si, f, st)
+	if !ok {
+		st.failed[key] = struct{}{}
+	}
+	return ok
+}
+
+func (p *Pattern) matchSeg(name string, pos, si int, f *Fields, st *matchState) bool {
 	if si == len(p.segs) {
 		return pos == len(name)
 	}
@@ -383,7 +424,7 @@ func (p *Pattern) match(name string, pos, si int, f *Fields) bool {
 		if !strings.HasPrefix(name[pos:], seg.Lit) {
 			return false
 		}
-		return p.match(name, pos+len(seg.Lit), si+1, f)
+		return p.match(name, pos+len(seg.Lit), si+1, f, st)
 
 	case KString, KWild:
 		min := 1
@@ -399,7 +440,7 @@ func (p *Pattern) match(name string, pos, si int, f *Fields) bool {
 			if seg.Kind == KString {
 				f.Strings = append(f.Strings, name[pos:end])
 			}
-			if p.match(name, end, si+1, f) {
+			if p.match(name, end, si+1, f, st) {
 				return true
 			}
 			if seg.Kind == KString {
@@ -420,7 +461,7 @@ func (p *Pattern) match(name string, pos, si int, f *Fields) bool {
 				continue
 			}
 			f.Ints = append(f.Ints, v)
-			if p.match(name, end, si+1, f) {
+			if p.match(name, end, si+1, f, st) {
 				return true
 			}
 			f.Ints = f.Ints[:len(f.Ints)-1]
@@ -440,7 +481,7 @@ func (p *Pattern) match(name string, pos, si int, f *Fields) bool {
 		v, _ := strconv.Atoi(name[pos : pos+w])
 		saved := f.Time
 		setTimePart(&f.Time, seg.Kind, v)
-		if p.match(name, pos+w, si+1, f) {
+		if p.match(name, pos+w, si+1, f, st) {
 			return true
 		}
 		f.Time = saved

@@ -107,7 +107,10 @@ func decodeOps(b []byte) ([]op, error) {
 			}
 			var nf uint64
 			nf, sz = binary.Uvarint(b)
-			if sz <= 0 || nf > 1<<20 {
+			// Each feed needs at least its length byte, so a count
+			// exceeding the remaining payload is corrupt — checked
+			// before the allocation it would size.
+			if sz <= 0 || nf > 1<<20 || nf > uint64(len(b)-sz) {
 				return nil, fmt.Errorf("receipts: corrupt feed count")
 			}
 			b = b[sz:]

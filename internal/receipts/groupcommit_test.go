@@ -1,0 +1,342 @@
+package receipts
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/diskfault"
+	"bistro/internal/metrics"
+)
+
+// gcOptions is the flush-window configuration the stress tests run
+// under: small enough batches that windows are cut short by count, a
+// window long enough that concurrent committers actually coalesce.
+var gcOptions = GroupCommitConfig{MaxBatch: 8, MaxDelay: 500 * time.Microsecond}
+
+// TestGroupCommitConcurrentStress hammers the flush window from many
+// goroutines while a checkpointer races it: the -race CI job is the
+// real assertion here, but the test also checks that every committed
+// arrival is visible live and after reopen, and that the window
+// actually coalesced commits (fewer fsync flushes than transactions).
+func TestGroupCommitConcurrentStress(t *testing.T) {
+	const goroutines, perG = 24, 40
+	dir := t.TempDir()
+	m := NewMetrics(metrics.NewRegistry())
+	s, err := Open(dir, Options{GroupCommit: gcOptions, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := fmt.Sprintf("g%02d/f%03d", g, i)
+				if _, err := s.RecordArrival(FileMeta{Name: name}); err != nil {
+					t.Errorf("arrival %s: %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	ckptWG.Wait()
+
+	want := goroutines * perG
+	checkNames := func(files []FileMeta, when string) {
+		seen := make(map[string]bool, len(files))
+		for _, f := range files {
+			seen[f.Name] = true
+		}
+		if len(seen) != want {
+			t.Fatalf("%s: %d distinct receipts, want %d", when, len(seen), want)
+		}
+	}
+	checkNames(s.AllFiles(), "live")
+
+	// The whole point of the window: far fewer flushes than commits.
+	flushes, commits := m.BatchSize.Count(), int64(m.Commits.Value())
+	if commits != int64(want) {
+		t.Fatalf("commits = %d, want %d", commits, want)
+	}
+	if flushes >= commits {
+		t.Fatalf("no coalescing: %d flushes for %d commits", flushes, commits)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	checkNames(s2.AllFiles(), "after reopen")
+}
+
+// TestGroupCommitFsyncFaults runs the same concurrent workload against
+// a filesystem that randomly fails fsyncs mid-batch. The invariants:
+// an injected failure must surface as an error to every committer in
+// the affected batch (so the live store holds exactly the acknowledged
+// arrivals, never a failed one), and every acknowledged arrival must
+// still be present after close + reopen on a healthy filesystem.
+func TestGroupCommitFsyncFaults(t *testing.T) {
+	const goroutines, perG = 16, 40
+	dir := t.TempDir()
+	fsys := diskfault.NewFaulty(diskfault.OS(), diskfault.Options{
+		Seed:        1106,
+		SyncErrProb: 0.25,
+	})
+
+	// Open itself syncs the store directory, so the injector can refuse
+	// the open a few times before letting it through.
+	var s *Store
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		if s, err = Open(dir, Options{GroupCommit: gcOptions, FS: fsys}); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("open never succeeded: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Checkpoint() // errors expected under injection
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	var mu sync.Mutex
+	acked := make(map[string]bool)
+	failed := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := fmt.Sprintf("g%02d/f%03d", g, i)
+				_, err := s.RecordArrival(FileMeta{Name: name})
+				mu.Lock()
+				if err != nil {
+					failed++
+				} else {
+					acked[name] = true
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	ckptWG.Wait()
+
+	if failed == 0 || fsys.InjectedErrors() == 0 {
+		t.Fatalf("fault injection never bit (failed=%d injected=%d) — test is vacuous",
+			failed, fsys.InjectedErrors())
+	}
+	if len(acked) == 0 {
+		t.Fatal("no arrivals acknowledged — test is vacuous")
+	}
+
+	// Live state must be exactly the acknowledged set: a batch whose
+	// fsync failed must have errored every one of its committers.
+	live := make(map[string]bool)
+	for _, f := range s.AllFiles() {
+		live[f.Name] = true
+	}
+	for name := range acked {
+		if !live[name] {
+			t.Fatalf("acked arrival %s missing from live store", name)
+		}
+	}
+	for name := range live {
+		if !acked[name] {
+			t.Fatalf("failed arrival %s visible in live store — batch error not propagated", name)
+		}
+	}
+
+	s.Close() // may report one last injected sync failure
+
+	// Reopen on a healthy filesystem: every acknowledged arrival must
+	// have survived. (Failed ones may also appear — their frames can sit
+	// in the WAL and ride a later successful fsync — which is fine: a
+	// failed commit promises nothing either way.)
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after := make(map[string]bool)
+	for _, f := range s2.AllFiles() {
+		after[f.Name] = true
+	}
+	for name := range acked {
+		if !after[name] {
+			t.Fatalf("acked arrival %s lost across reopen", name)
+		}
+	}
+}
+
+// failSyncFS fails Sync on the WAL file while armed — a deterministic
+// way to hit one specific batch with a fault.
+type failSyncFS struct {
+	diskfault.FS
+	mu   sync.Mutex
+	arm  bool
+	errs int
+}
+
+var errInjectedSync = errors.New("injected wal sync failure")
+
+func (f *failSyncFS) armed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.arm
+}
+
+func (f *failSyncFS) setArmed(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.arm = v
+}
+
+func (f *failSyncFS) OpenFile(name string, flag int, perm os.FileMode) (diskfault.File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil || !strings.HasSuffix(name, walName) {
+		return file, err
+	}
+	return &failSyncFile{File: file, fs: f}, nil
+}
+
+type failSyncFile struct {
+	diskfault.File
+	fs *failSyncFS
+}
+
+func (f *failSyncFile) Sync() error {
+	if f.fs.armed() {
+		f.fs.mu.Lock()
+		f.fs.errs++
+		f.fs.mu.Unlock()
+		return errInjectedSync
+	}
+	return f.File.Sync()
+}
+
+// TestGroupCommitWholeBatchErrorPropagation pins the failure contract
+// down deterministically: committers that coalesce into batches whose
+// shared fsync fails must ALL receive the error and none of their
+// arrivals may be applied; once the fault clears, the same store must
+// commit normally again (the failure is transient, not sticky).
+func TestGroupCommitWholeBatchErrorPropagation(t *testing.T) {
+	const committers = 8
+	dir := t.TempDir()
+	fsys := &failSyncFS{FS: diskfault.OS()}
+	s, err := Open(dir, Options{
+		// A wide window so the concurrent committers coalesce.
+		GroupCommit: GroupCommitConfig{MaxBatch: committers, MaxDelay: 50 * time.Millisecond},
+		FS:          fsys,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fsys.setArmed(true)
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.RecordArrival(FileMeta{Name: fmt.Sprintf("doomed%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("committer %d acked while its batch's fsync failed", i)
+		}
+	}
+	if got := len(s.AllFiles()); got != 0 {
+		t.Fatalf("%d failed arrivals applied to the live store", got)
+	}
+
+	// The fault clears; the same committers must now succeed.
+	fsys.setArmed(false)
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.RecordArrival(FileMeta{Name: fmt.Sprintf("ok%d", i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d failed after fault cleared: %v", i, err)
+		}
+	}
+	if got := len(s.AllFiles()); got != committers {
+		t.Fatalf("%d receipts live, want %d", got, committers)
+	}
+	if fsys.errs == 0 {
+		t.Fatal("injector never fired")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after := make(map[string]bool)
+	for _, f := range s2.AllFiles() {
+		after[f.Name] = true
+	}
+	for i := 0; i < committers; i++ {
+		if !after[fmt.Sprintf("ok%d", i)] {
+			t.Fatalf("ok%d lost across reopen", i)
+		}
+	}
+}

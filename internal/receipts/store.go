@@ -24,6 +24,9 @@ type Metrics struct {
 	FsyncSeconds *metrics.Histogram
 	// WALBytes tracks the WAL size since the last checkpoint.
 	WALBytes *metrics.Gauge
+	// BatchSize observes how many transactions each WAL flush carried
+	// — the amortization the group-commit flush window buys.
+	BatchSize *metrics.Histogram
 }
 
 // NewMetrics registers the receipt-store metric families on r using
@@ -38,6 +41,8 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"WAL fsync latency.", nil),
 		WALBytes: r.Gauge("bistro_receipts_wal_bytes",
 			"WAL size since the last checkpoint."),
+		BatchSize: r.Histogram("bistro_receipts_group_batch_size",
+			"Transactions per WAL flush (group-commit batch size).", nil),
 	}
 }
 
@@ -62,6 +67,24 @@ type FileMeta struct {
 	DataTime time.Time
 }
 
+// GroupCommitConfig tunes the WAL flush window. The zero value keeps
+// the historical opportunistic behaviour: the first committer to find
+// no flush in progress becomes the leader and immediately flushes
+// whatever has queued. A non-zero MaxDelay makes the leader hold its
+// window open so concurrent committers coalesce into one batched
+// append + a single fsync; MaxBatch cuts the window short once enough
+// transactions have queued.
+type GroupCommitConfig struct {
+	// MaxBatch flushes as soon as this many transactions are queued
+	// (0 = no count trigger; the window runs to MaxDelay).
+	MaxBatch int
+	// MaxDelay is how long the leader waits for companions before
+	// flushing (0 = flush immediately, the historical behaviour).
+	// Every committer in the batch blocks until the shared fsync
+	// completes, so durability-on-ack is unchanged.
+	MaxDelay time.Duration
+}
+
 // Options configure a Store.
 type Options struct {
 	// NoSync disables fsync entirely (for tests and simulations where
@@ -70,6 +93,9 @@ type Options struct {
 	// NoGroupCommit forces one fsync per transaction instead of group
 	// commit. Exposed for the E10 ablation.
 	NoGroupCommit bool
+	// GroupCommit tunes the flush window for batched WAL fsyncs.
+	// Ignored when NoSync or NoGroupCommit is set.
+	GroupCommit GroupCommitConfig
 	// CheckpointEvery triggers an automatic checkpoint after this many
 	// committed transactions (0 = never automatic).
 	CheckpointEvery int
@@ -120,13 +146,17 @@ type Store struct {
 }
 
 // groupCommit coordinates batched fsyncs: concurrent committers queue
-// their payloads; one of them becomes the leader, writes and syncs the
-// whole batch, and wakes the rest.
+// their payloads; one of them becomes the leader, optionally holds a
+// flush window open to collect companions, then writes and syncs the
+// whole batch and wakes the rest.
 type groupCommit struct {
 	mu      sync.Mutex
 	queue   [][]byte
 	results []chan error
 	busy    bool
+	// wake is non-nil while the leader sleeps in its flush window; a
+	// committer that fills the batch closes it to cut the window short.
+	wake chan struct{}
 }
 
 const checkpointName = "receipts.ckpt"
@@ -279,34 +309,62 @@ func (s *Store) walAppend(payloads [][]byte) error {
 	return err
 }
 
-// groupAppend implements leader-based group commit.
+// groupAppend implements leader-based group commit. The first
+// committer to find no flush in progress becomes the leader; with a
+// configured flush window it sleeps up to MaxDelay (cut short when
+// MaxBatch fills) so concurrent committers coalesce, then performs one
+// batched append + fsync and distributes the result to every waiter.
 func (s *Store) groupAppend(payload []byte) error {
 	g := &s.gc
+	cfg := s.opts.GroupCommit
 	done := make(chan error, 1)
 	g.mu.Lock()
 	g.queue = append(g.queue, payload)
 	g.results = append(g.results, done)
 	if g.busy {
 		// A leader is flushing; it (or a successor) will pick us up.
+		// If we just filled the batch, cut its flush window short.
+		if g.wake != nil && cfg.MaxBatch > 0 && len(g.queue) >= cfg.MaxBatch {
+			close(g.wake)
+			g.wake = nil
+		}
 		g.mu.Unlock()
 		return <-done
 	}
 	// Become leader: flush everything queued (including work that
 	// arrived while previous leaders ran).
+	g.busy = true
 	for len(g.queue) > 0 {
+		if cfg.MaxDelay > 0 && (cfg.MaxBatch <= 0 || len(g.queue) < cfg.MaxBatch) {
+			wake := make(chan struct{})
+			g.wake = wake
+			g.mu.Unlock()
+			t := time.NewTimer(cfg.MaxDelay)
+			select {
+			case <-wake:
+			case <-t.C:
+			}
+			t.Stop()
+			g.mu.Lock()
+			if g.wake == wake {
+				g.wake = nil
+			}
+		}
 		batch := g.queue
 		waiters := g.results
 		g.queue = nil
 		g.results = nil
-		g.busy = true
 		g.mu.Unlock()
 		err := s.walAppend(batch)
+		if m := s.opts.Metrics; m != nil && m.BatchSize != nil {
+			m.BatchSize.Observe(float64(len(batch)))
+		}
 		for _, ch := range waiters {
 			ch <- err
 		}
 		g.mu.Lock()
-		g.busy = false
 	}
+	g.busy = false
 	g.mu.Unlock()
 	return <-done
 }

@@ -35,6 +35,7 @@ import (
 	"bistro/internal/discovery"
 	"bistro/internal/diskfault"
 	"bistro/internal/feedlog"
+	"bistro/internal/ingest"
 	"bistro/internal/landing"
 	"bistro/internal/metrics"
 	"bistro/internal/normalize"
@@ -117,6 +118,7 @@ type Server struct {
 	engine *delivery.Engine
 	land   *landing.Manager
 	arch   *archive.Archiver
+	pipe   *ingest.Pipeline
 
 	ln    net.Listener
 	adm   *admin.Server       // nil unless the config has an admin block
@@ -200,6 +202,7 @@ func New(opts Options) (*Server, error) {
 		// Bound recovery time: snapshot once the WAL reaches 16 MiB.
 		CheckpointBytes: 16 << 20,
 		Metrics:         receipts.NewMetrics(s.reg),
+		GroupCommit:     groupCommitConfig(cfg.Ingest),
 	})
 	if err != nil {
 		return nil, err
@@ -263,7 +266,48 @@ func New(opts Options) (*Server, error) {
 	}
 	arch.FS = s.fs
 	s.arch = arch
+
+	// The ingest pipeline is constructed (and its workers started)
+	// last: Start's reconcile and unmatched-reprocess passes route
+	// through it before the rest of the pipeline spins up.
+	ingOpts := ingest.Options{
+		Process: s.processArrival,
+		Deliver: s.engine.EnqueueFile,
+		Metrics: ingest.NewMetrics(s.reg),
+	}
+	if sp := cfg.Ingest; sp != nil {
+		ingOpts.Workers = sp.Workers
+		ingOpts.HandoffDepth = sp.Queue
+	}
+	pipe, err := ingest.New(ingOpts)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.pipe = pipe
 	return s, nil
+}
+
+// groupCommitConfig maps the config-language group_commit block onto
+// the receipt store's flush window. An empty block keeps today's
+// opportunistic group commit; when the block is present, unset fields
+// default to max_batch 64 / max_delay 2ms so the window is always
+// bounded in both directions (documented in docs/CONFIG.md).
+func groupCommitConfig(sp *config.IngestSpec) receipts.GroupCommitConfig {
+	if sp == nil || sp.GroupCommit == nil {
+		return receipts.GroupCommitConfig{}
+	}
+	gc := receipts.GroupCommitConfig{
+		MaxBatch: sp.GroupCommit.MaxBatch,
+		MaxDelay: sp.GroupCommit.MaxDelay,
+	}
+	if gc.MaxBatch <= 0 {
+		gc.MaxBatch = 64
+	}
+	if gc.MaxDelay <= 0 {
+		gc.MaxDelay = 2 * time.Millisecond
+	}
+	return gc
 }
 
 // schedulerConfig converts a configuration-language scheduler block
@@ -472,6 +516,9 @@ func (s *Server) Stop() {
 	}
 	s.mu.Unlock()
 	s.land.Stop()
+	// Sources are quiet now; drain in-flight arrivals through the
+	// shard and hand-off stages before the delivery engine goes away.
+	s.pipe.Stop()
 	s.engine.Stop()
 	if s.trans != nil {
 		s.trans.remote.close()
@@ -642,10 +689,22 @@ func (s *Server) IngestLanding(rel string) error {
 	return s.ingestFrom(s.land.Dir(), rel)
 }
 
-// ingestFrom runs the ingest pipeline on a file under an arbitrary
-// source root (the landing zone, or the unmatched quarantine during
-// reprocessing).
+// ingestFrom routes a file under an arbitrary source root (the
+// landing zone, or the unmatched quarantine during reprocessing)
+// through the sharded pipeline and blocks until its receipt is
+// durable — so the contract visible to sources is unchanged: a nil
+// return still means the arrival survives a crash.
 func (s *Server) ingestFrom(root, rel string) error {
+	return s.pipe.Ingest(root, rel)
+}
+
+// processArrival is the pipeline's classify→normalize→commit stage:
+// it classifies one file, quarantines it when unmatched (deliver =
+// false), or stages it and records the receipt. It runs on shard
+// workers, so everything it touches — classifier, logger, store,
+// analyzer samples — is concurrency-safe; per-source ordering comes
+// from the pipeline's hash partitioning.
+func (s *Server) processArrival(root, rel string) (receipts.FileMeta, bool, error) {
 	name := filepath.ToSlash(rel)
 	src := filepath.Join(root, rel)
 	now := s.clk.Now()
@@ -658,22 +717,22 @@ func (s *Server) ingestFrom(root, rel string) error {
 		// but move them out of landing so scans stay cheap.
 		dst := filepath.Join(s.stage, "_unmatched", rel)
 		if _, err := normalize.ProcessFS(s.fs, src, dst, config.CompressNone); err != nil {
-			return err
+			return receipts.FileMeta{}, false, err
 		}
-		return s.fs.Remove(src)
+		return receipts.FileMeta{}, false, s.fs.Remove(src)
 	}
 
 	primary := matches[0]
 	stagedName, err := normalize.StagedName(primary.Feed, name, primary.Fields)
 	if err != nil {
-		return fmt.Errorf("server: staging name for %s: %w", name, err)
+		return receipts.FileMeta{}, false, fmt.Errorf("server: staging name for %s: %w", name, err)
 	}
 	res, err := normalize.ProcessFS(s.fs, src, filepath.Join(s.stage, stagedName), primary.Feed.Compress)
 	if err != nil {
-		return fmt.Errorf("server: normalize %s: %w", name, err)
+		return receipts.FileMeta{}, false, fmt.Errorf("server: normalize %s: %w", name, err)
 	}
 	if err := s.fs.Remove(src); err != nil {
-		return fmt.Errorf("server: clear landing %s: %w", name, err)
+		return receipts.FileMeta{}, false, fmt.Errorf("server: clear landing %s: %w", name, err)
 	}
 
 	feeds := make([]string, len(matches))
@@ -695,15 +754,14 @@ func (s *Server) ingestFrom(root, rel string) error {
 	}
 	id, err := s.store.RecordArrival(meta)
 	if err != nil {
-		return err
+		return receipts.FileMeta{}, false, err
 	}
 	meta.ID = id
 	for _, m := range matches {
 		s.logger.FileClassified(m.Feed.Path, name, res.Size, dataTime)
 	}
 	s.recordMatched(feeds, name, now, res.Size)
-	s.engine.EnqueueFile(meta)
-	return nil
+	return meta, true, nil
 }
 
 func fileSize(path string) int64 {
