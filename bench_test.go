@@ -150,6 +150,25 @@ func BenchmarkE10Recovery(b *testing.B) {
 	}
 }
 
+func BenchmarkE14ParallelIngest(b *testing.B) {
+	t := runExperiment(b, experiments.E14ParallelIngest)
+	last := t.Rows[len(t.Rows)-1]
+	b.ReportMetric(metric(last[4]), "ingest_speedup_x")
+	b.ReportMetric(metric(last[3]), "ingest_files_per_sec")
+}
+
+func BenchmarkE15HistoricalReplay(b *testing.B) {
+	t := runExperiment(b, experiments.E15HistoricalReplay)
+	for _, row := range t.Rows {
+		// The uncapped row shows the sustainable catch-up throughput.
+		if row[1] == "none" {
+			b.ReportMetric(metric(row[3]), "catchup_files_per_sec")
+			b.ReportMetric(metric(row[4]), "live_p99_ms")
+			b.ReportMetric(metric(row[5]), "duplicates")
+		}
+	}
+}
+
 func BenchmarkE13Overhead(b *testing.B) {
 	t := runExperiment(b, experiments.E13Overhead)
 	for _, row := range t.Rows {

@@ -3,9 +3,15 @@
 // trigger invocations from a Bistro server, writing received files
 // under a destination directory.
 //
+// With -server and -subscribe it additionally registers itself with
+// the server at runtime — "SUBSCRIBE <feeds> [FROM <ts>]" — so a
+// daemon can join (and, with -from, catch up on archived history)
+// without a config change on the server.
+//
 // Usage:
 //
 //	bistro-sub -listen :9401 -dest /data/incoming [-triggers]
+//	bistro-sub -listen :9401 -dest /data/incoming -server host:9400 -subscribe SNMP/CPU,SNMP/BPS [-from 2010-09-22T00:00:00Z]
 package main
 
 import (
@@ -13,7 +19,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
+	"time"
 
 	"bistro/internal/protocol"
 	"bistro/internal/subclient"
@@ -21,11 +30,17 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:9401", "listen address")
-		dest     = flag.String("dest", "incoming", "destination directory")
-		name     = flag.String("name", "bistro-sub", "subscriber name")
-		triggers = flag.Bool("triggers", false, "allow remote trigger execution")
-		verbose  = flag.Bool("v", true, "log received files")
+		listen    = flag.String("listen", "127.0.0.1:9401", "listen address")
+		dest      = flag.String("dest", "incoming", "destination directory")
+		name      = flag.String("name", "bistro-sub", "subscriber name")
+		triggers  = flag.Bool("triggers", false, "allow remote trigger execution")
+		verbose   = flag.Bool("v", true, "log received files")
+		server    = flag.String("server", "", "Bistro server address to SUBSCRIBE with at startup")
+		subscribe = flag.String("subscribe", "", "comma-separated feed or group paths to subscribe to")
+		subdir    = flag.String("subdir", "in", "destination prefix under -dest for subscribed deliveries (must be relative)")
+		from      = flag.String("from", "", "replay archived history from this RFC3339 timestamp")
+		class     = flag.String("class", "", "scheduling class hint (interactive, bulk)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "subscribe timeout")
 	)
 	flag.Parse()
 
@@ -48,6 +63,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "bistro-sub: listening on %s, writing to %s\n", d.Addr(), *dest)
+
+	if *server != "" {
+		// The spec's Dest is remote-relative: the daemon resolves every
+		// delivered path under its own -dest root and rejects absolute
+		// paths, so the local dest dir must not be echoed back here.
+		if filepath.IsAbs(*subdir) {
+			fmt.Fprintf(os.Stderr, "bistro-sub: -subdir %q must be relative (it is resolved under -dest)\n", *subdir)
+			os.Exit(1)
+		}
+		spec := subclient.SubscribeSpec{
+			Name:  *name,
+			Host:  d.Addr(),
+			Dest:  *subdir,
+			Class: *class,
+		}
+		for _, f := range strings.Split(*subscribe, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				spec.Feeds = append(spec.Feeds, f)
+			}
+		}
+		if *from != "" {
+			ts, err := time.Parse(time.RFC3339, *from)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bistro-sub: bad -from %q: %v\n", *from, err)
+				os.Exit(1)
+			}
+			spec.From = ts
+		}
+		if err := subclient.Subscribe(*server, spec, *timeout); err != nil {
+			fmt.Fprintf(os.Stderr, "bistro-sub: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bistro-sub: subscribed to %v on %s\n", spec.Feeds, *server)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

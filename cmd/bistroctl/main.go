@@ -10,6 +10,7 @@
 //	bistroctl -server host:port eob [feed]
 //	bistroctl -server host:port watch dir       # agent mode: poll dir, upload new files
 //	bistroctl -admin host:port status           # render /statusz from the admin endpoint
+//	bistroctl -admin host:port replay           # list replay sessions and their watermarks
 package main
 
 import (
@@ -39,11 +40,17 @@ func main() {
 		usage()
 	}
 
-	// status talks HTTP to the admin endpoint, not the feed protocol —
-	// handle it before dialing the protocol listener.
+	// status and replay talk HTTP to the admin endpoint, not the feed
+	// protocol — handle them before dialing the protocol listener.
 	if args[0] == "status" {
 		if err := runStatus(*adminAddr, *timeout, os.Stdout); err != nil {
 			fatal("status: %v", err)
+		}
+		return
+	}
+	if args[0] == "replay" {
+		if err := runReplay(*adminAddr, *timeout, os.Stdout); err != nil {
+			fatal("replay: %v", err)
 		}
 		return
 	}
@@ -122,7 +129,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bistroctl -server host:port {upload files... | ready paths... | eob [feed] | watch dir}")
-	fmt.Fprintln(os.Stderr, "       bistroctl -admin host:port status")
+	fmt.Fprintln(os.Stderr, "       bistroctl -admin host:port {status | replay}")
 	os.Exit(2)
 }
 

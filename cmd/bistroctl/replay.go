@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// replayDoc picks the replay session array out of the /statusz
+// document (internal/server.Status → internal/replay.SessionStatus).
+type replayDoc struct {
+	Replay []struct {
+		Subscriber string    `json:"subscriber"`
+		Feeds      []string  `json:"feeds"`
+		From       time.Time `json:"from"`
+		Started    time.Time `json:"started"`
+		Total      int       `json:"total"`
+		Streamed   int       `json:"streamed"`
+		Skipped    int       `json:"skipped"`
+		Delivered  int       `json:"delivered"`
+		Watermark  time.Time `json:"watermark"`
+		Done       bool      `json:"done"`
+	} `json:"replay"`
+}
+
+// runReplay fetches /statusz and renders the replay sessions: one line
+// per subscriber with watermark and catch-up progress.
+func runReplay(addr string, timeout time.Duration, w io.Writer) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/statusz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, string(body))
+	}
+	var doc replayDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decode /statusz: %w", err)
+	}
+	renderReplay(&doc, w)
+	return nil
+}
+
+// renderReplay writes the human-readable replay session report.
+func renderReplay(doc *replayDoc, w io.Writer) {
+	if len(doc.Replay) == 0 {
+		fmt.Fprintln(w, "no replay sessions")
+		return
+	}
+	for _, s := range doc.Replay {
+		state := "replaying"
+		if s.Done {
+			state = "live"
+		}
+		// Settled = receipted deliveries + files the live path owns.
+		settled := s.Delivered + s.Skipped
+		fmt.Fprintf(w, "%s: %s from=%s started=%s progress=%d/%d streamed=%d skipped=%d",
+			s.Subscriber, state,
+			s.From.Format(time.RFC3339), s.Started.Format(time.RFC3339),
+			settled, s.Total, s.Streamed, s.Skipped)
+		if !s.Watermark.IsZero() {
+			fmt.Fprintf(w, " watermark=%s", s.Watermark.Format(time.RFC3339))
+		}
+		fmt.Fprintf(w, " feeds=%v\n", s.Feeds)
+	}
+}

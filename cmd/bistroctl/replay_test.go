@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleReplayJSON is a /statusz document with two replay sessions:
+// one mid-catch-up, one already handed off to live delivery.
+const sampleReplayJSON = `{
+  "time": "2010-09-25T04:51:00Z",
+  "replay": [
+    {
+      "subscriber": "wh",
+      "feeds": ["SNMP/CPU"],
+      "from": "2010-09-22T00:00:00Z",
+      "started": "2010-09-25T04:50:00Z",
+      "total": 144,
+      "streamed": 100,
+      "skipped": 10,
+      "delivered": 80,
+      "watermark": "2010-09-24T10:00:00Z",
+      "done": false
+    },
+    {
+      "subscriber": "analyst",
+      "feeds": ["SNMP/BPS", "SNMP/CPU"],
+      "from": "2010-09-24T00:00:00Z",
+      "started": "2010-09-25T04:40:00Z",
+      "total": 48,
+      "streamed": 40,
+      "skipped": 8,
+      "delivered": 40,
+      "watermark": "2010-09-25T03:00:00Z",
+      "done": true
+    }
+  ]
+}`
+
+func TestRenderReplay(t *testing.T) {
+	var doc replayDoc
+	if err := json.Unmarshal([]byte(sampleReplayJSON), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	renderReplay(&doc, &b)
+	out := b.String()
+	for _, want := range []string{
+		"wh: replaying from=2010-09-22T00:00:00Z",
+		"progress=90/144 streamed=100 skipped=10",
+		"watermark=2010-09-24T10:00:00Z",
+		"analyst: live",
+		"progress=48/48",
+		"feeds=[SNMP/BPS SNMP/CPU]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered replay missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderReplayEmpty(t *testing.T) {
+	var b strings.Builder
+	renderReplay(&replayDoc{}, &b)
+	if !strings.Contains(b.String(), "no replay sessions") {
+		t.Fatalf("output = %q", b.String())
+	}
+}
+
+func TestRunReplayAgainstHTTP(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/statusz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(sampleReplayJSON))
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	var b strings.Builder
+	if err := runReplay(addr, 2*time.Second, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wh: replaying") {
+		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestRunReplayErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	var b strings.Builder
+	if err := runReplay(addr, 2*time.Second, &b); err == nil ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -10,8 +10,11 @@ package archive
 import (
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"bistro/internal/clock"
@@ -30,6 +33,15 @@ type Archiver struct {
 	Window time.Duration
 	// FS is the filesystem seam; defaults to the real filesystem.
 	FS diskfault.FS
+	// Metrics, when set, counts archiver work (bistro_archive_*).
+	Metrics *Metrics
+	// Alarm, when set, is raised for conditions an operator must see —
+	// today: expired data being deleted because no archive root is
+	// configured. Raised at most once per process.
+	Alarm func(msg string)
+
+	man       *Manifest
+	alarmOnce sync.Once
 }
 
 // New creates an Archiver rooted at archiveRoot (created if missing).
@@ -69,21 +81,118 @@ func (a *Archiver) ExpireOnce() (int, error) {
 	return len(victims), nil
 }
 
+// EnableManifest opens (or initialises) the archive manifest under
+// the archive root. Must be called after FS is set; a no-op when no
+// archive root is configured.
+func (a *Archiver) EnableManifest() error {
+	if a.archiveRoot == "" {
+		return nil
+	}
+	m, err := OpenManifest(a.FS, filepath.Join(a.archiveRoot, ManifestDir))
+	if err != nil {
+		return err
+	}
+	a.man = m
+	return nil
+}
+
+// Manifest returns the archive manifest, nil when not enabled.
+func (a *Archiver) Manifest() *Manifest { return a.man }
+
 // MoveExpired moves one expired file's staged content into the archive
 // tree (or deletes it when no archive root is configured). Startup
 // reconciliation re-runs it for expired receipts whose staged file
-// still lingers — an archive move interrupted by a crash.
+// still lingers — an archive move interrupted by a crash; the manifest
+// append below therefore also covers that recovery path.
 func (a *Archiver) MoveExpired(v receipts.FileMeta) error {
 	src := filepath.Join(a.stagingRoot, filepath.FromSlash(v.StagedPath))
 	if a.archiveRoot == "" {
 		a.FS.Remove(src)
+		a.Metrics.deleted()
+		a.alarmOnce.Do(func() {
+			if a.Alarm != nil {
+				a.Alarm("expired files are being DELETED: no archive root configured")
+			}
+		})
 		return nil
 	}
 	dst := filepath.Join(a.archiveRoot, filepath.FromSlash(v.StagedPath))
-	if err := a.moveFile(src, dst); err != nil && !os.IsNotExist(err) {
+	err := a.moveFile(src, dst)
+	switch {
+	case err == nil:
+		a.Metrics.moved(v.Size)
+	case os.IsNotExist(err):
+		// Source already gone: tolerated (a previous run may have
+		// completed the move before crashing). Index the file only if
+		// the archived copy actually exists.
+		if _, serr := a.FS.Stat(dst); serr != nil {
+			return nil
+		}
+	default:
+		a.Metrics.moveFailed()
 		return fmt.Errorf("archive: move %s: %w", v.StagedPath, err)
 	}
+	return a.recordArchived(v)
+}
+
+// recordArchived appends the file's manifest entries (idempotent: the
+// manifest drops ids it already holds).
+func (a *Archiver) recordArchived(v receipts.FileMeta) error {
+	if a.man == nil {
+		return nil
+	}
+	if a.man.Has(v.ID) {
+		return nil
+	}
+	entries := EntriesFor(v, a.clk.Now().UTC())
+	if err := a.man.Append(entries); err != nil {
+		return fmt.Errorf("archive: manifest append %s: %w", v.StagedPath, err)
+	}
+	a.Metrics.manifestAppended(len(entries))
 	return nil
+}
+
+// ReconcileManifest is the scan-once recovery path: it walks the
+// archive tree and appends manifest entries for archived files the
+// manifest does not know — a crash between an archive move and its
+// manifest append leaves exactly this state. lookup resolves an
+// archived file's staged-relative path to its receipt metadata (no
+// receipt → skipped; the orphan sweep owns those). Returns the number
+// of files repaired.
+func (a *Archiver) ReconcileManifest(lookup func(stagedPath string) (receipts.FileMeta, bool)) (int, error) {
+	if a.man == nil || a.archiveRoot == "" {
+		return 0, nil
+	}
+	repaired := 0
+	err := filepath.WalkDir(a.archiveRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != a.archiveRoot && (strings.HasPrefix(d.Name(), ".") || d.Name() == "receipts-backup") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, rerr := filepath.Rel(a.archiveRoot, path)
+		if rerr != nil {
+			return rerr
+		}
+		staged := filepath.ToSlash(rel)
+		meta, ok := lookup(staged)
+		if !ok || a.man.Has(meta.ID) {
+			return nil
+		}
+		if aerr := a.recordArchived(meta); aerr != nil {
+			return aerr
+		}
+		repaired++
+		return nil
+	})
+	if err != nil {
+		return repaired, fmt.Errorf("archive: manifest reconcile: %w", err)
+	}
+	return repaired, nil
 }
 
 // moveFile renames when possible and falls back to copy+remove across

@@ -1,0 +1,161 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bistro/internal/clock"
+	"bistro/internal/diskfault"
+	"bistro/internal/receipts"
+)
+
+// TestExpireCrashConsistency power-cuts ExpireOnce at every mutating
+// filesystem op and checks the invariant the retention layer promises:
+// after restart plus the normal recovery passes (re-run MoveExpired for
+// lingering staged files, then ReconcileManifest), every expired file
+// exists in exactly one place — staging XOR archive — and the manifest
+// indexes exactly the archived set. No loss, no duplication, no
+// phantom manifest entries.
+func TestExpireCrashConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash sweep")
+	}
+	const files = 4
+	for crashAfter := int64(1); ; crashAfter++ {
+		crashed := runExpireCrash(t, files, crashAfter)
+		if !crashed {
+			// The whole expiry ran without hitting the countdown —
+			// every earlier crash point has been swept.
+			break
+		}
+		if crashAfter > 500 {
+			t.Fatal("crash sweep did not terminate")
+		}
+	}
+}
+
+// runExpireCrash stages `files` expired-eligible files, runs ExpireOnce
+// under a power-cut countdown, crashes, then recovers and checks
+// invariants. Returns whether the countdown fired.
+func runExpireCrash(t *testing.T, files int, crashAfter int64) bool {
+	t.Helper()
+	root := t.TempDir()
+	staging := filepath.Join(root, "staging")
+	archRoot := filepath.Join(root, "archive")
+	os.MkdirAll(staging, 0o755)
+	store, err := receipts.Open(filepath.Join(root, "db"), receipts.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	clk := clock.NewSimulated(t0)
+	var metas []receipts.FileMeta
+	for i := 0; i < files; i++ {
+		name := filepath.Join("F", string(rune('a'+i))+".csv")
+		p := filepath.Join(staging, name)
+		os.MkdirAll(filepath.Dir(p), 0o755)
+		if err := os.WriteFile(p, []byte("payload-"+name), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := receipts.FileMeta{
+			Name: name, StagedPath: filepath.ToSlash(name), Feeds: []string{"F"},
+			Size: 16, Arrived: t0.Add(-48 * time.Hour), DataTime: t0.Add(-48 * time.Hour),
+		}
+		id, err := store.RecordArrival(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.ID = id
+		metas = append(metas, m)
+	}
+
+	faulty := diskfault.NewFaulty(diskfault.OS(), diskfault.Options{Seed: crashAfter, PowerCut: true})
+	arch, err := New(store, clk, staging, archRoot, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch.FS = faulty
+	if err := arch.EnableManifest(); err != nil {
+		t.Fatal(err)
+	}
+	faulty.SetCrashAfter(crashAfter)
+	_, expErr := arch.ExpireOnce()
+	crashed := faulty.Crashed()
+	if !crashed {
+		if expErr != nil {
+			t.Fatalf("clean run failed: %v", expErr)
+		}
+	} else if err := faulty.Crash(); err != nil {
+		// Roll the disk back to its fsync-covered state: everything not
+		// made durable before the cut is gone, exactly like power loss.
+		t.Fatal(err)
+	}
+
+	// --- restart: fresh archiver over the surviving disk state ---
+	arch2, err := New(store, clk, staging, archRoot, 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch2.EnableManifest(); err != nil {
+		t.Fatalf("crashAfter=%d: reopen manifest: %v", crashAfter, err)
+	}
+	// Recovery pass 1 (what server.Reconcile does): re-run interrupted
+	// moves for expired receipts whose staged file still lingers.
+	for _, m := range metas {
+		if store.IsExpired(m.ID) {
+			if _, err := os.Stat(filepath.Join(staging, filepath.FromSlash(m.StagedPath))); err == nil {
+				if err := arch2.MoveExpired(m); err != nil {
+					t.Fatalf("crashAfter=%d: recovery move: %v", crashAfter, err)
+				}
+			}
+		}
+	}
+	// Recovery pass 2: scan-once manifest rebuild.
+	byPath := make(map[string]receipts.FileMeta)
+	for _, m := range store.AllFiles() {
+		byPath[m.StagedPath] = m
+	}
+	if _, err := arch2.ReconcileManifest(func(p string) (receipts.FileMeta, bool) {
+		m, ok := byPath[p]
+		return m, ok
+	}); err != nil {
+		t.Fatalf("crashAfter=%d: reconcile: %v", crashAfter, err)
+	}
+
+	// --- invariants ---
+	man := arch2.Manifest()
+	for _, m := range metas {
+		rel := filepath.FromSlash(m.StagedPath)
+		_, stagedErr := os.Stat(filepath.Join(staging, rel))
+		_, archErr := os.Stat(filepath.Join(archRoot, rel))
+		inStaging := stagedErr == nil
+		inArchive := archErr == nil
+		if !store.IsExpired(m.ID) {
+			// ExpireBefore never committed this id; the file must still
+			// be staged, untouched.
+			if !inStaging {
+				t.Fatalf("crashAfter=%d: %s lost without an expire receipt", crashAfter, m.StagedPath)
+			}
+			continue
+		}
+		if inStaging == inArchive {
+			t.Fatalf("crashAfter=%d: %s staged=%v archived=%v, want exactly one",
+				crashAfter, m.StagedPath, inStaging, inArchive)
+		}
+		// Manifest matches disk: indexed iff archived.
+		if man.Has(m.ID) != inArchive {
+			t.Fatalf("crashAfter=%d: %s manifest=%v archived=%v",
+				crashAfter, m.StagedPath, man.Has(m.ID), inArchive)
+		}
+		if inArchive {
+			data, err := os.ReadFile(filepath.Join(archRoot, rel))
+			if err != nil || string(data) != "payload-"+m.Name {
+				t.Fatalf("crashAfter=%d: archived %s corrupt: %q err=%v", crashAfter, m.StagedPath, data, err)
+			}
+		}
+	}
+	return crashed
+}

@@ -1,0 +1,59 @@
+package archive
+
+import "bistro/internal/metrics"
+
+// Metrics counts archiver work. A nil *Metrics disables instrumentation.
+type Metrics struct {
+	// Expired counts staged files moved into the archive tree.
+	Expired *metrics.Counter
+	// Bytes counts the bytes those moves carried.
+	Bytes *metrics.Counter
+	// Deleted counts expired files *deleted* because no archive root is
+	// configured — data permanently leaving the system, which also
+	// raises the archiver alarm.
+	Deleted *metrics.Counter
+	// ManifestEntries counts manifest records appended.
+	ManifestEntries *metrics.Counter
+	// MoveFailures counts archive moves that returned an error.
+	MoveFailures *metrics.Counter
+}
+
+// NewMetrics registers the bistro_archive_* family on r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Expired:         r.Counter("bistro_archive_expired_total", "Staged files moved to the archive after window expiry."),
+		Bytes:           r.Counter("bistro_archive_bytes_total", "Bytes moved from staging into the archive."),
+		Deleted:         r.Counter("bistro_archive_deleted_total", "Expired files deleted because no archive root is configured."),
+		ManifestEntries: r.Counter("bistro_archive_manifest_entries_total", "Entries appended to the archive manifest."),
+		MoveFailures:    r.Counter("bistro_archive_move_failures_total", "Archive moves that failed."),
+	}
+}
+
+func (m *Metrics) moved(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.Expired.Inc()
+	m.Bytes.Add(bytes)
+}
+
+func (m *Metrics) deleted() {
+	if m == nil {
+		return
+	}
+	m.Deleted.Inc()
+}
+
+func (m *Metrics) manifestAppended(n int) {
+	if m == nil {
+		return
+	}
+	m.ManifestEntries.Add(int64(n))
+}
+
+func (m *Metrics) moveFailed() {
+	if m == nil {
+		return
+	}
+	m.MoveFailures.Inc()
+}

@@ -249,6 +249,21 @@ type IngestSpec struct {
 	GroupCommit *GroupCommitSpec
 }
 
+// ReplaySpec is a replay { ... } block: historical catch-up from the
+// archive for subscribers joining with FROM older than the staging
+// window. Its presence makes the server append a dedicated replay
+// partition to the scheduler layout.
+type ReplaySpec struct {
+	// Rate caps replay streaming in files/second (0 = unlimited).
+	Rate int
+	// Workers sizes the replay partition (0 = default 1).
+	Workers int
+	// NoManifest disables the archive manifest ("manifest off").
+	// Replay sessions need the manifest, so they are refused when it
+	// is off; expiry then skips manifest writes entirely.
+	NoManifest bool
+}
+
 // Config is a fully parsed and validated Bistro server configuration.
 type Config struct {
 	// Window is the retention window for staged files (0 = infinite).
@@ -278,6 +293,8 @@ type Config struct {
 	// Ingest, when non-nil, configures the parallel ingest pipeline
 	// (shard workers, hand-off queue, WAL group-commit window).
 	Ingest *IngestSpec
+	// Replay, when non-nil, enables historical replay from the archive.
+	Replay *ReplaySpec
 }
 
 // FeedByPath returns the feed with the given full path.
@@ -419,6 +436,15 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.Ingest = spec
+		case "replay":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.replaySpec()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Replay = spec
 		default:
 			return nil, p.errf("unknown statement %q", p.tok.text)
 		}
@@ -951,6 +977,81 @@ func (p *parser) groupCommitSpec() (*GroupCommitSpec, error) {
 		return nil, fmt.Errorf("config: group_commit block needs max_batch and/or max_delay")
 	}
 	return spec, nil
+}
+
+// replaySpec parses:
+//
+//	replay {
+//	    rate N
+//	    partition { workers N }
+//	    manifest on|off
+//	}
+func (p *parser) replaySpec() (*ReplaySpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &ReplaySpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "rate":
+			if spec.Rate, err = p.integer(); err != nil {
+				return nil, err
+			}
+			if spec.Rate < 0 {
+				return nil, p.errPrevf("replay rate must be >= 0")
+			}
+		case "partition":
+			if spec.Workers, err = p.replayPartitionSpec(); err != nil {
+				return nil, err
+			}
+		case "manifest":
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch v {
+			case "on":
+				spec.NoManifest = false
+			case "off":
+				spec.NoManifest = true
+			default:
+				return nil, p.errPrevf("manifest takes on or off, got %q", v)
+			}
+		default:
+			return nil, p.errPrevf("unknown replay statement %q", kw)
+		}
+	}
+	return spec, p.advance() // consume '}'
+}
+
+// replayPartitionSpec parses: { workers N }
+func (p *parser) replayPartitionSpec() (int, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return 0, err
+	}
+	workers := 0
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return 0, err
+		}
+		switch kw {
+		case "workers":
+			if workers, err = p.integer(); err != nil {
+				return 0, err
+			}
+			if workers < 1 {
+				return 0, p.errPrevf("replay partition workers must be >= 1")
+			}
+		default:
+			return 0, p.errPrevf("unknown replay partition statement %q", kw)
+		}
+	}
+	return workers, p.advance() // consume '}'
 }
 
 // schedulerSpec parses: { [migrate on|off] partition NAME { ... }+ }

@@ -85,6 +85,20 @@ func Format(cfg *Config) string {
 		b.WriteString("}\n\n")
 	}
 
+	if sp := cfg.Replay; sp != nil {
+		b.WriteString("replay {\n")
+		if sp.Rate > 0 {
+			fmt.Fprintf(&b, "    rate %d\n", sp.Rate)
+		}
+		if sp.Workers > 0 {
+			fmt.Fprintf(&b, "    partition {\n        workers %d\n    }\n", sp.Workers)
+		}
+		if sp.NoManifest {
+			b.WriteString("    manifest off\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
 	// Rebuild the hierarchy: a trie of path segments.
 	root := &groupNode{children: map[string]*groupNode{}}
 	for _, f := range cfg.Feeds {

@@ -1,0 +1,96 @@
+package config
+
+import "testing"
+
+func TestReplayBlock(t *testing.T) {
+	src := `
+replay {
+    rate 200
+    partition {
+        workers 2
+    }
+    manifest on
+}
+
+feed F { pattern "f_%Y%m%d.gz" }
+`
+	cfg, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Replay
+	if sp == nil {
+		t.Fatal("replay block not parsed")
+	}
+	if sp.Rate != 200 || sp.Workers != 2 {
+		t.Fatalf("rate/workers = %d/%d, want 200/2", sp.Rate, sp.Workers)
+	}
+	if sp.NoManifest {
+		t.Fatal("manifest on parsed as NoManifest")
+	}
+}
+
+func TestReplayBlockDefaults(t *testing.T) {
+	cfg, err := Parse(`replay { }` + "\nfeed F { pattern \"f_%Y.gz\" }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Replay
+	if sp == nil {
+		t.Fatal("empty replay block not parsed")
+	}
+	if sp.Rate != 0 || sp.Workers != 0 || sp.NoManifest {
+		t.Fatalf("defaults = %+v, want zero rate/workers, manifest on", sp)
+	}
+}
+
+func TestReplayManifestOff(t *testing.T) {
+	cfg, err := Parse(`replay { manifest off }` + "\nfeed F { pattern \"f_%Y.gz\" }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Replay.NoManifest {
+		t.Fatal("manifest off not recorded")
+	}
+}
+
+func TestReplayBlockRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"replay {\n    rate 200\n    partition {\n        workers 2\n    }\n}\n\nfeed F { pattern \"f_%Y.gz\" }",
+		"replay {\n    rate 50\n}\n\nfeed F { pattern \"f_%Y.gz\" }",
+		"replay {\n    manifest off\n}\n\nfeed F { pattern \"f_%Y.gz\" }",
+		"replay {\n}\n\nfeed F { pattern \"f_%Y.gz\" }",
+	} {
+		orig, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		text := Format(orig)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+		}
+		a, b := orig.Replay, back.Replay
+		if b == nil || *a != *b {
+			t.Fatalf("replay lost in round trip:\n%+v\n%+v", a, b)
+		}
+		if again := Format(back); again != text {
+			t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+		}
+	}
+}
+
+func TestReplayBlockErrors(t *testing.T) {
+	feed := "\nfeed F { pattern \"f_%Y.gz\" }"
+	for _, src := range []string{
+		`replay { rate x }` + feed,
+		`replay { bogus 3 }` + feed,
+		`replay { manifest maybe }` + feed,
+		`replay { partition { workers 0 } }` + feed,
+		`replay { partition { bogus 1 } }` + feed,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("bad replay block accepted: %s", src)
+		}
+	}
+}

@@ -22,6 +22,7 @@ package delivery
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -193,6 +194,19 @@ type Options struct {
 	OnEvent func(Event)
 	// Metrics, when non-nil, receives delivery instrumentation.
 	Metrics *Metrics
+	// ReplayPartition, when non-zero, is the index of a scheduler
+	// partition dedicated to replaying archived history. Subscriber
+	// class routing skips it (bulk subscribers map to the last
+	// *non-replay* partition); only pinned replay jobs run there.
+	ReplayPartition int
+	// HistoryMeta resolves file metadata for ids absent from the
+	// receipt store: compacted history being re-streamed by a replay
+	// session. Nil disables the fallback.
+	HistoryMeta func(id uint64) (receipts.FileMeta, bool)
+	// ArchiveOpen reads a staged-relative path from long-term storage
+	// when the staging copy is gone (expired mid-queue, or replay of
+	// archived history). Nil disables the fallback.
+	ArchiveOpen func(stagedPath string) (io.ReadCloser, error)
 }
 
 // Engine is the delivery subsystem.
@@ -354,6 +368,20 @@ func (e *Engine) stateFor(sub string) *subState {
 // with the transport first; the engine assigns its partition and
 // queues the full-history backfill.
 func (e *Engine) AddSubscriber(s *config.Subscriber) error {
+	if err := e.AddSubscriberDeferred(s); err != nil {
+		return err
+	}
+	e.QueueBackfill(s.Name)
+	return nil
+}
+
+// AddSubscriberDeferred registers a subscriber without queueing its
+// staged backlog. Replay handoff needs the gap: it registers the
+// subscriber, snapshots the backfill job set with QueueBackfill, and
+// hands exactly that set to the replay session as its skip list — the
+// watermark across which archive and staging delivery must neither
+// overlap nor leave a hole.
+func (e *Engine) AddSubscriberDeferred(s *config.Subscriber) error {
 	e.mu.Lock()
 	if _, exists := e.subs[s.Name]; exists {
 		e.mu.Unlock()
@@ -361,21 +389,34 @@ func (e *Engine) AddSubscriber(s *config.Subscriber) error {
 	}
 	e.subs[s.Name] = s
 	e.mu.Unlock()
-	if err := e.sched.AssignSubscriber(s.Name, e.partitionFor(s)); err != nil {
-		return err
-	}
-	e.queueBackfill(s.Name)
-	return nil
+	return e.sched.AssignSubscriber(s.Name, e.partitionFor(s))
 }
 
 // partitionFor maps a subscriber's configured class to a partition
-// index: "interactive" → first partition, "bulk" or unset → last.
+// index: "interactive" → first partition, "bulk" or unset → the last
+// partition that is not the replay partition.
 func (e *Engine) partitionFor(s *config.Subscriber) int {
 	n := len(e.opts.Scheduler.Partitions)
 	if s.Class == "interactive" {
 		return 0
 	}
-	return n - 1
+	last := n - 1
+	if e.opts.ReplayPartition > 0 && last == e.opts.ReplayPartition && last > 0 {
+		last--
+	}
+	return last
+}
+
+// SubmitReplay enqueues one replay job, pinned to the dedicated replay
+// partition when one is configured (falling back to ordinary
+// subscriber routing otherwise, where it still runs as backfill).
+func (e *Engine) SubmitReplay(j *scheduler.Job) {
+	if p := e.opts.ReplayPartition; p > 0 {
+		if err := e.sched.SubmitTo(p, j); err == nil {
+			return
+		}
+	}
+	e.sched.Submit(j)
 }
 
 // Scheduler exposes the underlying scheduler (monitoring, tests).
@@ -406,7 +447,7 @@ func (e *Engine) Start() {
 	}
 	e.mu.Unlock()
 	for _, name := range names {
-		e.queueBackfill(name)
+		e.QueueBackfill(name)
 	}
 }
 
@@ -522,6 +563,11 @@ func (e *Engine) worker(part int, lane scheduler.Lane) {
 func (e *Engine) execute(jobs []*scheduler.Job) {
 	abs := filepath.Join(e.opts.StagingRoot, filepath.FromSlash(jobs[0].Path))
 	meta, ok := e.store.File(jobs[0].FileID)
+	if !ok && e.opts.HistoryMeta != nil {
+		// Compacted history: the receipt was folded into the archive
+		// manifest; an active replay session vouches for the metadata.
+		meta, ok = e.opts.HistoryMeta(jobs[0].FileID)
+	}
 	if !ok || e.store.Quarantined(jobs[0].FileID) {
 		// A missing or quarantined receipt would yield zero-value
 		// metadata (no checksum, no size) for the whole batch and a
@@ -539,22 +585,33 @@ func (e *Engine) execute(jobs []*scheduler.Job) {
 		return
 	}
 	if jobs[0].Size >= e.opts.StreamThreshold {
-		if _, err := os.Stat(abs); err != nil {
+		if _, err := os.Stat(abs); err == nil {
+			for _, j := range jobs {
+				e.deliverOne(j, nil, abs, meta)
+			}
+			return
+		} else if !(os.IsNotExist(err) && e.opts.ArchiveOpen != nil) {
 			for _, j := range jobs {
 				e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
 				e.sched.Done(j)
 			}
 			return
 		}
-		for _, j := range jobs {
-			e.deliverOne(j, nil, abs, meta)
-		}
-		return
+		// Staging copy gone but an archive is configured: fall through
+		// to the in-memory path, which reads from long-term storage.
 	}
 	data, err := os.ReadFile(abs)
+	if err != nil && os.IsNotExist(err) && e.opts.ArchiveOpen != nil {
+		// Expired mid-queue, or a replay job for archived history: the
+		// archiver holds the content now.
+		if rc, aerr := e.opts.ArchiveOpen(jobs[0].Path); aerr == nil {
+			data, err = io.ReadAll(rc)
+			rc.Close()
+		}
+	}
 	if err != nil {
-		// Staged file vanished (expired mid-queue): complete the jobs
-		// without delivery; receipts keep the truth.
+		// Staged file vanished (expired mid-queue, no archive):
+		// complete the jobs without delivery; receipts keep the truth.
 		for _, j := range jobs {
 			e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
 			e.sched.Done(j)
@@ -745,25 +802,29 @@ func (e *Engine) probe(sub string) {
 		e.probing[sub] = false
 		e.mu.Unlock()
 		e.emit(Event{Kind: EvSubscriberOnline, Subscriber: sub})
-		e.queueBackfill(sub)
+		e.QueueBackfill(sub)
 		return
 	}
 }
 
-// queueBackfill recomputes a subscriber's delivery queue from the
+// QueueBackfill recomputes a subscriber's delivery queue from the
 // receipt database and submits the undelivered history as backfill
-// jobs (delivered concurrently with real-time traffic).
-func (e *Engine) queueBackfill(sub string) {
+// jobs (delivered concurrently with real-time traffic). It returns the
+// file ids it queued; a replay session starting at the same moment
+// uses that list as its skip set so no file is streamed by both paths.
+func (e *Engine) QueueBackfill(sub string) []uint64 {
 	s := e.subscriber(sub)
 	if s == nil {
-		return
+		return nil
 	}
 	pending := e.store.PendingFor(sub, s.Feeds)
 	if len(pending) == 0 {
-		return
+		return nil
 	}
+	ids := make([]uint64, 0, len(pending))
 	now := e.clk.Now()
 	for _, meta := range pending {
+		ids = append(ids, meta.ID)
 		feed := firstCommon(s.Feeds, meta.Feeds)
 		e.sched.Submit(&scheduler.Job{
 			FileID:     meta.ID,
@@ -778,6 +839,7 @@ func (e *Engine) queueBackfill(sub string) {
 		})
 	}
 	e.emit(Event{Kind: EvBackfillQueued, Subscriber: sub, Count: len(pending)})
+	return ids
 }
 
 // SubscriberStats is a monitoring snapshot for one subscriber.

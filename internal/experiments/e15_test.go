@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE15Shape asserts the replay subsystem's contract end to end: a
+// subscriber joining with FROM three days back catches up the full
+// archived history (whose receipts were compacted — the manifest is
+// the only record) while live files keep propagating with p99 inside
+// the paper's one-minute bound, with zero gaps or duplicates across
+// the archive/staging handoff, and the receipt DB's on-disk footprint
+// stays below its pre-compaction size.
+func TestE15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-server replay trial")
+	}
+	r, err := E15ReplayTrial(E15TrialConfig{
+		HistDays:  3,
+		PerDay:    48,
+		LiveFiles: 20,
+		Rate:      400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replayed %d/%d in %v (%.0f files/s), live p99 %v, receipts %d->%d files / %d->%d bytes",
+		r.Replayed, r.Total, r.CatchupTime, r.CatchupRate, r.LiveP99,
+		r.ReceiptsBefore, r.ReceiptsAfter, r.ReceiptBytesBefore, r.ReceiptBytesAfter)
+	if r.Replayed != r.Total {
+		t.Fatalf("replayed %d of %d archived files (skipped %d)", r.Replayed, r.Total, r.Skipped)
+	}
+	if r.Duplicates != 0 {
+		t.Fatalf("%d duplicate deliveries across the archive/staging handoff", r.Duplicates)
+	}
+	if r.LiveP99 >= time.Minute {
+		t.Fatalf("live propagation p99 %v breaches the one-minute bound during catch-up", r.LiveP99)
+	}
+	// The rate cap shapes catch-up: 144 files at 400/s cannot finish
+	// faster than the pacing allows, and throughput must be sustained
+	// (well above a file a second) rather than stalled.
+	if r.CatchupRate < 10 {
+		t.Fatalf("catch-up throughput %.1f files/s — replay stalled", r.CatchupRate)
+	}
+	// Compaction bounds the receipt DB: after folding the archived
+	// history, on-disk WAL+checkpoint must be smaller than it was with
+	// the history's receipts in place, and the store holds only live
+	// files.
+	if r.ReceiptsAfter >= r.ReceiptsBefore {
+		t.Fatalf("receipt files %d -> %d: history not folded", r.ReceiptsBefore, r.ReceiptsAfter)
+	}
+	if r.ReceiptBytesAfter >= r.ReceiptBytesBefore {
+		t.Fatalf("receipt bytes %d -> %d: WAL+checkpoint unbounded", r.ReceiptBytesBefore, r.ReceiptBytesAfter)
+	}
+}

@@ -115,5 +115,6 @@ func All() []Runner {
 		{"e12", "crash-consistency under randomized power cuts", E12CrashConsistency},
 		{"e13", "metrics instrumentation overhead on the hot paths", E13Overhead},
 		{"e14", "parallel sharded ingest with WAL group-commit", E14ParallelIngest},
+		{"e15", "historical replay from the archive concurrent with live delivery", E15HistoricalReplay},
 	}
 }

@@ -100,6 +100,29 @@ type Fetch struct {
 	FileID uint64
 }
 
+// Subscribe registers (or re-registers) a subscriber at runtime —
+// "SUBSCRIBE <feeds> [FROM <ts>]". With a non-zero From the server
+// additionally starts a replay session streaming archived history from
+// that timestamp through the dedicated replay partition, handing off
+// to live delivery at the watermark.
+type Subscribe struct {
+	// Name is the subscriber's identity (receipts are recorded under
+	// it, so reconnecting with the same name resumes exactly-once).
+	Name string
+	// Host is the subscriber daemon address for pushed delivery; empty
+	// means local-directory delivery at Dest.
+	Host string
+	// Dest is the destination path prefix.
+	Dest string
+	// Feeds are feed or feed-group paths to subscribe to.
+	Feeds []string
+	// From, when non-zero, requests catch-up of history older than the
+	// staging window, served from the archive.
+	From time.Time
+	// Class is the scheduling class ("interactive", "bulk" or empty).
+	Class string
+}
+
 // Trigger asks the subscriber daemon to run a registered command on
 // its host (remote trigger invocation).
 type Trigger struct {
@@ -124,6 +147,7 @@ func init() {
 	gob.Register(DeliverEnd{})
 	gob.Register(Notify{})
 	gob.Register(Fetch{})
+	gob.Register(Subscribe{})
 	gob.Register(Trigger{})
 	gob.Register(Ack{})
 }

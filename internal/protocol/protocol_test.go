@@ -168,3 +168,26 @@ func TestRecvTimeout(t *testing.T) {
 		t.Fatal("expected timeout")
 	}
 }
+
+func TestSubscribeSurvivesEncoding(t *testing.T) {
+	client, server := pipePair(t)
+	defer client.Close()
+	defer server.Close()
+
+	from := time.Date(2011, 6, 9, 0, 0, 0, 0, time.UTC)
+	go client.Send(Subscribe{
+		Name: "analyst", Host: "127.0.0.1:9", Dest: "in",
+		Feeds: []string{"SNMP/BPS", "LOGS"}, From: from, Class: "bulk",
+	})
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got.(Subscribe)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	if s.Name != "analyst" || len(s.Feeds) != 2 || !s.From.Equal(from) || s.Class != "bulk" {
+		t.Fatalf("subscribe = %+v", s)
+	}
+}

@@ -1,0 +1,56 @@
+package receipts
+
+// CompactExpired folds expired receipts out of the store so WAL +
+// checkpoint size stays bounded under continuous expiry. The caller's
+// eligibility callback decides which expired files may be dropped —
+// typically: archived in the manifest AND delivered to every
+// interested subscriber AND not referenced by an active replay
+// session — using the provided delivered(sub) probe for the file under
+// inspection. The callback runs under the store lock and MUST NOT call
+// back into the store.
+//
+// Compaction writes no WAL record: it deletes in memory and
+// checkpoints immediately, so a crash before the checkpoint simply
+// replays the uncompacted WAL and a later pass folds the same receipts
+// again. After compaction the manifest is the only record of the file;
+// per-subscriber delivery history for it is gone, so an explicit
+// replay over a compacted range re-streams those files (delivery to
+// the same destination path is an idempotent overwrite).
+func (s *Store) CompactExpired(eligible func(f FileMeta, delivered func(sub string) bool) bool) (int, error) {
+	s.mu.Lock()
+	var victims []uint64
+	for id, f := range s.files {
+		if !s.expired[id] || s.quarantined[id] {
+			continue
+		}
+		probe := func(sub string) bool { _, ok := s.delivered[sub][id]; return ok }
+		if eligible(*f, probe) {
+			victims = append(victims, id)
+		}
+	}
+	for _, id := range victims {
+		f := s.files[id]
+		delete(s.files, id)
+		for _, feed := range f.Feeds {
+			ids := s.feedFiles[feed]
+			for i, v := range ids {
+				if v == id {
+					s.feedFiles[feed] = append(ids[:i], ids[i+1:]...)
+					break
+				}
+			}
+			if len(s.feedFiles[feed]) == 0 {
+				delete(s.feedFiles, feed)
+			}
+		}
+		delete(s.expired, id)
+		for _, subs := range s.delivered {
+			delete(subs, id)
+		}
+	}
+	s.mu.Unlock()
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	return len(victims), s.Checkpoint()
+}

@@ -1,0 +1,123 @@
+package receipts
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCompactExpiredFoldsDeliveredHistory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	at := time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		id, err := s.RecordArrival(FileMeta{
+			Name: "f", StagedPath: "F/f", Feeds: []string{"F"},
+			Arrived: at, DataTime: at.Add(-time.Duration(i) * time.Hour),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Expire all four; deliver only the first three to "wh".
+	if _, err := s.ExpireBefore(at.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[:3] {
+		if err := s.RecordDelivery(id, "wh", at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Eligibility mirrors the server: archived (pretend ids[0..2] are in
+	// the manifest) and delivered to the interested subscriber.
+	archived := map[uint64]bool{ids[0]: true, ids[1]: true, ids[2]: true}
+	n, err := s.CompactExpired(func(f FileMeta, delivered func(string) bool) bool {
+		return archived[f.ID] && delivered("wh")
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+
+	st := s.Stats()
+	if st.Files != 1 || st.Expired != 1 {
+		t.Fatalf("stats after compaction = %+v", st)
+	}
+	if _, ok := s.File(ids[0]); ok {
+		t.Fatal("compacted file still resolvable")
+	}
+	if _, ok := s.File(ids[3]); !ok {
+		t.Fatal("undelivered file compacted away")
+	}
+
+	// Compaction checkpointed: state survives reopen, WAL reset.
+	if st.WALBytes != 0 {
+		t.Fatalf("WAL not reset by compaction checkpoint: %d bytes", st.WALBytes)
+	}
+	s.Close()
+	re, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Stats().Files; got != 1 {
+		t.Fatalf("reopened files = %d, want 1", got)
+	}
+}
+
+func TestCompactExpiredNoEligibleIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	at := time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+	if _, err := s.RecordArrival(FileMeta{Name: "f", StagedPath: "f", Feeds: []string{"F"}, Arrived: at, DataTime: at}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExpireBefore(at.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	walBefore := s.Stats().WALBytes
+	n, err := s.CompactExpired(func(FileMeta, func(string) bool) bool { return false })
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	// No victims → no checkpoint: the WAL is untouched.
+	if got := s.Stats().WALBytes; got != walBefore {
+		t.Fatalf("noop compaction touched the WAL: %d -> %d", walBefore, got)
+	}
+}
+
+func TestCompactExpiredSkipsQuarantinedAndLive(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	at := time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+	live, _ := s.RecordArrival(FileMeta{Name: "live", StagedPath: "live", Feeds: []string{"F"}, Arrived: at.Add(time.Hour), DataTime: at.Add(time.Hour)})
+	quar, _ := s.RecordArrival(FileMeta{Name: "q", StagedPath: "q", Feeds: []string{"F"}, Arrived: at, DataTime: at})
+	if _, err := s.ExpireBefore(at.Add(30 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordQuarantine(quar); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.CompactExpired(func(FileMeta, func(string) bool) bool { return true })
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v (live and quarantined must never compact)", n, err)
+	}
+	if _, ok := s.File(live); !ok {
+		t.Fatal("live file gone")
+	}
+	if !s.Quarantined(quar) {
+		t.Fatal("quarantine flag gone")
+	}
+}

@@ -1,0 +1,420 @@
+// Package replay implements historical catch-up from tertiary storage
+// (SIGMOD'11 §4.2–§4.3): a subscriber may subscribe FROM a timestamp
+// older than the staging window, and the archiver's long-term store is
+// streamed to it as a rate-capped replay session on a dedicated
+// scheduler partition, concurrent with — and isolated from — live
+// delivery.
+//
+// A session enumerates the archive manifest over [from, session
+// start), so it costs O(requested range), never an archive-tree walk.
+// Exactly-once across the archive/staging boundary comes from three
+// rules applied per enumerated file:
+//
+//  1. files the live engine queued at session start (the skip set the
+//     server snapshots with QueueBackfill) belong to the live path;
+//  2. files already receipted as delivered to the subscriber are
+//     skipped (receipts stay the source of truth — replay records the
+//     same delivery receipts live delivery does);
+//  3. files archived *after* the session started belong to the live
+//     path too: they were staged when the live backlog was computed,
+//     and the delivery engine's archive fallback serves them even if
+//     they expire while queued.
+//
+// Everything else is submitted as a pinned replay job. The session's
+// watermark is the manifest key time of the last file handed to the
+// scheduler; when enumeration is done and every outstanding file has a
+// delivery receipt, the session completes — the handoff point — and
+// the subscriber is fully live.
+package replay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bistro/internal/archive"
+	"bistro/internal/clock"
+	"bistro/internal/metrics"
+	"bistro/internal/receipts"
+	"bistro/internal/scheduler"
+)
+
+// Metrics instruments replay sessions. Nil disables.
+type Metrics struct {
+	// Active is the number of running sessions.
+	Active *metrics.Gauge
+	// Streamed counts archived files handed to the scheduler.
+	Streamed *metrics.Counter
+	// Skipped counts enumerated files owned by the live path.
+	Skipped *metrics.Counter
+	// Bytes counts payload bytes streamed from the archive.
+	Bytes *metrics.Counter
+	// Completed counts sessions that reached live handoff.
+	Completed *metrics.Counter
+}
+
+// NewMetrics registers the bistro_replay_* family on r.
+func NewMetrics(r *metrics.Registry) *Metrics {
+	return &Metrics{
+		Active:    r.Gauge("bistro_replay_sessions_active", "Replay sessions currently streaming."),
+		Streamed:  r.Counter("bistro_replay_files_streamed_total", "Archived files submitted to the replay partition."),
+		Skipped:   r.Counter("bistro_replay_files_skipped_total", "Enumerated files skipped (live-path ownership or already delivered)."),
+		Bytes:     r.Counter("bistro_replay_bytes_total", "Payload bytes streamed from the archive."),
+		Completed: r.Counter("bistro_replay_sessions_completed_total", "Replay sessions that reached live handoff."),
+	}
+}
+
+// EventKind classifies session lifecycle events.
+type EventKind int
+
+// Session events.
+const (
+	EvStarted EventKind = iota
+	EvCompleted
+)
+
+// Event is one session lifecycle occurrence.
+type Event struct {
+	Kind       EventKind
+	Subscriber string
+	From       time.Time
+	Total      int
+	Streamed   int
+	Skipped    int
+}
+
+// Options configure a Manager.
+type Options struct {
+	// Clock paces the rate cap and completion polling.
+	Clock clock.Clock
+	// Store is consulted for delivery receipts (skip rule 2 and
+	// completion tracking).
+	Store *receipts.Store
+	// Manifest enumerates archived history.
+	Manifest *archive.Manifest
+	// Submit hands one replay job to the scheduler (the server wires
+	// Engine.SubmitReplay, which pins to the replay partition).
+	Submit func(*scheduler.Job)
+	// Rate caps streaming in files/second. 0 = unlimited.
+	Rate int
+	// Deadline is the per-job delivery horizon. Default 1 minute.
+	Deadline time.Duration
+	// Metrics, when set, instruments sessions.
+	Metrics *Metrics
+	// OnEvent receives lifecycle events (may be nil).
+	OnEvent func(Event)
+}
+
+// SessionStatus is an observable snapshot of one session, shaped for
+// /statusz and bistroctl replay.
+type SessionStatus struct {
+	Subscriber string    `json:"subscriber"`
+	Feeds      []string  `json:"feeds"`
+	From       time.Time `json:"from"`
+	Started    time.Time `json:"started"`
+	Total      int       `json:"total"`
+	Streamed   int       `json:"streamed"`
+	Skipped    int       `json:"skipped"`
+	Delivered  int       `json:"delivered"`
+	Watermark  time.Time `json:"watermark,omitempty"`
+	Done       bool      `json:"done"`
+}
+
+type session struct {
+	sub     string
+	feeds   []string
+	from    time.Time
+	started time.Time
+
+	// mutable under Manager.mu
+	total       int
+	streamed    int
+	skipped     int
+	delivered   int
+	watermark   time.Time
+	outstanding map[uint64]bool
+	done        bool
+}
+
+// Manager runs replay sessions.
+type Manager struct {
+	opts Options
+	clk  clock.Clock
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	// metas holds receipt metadata for in-flight replay jobs whose
+	// receipts were compacted; the delivery engine's HistoryMeta seam
+	// reads it. Refcounted: several sessions may stream the same id.
+	metas    map[uint64]receipts.FileMeta
+	metaRefs map[uint64]int
+
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
+	stopped bool
+}
+
+// New builds a Manager.
+func New(opts Options) *Manager {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.Deadline == 0 {
+		opts.Deadline = time.Minute
+	}
+	return &Manager{
+		opts:     opts,
+		clk:      opts.Clock,
+		sessions: make(map[string]*session),
+		metas:    make(map[uint64]receipts.FileMeta),
+		metaRefs: make(map[uint64]int),
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Start launches a replay session for sub over feeds from the given
+// timestamp. skip is the live-path job set snapshotted at the same
+// moment (Engine.QueueBackfill's return); those ids are never
+// streamed. One session per subscriber at a time.
+func (m *Manager) Start(sub string, feeds []string, from time.Time, skip map[uint64]bool) error {
+	if m.opts.Manifest == nil {
+		return fmt.Errorf("replay: no archive manifest configured")
+	}
+	started := m.clk.Now()
+	// Enumerate per feed over [from, started), dedupe by id (a file in
+	// several subscribed feeds has one entry per feed), order by key.
+	byID := make(map[uint64]archive.Entry)
+	for _, feed := range feeds {
+		entries, err := m.opts.Manifest.Range(feed, from, started)
+		if err != nil {
+			return fmt.Errorf("replay: enumerate %s: %w", feed, err)
+		}
+		for _, e := range entries {
+			if _, dup := byID[e.ID]; !dup {
+				byID[e.ID] = e
+			}
+		}
+	}
+	entries := make([]archive.Entry, 0, len(byID))
+	for _, e := range byID {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].Key().Equal(entries[j].Key()) {
+			return entries[i].Key().Before(entries[j].Key())
+		}
+		return entries[i].ID < entries[j].ID
+	})
+
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return fmt.Errorf("replay: manager stopped")
+	}
+	if s, ok := m.sessions[sub]; ok && !s.done {
+		m.mu.Unlock()
+		return fmt.Errorf("replay: session already active for %q", sub)
+	}
+	s := &session{
+		sub: sub, feeds: append([]string(nil), feeds...), from: from,
+		started: started, total: len(entries),
+		outstanding: make(map[uint64]bool),
+	}
+	m.sessions[sub] = s
+	m.mu.Unlock()
+
+	if mm := m.opts.Metrics; mm != nil {
+		mm.Active.Add(1)
+	}
+	m.emit(Event{Kind: EvStarted, Subscriber: sub, From: from, Total: len(entries)})
+	m.wg.Add(1)
+	go m.run(s, entries, skip)
+	return nil
+}
+
+// run is the session pump: rate-capped streaming, then completion
+// polling against delivery receipts, then handoff.
+func (m *Manager) run(s *session, entries []archive.Entry, skip map[uint64]bool) {
+	defer m.wg.Done()
+	var interval time.Duration
+	if m.opts.Rate > 0 {
+		interval = time.Second / time.Duration(m.opts.Rate)
+	}
+	for _, e := range entries {
+		select {
+		case <-m.stopCh:
+			return
+		default:
+		}
+		// Skip rules: live-path ownership (snapshot set, or archived
+		// after session start) and receipts already on record. All
+		// checks happen outside m.mu — the receipt store has its own
+		// lock and CompactExpired's callback may hold it while asking
+		// us Covers().
+		owned := skip[e.ID] || e.ArchivedAt.After(s.started)
+		delivered := m.opts.Store.Delivered(e.ID, s.sub)
+		if owned || delivered {
+			m.mu.Lock()
+			s.skipped++
+			s.watermark = e.Key()
+			m.mu.Unlock()
+			if mm := m.opts.Metrics; mm != nil {
+				mm.Skipped.Inc()
+			}
+			continue
+		}
+		meta := e.Meta()
+		m.mu.Lock()
+		if m.metaRefs[e.ID] == 0 {
+			m.metas[e.ID] = meta
+		}
+		m.metaRefs[e.ID]++
+		s.outstanding[e.ID] = true
+		s.streamed++
+		s.watermark = e.Key()
+		m.mu.Unlock()
+
+		now := m.clk.Now()
+		m.opts.Submit(&scheduler.Job{
+			FileID:     e.ID,
+			Feed:       e.Feed,
+			Subscriber: s.sub,
+			Path:       e.StagedPath,
+			Size:       e.Size,
+			Release:    now,
+			Deadline:   now.Add(m.opts.Deadline),
+			Backfill:   true,
+		})
+		if mm := m.opts.Metrics; mm != nil {
+			mm.Streamed.Inc()
+			mm.Bytes.Add(e.Size)
+		}
+		if interval > 0 {
+			t := m.clk.NewTimer(interval)
+			select {
+			case <-t.C():
+			case <-m.stopCh:
+				t.Stop()
+				return
+			}
+		}
+	}
+
+	// Enumeration done; wait for the outstanding tail to be receipted.
+	for {
+		m.mu.Lock()
+		ids := make([]uint64, 0, len(s.outstanding))
+		for id := range s.outstanding {
+			ids = append(ids, id)
+		}
+		m.mu.Unlock()
+		for _, id := range ids {
+			if m.opts.Store.Delivered(id, s.sub) {
+				m.settle(s, id)
+			}
+		}
+		m.mu.Lock()
+		remaining := len(s.outstanding)
+		m.mu.Unlock()
+		if remaining == 0 {
+			break
+		}
+		t := m.clk.NewTimer(50 * time.Millisecond)
+		select {
+		case <-t.C():
+		case <-m.stopCh:
+			t.Stop()
+			return
+		}
+	}
+
+	m.mu.Lock()
+	s.done = true
+	ev := Event{Kind: EvCompleted, Subscriber: s.sub, From: s.from,
+		Total: s.total, Streamed: s.streamed, Skipped: s.skipped}
+	m.mu.Unlock()
+	if mm := m.opts.Metrics; mm != nil {
+		mm.Active.Add(-1)
+		mm.Completed.Inc()
+	}
+	m.emit(ev)
+}
+
+// settle records one outstanding id as delivered and releases its meta
+// reference.
+func (m *Manager) settle(s *session, id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !s.outstanding[id] {
+		return
+	}
+	delete(s.outstanding, id)
+	s.delivered++
+	if m.metaRefs[id]--; m.metaRefs[id] <= 0 {
+		delete(m.metaRefs, id)
+		delete(m.metas, id)
+	}
+}
+
+// Meta resolves receipt metadata for an in-flight replay job — the
+// delivery engine's HistoryMeta seam for compacted history.
+func (m *Manager) Meta(id uint64) (receipts.FileMeta, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.metas[id]
+	return meta, ok
+}
+
+// Covers reports whether an active session holds this id in flight.
+// Receipt compaction must not fold such files: their delivery receipt
+// has not landed yet. Safe to call from CompactExpired's eligibility
+// callback (takes only the manager lock).
+func (m *Manager) Covers(id uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metaRefs[id] > 0
+}
+
+// Sessions snapshots all sessions (active and completed), sorted by
+// subscriber.
+func (m *Manager) Sessions() []SessionStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionStatus, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, SessionStatus{
+			Subscriber: s.sub,
+			Feeds:      s.feeds,
+			From:       s.from,
+			Started:    s.started,
+			Total:      s.total,
+			Streamed:   s.streamed,
+			Skipped:    s.skipped,
+			Delivered:  s.delivered,
+			Watermark:  s.watermark,
+			Done:       s.done,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subscriber < out[j].Subscriber })
+	return out
+}
+
+// Stop aborts all sessions and waits for their pumps to exit.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	close(m.stopCh)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Manager) emit(ev Event) {
+	if m.opts.OnEvent != nil {
+		m.opts.OnEvent(ev)
+	}
+}

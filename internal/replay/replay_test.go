@@ -1,0 +1,251 @@
+package replay
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/archive"
+	"bistro/internal/diskfault"
+	"bistro/internal/receipts"
+	"bistro/internal/scheduler"
+)
+
+var t0 = time.Date(2011, 6, 12, 10, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	store *receipts.Store
+	man   *archive.Manifest
+
+	mu   sync.Mutex
+	jobs []*scheduler.Job
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	root := t.TempDir()
+	store, err := receipts.Open(filepath.Join(root, "db"), receipts.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	man, err := archive.OpenManifest(diskfault.OS(), filepath.Join(root, "manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{store: store, man: man}
+}
+
+func (f *fixture) submit(j *scheduler.Job) {
+	f.mu.Lock()
+	f.jobs = append(f.jobs, j)
+	f.mu.Unlock()
+}
+
+func (f *fixture) submitAndDeliver(t *testing.T, sub string) func(*scheduler.Job) {
+	return func(j *scheduler.Job) {
+		f.submit(j)
+		if err := f.store.RecordDelivery(j.FileID, sub, t0); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func (f *fixture) jobIDs() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]uint64, len(f.jobs))
+	for i, j := range f.jobs {
+		out[i] = j.FileID
+	}
+	return out
+}
+
+func entry(id uint64, feed string, key time.Time, archivedAt time.Time) archive.Entry {
+	return archive.Entry{
+		ID: id, Name: "f", StagedPath: feed + "/f", Feed: feed,
+		Feeds: []string{feed}, Size: 10, Arrived: key, DataTime: key,
+		ArchivedAt: archivedAt,
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSessionStreamsInOrderAndCompletes(t *testing.T) {
+	f := newFixture(t)
+	arch := t0.Add(-time.Hour)
+	if err := f.man.Append([]archive.Entry{
+		entry(3, "F", t0.Add(-24*time.Hour), arch),
+		entry(1, "F", t0.Add(-72*time.Hour), arch),
+		entry(2, "F", t0.Add(-48*time.Hour), arch),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	var evMu sync.Mutex
+	m := New(Options{
+		Store: f.store, Manifest: f.man,
+		Submit: f.submitAndDeliver(t, "wh"),
+		OnEvent: func(ev Event) {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+		},
+	})
+	defer m.Stop()
+	if err := m.Start("wh", []string{"F"}, t0.Add(-100*time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session done", func() bool {
+		ss := m.Sessions()
+		return len(ss) == 1 && ss[0].Done
+	})
+	ids := f.jobIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("stream order = %v, want [1 2 3] (key-time order)", ids)
+	}
+	ss := m.Sessions()[0]
+	if ss.Total != 3 || ss.Streamed != 3 || ss.Delivered != 3 || ss.Skipped != 0 {
+		t.Fatalf("status = %+v", ss)
+	}
+	if !ss.Watermark.Equal(t0.Add(-24 * time.Hour)) {
+		t.Fatalf("watermark = %v", ss.Watermark)
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(events) != 2 || events[0].Kind != EvStarted || events[1].Kind != EvCompleted {
+		t.Fatalf("events = %+v", events)
+	}
+}
+
+func TestSkipRulesExactlyOnce(t *testing.T) {
+	f := newFixture(t)
+	arch := t0.Add(-time.Hour)
+	if err := f.man.Append([]archive.Entry{
+		entry(1, "F", t0.Add(-72*time.Hour), arch), // streamed
+		entry(2, "F", t0.Add(-48*time.Hour), arch), // in live skip set
+		entry(3, "F", t0.Add(-24*time.Hour), arch), // already delivered
+		// Archived *after* the session start: live path owns it. The
+		// far-future ArchivedAt stands in for "expired mid-session".
+		entry(4, "F", t0.Add(-12*time.Hour), time.Now().Add(time.Hour)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.RecordDelivery(3, "wh", t0); err != nil {
+		t.Fatal(err)
+	}
+	m := New(Options{Store: f.store, Manifest: f.man, Submit: f.submitAndDeliver(t, "wh")})
+	defer m.Stop()
+	if err := m.Start("wh", []string{"F"}, t0.Add(-100*time.Hour), map[uint64]bool{2: true}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session done", func() bool {
+		ss := m.Sessions()
+		return len(ss) == 1 && ss[0].Done
+	})
+	if ids := f.jobIDs(); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("streamed = %v, want [1]", ids)
+	}
+	ss := m.Sessions()[0]
+	if ss.Skipped != 3 || ss.Streamed != 1 {
+		t.Fatalf("status = %+v", ss)
+	}
+}
+
+func TestMetaAndCoversDuringFlight(t *testing.T) {
+	f := newFixture(t)
+	if err := f.man.Append([]archive.Entry{entry(9, "F", t0.Add(-24*time.Hour), t0)}); err != nil {
+		t.Fatal(err)
+	}
+	m := New(Options{Store: f.store, Manifest: f.man, Submit: f.submit})
+	defer m.Stop()
+	if err := m.Start("wh", []string{"F"}, t0.Add(-48*time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job submitted", func() bool { return len(f.jobIDs()) == 1 })
+	if !m.Covers(9) {
+		t.Fatal("Covers(9) false while in flight")
+	}
+	meta, ok := m.Meta(9)
+	if !ok || meta.ID != 9 || meta.StagedPath != "F/f" {
+		t.Fatalf("Meta(9) = %+v ok=%v", meta, ok)
+	}
+	// Delivery receipt lands → session settles, refs released.
+	if err := f.store.RecordDelivery(9, "wh", t0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session done", func() bool {
+		ss := m.Sessions()
+		return len(ss) == 1 && ss[0].Done
+	})
+	if m.Covers(9) {
+		t.Fatal("Covers(9) true after settle")
+	}
+	if _, ok := m.Meta(9); ok {
+		t.Fatal("Meta(9) survives settle")
+	}
+}
+
+func TestOneSessionPerSubscriber(t *testing.T) {
+	f := newFixture(t)
+	if err := f.man.Append([]archive.Entry{entry(1, "F", t0.Add(-24*time.Hour), t0)}); err != nil {
+		t.Fatal(err)
+	}
+	m := New(Options{Store: f.store, Manifest: f.man, Submit: f.submit})
+	defer m.Stop()
+	if err := m.Start("wh", []string{"F"}, t0.Add(-48*time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Start("wh", []string{"F"}, t0.Add(-48*time.Hour), nil); err == nil {
+		t.Fatal("second concurrent session accepted")
+	}
+	// A *different* subscriber is fine.
+	if err := m.Start("other", []string{"F"}, t0.Add(-48*time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateCapPacesStreaming(t *testing.T) {
+	f := newFixture(t)
+	var entries []archive.Entry
+	for i := uint64(1); i <= 6; i++ {
+		entries = append(entries, entry(i, "F", t0.Add(-time.Duration(i)*time.Hour), t0))
+	}
+	if err := f.man.Append(entries); err != nil {
+		t.Fatal(err)
+	}
+	m := New(Options{Store: f.store, Manifest: f.man, Submit: f.submitAndDeliver(t, "wh"), Rate: 100})
+	defer m.Stop()
+	begin := time.Now()
+	if err := m.Start("wh", []string{"F"}, t0.Add(-48*time.Hour), nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "session done", func() bool {
+		ss := m.Sessions()
+		return len(ss) == 1 && ss[0].Done
+	})
+	// 6 files at 100/s = at least 50ms of pacing (5 inter-file gaps).
+	if took := time.Since(begin); took < 50*time.Millisecond {
+		t.Fatalf("rate cap not applied: 6 files in %v at 100/s", took)
+	}
+}
+
+func TestStartWithoutManifestRefused(t *testing.T) {
+	f := newFixture(t)
+	m := New(Options{Store: f.store, Submit: f.submit})
+	defer m.Stop()
+	if err := m.Start("wh", []string{"F"}, t0, nil); err == nil {
+		t.Fatal("session without manifest accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+)
+
+func twoPartitions() Config {
+	return Config{
+		Partitions: []PartitionConfig{
+			{Name: "interactive", Workers: 2, Policy: EDF},
+			{Name: "replay", Workers: 1, Policy: FIFO},
+		},
+	}
+}
+
+func TestSubmitToPinsPartition(t *testing.T) {
+	s := mustNew(t, twoPartitions())
+	defer s.Close()
+
+	// Subscriber routing would put "wh" on partition 0 by default;
+	// SubmitTo overrides it.
+	j := &Job{FileID: 1, Subscriber: "wh", Backfill: true, Deadline: t0.Add(time.Minute)}
+	if err := s.SubmitTo(1, j); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TryNext(0, LaneRealtime); got != nil {
+		t.Fatalf("pinned job visible on partition 0: %v", got)
+	}
+	got := s.TryNext(1, LaneRealtime)
+	if len(got) != 1 || got[0].FileID != 1 {
+		t.Fatalf("pinned job not on partition 1: %v", got)
+	}
+
+	// A requeue must keep the pin (retries cannot migrate onto the
+	// real-time partitions).
+	s.Requeue(got[0])
+	if leak := s.TryNext(0, LaneRealtime); leak != nil {
+		t.Fatalf("requeued pinned job leaked to partition 0: %v", leak)
+	}
+	got = s.TryNext(1, LaneRealtime)
+	if len(got) != 1 {
+		t.Fatalf("requeued pinned job lost: %v", got)
+	}
+
+	// Same for delayed requeues: the job promotes back into the pinned
+	// partition's queues.
+	s.RequeueAfter(got[0], s.clk.Now().Add(-time.Second))
+	got = s.TryNext(1, LaneRealtime)
+	if len(got) != 1 {
+		t.Fatalf("delayed pinned job lost: %v", got)
+	}
+	s.Done(got[0])
+}
+
+func TestSubmitToRange(t *testing.T) {
+	s := mustNew(t, twoPartitions())
+	defer s.Close()
+	if err := s.SubmitTo(2, &Job{FileID: 1}); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if err := s.SubmitTo(-1, &Job{FileID: 1}); err == nil {
+		t.Fatal("negative partition accepted")
+	}
+}
+
+func TestUnpinnedRoutingUnchanged(t *testing.T) {
+	s := mustNew(t, twoPartitions())
+	defer s.Close()
+	// Default routing sends unassigned subscribers to the last
+	// partition; pinning is opt-in per job, not a routing change.
+	s.Submit(&Job{FileID: 2, Subscriber: "bulk-sub", Deadline: t0.Add(time.Minute)})
+	if got := s.TryNext(1, LaneRealtime); len(got) != 1 {
+		t.Fatalf("default routing changed: %v", got)
+	}
+}

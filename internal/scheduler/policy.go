@@ -45,6 +45,13 @@ type Job struct {
 	// Backfill marks historical catch-up work.
 	Backfill bool
 
+	// pinned, when non-zero, fixes the job to partition pinned-1
+	// regardless of subscriber assignment (set by SubmitTo; replay
+	// streams archived history through a dedicated partition this way).
+	// Requeues preserve it, so a retry cannot migrate onto the
+	// real-time partitions.
+	pinned int
+
 	index int // heap position
 }
 

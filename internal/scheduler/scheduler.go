@@ -175,7 +175,7 @@ func (s *Scheduler) Submit(j *Job) {
 	s.mu.Lock()
 	j.Seq = s.seq
 	s.seq++
-	p := s.parts[s.partitionOfLocked(j.Subscriber)]
+	p := s.partitionForLocked(j)
 	if j.Backfill && s.cfg.Backfill == BackfillConcurrent {
 		p.backfill.push(j)
 	} else {
@@ -183,6 +183,28 @@ func (s *Scheduler) Submit(j *Job) {
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+}
+
+// SubmitTo enqueues a job pinned to a specific partition, bypassing
+// subscriber routing. Replay sessions use this to stream archived
+// history through their dedicated partition so catch-up can never
+// contend with real-time delivery for workers.
+func (s *Scheduler) SubmitTo(part int, j *Job) error {
+	if part < 0 || part >= len(s.parts) {
+		return fmt.Errorf("scheduler: partition %d out of range", part)
+	}
+	j.pinned = part + 1
+	s.Submit(j)
+	return nil
+}
+
+// partitionForLocked routes a job: pinned jobs to their fixed
+// partition, everything else by subscriber assignment.
+func (s *Scheduler) partitionForLocked(j *Job) *partition {
+	if j.pinned > 0 && j.pinned <= len(s.parts) {
+		return s.parts[j.pinned-1]
+	}
+	return s.parts[s.partitionOfLocked(j.Subscriber)]
 }
 
 // Lane identifies which queue a worker serves.
@@ -314,7 +336,7 @@ func (s *Scheduler) armTimerLocked() {
 func (s *Scheduler) RequeueAfter(j *Job, notBefore time.Time) {
 	s.mu.Lock()
 	j.Release = notBefore
-	p := s.parts[s.partitionOfLocked(j.Subscriber)]
+	p := s.partitionForLocked(j)
 	if notBefore.After(s.clk.Now()) {
 		heap.Push(&p.delayed, j)
 		s.armTimerLocked()
@@ -372,7 +394,7 @@ func (s *Scheduler) Done(j *Job) {
 // retried) and releases its slot.
 func (s *Scheduler) Requeue(j *Job) {
 	s.mu.Lock()
-	p := s.parts[s.partitionOfLocked(j.Subscriber)]
+	p := s.partitionForLocked(j)
 	if j.Backfill && s.cfg.Backfill == BackfillConcurrent {
 		p.backfill.push(j)
 	} else {

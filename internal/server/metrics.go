@@ -9,6 +9,7 @@ import (
 	"bistro/internal/feedlog"
 	"bistro/internal/metrics"
 	"bistro/internal/receipts"
+	"bistro/internal/replay"
 	"bistro/internal/scheduler"
 )
 
@@ -172,6 +173,7 @@ type Status struct {
 	Receipts    receipts.Stats                      `json:"receipts"`
 	Partitions  []PartitionStatus                   `json:"partitions"`
 	Inflight    int                                 `json:"inflight"`
+	Replay      []replay.SessionStatus              `json:"replay,omitempty"`
 	Alarms      []feedlog.Alarm                     `json:"alarms,omitempty"`
 }
 
@@ -199,6 +201,10 @@ func (s *Server) Status() Status {
 	if len(alarms) > maxStatusAlarms {
 		alarms = alarms[len(alarms)-maxStatusAlarms:]
 	}
+	var sessions []replay.SessionStatus
+	if s.replay != nil {
+		sessions = s.replay.Sessions()
+	}
 	return Status{
 		Time:        s.clk.Now(),
 		Feeds:       s.logger.AllStats(),
@@ -207,6 +213,7 @@ func (s *Server) Status() Status {
 		Receipts:    s.store.Stats(),
 		Partitions:  ps,
 		Inflight:    sched.InflightTotal(),
+		Replay:      sessions,
 		Alarms:      alarms,
 	}
 }

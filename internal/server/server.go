@@ -42,6 +42,7 @@ import (
 	"bistro/internal/pattern"
 	"bistro/internal/protocol"
 	"bistro/internal/receipts"
+	"bistro/internal/replay"
 	"bistro/internal/scheduler"
 	"bistro/internal/transport"
 	"bistro/internal/trigger"
@@ -119,6 +120,7 @@ type Server struct {
 	land   *landing.Manager
 	arch   *archive.Archiver
 	pipe   *ingest.Pipeline
+	replay *replay.Manager // nil unless the config has a replay block
 
 	ln    net.Listener
 	adm   *admin.Server       // nil unless the config has an admin block
@@ -226,6 +228,23 @@ func New(opts Options) (*Server, error) {
 	}
 	schedCfg := schedulerConfig(cfg.Scheduler)
 	schedCfg.Clock = s.clk
+	replayPart := 0
+	if cfg.Replay != nil {
+		// The replay block adds a dedicated partition so catch-up
+		// streaming never competes with live delivery workers (§4.3).
+		if len(schedCfg.Partitions) == 0 {
+			schedCfg = delivery.DefaultSchedulerConfig()
+			schedCfg.Clock = s.clk
+		}
+		w := cfg.Replay.Workers
+		if w <= 0 {
+			w = 1
+		}
+		schedCfg.Partitions = append(schedCfg.Partitions, scheduler.PartitionConfig{
+			Name: "replay", Workers: w, Policy: scheduler.FIFO,
+		})
+		replayPart = len(schedCfg.Partitions) - 1
+	}
 	engine, err := delivery.New(delivery.Options{
 		Clock:           s.clk,
 		Store:           store,
@@ -239,6 +258,21 @@ func New(opts Options) (*Server, error) {
 		Backoff:         cfg.Backoff.Policy(),
 		OnEvent:         s.onDeliveryEvent,
 		Metrics:         delivery.NewMetrics(s.reg),
+		ReplayPartition: replayPart,
+		// Both seams late-bind through s: the archiver and replay
+		// manager are constructed after the engine.
+		HistoryMeta: func(id uint64) (receipts.FileMeta, bool) {
+			if s.replay == nil {
+				return receipts.FileMeta{}, false
+			}
+			return s.replay.Meta(id)
+		},
+		ArchiveOpen: func(stagedPath string) (io.ReadCloser, error) {
+			if s.arch == nil {
+				return nil, fmt.Errorf("server: no archiver")
+			}
+			return s.arch.Open(stagedPath)
+		},
 	})
 	if err != nil {
 		store.Close()
@@ -265,7 +299,27 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	arch.FS = s.fs
+	arch.Metrics = archive.NewMetrics(s.reg)
+	arch.Alarm = func(msg string) { s.logger.Raise("archive", msg) }
+	if archRoot != "" && (cfg.Replay == nil || !cfg.Replay.NoManifest) {
+		if err := arch.EnableManifest(); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	s.arch = arch
+	if cfg.Replay != nil && arch.Manifest() != nil {
+		s.replay = replay.New(replay.Options{
+			Clock:    s.clk,
+			Store:    store,
+			Manifest: arch.Manifest(),
+			Submit:   engine.SubmitReplay,
+			Rate:     cfg.Replay.Rate,
+			Deadline: opts.Deadline,
+			Metrics:  replay.NewMetrics(s.reg),
+			OnEvent:  s.onReplayEvent,
+		})
+	}
 
 	// The ingest pipeline is constructed (and its workers started)
 	// last: Start's reconcile and unmatched-reprocess passes route
@@ -411,6 +465,18 @@ func (s *Server) onDeliveryEvent(ev delivery.Event) {
 	}
 }
 
+// onReplayEvent logs replay session lifecycle.
+func (s *Server) onReplayEvent(ev replay.Event) {
+	switch ev.Kind {
+	case replay.EvStarted:
+		s.logger.Logf("replay", "%s: catch-up from %s (%d archived files)",
+			ev.Subscriber, ev.From.Format(time.RFC3339), ev.Total)
+	case replay.EvCompleted:
+		s.logger.Logf("replay", "%s: caught up to live (%d streamed, %d skipped)",
+			ev.Subscriber, ev.Streamed, ev.Skipped)
+	}
+}
+
 // Start launches the pipeline: delivery workers, landing scanner,
 // expiry loop, and (when configured) the protocol listener. Files
 // quarantined as unmatched by earlier runs are re-classified first, so
@@ -426,6 +492,23 @@ func (s *Server) Start() error {
 		s.recordReconcile(rep)
 		if !rep.Clean() {
 			s.logger.Logf("reconcile", "%s", rep)
+		}
+	}
+	if s.arch.Manifest() != nil {
+		// The scan-once recovery path: any archived file whose manifest
+		// append was lost (crash between move and append) is re-entered.
+		byPath := make(map[string]receipts.FileMeta)
+		for _, meta := range s.store.AllFiles() {
+			byPath[meta.StagedPath] = meta
+		}
+		n, err := s.arch.ReconcileManifest(func(stagedPath string) (receipts.FileMeta, bool) {
+			meta, ok := byPath[stagedPath]
+			return meta, ok
+		})
+		if err != nil {
+			s.logger.Logf("reconcile", "manifest: %v", err)
+		} else if n > 0 {
+			s.logger.Logf("reconcile", "manifest: recovered %d lost entries", n)
 		}
 	}
 	if n, err := s.ReprocessUnmatched(); err != nil {
@@ -519,6 +602,9 @@ func (s *Server) Stop() {
 	// Sources are quiet now; drain in-flight arrivals through the
 	// shard and hand-off stages before the delivery engine goes away.
 	s.pipe.Stop()
+	if s.replay != nil {
+		s.replay.Stop()
+	}
 	s.engine.Stop()
 	if s.trans != nil {
 		s.trans.remote.close()
@@ -594,7 +680,53 @@ func (s *Server) expiryLoop() {
 		} else if n > 0 {
 			s.logger.Logf("expiry", "expired %d files", n)
 		}
+		if s.arch.Manifest() != nil {
+			if n, err := s.CompactReceipts(); err != nil {
+				s.logger.Logf("expiry", "compaction error: %v", err)
+			} else if n > 0 {
+				s.logger.Logf("expiry", "compacted %d archived receipts", n)
+			}
+		}
 	}
+}
+
+// CompactReceipts folds fully-settled history out of the receipt store
+// so WAL + checkpoint size stays bounded under continuous expiry. A
+// receipt is eligible when the file is recorded in the archive manifest
+// (the manifest takes over as its only record), every subscriber
+// interested in one of its feeds has a delivery receipt, and no active
+// replay session holds it in flight.
+func (s *Server) CompactReceipts() (int, error) {
+	man := s.arch.Manifest()
+	if man == nil {
+		return 0, nil
+	}
+	// Snapshot feed → interested subscribers outside the store lock: the
+	// eligibility callback runs under it and must stay call-free.
+	s.mu.Lock()
+	interested := make(map[string][]string)
+	for _, sub := range s.cfg.Subscribers {
+		for _, feed := range sub.Feeds {
+			interested[feed] = append(interested[feed], sub.Name)
+		}
+	}
+	s.mu.Unlock()
+	return s.store.CompactExpired(func(f receipts.FileMeta, delivered func(sub string) bool) bool {
+		if !man.Has(f.ID) {
+			return false
+		}
+		if s.replay != nil && s.replay.Covers(f.ID) {
+			return false
+		}
+		for _, feed := range f.Feeds {
+			for _, sub := range interested[feed] {
+				if !delivered(sub) {
+					return false
+				}
+			}
+		}
+		return true
+	})
 }
 
 // ReprocessUnmatched re-classifies every quarantined unmatched file
@@ -795,6 +927,17 @@ func (s *Server) recordMatched(feeds []string, name string, at time.Time, size i
 // and the full available history is queued as backfill (§4.2). Only
 // available when the server built its own transport.
 func (s *Server) AddSubscriber(sub *config.Subscriber) error {
+	if err := s.addSubscriberDeferred(sub); err != nil {
+		return err
+	}
+	s.engine.QueueBackfill(sub.Name)
+	return nil
+}
+
+// addSubscriberDeferred registers a subscriber without queueing its
+// staged backlog — the replay handoff needs the gap between
+// registration and the backfill snapshot.
+func (s *Server) addSubscriberDeferred(sub *config.Subscriber) error {
 	if s.trans == nil {
 		return fmt.Errorf("server: runtime subscribers need the built-in transport")
 	}
@@ -812,7 +955,7 @@ func (s *Server) AddSubscriber(sub *config.Subscriber) error {
 		}
 		s.trans.local.Register(sub.Name, s.root)
 	}
-	if err := s.engine.AddSubscriber(sub); err != nil {
+	if err := s.engine.AddSubscriberDeferred(sub); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -821,6 +964,53 @@ func (s *Server) AddSubscriber(sub *config.Subscriber) error {
 	s.logger.Logf("subscriber", "%s added at runtime (%d feeds)", sub.Name, len(sub.Feeds))
 	return nil
 }
+
+// SubscribeRemote serves a runtime SUBSCRIBE message: register the
+// subscriber (or find it, on re-subscription), snapshot its staged
+// backlog as live backfill, and — when FROM asks for history older
+// than the staging window — start a replay session over the archive
+// with that snapshot as the skip set. The snapshot is the handoff
+// watermark: everything staged at this instant belongs to the live
+// path, everything older only exists in the archive manifest, and a
+// file in both (archived mid-session) is claimed by exactly one side.
+func (s *Server) SubscribeRemote(m protocol.Subscribe) error {
+	if !m.From.IsZero() && s.replay == nil {
+		return fmt.Errorf("server: FROM subscription needs an archive with a manifest (replay block + archive dir)")
+	}
+	s.mu.Lock()
+	var sub *config.Subscriber
+	for _, existing := range s.cfg.Subscribers {
+		if existing.Name == m.Name {
+			sub = existing
+			break
+		}
+	}
+	s.mu.Unlock()
+	if sub == nil {
+		sub = &config.Subscriber{
+			Name:          m.Name,
+			Host:          m.Host,
+			Dest:          m.Dest,
+			Subscriptions: append([]string(nil), m.Feeds...),
+			Class:         m.Class,
+		}
+		if err := s.addSubscriberDeferred(sub); err != nil {
+			return err
+		}
+	}
+	skip := s.engine.QueueBackfill(sub.Name)
+	if m.From.IsZero() {
+		return nil
+	}
+	skipSet := make(map[uint64]bool, len(skip))
+	for _, id := range skip {
+		skipSet[id] = true
+	}
+	return s.replay.Start(sub.Name, sub.Feeds, m.From, skipSet)
+}
+
+// Replay exposes the replay manager (nil without a replay block).
+func (s *Server) Replay() *replay.Manager { return s.replay }
 
 // Punctuate propagates end-of-batch punctuation for a feed.
 func (s *Server) Punctuate(feed string) { s.engine.Punctuate(feed) }
@@ -933,6 +1123,12 @@ func (s *Server) serveConn(conn *protocol.Conn) {
 		case protocol.EndOfBatch:
 			s.punctuateFromSource(m.Feed)
 			ack = protocol.Ack{OK: true}
+		case protocol.Subscribe:
+			if err := s.SubscribeRemote(m); err != nil {
+				ack = protocol.Ack{OK: false, Error: err.Error()}
+			} else {
+				ack = protocol.Ack{OK: true}
+			}
 		case protocol.Fetch:
 			s.serveFetch(conn, m)
 			continue // serveFetch writes its own reply

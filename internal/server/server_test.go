@@ -826,3 +826,128 @@ func TestAddSubscriberAtRuntime(t *testing.T) {
 		t.Fatal("unknown feed accepted")
 	}
 }
+
+func TestSubscribeFromReplaysArchivedHistory(t *testing.T) {
+	cfgSrc := `
+window 1h
+archive "arch"
+
+replay {
+    rate 500
+}
+
+feed CPU { pattern "CPU_POLL%i_%Y%m%d%H%M.txt" }
+`
+	s := newServer(t, cfgSrc, func(o *Options) {
+		o.ExpiryInterval = -1 // expiry and compaction driven explicitly
+		o.Listen = "127.0.0.1:0"
+	})
+
+	// History: data times two days before the wall clock, far outside
+	// the 1h window. No subscriber exists yet, so nothing is delivered.
+	old := time.Now().UTC().Add(-48 * time.Hour)
+	var histNames []string
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("CPU_POLL1_%s.txt", old.Add(time.Duration(i)*time.Minute).Format("200601021504"))
+		histNames = append(histNames, name)
+		if err := s.Deposit(name, []byte("hist:"+name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Archiver().ExpireOnce(); err != nil || n != 5 {
+		t.Fatalf("expired = %d, %v", n, err)
+	}
+	if s.Archiver().Manifest().Len() != 5 {
+		t.Fatalf("manifest entries = %d", s.Archiver().Manifest().Len())
+	}
+	// Fold the archived receipts: the manifest becomes their only
+	// record, so replay must work through the HistoryMeta seam.
+	if n, err := s.CompactReceipts(); err != nil || n != 5 {
+		t.Fatalf("compacted = %d, %v", n, err)
+	}
+	if st := s.Store().Stats(); st.Files != 0 {
+		t.Fatalf("receipts not folded: %+v", st)
+	}
+
+	// One live file inside the window.
+	liveName := fmt.Sprintf("CPU_POLL2_%s.txt", time.Now().UTC().Format("200601021504"))
+	if err := s.Deposit(liveName, []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+
+	// SUBSCRIBE CPU FROM three days ago, over the wire.
+	err := subclient.Subscribe(s.Addr(), subclient.SubscribeSpec{
+		Name:  "wh",
+		Dest:  "wh-in",
+		Feeds: []string{"CPU"},
+		From:  time.Now().UTC().Add(-72 * time.Hour),
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, "replay session handoff", func() bool {
+		ss := s.Replay().Sessions()
+		return len(ss) == 1 && ss[0].Done
+	})
+	ss := s.Replay().Sessions()[0]
+	if ss.Total != 5 || ss.Streamed != 5 || ss.Skipped != 0 || ss.Delivered != 5 {
+		t.Fatalf("session = %+v", ss)
+	}
+	waitFor(t, "live delivery", func() bool {
+		_, err := os.Stat(filepath.Join(s.root, "wh-in", "CPU", liveName))
+		return err == nil
+	})
+	// Every archived file arrived, with content intact, exactly once.
+	for _, name := range histNames {
+		got, err := os.ReadFile(filepath.Join(s.root, "wh-in", "CPU", name))
+		if err != nil {
+			t.Fatalf("replayed file missing: %v", err)
+		}
+		if string(got) != "hist:"+name {
+			t.Fatalf("replayed content = %q", got)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join(s.root, "wh-in", "CPU"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("delivered %d files, want 6 (5 archive + 1 live)", len(entries))
+	}
+	// The session shows up in the structured status snapshot.
+	if st := s.Status(); len(st.Replay) != 1 || st.Replay[0].Subscriber != "wh" {
+		t.Fatalf("status replay = %+v", st.Replay)
+	}
+	// Re-subscribing with the same FROM is idempotent: everything is
+	// receipted as delivered now, so the new session skips it all.
+	err = subclient.Subscribe(s.Addr(), subclient.SubscribeSpec{
+		Name:  "wh",
+		Dest:  "wh-in",
+		Feeds: []string{"CPU"},
+		From:  time.Now().UTC().Add(-72 * time.Hour),
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "re-subscription session", func() bool {
+		ss := s.Replay().Sessions()
+		return len(ss) == 1 && ss[0].Done && ss[0].Skipped == 5
+	})
+	if entries, _ = os.ReadDir(filepath.Join(s.root, "wh-in", "CPU")); len(entries) != 6 {
+		t.Fatalf("re-subscription duplicated deliveries: %d files", len(entries))
+	}
+}
+
+func TestSubscribeFromWithoutReplayRefused(t *testing.T) {
+	s := newServer(t, testConfig, func(o *Options) { o.Listen = "127.0.0.1:0" })
+	err := subclient.Subscribe(s.Addr(), subclient.SubscribeSpec{
+		Name:  "late",
+		Dest:  "late-in",
+		Feeds: []string{"SNMP/CPU"},
+		From:  time.Now().Add(-24 * time.Hour),
+	}, 5*time.Second)
+	if err == nil {
+		t.Fatal("FROM subscription accepted without a replay block")
+	}
+}

@@ -1,0 +1,58 @@
+package subclient
+
+import (
+	"fmt"
+	"time"
+
+	"bistro/internal/protocol"
+)
+
+// SubscribeSpec describes a runtime subscription request.
+type SubscribeSpec struct {
+	// Name is the subscriber identity (delivery receipts key on it).
+	Name string
+	// Host is this daemon's listen address the server should push to;
+	// empty requests local-directory delivery at Dest on the server
+	// host.
+	Host string
+	// Dest is the destination path prefix.
+	Dest string
+	// Feeds are feed or feed-group paths.
+	Feeds []string
+	// From, when non-zero, asks for historical replay from the archive:
+	// SUBSCRIBE ... FROM <ts>.
+	From time.Time
+	// Class is the scheduling class hint ("interactive", "bulk").
+	Class string
+}
+
+// Subscribe registers spec with the Bistro server at serverAddr,
+// returning once the server has accepted the subscription (and, for a
+// FROM request, started the replay session).
+func Subscribe(serverAddr string, spec SubscribeSpec, timeout time.Duration) error {
+	if spec.Name == "" {
+		return fmt.Errorf("subclient: subscribe: name required")
+	}
+	if len(spec.Feeds) == 0 {
+		return fmt.Errorf("subclient: subscribe: at least one feed required")
+	}
+	conn, err := protocol.Dial(serverAddr, timeout)
+	if err != nil {
+		return fmt.Errorf("subclient: subscribe: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.Call(protocol.Hello{Role: "subscriber", Name: spec.Name}); err != nil {
+		return fmt.Errorf("subclient: hello: %w", err)
+	}
+	if err := conn.Call(protocol.Subscribe{
+		Name:  spec.Name,
+		Host:  spec.Host,
+		Dest:  spec.Dest,
+		Feeds: spec.Feeds,
+		From:  spec.From,
+		Class: spec.Class,
+	}); err != nil {
+		return fmt.Errorf("subclient: subscribe: %w", err)
+	}
+	return nil
+}
