@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race bench-smoke cluster-race fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+# One iteration of the full-server experiment benchmarks (E14 ingest
+# scaling, E15 historical replay, E16 standby failover) as a smoke
+# test that the quantitative harness runs end to end. BENCH_6.json at
+# the repo root is the tracked record of the last run, diffable across
+# changes; CI regenerates and uploads it as an artifact.
+bench-smoke:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkE1[45]|BenchmarkE16' -benchtime=1x . | tee BENCH_6.json
+
+# Race-mode pass over the clustering layer and its replication stress
+# tests: concurrent group-commit shipping, the seeded failover
+# property harness, and the two-node routing tests.
+cluster-race:
+	$(GO) test -race -count=1 ./internal/cluster/
+	$(GO) test -race -count=1 -run 'TestCluster' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestE16|TestE12StandbyPromotion' ./internal/experiments/

@@ -169,6 +169,20 @@ func BenchmarkE15HistoricalReplay(b *testing.B) {
 	}
 }
 
+func BenchmarkE16Failover(b *testing.B) {
+	t := runExperiment(b, experiments.E16Failover)
+	for _, row := range t.Rows {
+		switch row[0] {
+		case "acked arrivals lost after promotion":
+			b.ReportMetric(metric(row[1]), "acked_lost")
+		case "duplicate writes at subscriber":
+			b.ReportMetric(metric(row[1]), "app_duplicates")
+		case "takeover time mean":
+			b.ReportMetric(metric(row[1]), "takeover_mean_ms")
+		}
+	}
+}
+
 func BenchmarkE13Overhead(b *testing.B) {
 	t := runExperiment(b, experiments.E13Overhead)
 	for _, row := range t.Rows {

@@ -13,7 +13,15 @@ import (
 // with just the fields the renderer uses, so bistroctl does not link
 // the whole server package.
 type statusDoc struct {
-	Time  time.Time `json:"time"`
+	Time time.Time `json:"time"`
+	Node struct {
+		Name          string   `json:"name"`
+		Role          string   `json:"role"`
+		Ready         bool     `json:"ready"`
+		PromotedFrom  []string `json:"promoted_from"`
+		ReplicationOK *bool    `json:"replication_ok"`
+		ReplicationHW uint64   `json:"replication_hw"`
+	} `json:"node"`
 	Feeds map[string]struct {
 		Files     int64
 		Bytes     int64
@@ -74,6 +82,22 @@ func runStatus(addr string, timeout time.Duration, w io.Writer) error {
 // renderStatus writes the human-readable status report.
 func renderStatus(doc *statusDoc, w io.Writer) {
 	fmt.Fprintf(w, "bistro status at %s\n", doc.Time.Format(time.RFC3339))
+	n := doc.Node
+	line := fmt.Sprintf("node: role=%s ready=%t", n.Role, n.Ready)
+	if n.Name != "" {
+		line = fmt.Sprintf("node: %s role=%s ready=%t", n.Name, n.Role, n.Ready)
+	}
+	if len(n.PromotedFrom) > 0 {
+		line += fmt.Sprintf(" promoted_from=%v", n.PromotedFrom)
+	}
+	if n.ReplicationOK != nil {
+		state := "DOWN"
+		if *n.ReplicationOK {
+			state = "ok"
+		}
+		line += fmt.Sprintf(" replication=%s hw=%d", state, n.ReplicationHW)
+	}
+	fmt.Fprintln(w, line)
 	fmt.Fprintln(w, "== feeds ==")
 	feedNames := make([]string, 0, len(doc.Feeds))
 	for name := range doc.Feeds {

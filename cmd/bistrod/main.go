@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	bistrod -config bistro.conf -root /var/bistro [-listen :9400]
+//	bistrod -config bistro.conf -root /var/bistro [-listen :9400] [-node a]
+//
+// With a cluster block in the configuration, -node selects which node
+// of the topology this process is (overriding the block's self), so
+// every node in a cluster can share one configuration file.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		logPath    = flag.String("log", "", "activity log file (empty: stderr)")
 		deadline   = flag.Duration("deadline", time.Minute, "per-file delivery target")
 		analyze    = flag.Duration("analyze", 0, "feed-analyzer interval (0 disables)")
+		node       = flag.String("node", "", "cluster node name (overrides the config's cluster.self)")
 	)
 	flag.Parse()
 
@@ -59,6 +64,7 @@ func main() {
 		Deadline:        *deadline,
 		AnalyzeInterval: *analyze,
 		LogWriter:       logW,
+		NodeName:        *node,
 	})
 	if err != nil {
 		fatal("%v", err)

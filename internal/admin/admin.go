@@ -2,9 +2,13 @@
 //
 //   - /metrics  — Prometheus text exposition of the server's registry;
 //   - /healthz  — liveness probe (200 ok / 503 with the error);
+//   - /readyz   — readiness probe: 200 only once the server finished
+//     startup reconciliation (and, on a promoted standby, replaying the
+//     shipped WAL) — load balancers and sources should wait on this,
+//     not /healthz, before directing traffic;
 //   - /statusz  — structured JSON snapshot (feeds, subscribers,
-//     receipts, scheduler load, recent alarms), the machine-readable
-//     twin of `bistroctl status`.
+//     receipts, scheduler load, node role, recent alarms), the
+//     machine-readable twin of `bistroctl status`.
 //
 // The endpoint is deliberately separate from the source/subscriber
 // protocol listener: operators point scrapers and dashboards at it
@@ -36,6 +40,10 @@ type Options struct {
 	Status func() any
 	// Healthy, when set, gates /healthz; a non-nil error yields 503.
 	Healthy func() error
+	// Ready, when set, gates /readyz; a non-nil error yields 503.
+	// Distinct from Healthy: a starting (or promoting) server is
+	// healthy but not ready until reconciliation completes.
+	Ready func() error
 }
 
 // Server is a running admin endpoint.
@@ -71,6 +79,16 @@ func Start(opts Options) (*Server, error) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Ready != nil {
+			if err := opts.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ready")
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Status == nil {

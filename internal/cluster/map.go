@@ -1,0 +1,200 @@
+// Package cluster partitions feed ownership across Bistro daemons and
+// keeps each shard's receipt database warm on a standby peer.
+//
+// The topology is static configuration (a cluster { ... } block): every
+// node is named, feeds are assigned to owners by consistent hashing
+// over a vnode ring, and each owner may name a standby address that
+// receives its receipt-WAL group-commit batches synchronously (see
+// shipper.go / standby.go). A single node with no cluster block is the
+// 1-shard degenerate case and never touches this package.
+//
+// The package deliberately knows nothing about the server: the server
+// imports cluster, resolves feeds through a ShardMap, and wires the
+// Shipper into its receipt store. Promotion (standby → serving owner)
+// is driven from the server side so the replayed WAL goes through the
+// same startup reconciliation path as any restart.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Node is one daemon in the static topology.
+type Node struct {
+	// Name is the unique node name from the cluster block.
+	Name string
+	// Addr is the node's source/subscriber protocol address.
+	Addr string
+	// Standby, when non-empty, is the replication listen address of
+	// this node's warm standby.
+	Standby string
+}
+
+// Topology is the parsed static cluster layout.
+type Topology struct {
+	// Self names the local node (which entry in Nodes this process is).
+	Self string
+	// VNodes is the number of ring points per node (default 64).
+	VNodes int
+	// Nodes is every daemon in the cluster.
+	Nodes []Node
+}
+
+// DefaultVNodes is the ring points per node when the cluster block
+// does not say: enough that two- and three-node clusters split feed
+// sets roughly evenly.
+const DefaultVNodes = 64
+
+// ringPoint is one vnode position on the hash ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ShardMap assigns feeds to owner nodes by consistent hashing and
+// tracks failover promotions. Safe for concurrent use.
+type ShardMap struct {
+	self  string
+	nodes map[string]Node
+	ring  []ringPoint
+
+	mu sync.RWMutex
+	// promoted maps a failed node name to the node that took over its
+	// shards. Chains are followed (a promoted successor can itself
+	// fail over).
+	promoted map[string]string
+}
+
+// NewShardMap validates the topology and builds the ring.
+func NewShardMap(topo Topology) (*ShardMap, error) {
+	if len(topo.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: topology has no nodes")
+	}
+	vnodes := topo.VNodes
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	m := &ShardMap{
+		self:     topo.Self,
+		nodes:    make(map[string]Node, len(topo.Nodes)),
+		promoted: make(map[string]string),
+	}
+	for _, n := range topo.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("cluster: node with empty name")
+		}
+		if _, dup := m.nodes[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n.Name)
+		}
+		if n.Addr == "" {
+			return nil, fmt.Errorf("cluster: node %q has no addr", n.Name)
+		}
+		m.nodes[n.Name] = n
+		for i := 0; i < vnodes; i++ {
+			m.ring = append(m.ring, ringPoint{
+				hash: hashKey(fmt.Sprintf("%s#%d", n.Name, i)),
+				node: n.Name,
+			})
+		}
+	}
+	if topo.Self != "" {
+		if _, ok := m.nodes[topo.Self]; !ok {
+			return nil, fmt.Errorf("cluster: self %q is not in the topology", topo.Self)
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		return m.ring[i].node < m.ring[j].node
+	})
+	return m, nil
+}
+
+// hashKey is FNV-1a over the key — stable across processes, which the
+// static topology requires (every node must compute the same map).
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// SelfName returns the local node name ("" when unset).
+func (m *ShardMap) SelfName() string { return m.self }
+
+// Self returns the local node's topology entry.
+func (m *ShardMap) Self() (Node, bool) {
+	n, ok := m.nodes[m.self]
+	return n, ok
+}
+
+// Nodes returns every node in stable (name) order.
+func (m *ShardMap) Nodes() []Node {
+	out := make([]Node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Owner returns the node owning the given feed path, following any
+// recorded promotions.
+func (m *ShardMap) Owner(feed string) Node {
+	h := hashKey(feed)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	name := m.ring[i].node
+	m.mu.RLock()
+	for seen := 0; seen <= len(m.promoted); seen++ {
+		next, ok := m.promoted[name]
+		if !ok {
+			break
+		}
+		name = next
+	}
+	m.mu.RUnlock()
+	return m.nodes[name]
+}
+
+// Owns reports whether the local node owns the feed.
+func (m *ShardMap) Owns(feed string) bool {
+	return m.self != "" && m.Owner(feed).Name == m.self
+}
+
+// Promote records that successor has taken over failed's shards. Every
+// later Owner lookup that lands on failed resolves to successor.
+func (m *ShardMap) Promote(failed, successor string) error {
+	if _, ok := m.nodes[failed]; !ok {
+		return fmt.Errorf("cluster: promote: unknown failed node %q", failed)
+	}
+	if _, ok := m.nodes[successor]; !ok {
+		return fmt.Errorf("cluster: promote: unknown successor %q", successor)
+	}
+	if failed == successor {
+		return fmt.Errorf("cluster: promote: node %q cannot succeed itself", failed)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.promoted[failed] = successor
+	return nil
+}
+
+// PromotedFrom returns the failed nodes the named node has taken over.
+func (m *ShardMap) PromotedFrom(successor string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for failed, to := range m.promoted {
+		if to == successor {
+			out = append(out, failed)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const clusterSample = `
+feed CPU { pattern "cpu_%Y%m%d.csv" }
+
+cluster {
+    self "a"
+    vnodes 32
+    node "a" {
+        addr "127.0.0.1:7001"
+        standby "127.0.0.1:7101"
+    }
+    node "b" {
+        addr "127.0.0.1:7002"
+    }
+}
+`
+
+func TestClusterBlockParses(t *testing.T) {
+	cfg, err := Parse(clusterSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Cluster
+	if sp == nil {
+		t.Fatal("cluster block missing")
+	}
+	if sp.Self != "a" || sp.VNodes != 32 {
+		t.Fatalf("self/vnodes = %q/%d", sp.Self, sp.VNodes)
+	}
+	want := []ClusterNodeSpec{
+		{Name: "a", Addr: "127.0.0.1:7001", Standby: "127.0.0.1:7101"},
+		{Name: "b", Addr: "127.0.0.1:7002"},
+	}
+	if !reflect.DeepEqual(sp.Nodes, want) {
+		t.Fatalf("nodes = %+v, want %+v", sp.Nodes, want)
+	}
+}
+
+func TestClusterBlockErrors(t *testing.T) {
+	feed := "feed F { pattern \"f_%Y.gz\" }\n"
+	for name, src := range map[string]string{
+		"empty":        feed + `cluster { }`,
+		"no addr":      feed + `cluster { node "a" { } }`,
+		"dup node":     feed + `cluster { node "a" { addr "x:1" } node "a" { addr "x:2" } }`,
+		"unknown self": feed + `cluster { self "z" node "a" { addr "x:1" } }`,
+		"bad vnodes":   feed + `cluster { vnodes 0 node "a" { addr "x:1" } }`,
+		"bad keyword":  feed + `cluster { bogus "x" node "a" { addr "x:1" } }`,
+		"bad node kw":  feed + `cluster { node "a" { addr "x:1" bogus "y" } }`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: bad cluster block accepted", name)
+		}
+	}
+}
+
+func TestClusterFormatRoundTrip(t *testing.T) {
+	orig, err := Parse(clusterSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	if !strings.Contains(text, "cluster {") {
+		t.Fatalf("formatted config lost the cluster block:\n%s", text)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(orig.Cluster, back.Cluster) {
+		t.Fatalf("cluster round trip: %+v vs %+v", orig.Cluster, back.Cluster)
+	}
+	if again := Format(back); again != text {
+		t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}

@@ -264,6 +264,31 @@ type ReplaySpec struct {
 	NoManifest bool
 }
 
+// ClusterNodeSpec is one node { ... } entry in a cluster block.
+type ClusterNodeSpec struct {
+	// Name is the unique node name.
+	Name string
+	// Addr is the node's source/subscriber protocol address.
+	Addr string
+	// Standby, when non-empty, is the replication listen address of
+	// this node's warm standby.
+	Standby string
+}
+
+// ClusterSpec is a cluster { ... } block: the static feed-sharding
+// topology. Every node in the cluster loads the same block (differing
+// only in which node it runs as, usually set per host with the
+// daemon's -node flag), so all nodes compute the same feed→owner map.
+type ClusterSpec struct {
+	// Self names the node this process runs as (may be overridden at
+	// startup).
+	Self string
+	// VNodes is the consistent-hash ring points per node (0 = default).
+	VNodes int
+	// Nodes is every daemon in the cluster, in definition order.
+	Nodes []ClusterNodeSpec
+}
+
 // Config is a fully parsed and validated Bistro server configuration.
 type Config struct {
 	// Window is the retention window for staged files (0 = infinite).
@@ -295,6 +320,9 @@ type Config struct {
 	Ingest *IngestSpec
 	// Replay, when non-nil, enables historical replay from the archive.
 	Replay *ReplaySpec
+	// Cluster, when non-nil, shards feed ownership across the listed
+	// nodes; absent, the server is the single-node degenerate case.
+	Cluster *ClusterSpec
 }
 
 // FeedByPath returns the feed with the given full path.
@@ -445,6 +473,15 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.Replay = spec
+		case "cluster":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.clusterSpec()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Cluster = spec
 		default:
 			return nil, p.errf("unknown statement %q", p.tok.text)
 		}
@@ -1052,6 +1089,105 @@ func (p *parser) replayPartitionSpec() (int, error) {
 		}
 	}
 	return workers, p.advance() // consume '}'
+}
+
+// clusterSpec parses:
+//
+//	cluster {
+//	    self "a"
+//	    vnodes 64
+//	    node "a" { addr "host:port" standby "host:port" }
+//	    node "b" { addr "host:port" }
+//	}
+func (p *parser) clusterSpec() (*ClusterSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &ClusterSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "self":
+			if spec.Self, err = p.expect(tokString); err != nil {
+				return nil, err
+			}
+		case "vnodes":
+			if spec.VNodes, err = p.integer(); err != nil {
+				return nil, err
+			}
+			if spec.VNodes < 1 {
+				return nil, p.errPrevf("cluster vnodes must be >= 1")
+			}
+		case "node":
+			n, err := p.clusterNodeSpec()
+			if err != nil {
+				return nil, err
+			}
+			spec.Nodes = append(spec.Nodes, n)
+		default:
+			return nil, p.errPrevf("unknown cluster statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if len(spec.Nodes) == 0 {
+		return nil, fmt.Errorf("config: cluster block needs at least one node")
+	}
+	seen := make(map[string]bool, len(spec.Nodes))
+	for _, n := range spec.Nodes {
+		if seen[n.Name] {
+			return nil, fmt.Errorf("config: duplicate cluster node %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	if spec.Self != "" && !seen[spec.Self] {
+		return nil, fmt.Errorf("config: cluster self %q is not a listed node", spec.Self)
+	}
+	return spec, nil
+}
+
+// clusterNodeSpec parses: node "name" { addr "..." [standby "..."] }
+func (p *parser) clusterNodeSpec() (ClusterNodeSpec, error) {
+	n := ClusterNodeSpec{}
+	var err error
+	if n.Name, err = p.expect(tokString); err != nil {
+		return n, err
+	}
+	if n.Name == "" {
+		return n, p.errPrevf("cluster node needs a non-empty name")
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return n, err
+	}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return n, err
+		}
+		switch kw {
+		case "addr":
+			if n.Addr, err = p.expect(tokString); err != nil {
+				return n, err
+			}
+		case "standby":
+			if n.Standby, err = p.expect(tokString); err != nil {
+				return n, err
+			}
+		default:
+			return n, p.errPrevf("unknown cluster node statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return n, err
+	}
+	if n.Addr == "" {
+		return n, fmt.Errorf("config: cluster node %q needs addr", n.Name)
+	}
+	return n, nil
 }
 
 // schedulerSpec parses: { [migrate on|off] partition NAME { ... }+ }

@@ -85,6 +85,24 @@ func Format(cfg *Config) string {
 		b.WriteString("}\n\n")
 	}
 
+	if sp := cfg.Cluster; sp != nil {
+		b.WriteString("cluster {\n")
+		if sp.Self != "" {
+			fmt.Fprintf(&b, "    self %s\n", quote(sp.Self))
+		}
+		if sp.VNodes > 0 {
+			fmt.Fprintf(&b, "    vnodes %d\n", sp.VNodes)
+		}
+		for _, n := range sp.Nodes {
+			fmt.Fprintf(&b, "    node %s {\n        addr %s\n", quote(n.Name), quote(n.Addr))
+			if n.Standby != "" {
+				fmt.Fprintf(&b, "        standby %s\n", quote(n.Standby))
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
 	if sp := cfg.Replay; sp != nil {
 		b.WriteString("replay {\n")
 		if sp.Rate > 0 {

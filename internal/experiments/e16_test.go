@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestE16Shape(t *testing.T) {
+	tab, err := E16Failover(Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Format())
+	}
+	if num(t, row(t, tab, "failover rounds")[1]) != 6 {
+		t.Fatalf("rounds: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "acked arrivals lost after promotion")[1]) != 0 {
+		t.Fatalf("acked loss across failover: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "replicated staging/DB divergences")[1]) != 0 {
+		t.Fatalf("replicated payload divergence: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "acked files missing at subscriber")[1]) != 0 {
+		t.Fatalf("delivery broken across failover: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "duplicate writes at subscriber")[1]) != 0 {
+		t.Fatalf("exactly-once application broken: %s", tab.Format())
+	}
+	// The harness must actually exercise the failure mode: most rounds
+	// should cut the owner's power mid-operation.
+	if num(t, row(t, tab, "owner crashes mid-operation")[1]) < 3 {
+		t.Fatalf("too few mid-operation cuts — harness not biting: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "deposits acknowledged")[1]) == 0 {
+		t.Fatalf("no deposits acknowledged — harness vacuous: %s", tab.Format())
+	}
+}
+
+// TestE12StandbyPromotion extends the E12 crash-restart property to
+// standby promotion: the owner runs with the WAL group-commit flush
+// window enabled, a seeded power cut lands inside commit windows, and
+// the promoted standby's replayed state must match the survivor set —
+// zero acked loss, zero divergence, exactly-once at the subscriber.
+func TestE12StandbyPromotion(t *testing.T) {
+	res, err := RunFailoverRounds(FailoverRoundsConfig{
+		Rounds:      8,
+		PerRound:    9,
+		Seed:        1106,
+		GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); v != 0 {
+		t.Fatalf("%d invariant violations with group commit: %+v", v, res)
+	}
+	if res.MidOpCrashes < 4 {
+		t.Fatalf("only %d mid-operation cuts — harness not biting: %+v", res.MidOpCrashes, res)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no deposits acknowledged — harness vacuous")
+	}
+	if len(res.Takeovers) != res.Rounds {
+		t.Fatalf("takeover time missing for some rounds: %d/%d", len(res.Takeovers), res.Rounds)
+	}
+}

@@ -116,5 +116,6 @@ func All() []Runner {
 		{"e13", "metrics instrumentation overhead on the hot paths", E13Overhead},
 		{"e14", "parallel sharded ingest with WAL group-commit", E14ParallelIngest},
 		{"e15", "historical replay from the archive concurrent with live delivery", E15HistoricalReplay},
+		{"e16", "kill -9 shard failover to a WAL-shipped warm standby", E16Failover},
 	}
 }

@@ -44,6 +44,10 @@ type Upload struct {
 	Data []byte
 	// CRC is the IEEE CRC32 of Data.
 	CRC uint32
+	// Relayed marks an upload forwarded peer-to-peer by a cluster node
+	// that did not own the file's feed; the receiver must not forward
+	// it again (shard maps briefly disagree during failover).
+	Relayed bool
 }
 
 // EndOfBatch is source punctuation: all files for the current batch of
@@ -130,10 +134,35 @@ type Trigger struct {
 	Paths   []string
 }
 
+// Resolve asks a cluster node which node owns a feed. Any live node
+// can answer: the shard map is static configuration plus promotions,
+// so clients locate shards without a coordinator.
+type Resolve struct {
+	// Feed is a feed or feed-group path ("" resolves the local node
+	// itself).
+	Feed string
+}
+
+// Resolved answers Resolve.
+type Resolved struct {
+	// Node is the owning node's name ("" on an unclustered server).
+	Node string
+	// Addr is the owning node's protocol address.
+	Addr string
+	// Standby is the owner's standby replication address, if any.
+	Standby string
+	// Owner reports whether the answering node is itself the owner.
+	Owner bool
+}
+
 // Ack acknowledges any request.
 type Ack struct {
 	OK    bool
 	Error string
+	// Redirect, set with OK=false on a Subscribe to a non-owning
+	// cluster node, carries the owning node's address so the client can
+	// re-issue the request there.
+	Redirect string
 }
 
 func init() {
@@ -149,6 +178,8 @@ func init() {
 	gob.Register(Fetch{})
 	gob.Register(Subscribe{})
 	gob.Register(Trigger{})
+	gob.Register(Resolve{})
+	gob.Register(Resolved{})
 	gob.Register(Ack{})
 }
 

@@ -141,6 +141,11 @@ type Store struct {
 	walBytes    int64 // approximate WAL size since the last checkpoint
 	closed      bool
 
+	// ship holds the replication hooks a clustered owner installs via
+	// ArmShipper. Written under commitLock (exclusive) + mu, read in
+	// the flush path under commitLock (shared).
+	ship ShipHooks
+
 	// Group commit state.
 	gc groupCommit
 }
@@ -286,7 +291,10 @@ func (s *Store) append(payload []byte) error {
 	return s.groupAppend(payload)
 }
 
-// walAppend writes payloads and syncs according to options. Caller
+// walAppend writes payloads and syncs according to options, then
+// ships the batch to the standby when replication is armed — after the
+// local fsync, before any committer in the batch is released, so an
+// acknowledged transaction is always durable on both nodes. Caller
 // holds gc.mu (serializing file access).
 func (s *Store) walAppend(payloads [][]byte) error {
 	for _, p := range payloads {
@@ -294,19 +302,26 @@ func (s *Store) walAppend(payloads [][]byte) error {
 			return err
 		}
 	}
-	if s.opts.NoSync {
-		return nil
+	if !s.opts.NoSync {
+		m := s.opts.Metrics
+		if m == nil {
+			if err := s.wal.sync(); err != nil {
+				return err
+			}
+		} else {
+			start := time.Now()
+			if err := s.wal.sync(); err != nil {
+				return err
+			}
+			m.FsyncSeconds.Observe(time.Since(start).Seconds())
+		}
 	}
-	m := s.opts.Metrics
-	if m == nil {
-		return s.wal.sync()
+	if s.ship.Batch != nil {
+		if err := s.ship.Batch(payloads); err != nil {
+			return fmt.Errorf("receipts: replicate batch: %w", err)
+		}
 	}
-	start := time.Now()
-	err := s.wal.sync()
-	if err == nil {
-		m.FsyncSeconds.Observe(time.Since(start).Seconds())
-	}
-	return err
+	return nil
 }
 
 // groupAppend implements leader-based group commit. The first
@@ -580,41 +595,24 @@ type checkpointState struct {
 }
 
 // Checkpoint atomically persists the full in-memory state and resets
-// the WAL, bounding recovery time.
+// the WAL, bounding recovery time. When replication is armed the
+// encoded snapshot also ships to the standby, which installs it and
+// resets its shipped WAL — keeping compaction (which deletes receipts
+// only through a checkpoint) coherent across both nodes.
 func (s *Store) Checkpoint() error {
 	// Exclude all in-flight commits for the snapshot + WAL reset.
 	s.commitLock.Lock()
 	defer s.commitLock.Unlock()
 	s.mu.Lock()
-	st := checkpointState{
-		NextID:      s.nextID,
-		Files:       s.files,
-		FeedFiles:   s.feedFiles,
-		Delivered:   s.delivered,
-		Expired:     s.expired,
-		Quarantined: s.quarantined,
-	}
-	tmp := filepath.Join(s.dir, checkpointName+".tmp")
-	f, err := s.fs.Create(tmp)
-	if err != nil {
-		s.mu.Unlock()
-		return fmt.Errorf("receipts: checkpoint create: %w", err)
-	}
-	err = gob.NewEncoder(f).Encode(&st)
+	state, err := s.encodeStateLocked()
 	s.mu.Unlock()
 	if err != nil {
-		f.Close()
-		s.fs.Remove(tmp)
 		return fmt.Errorf("receipts: checkpoint encode: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	tmp := filepath.Join(s.dir, checkpointName+".tmp")
+	if err := writeFileSync(s.fs, tmp, state); err != nil {
 		s.fs.Remove(tmp)
-		return fmt.Errorf("receipts: checkpoint sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		s.fs.Remove(tmp)
-		return fmt.Errorf("receipts: checkpoint close: %w", err)
+		return fmt.Errorf("receipts: checkpoint write: %w", err)
 	}
 	if err := s.fs.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
 		return fmt.Errorf("receipts: checkpoint rename: %w", err)
@@ -634,7 +632,15 @@ func (s *Store) Checkpoint() error {
 		m.Checkpoints.Inc()
 		m.WALBytes.Set(0)
 	}
-	return s.wal.reset()
+	if err := s.wal.reset(); err != nil {
+		return err
+	}
+	if s.ship.Checkpoint != nil {
+		if err := s.ship.Checkpoint(state); err != nil {
+			return fmt.Errorf("receipts: replicate checkpoint: %w", err)
+		}
+	}
+	return nil
 }
 
 // loadCheckpoint restores state from the latest checkpoint, if any.

@@ -163,10 +163,31 @@ type PartitionStatus struct {
 	Delayed  int    `json:"delayed"`
 }
 
+// NodeStatus describes the node's cluster position in a Status
+// snapshot.
+type NodeStatus struct {
+	// Name is the node name ("" on a single-node server).
+	Name string `json:"name,omitempty"`
+	// Role is "single", "owner", or "promoted" (serving another node's
+	// shards after a failover).
+	Role string `json:"role"`
+	// Ready mirrors /readyz: startup reconciliation (and, when
+	// promoted, shipped-WAL replay) has completed.
+	Ready bool `json:"ready"`
+	// PromotedFrom lists failed nodes whose shards this node serves.
+	PromotedFrom []string `json:"promoted_from,omitempty"`
+	// ReplicationOK is true while the standby stream is up (absent
+	// when the node has no standby).
+	ReplicationOK *bool `json:"replication_ok,omitempty"`
+	// ReplicationHW is the standby's acknowledged high-watermark.
+	ReplicationHW uint64 `json:"replication_hw,omitempty"`
+}
+
 // Status is the structured snapshot served at /statusz and rendered by
 // `bistroctl status`.
 type Status struct {
 	Time        time.Time                           `json:"time"`
+	Node        NodeStatus                          `json:"node"`
 	Feeds       map[string]feedlog.FeedStats        `json:"feeds"`
 	Unmatched   int64                               `json:"unmatched"`
 	Subscribers map[string]delivery.SubscriberStats `json:"subscribers"`
@@ -175,6 +196,26 @@ type Status struct {
 	Inflight    int                                 `json:"inflight"`
 	Replay      []replay.SessionStatus              `json:"replay,omitempty"`
 	Alarms      []feedlog.Alarm                     `json:"alarms,omitempty"`
+}
+
+// nodeStatus assembles the cluster half of a Status snapshot.
+func (s *Server) nodeStatus() NodeStatus {
+	ns := NodeStatus{Role: "single", Ready: s.Ready() == nil}
+	if s.shard == nil {
+		return ns
+	}
+	ns.Name = s.shard.SelfName()
+	ns.Role = "owner"
+	if from := s.shard.PromotedFrom(ns.Name); len(from) > 0 {
+		ns.Role = "promoted"
+		ns.PromotedFrom = from
+	}
+	if s.shipper != nil {
+		ok := s.shipper.Healthy()
+		ns.ReplicationOK = &ok
+		ns.ReplicationHW = s.shipper.AckedHW()
+	}
+	return ns
 }
 
 // maxStatusAlarms bounds the alarm tail included in a Status snapshot.
@@ -207,6 +248,7 @@ func (s *Server) Status() Status {
 	}
 	return Status{
 		Time:        s.clk.Now(),
+		Node:        s.nodeStatus(),
 		Feeds:       s.logger.AllStats(),
 		Unmatched:   s.logger.Unmatched(),
 		Subscribers: s.engine.Stats(),

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"bistro/internal/cluster"
+)
+
+// PromoteStandby turns a warm standby into the serving owner of the
+// failed node's shards. The standby stops accepting replication
+// traffic, its root — shipped checkpoint + WAL + staged payloads — is
+// opened as a full server (receipts.Open replays the shipped WAL, and
+// Start runs the same startup reconciliation any restart does, so a
+// torn final batch or a staged file without a receipt is handled by
+// the existing crash machinery), the shard map records the promotion,
+// and the node starts serving. Returns the running server and the
+// takeover time from detach to ready.
+//
+// opts.Root defaults to the standby's root; opts.Config must carry
+// the cluster block, and opts.NodeName (or the block's self) must name
+// the surviving node.
+func PromoteStandby(st *cluster.Standby, failed string, opts Options) (*Server, time.Duration, error) {
+	begin := time.Now()
+	if err := st.Detach(); err != nil {
+		return nil, 0, fmt.Errorf("server: promote: detach standby: %w", err)
+	}
+	if opts.Root == "" {
+		opts.Root = st.Root()
+	}
+	srv, err := New(opts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: promote: %w", err)
+	}
+	if srv.shard == nil {
+		srv.Stop()
+		return nil, 0, fmt.Errorf("server: promote: config has no cluster block")
+	}
+	self := srv.shard.SelfName()
+	if self == "" {
+		srv.Stop()
+		return nil, 0, fmt.Errorf("server: promote: node identity unset (self/NodeName)")
+	}
+	if failed != "" && failed != self {
+		if err := srv.shard.Promote(failed, self); err != nil {
+			srv.Stop()
+			return nil, 0, err
+		}
+	}
+	if err := srv.Start(); err != nil {
+		srv.Stop()
+		return nil, 0, fmt.Errorf("server: promote: start: %w", err)
+	}
+	srv.clusterM.Promotions.Inc()
+	srv.logger.Logf("cluster", "promoted: serving shards of failed node %q", failed)
+	return srv, time.Since(begin), nil
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"fmt"
+	"hash/crc32"
+	"net"
+	"testing"
+	"time"
+
+	"bistro/internal/cluster"
+	"bistro/internal/protocol"
+	"bistro/internal/sourceclient"
+)
+
+func crc32of(data []byte) uint32 { return crc32.ChecksumIEEE(data) }
+
+// reserveAddr binds and releases an ephemeral localhost address so the
+// static topology can name it before the server exists.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// splitFeeds finds one feed name owned by node a and one owned by node
+// b in the fixed two-node ring, so the routing tests exercise both the
+// local and the forwarded path regardless of how the hash falls.
+func splitFeeds(t *testing.T) (ownedByA, ownedByB string) {
+	t.Helper()
+	sm, err := cluster.NewShardMap(cluster.Topology{Nodes: []cluster.Node{
+		{Name: "a", Addr: "x"}, {Name: "b", Addr: "x"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cand := range []string{"CPU", "BPS", "MEM", "NET", "DISK", "FLOW"} {
+		switch sm.Owner(cand).Name {
+		case "a":
+			if ownedByA == "" {
+				ownedByA = cand
+			}
+		case "b":
+			if ownedByB == "" {
+				ownedByB = cand
+			}
+		}
+		if ownedByA != "" && ownedByB != "" {
+			return ownedByA, ownedByB
+		}
+	}
+	t.Fatal("candidate feeds all hash to one node; extend the candidate list")
+	return "", ""
+}
+
+// startTwoNodeCluster runs both nodes of a two-feed topology from one
+// shared configuration text (node b via the NodeName override, as a
+// second host would run it).
+func startTwoNodeCluster(t *testing.T) (nodeA, nodeB *Server, feedA, feedB string) {
+	t.Helper()
+	feedA, feedB = splitFeeds(t)
+	addrA, addrB := reserveAddr(t), reserveAddr(t)
+	cfgSrc := fmt.Sprintf(`
+cluster {
+    self "a"
+    node "a" { addr "%s" }
+    node "b" { addr "%s" }
+}
+feed %s { pattern "%s_%%Y%%m%%d%%H%%M.txt" }
+feed %s { pattern "%s_%%Y%%m%%d%%H%%M.txt" }
+`, addrA, addrB, feedA, feedA, feedB, feedB)
+	nodeA = newServer(t, cfgSrc, func(o *Options) { o.Listen = addrA })
+	nodeB = newServer(t, cfgSrc, func(o *Options) {
+		o.Listen = addrB
+		o.NodeName = "b"
+	})
+	return nodeA, nodeB, feedA, feedB
+}
+
+func TestClusterUploadForwardedToOwner(t *testing.T) {
+	nodeA, nodeB, feedA, feedB := startTwoNodeCluster(t)
+
+	src, err := sourceclient.Dial(nodeA.Addr(), "poller1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	// A file of the remotely-owned feed uploaded to node a must land on
+	// node b; the locally-owned feed stays on a.
+	if err := src.Upload(feedB+"_201009250451.txt", []byte("remote\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Upload(feedA+"_201009250451.txt", []byte("local\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "forwarded ingest on node b", func() bool {
+		return nodeB.Store().Stats().Files == 1
+	})
+	waitFor(t, "local ingest on node a", func() bool {
+		return nodeA.Store().Stats().Files == 1
+	})
+	for _, meta := range nodeB.Store().AllFiles() {
+		if len(meta.Feeds) != 1 || meta.Feeds[0] != feedB {
+			t.Fatalf("node b ingested %v, want only %s", meta.Feeds, feedB)
+		}
+	}
+	for _, meta := range nodeA.Store().AllFiles() {
+		if len(meta.Feeds) != 1 || meta.Feeds[0] != feedA {
+			t.Fatalf("node a kept %v, want only %s", meta.Feeds, feedA)
+		}
+	}
+}
+
+func TestClusterResolveAndSubscribeRedirect(t *testing.T) {
+	nodeA, _, feedA, feedB := startTwoNodeCluster(t)
+
+	conn, err := protocol.Dial(nodeA.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Call(protocol.Hello{Role: "subscriber", Name: "wh"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resolve := func(feed string) protocol.Resolved {
+		t.Helper()
+		if err := conn.Send(protocol.Resolve{Feed: feed}); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, ok := reply.(protocol.Resolved)
+		if !ok {
+			t.Fatalf("expected Resolved, got %T", reply)
+		}
+		return res
+	}
+	if res := resolve(feedA); res.Node != "a" || !res.Owner {
+		t.Fatalf("resolve %s via a = %+v, want owner a", feedA, res)
+	}
+	resB := resolve(feedB)
+	if resB.Node != "b" || resB.Owner {
+		t.Fatalf("resolve %s via a = %+v, want non-owner b", feedB, resB)
+	}
+
+	// Subscribing at the wrong node redirects to the owner's address.
+	if err := conn.Send(protocol.Subscribe{Name: "wh", Dest: "in", Feeds: []string{feedB}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := reply.(protocol.Ack)
+	if !ok {
+		t.Fatalf("expected Ack, got %T", reply)
+	}
+	if ack.OK || ack.Redirect != resB.Addr {
+		t.Fatalf("subscribe to remote feed = %+v, want redirect to %s", ack, resB.Addr)
+	}
+
+	// A mixed request (one local leaf) is served locally, no redirect.
+	if err := conn.Call(protocol.Subscribe{Name: "wh", Dest: "in", Feeds: []string{feedA, feedB}}); err != nil {
+		t.Fatalf("mixed subscribe should be accepted locally: %v", err)
+	}
+}
+
+func TestClusterRelayedUploadNeverForwardedAgain(t *testing.T) {
+	// A relayed upload for a feed the receiver does not own must be
+	// deposited locally (one misplaced file), not bounced back: the
+	// one-hop rule is what prevents forwarding loops while shard maps
+	// disagree mid-failover.
+	nodeA, _, _, feedB := startTwoNodeCluster(t)
+
+	conn, err := protocol.Dial(nodeA.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Call(protocol.Hello{Role: "source", Name: "peer"}); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("relayed\n")
+	if err := conn.Call(protocol.Upload{
+		Name: feedB + "_201009250452.txt", Data: data,
+		CRC: crc32of(data), Relayed: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "relayed upload ingested locally", func() bool {
+		return nodeA.Store().Stats().Files == 1
+	})
+}

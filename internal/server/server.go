@@ -30,6 +30,7 @@ import (
 	"bistro/internal/archive"
 	"bistro/internal/classifier"
 	"bistro/internal/clock"
+	"bistro/internal/cluster"
 	"bistro/internal/config"
 	"bistro/internal/delivery"
 	"bistro/internal/discovery"
@@ -97,6 +98,9 @@ type Options struct {
 	// AnalyzerSample bounds how many observations per feed (and
 	// unmatched) the analyzer retains. Default 10000.
 	AnalyzerSample int
+	// NodeName overrides the cluster block's self entry — the usual
+	// way one shared config file runs as different nodes per host.
+	NodeName string
 }
 
 // Server is a running Bistro feed manager.
@@ -126,6 +130,13 @@ type Server struct {
 	adm   *admin.Server       // nil unless the config has an admin block
 	trans *compositeTransport // nil when Options.Transport overrides
 
+	// Cluster state — all nil/zero on a single-node server (the
+	// 1-shard degenerate case pays nothing for the routing layer).
+	shard    *cluster.ShardMap
+	shipper  *cluster.Shipper // nil unless this node names a standby
+	clusterM *cluster.Metrics
+	peers    *peerPool
+
 	mu        sync.Mutex
 	conns     map[*protocol.Conn]struct{}
 	unmatched []discovery.Observation
@@ -133,6 +144,7 @@ type Server struct {
 	stopCh    chan struct{}
 	wg        sync.WaitGroup
 	stopped   bool
+	readyErr  error // nil once Start finished reconciliation
 }
 
 // New builds a server (directories, receipt store, pipeline). Call
@@ -195,6 +207,33 @@ func New(opts Options) (*Server, error) {
 	for _, f := range cfg.Feeds {
 		if f.ExpectPeriod > 0 {
 			s.logger.SetExpectation(f.Path, f.ExpectPeriod, f.ExpectSources)
+		}
+	}
+	s.readyErr = fmt.Errorf("server: starting (reconciliation pending)")
+
+	if cfg.Cluster != nil {
+		topo := cluster.Topology{Self: cfg.Cluster.Self, VNodes: cfg.Cluster.VNodes}
+		if opts.NodeName != "" {
+			topo.Self = opts.NodeName
+		}
+		for _, n := range cfg.Cluster.Nodes {
+			topo.Nodes = append(topo.Nodes, cluster.Node{
+				Name: n.Name, Addr: n.Addr, Standby: n.Standby,
+			})
+		}
+		shard, err := cluster.NewShardMap(topo)
+		if err != nil {
+			return nil, err
+		}
+		s.shard = shard
+		s.clusterM = cluster.NewMetrics(s.reg)
+		s.peers = newPeerPool(5 * time.Second)
+		if self, ok := shard.Self(); ok && self.Standby != "" {
+			s.shipper = cluster.NewShipper(self.Standby, cluster.ShipperOptions{
+				Node:    self.Name,
+				Metrics: s.clusterM,
+				Alarm:   func(msg string) { s.logger.Raise("cluster", msg) },
+			})
 		}
 	}
 
@@ -483,6 +522,20 @@ func (s *Server) onReplayEvent(ev replay.Event) {
 // a revised feed definition disseminates everything it now matches
 // (§4.2: "all the files matching new definition will be delivered").
 func (s *Server) Start() error {
+	if s.shipper != nil {
+		// Establish replication before reconciliation so the recovery
+		// commits (quarantines, re-ingests) ship like any others. A
+		// failed bootstrap still arms the hooks: commits fail until the
+		// background loop re-establishes the stream — an owner never
+		// acknowledges an arrival its standby cannot replay.
+		if err := s.shipper.Bootstrap(s.store, s.stage, s.fs); err != nil {
+			s.logger.Logf("cluster", "replication bootstrap: %v", err)
+		} else {
+			s.logger.Logf("cluster", "replicating to standby %s", s.shipper.Addr())
+		}
+		s.wg.Add(1)
+		go s.rebootstrapLoop()
+	}
 	if n := s.cleanStaleTmp(); n > 0 {
 		s.logger.Logf("reconcile", "removed %d stale temp files", n)
 	}
@@ -548,6 +601,7 @@ func (s *Server) Start() error {
 			OnScrape: s.RefreshMetrics,
 			Status:   func() any { return s.Status() },
 			Healthy:  s.healthy,
+			Ready:    s.Ready,
 		})
 		if err != nil {
 			return err
@@ -555,7 +609,47 @@ func (s *Server) Start() error {
 		s.adm = adm
 		s.logger.Logf("admin", "observability endpoint on %s", adm.Addr())
 	}
+	s.mu.Lock()
+	s.readyErr = nil
+	s.mu.Unlock()
 	return nil
+}
+
+// Ready gates /readyz: nil only after Start has finished startup
+// reconciliation — and so, on a promoted standby, only after the
+// shipped WAL was replayed and reconciled. Distinct from healthy,
+// which is true for the whole up-time.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return fmt.Errorf("server stopped")
+	}
+	return s.readyErr
+}
+
+// rebootstrapLoop re-establishes a down replication stream. While the
+// stream is down every shipped commit fails (strict replication), so
+// recovery latency here is ingest downtime, not a durability hole.
+func (s *Server) rebootstrapLoop() {
+	defer s.wg.Done()
+	for {
+		t := s.clk.NewTimer(2 * time.Second)
+		select {
+		case <-s.stopCh:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		if s.shipper.Healthy() {
+			continue
+		}
+		if err := s.shipper.Bootstrap(s.store, s.stage, s.fs); err != nil {
+			s.logger.Logf("cluster", "replication re-bootstrap: %v", err)
+		} else {
+			s.logger.Logf("cluster", "replication stream re-established to %s", s.shipper.Addr())
+		}
+	}
 }
 
 // healthy gates /healthz: the server is healthy while it is running.
@@ -608,6 +702,12 @@ func (s *Server) Stop() {
 	s.engine.Stop()
 	if s.trans != nil {
 		s.trans.remote.close()
+	}
+	if s.shipper != nil {
+		s.shipper.Close()
+	}
+	if s.peers != nil {
+		s.peers.close()
 	}
 	s.wg.Wait()
 	s.store.Close()
@@ -863,6 +963,19 @@ func (s *Server) processArrival(root, rel string) (receipts.FileMeta, bool, erro
 	if err != nil {
 		return receipts.FileMeta{}, false, fmt.Errorf("server: normalize %s: %w", name, err)
 	}
+	if s.shipper != nil {
+		// The staged payload must be on the standby before the receipt
+		// that references it commits — the same staged-then-logged
+		// ordering the owner keeps locally. Shipping before the landing
+		// file is removed keeps a failed ship retryable by rescan.
+		data, rerr := diskfault.ReadFile(s.fs, filepath.Join(s.stage, stagedName))
+		if rerr != nil {
+			return receipts.FileMeta{}, false, fmt.Errorf("server: read staged %s for replication: %w", name, rerr)
+		}
+		if serr := s.shipper.ShipFile(filepath.ToSlash(stagedName), data); serr != nil {
+			return receipts.FileMeta{}, false, serr
+		}
+	}
 	if err := s.fs.Remove(src); err != nil {
 		return receipts.FileMeta{}, false, fmt.Errorf("server: clear landing %s: %w", name, err)
 	}
@@ -1066,130 +1179,6 @@ func (s *Server) Analyze() AnalyzerReport {
 // and ingest immediately.
 func (s *Server) Deposit(name string, data []byte) error {
 	return s.land.Deposit(name, data)
-}
-
-// acceptLoop serves the source/subscriber protocol.
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		c, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		conn := protocol.NewConn(c)
-		s.mu.Lock()
-		if s.stopped {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-			s.mu.Lock()
-			delete(s.conns, conn)
-			s.mu.Unlock()
-		}()
-	}
-}
-
-// serveConn handles one peer connection.
-func (s *Server) serveConn(conn *protocol.Conn) {
-	defer conn.Close()
-	for {
-		msg, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		var ack protocol.Ack
-		switch m := msg.(type) {
-		case protocol.Hello:
-			ack = protocol.Ack{OK: true}
-		case protocol.Upload:
-			if err := s.land.Deposit(m.Name, m.Data); err != nil {
-				ack = protocol.Ack{OK: false, Error: err.Error()}
-			} else {
-				ack = protocol.Ack{OK: true}
-			}
-		case protocol.FileReady:
-			if err := s.land.FileReady(m.Path); err != nil {
-				ack = protocol.Ack{OK: false, Error: err.Error()}
-			} else {
-				ack = protocol.Ack{OK: true}
-			}
-		case protocol.EndOfBatch:
-			s.punctuateFromSource(m.Feed)
-			ack = protocol.Ack{OK: true}
-		case protocol.Subscribe:
-			if err := s.SubscribeRemote(m); err != nil {
-				ack = protocol.Ack{OK: false, Error: err.Error()}
-			} else {
-				ack = protocol.Ack{OK: true}
-			}
-		case protocol.Fetch:
-			s.serveFetch(conn, m)
-			continue // serveFetch writes its own reply
-		default:
-			ack = protocol.Ack{OK: false, Error: fmt.Sprintf("unexpected message %T", msg)}
-		}
-		if err := conn.Send(ack); err != nil {
-			return
-		}
-	}
-}
-
-// punctuateFromSource fans an end-of-batch marker out to the named
-// feed, or to every feed when the source does not say.
-func (s *Server) punctuateFromSource(feed string) {
-	if feed != "" {
-		s.engine.Punctuate(feed)
-		return
-	}
-	for _, f := range s.cfg.Feeds {
-		s.engine.Punctuate(f.Path)
-	}
-}
-
-// serveFetch answers a hybrid-pull retrieval with the staged content,
-// falling back to the archiver for files expired from the retention
-// window — the long-horizon analysis path of §4.2.
-func (s *Server) serveFetch(conn *protocol.Conn, m protocol.Fetch) {
-	meta, ok := s.store.File(m.FileID)
-	if !ok {
-		conn.Send(protocol.Ack{OK: false, Error: "unknown file id"})
-		return
-	}
-	data, err := os.ReadFile(filepath.Join(s.stage, filepath.FromSlash(meta.StagedPath)))
-	if err != nil {
-		rc, aerr := s.arch.Open(meta.StagedPath)
-		if aerr != nil {
-			conn.Send(protocol.Ack{OK: false, Error: err.Error()})
-			return
-		}
-		data, aerr = io.ReadAll(rc)
-		rc.Close()
-		if aerr != nil {
-			conn.Send(protocol.Ack{OK: false, Error: aerr.Error()})
-			return
-		}
-	}
-	conn.Send(protocol.Deliver{
-		FileID: meta.ID,
-		Feed:   firstOf(meta.Feeds),
-		Name:   meta.StagedPath,
-		Data:   data,
-		CRC:    meta.Checksum,
-	})
-}
-
-func firstOf(xs []string) string {
-	if len(xs) == 0 {
-		return ""
-	}
-	return xs[0]
 }
 
 // FeedPattern is a helper for tools: compile a pattern or die.

@@ -1,0 +1,141 @@
+package subclient
+
+// Cluster-aware subscription: a subscriber configured with every
+// node's address can resolve which node owns a feed through any live
+// node, subscribe at the owner (following redirects when its guess is
+// stale), and — after a failover — re-resolve and re-subscribe at the
+// promoted survivor. Combined with DedupByID on the daemon this gives
+// exactly-once delivery across a kill -9 of the feed's owner.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bistro/internal/protocol"
+)
+
+// maxRedirects bounds redirect-following during Subscribe. Shard maps
+// disagree only transiently (mid-failover), so one or two hops settle
+// every real case; the bound turns a routing bug into an error instead
+// of a loop.
+const maxRedirects = 3
+
+// Cluster locates feed owners across a set of Bistro nodes.
+type Cluster struct {
+	// Nodes are the protocol addresses of the cluster's nodes, in any
+	// order. Dead nodes are skipped during resolution.
+	Nodes []string
+	// Timeout bounds each dial and round trip (default 5s).
+	Timeout time.Duration
+}
+
+func (c *Cluster) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 5 * time.Second
+}
+
+// Resolve asks the cluster which node owns feed, trying each
+// configured node until one answers. Any live node can answer for the
+// whole cluster; only a total outage fails.
+func (c *Cluster) Resolve(feed string) (protocol.Resolved, error) {
+	var errs []string
+	for _, addr := range c.Nodes {
+		res, err := resolveAt(addr, feed, c.timeout())
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", addr, err))
+			continue
+		}
+		return res, nil
+	}
+	return protocol.Resolved{}, fmt.Errorf("subclient: resolve %s: no node answered (%s)",
+		feed, strings.Join(errs, "; "))
+}
+
+// resolveAt performs one Resolve round trip against a single node.
+func resolveAt(addr, feed string, timeout time.Duration) (protocol.Resolved, error) {
+	conn, err := protocol.Dial(addr, timeout)
+	if err != nil {
+		return protocol.Resolved{}, err
+	}
+	defer conn.Close()
+	if err := conn.Call(protocol.Hello{Role: "subscriber"}); err != nil {
+		return protocol.Resolved{}, err
+	}
+	if err := conn.Send(protocol.Resolve{Feed: feed}); err != nil {
+		return protocol.Resolved{}, err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return protocol.Resolved{}, err
+	}
+	res, ok := reply.(protocol.Resolved)
+	if !ok {
+		return protocol.Resolved{}, fmt.Errorf("expected Resolved, got %T", reply)
+	}
+	return res, nil
+}
+
+// Subscribe registers spec at the node owning its first feed,
+// following redirects when the resolved node's shard map disagrees
+// (e.g. a promotion it has not heard about lands the subscription on
+// the survivor). Re-issuing the same spec after a failover is safe:
+// subscriptions are keyed by name, so the promoted node treats it as
+// an update, and QueueBackfill covers anything missed in between.
+func (c *Cluster) Subscribe(spec SubscribeSpec) error {
+	if len(spec.Feeds) == 0 {
+		return fmt.Errorf("subclient: subscribe: at least one feed required")
+	}
+	res, err := c.Resolve(spec.Feeds[0])
+	if err != nil {
+		return err
+	}
+	addr := res.Addr
+	for hop := 0; ; hop++ {
+		redirect, err := subscribeOnce(addr, spec, c.timeout())
+		if err == nil {
+			return nil
+		}
+		if redirect == "" || hop >= maxRedirects {
+			return fmt.Errorf("subclient: subscribe via %s: %w", addr, err)
+		}
+		addr = redirect
+	}
+}
+
+// subscribeOnce issues one Subscribe round trip, returning the
+// redirect target when the node declines as a non-owner.
+func subscribeOnce(addr string, spec SubscribeSpec, timeout time.Duration) (string, error) {
+	conn, err := protocol.Dial(addr, timeout)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if err := conn.Call(protocol.Hello{Role: "subscriber", Name: spec.Name}); err != nil {
+		return "", err
+	}
+	if err := conn.Send(protocol.Subscribe{
+		Name:  spec.Name,
+		Host:  spec.Host,
+		Dest:  spec.Dest,
+		Feeds: spec.Feeds,
+		From:  spec.From,
+		Class: spec.Class,
+	}); err != nil {
+		return "", err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return "", err
+	}
+	ack, ok := reply.(protocol.Ack)
+	if !ok {
+		return "", fmt.Errorf("expected Ack, got %T", reply)
+	}
+	if !ack.OK {
+		return ack.Redirect, fmt.Errorf("remote error: %s", ack.Error)
+	}
+	return "", nil
+}

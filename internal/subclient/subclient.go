@@ -38,6 +38,13 @@ type Options struct {
 	// OnTrigger, when set, handles remote triggers instead of the
 	// shell (tests, embedded subscribers).
 	OnTrigger func(command string, paths []string) error
+	// DedupByID suppresses re-deliveries of a file id already written:
+	// the duplicate is acknowledged (the server records its receipt and
+	// stops retrying) but not rewritten and OnFile does not fire again.
+	// Failover re-sends anything acknowledged inside the owner's last
+	// unreplicated instant, so clustered subscribers turn at-least-once
+	// re-sends into exactly-once application here.
+	DedupByID bool
 }
 
 // Daemon is a running subscriber endpoint.
@@ -48,6 +55,8 @@ type Daemon struct {
 	mu       sync.Mutex
 	received []string
 	notified []protocol.Notify
+	seen     map[uint64]bool // delivered file ids (DedupByID)
+	dups     int
 	conns    map[*protocol.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
@@ -66,7 +75,7 @@ func Start(addr string, opts Options) (*Daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("subclient: listen: %w", err)
 	}
-	d := &Daemon{opts: opts, ln: ln, conns: make(map[*protocol.Conn]struct{})}
+	d := &Daemon{opts: opts, ln: ln, conns: make(map[*protocol.Conn]struct{}), seen: make(map[uint64]bool)}
 	d.wg.Add(1)
 	go d.acceptLoop()
 	return d, nil
@@ -151,6 +160,10 @@ func (d *Daemon) serve(conn *protocol.Conn) {
 // writing to a temp file and renaming into place once the checksum
 // verifies at DeliverEnd.
 func (d *Daemon) handleStream(conn *protocol.Conn, m protocol.DeliverBegin) protocol.Ack {
+	if d.isDuplicate(m.FileID) {
+		drainStream(conn)
+		return protocol.Ack{OK: true}
+	}
 	rel := filepath.FromSlash(m.Name)
 	if filepath.IsAbs(rel) || strings.HasPrefix(filepath.Clean(rel), "..") {
 		drainStream(conn)
@@ -201,6 +214,7 @@ func (d *Daemon) handleStream(conn *protocol.Conn, m protocol.DeliverBegin) prot
 			d.mu.Lock()
 			d.received = append(d.received, m.Name)
 			d.mu.Unlock()
+			d.markDelivered(m.FileID)
 			if d.opts.OnFile != nil {
 				d.opts.OnFile(m.Name)
 			}
@@ -225,7 +239,35 @@ func drainStream(conn *protocol.Conn) {
 	}
 }
 
+// isDuplicate checks (and records a suppressed hit for) an already
+// delivered file id.
+func (d *Daemon) isDuplicate(fileID uint64) bool {
+	if !d.opts.DedupByID || fileID == 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen[fileID] {
+		d.dups++
+		return true
+	}
+	return false
+}
+
+// markDelivered records a file id after its content is in place.
+func (d *Daemon) markDelivered(fileID uint64) {
+	if !d.opts.DedupByID || fileID == 0 {
+		return
+	}
+	d.mu.Lock()
+	d.seen[fileID] = true
+	d.mu.Unlock()
+}
+
 func (d *Daemon) handleDeliver(m protocol.Deliver) protocol.Ack {
+	if d.isDuplicate(m.FileID) {
+		return protocol.Ack{OK: true}
+	}
 	if crc32.ChecksumIEEE(m.Data) != m.CRC {
 		return protocol.Ack{OK: false, Error: "checksum mismatch"}
 	}
@@ -257,6 +299,7 @@ func (d *Daemon) handleDeliver(m protocol.Deliver) protocol.Ack {
 	d.mu.Lock()
 	d.received = append(d.received, m.Name)
 	d.mu.Unlock()
+	d.markDelivered(m.FileID)
 	if d.opts.OnFile != nil {
 		d.opts.OnFile(m.Name)
 	}
@@ -297,6 +340,14 @@ func (d *Daemon) Received() []string {
 	out := make([]string, len(d.received))
 	copy(out, d.received)
 	return out
+}
+
+// DuplicatesSuppressed reports how many re-deliveries DedupByID
+// swallowed (acknowledged without rewriting).
+func (d *Daemon) DuplicatesSuppressed() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dups
 }
 
 // Notifications returns the notifications received so far.
