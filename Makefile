@@ -15,12 +15,13 @@ fmt:
 	gofmt -l -w .
 
 # One iteration of the full-server experiment benchmarks (E14 ingest
-# scaling, E15 historical replay, E16 standby failover) as a smoke
-# test that the quantitative harness runs end to end. BENCH_6.json at
-# the repo root is the tracked record of the last run, diffable across
-# changes; CI regenerates and uploads it as an artifact.
+# scaling, E15 historical replay, E16 standby failover, E17
+# self-healing failover) as a smoke test that the quantitative harness
+# runs end to end. BENCH_7.json at the repo root is the tracked record
+# of the last run, diffable across changes; CI regenerates and uploads
+# it as an artifact.
 bench-smoke:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkE1[45]|BenchmarkE16' -benchtime=1x . | tee BENCH_6.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkE1[45]|BenchmarkE16|BenchmarkE17' -benchtime=1x . | tee BENCH_7.json
 
 # Race-mode pass over the clustering layer and its replication stress
 # tests: concurrent group-commit shipping, the seeded failover
@@ -28,4 +29,4 @@ bench-smoke:
 cluster-race:
 	$(GO) test -race -count=1 ./internal/cluster/
 	$(GO) test -race -count=1 -run 'TestCluster' ./internal/server/
-	$(GO) test -race -count=1 -run 'TestE16|TestE12StandbyPromotion' ./internal/experiments/
+	$(GO) test -race -count=1 -run 'TestE16|TestE12StandbyPromotion|TestE17' ./internal/experiments/

@@ -183,6 +183,22 @@ func BenchmarkE16Failover(b *testing.B) {
 	}
 }
 
+func BenchmarkE17SelfHealing(b *testing.B) {
+	t := runExperiment(b, experiments.E17SelfHealing)
+	for _, row := range t.Rows {
+		switch row[0] {
+		case "acked arrivals lost after promotion":
+			b.ReportMetric(metric(row[1]), "acked_lost")
+		case "duplicate writes at subscriber":
+			b.ReportMetric(metric(row[1]), "app_duplicates")
+		case "fenced frames counted by survivor":
+			b.ReportMetric(metric(row[1]), "fenced")
+		case "takeover detect+promote mean":
+			b.ReportMetric(metric(row[1]), "takeover_detect_mean_ms")
+		}
+	}
+}
+
 func BenchmarkE13Overhead(b *testing.B) {
 	t := runExperiment(b, experiments.E13Overhead)
 	for _, row := range t.Rows {

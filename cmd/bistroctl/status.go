@@ -21,6 +21,8 @@ type statusDoc struct {
 		PromotedFrom  []string `json:"promoted_from"`
 		ReplicationOK *bool    `json:"replication_ok"`
 		ReplicationHW uint64   `json:"replication_hw"`
+		Epoch         uint64   `json:"epoch"`
+		Standby       string   `json:"standby"`
 	} `json:"node"`
 	Feeds map[string]struct {
 		Files     int64
@@ -87,6 +89,9 @@ func renderStatus(doc *statusDoc, w io.Writer) {
 	if n.Name != "" {
 		line = fmt.Sprintf("node: %s role=%s ready=%t", n.Name, n.Role, n.Ready)
 	}
+	if n.Epoch > 0 {
+		line += fmt.Sprintf(" epoch=%d", n.Epoch)
+	}
 	if len(n.PromotedFrom) > 0 {
 		line += fmt.Sprintf(" promoted_from=%v", n.PromotedFrom)
 	}
@@ -96,6 +101,9 @@ func renderStatus(doc *statusDoc, w io.Writer) {
 			state = "ok"
 		}
 		line += fmt.Sprintf(" replication=%s hw=%d", state, n.ReplicationHW)
+		if n.Standby != "" {
+			line += fmt.Sprintf(" standby=%s", n.Standby)
+		}
 	}
 	fmt.Fprintln(w, line)
 	fmt.Fprintln(w, "== feeds ==")

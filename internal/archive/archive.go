@@ -39,6 +39,12 @@ type Archiver struct {
 	// today: expired data being deleted because no archive root is
 	// configured. Raised at most once per process.
 	Alarm func(msg string)
+	// OnArchived, when set, runs after a file has durably moved into the
+	// archive tree and its manifest entries are appended — the clustering
+	// layer ships the archived copy to the warm standby here. An error
+	// aborts the expiry pass; the receipt is already expired and the
+	// manifest append is idempotent, so the next pass retries the hook.
+	OnArchived func(v receipts.FileMeta, archivedAt time.Time) error
 
 	man       *Manifest
 	alarmOnce sync.Once
@@ -132,7 +138,13 @@ func (a *Archiver) MoveExpired(v receipts.FileMeta) error {
 		a.Metrics.moveFailed()
 		return fmt.Errorf("archive: move %s: %w", v.StagedPath, err)
 	}
-	return a.recordArchived(v)
+	if err := a.recordArchived(v); err != nil {
+		return err
+	}
+	if a.OnArchived != nil {
+		return a.OnArchived(v, a.clk.Now().UTC())
+	}
+	return nil
 }
 
 // recordArchived appends the file's manifest entries (idempotent: the

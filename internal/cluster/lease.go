@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"bistro/internal/clock"
+)
+
+// Lease-based failure detection. The owner renews an implicit lease by
+// making frames durable on its standby — shipped traffic while busy,
+// RepHeartbeat at the configured cadence while idle. The standby's
+// lease monitor watches the time since the last durable frame; when it
+// exceeds the lease, the owner is declared dead and the monitor fires
+// its expiry callback exactly once (self-promotion, when failover.auto
+// is on). There is no distributed clock: both the renewal stamp and
+// the expiry check happen on the standby's clock, so the lease is a
+// pure local-silence detector — exactly the signal a warm standby can
+// trust, because a silent owner is also an owner whose commits are
+// failing (strict replication).
+
+// FailoverParams are the cluster { failover { ... } } settings.
+type FailoverParams struct {
+	// Lease is how long the standby tolerates owner silence before
+	// declaring it dead (default 10s).
+	Lease time.Duration
+	// Heartbeat is the owner's idle renewal cadence and the monitor's
+	// check interval (default Lease/5).
+	Heartbeat time.Duration
+	// Auto enables unattended promotion on lease expiry; off, the
+	// monitor still observes (metrics, status) but a human promotes.
+	Auto bool
+}
+
+// WithDefaults fills unset fields.
+func (p FailoverParams) WithDefaults() FailoverParams {
+	if p.Lease <= 0 {
+		p.Lease = 10 * time.Second
+	}
+	if p.Heartbeat <= 0 {
+		p.Heartbeat = p.Lease / 5
+	}
+	return p
+}
+
+// Monitor watches a Standby's owner contact and fires once on lease
+// expiry.
+type Monitor struct {
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	expired bool
+}
+
+// WatchLease starts a lease monitor over st. onExpire runs (once, on
+// the monitor goroutine) when the owner has been silent longer than
+// the lease; the monitor then exits. The lease countdown starts at
+// first owner contact — a standby that never had an owner has nothing
+// to promote from. A detached standby (promoted or closed) ends the
+// watch without firing.
+func WatchLease(st *Standby, p FailoverParams, clk clock.Clock, onExpire func()) *Monitor {
+	p = p.WithDefaults()
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	m := &Monitor{stop: make(chan struct{}), done: make(chan struct{})}
+	go m.run(st, p, clk, onExpire)
+	return m
+}
+
+func (m *Monitor) run(st *Standby, p FailoverParams, clk clock.Clock, onExpire func()) {
+	defer close(m.done)
+	tick := p.Heartbeat
+	if tick > p.Lease/2 {
+		tick = p.Lease / 2
+	}
+	if tick <= 0 {
+		tick = p.Lease
+	}
+	for {
+		t := clk.NewTimer(tick)
+		select {
+		case <-m.stop:
+			t.Stop()
+			return
+		case <-t.C():
+		}
+		if st.IsDetached() {
+			return
+		}
+		lc := st.LastContact()
+		if lc.IsZero() {
+			continue
+		}
+		if clk.Now().Sub(lc) > p.Lease {
+			if mtr := st.opts.Metrics; mtr != nil {
+				mtr.LeaseExpiries.Inc()
+			}
+			m.mu.Lock()
+			m.expired = true
+			m.mu.Unlock()
+			onExpire()
+			return
+		}
+	}
+}
+
+// Expired reports whether the lease expired (and onExpire ran).
+func (m *Monitor) Expired() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.expired
+}
+
+// Stop ends the watch without firing. Idempotent; returns after the
+// monitor goroutine has exited.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}

@@ -66,6 +66,11 @@ type ShardMap struct {
 	// shards. Chains are followed (a promoted successor can itself
 	// fail over).
 	promoted map[string]string
+	// epoch is the cluster ownership epoch: 1 for the configured
+	// topology, bumped by every promotion, raised to any higher epoch
+	// observed from a peer. It is the fencing token — replication and
+	// relayed writes stamped with an older epoch are refused.
+	epoch uint64
 }
 
 // NewShardMap validates the topology and builds the ring.
@@ -81,6 +86,7 @@ func NewShardMap(topo Topology) (*ShardMap, error) {
 		self:     topo.Self,
 		nodes:    make(map[string]Node, len(topo.Nodes)),
 		promoted: make(map[string]string),
+		epoch:    1,
 	}
 	for _, n := range topo.Nodes {
 		if n.Name == "" {
@@ -182,7 +188,28 @@ func (m *ShardMap) Promote(failed, successor string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.promoted[failed] = successor
+	m.epoch++
 	return nil
+}
+
+// Epoch returns the current ownership epoch.
+func (m *ShardMap) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// ObserveEpoch raises the local epoch to e (never lowers it). A node
+// learning a peer's higher epoch — a promoted standby inheriting the
+// epoch its replication stream last saw, a rejoining node told the
+// survivor's epoch — records it so its own promotions sort after
+// everything that already happened.
+func (m *ShardMap) ObserveEpoch(e uint64) {
+	m.mu.Lock()
+	if e > m.epoch {
+		m.epoch = e
+	}
+	m.mu.Unlock()
 }
 
 // PromotedFrom returns the failed nodes the named node has taken over.

@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"encoding/gob"
+	"time"
 
 	"bistro/internal/metrics"
+	"bistro/internal/receipts"
 )
 
 // Replication wire messages. They travel over the same gob-envelope
@@ -17,6 +19,43 @@ import (
 type RepHello struct {
 	// Node is the owner's node name.
 	Node string
+	// Epoch is the owner's cluster ownership epoch. The standby tracks
+	// the highest epoch it has seen and nacks a hello from an older one
+	// — a partitioned old owner waking up after its standby was
+	// promoted elsewhere must not re-open a stream (fencing). Zero
+	// means "no epoch" (unclustered shippers, older peers) and is never
+	// fenced.
+	Epoch uint64
+}
+
+// RepHeartbeat is the owner's lease renewal: sent on the idle
+// replication stream at the configured heartbeat cadence, it proves
+// the owner is alive even when no traffic is committing. The standby's
+// lease monitor measures owner silence across all frames (heartbeats
+// and shipped traffic alike); lease expiry triggers self-promotion.
+type RepHeartbeat struct {
+	Seq uint64
+	// Epoch is the owner's ownership epoch, checked like RepHello's.
+	Epoch uint64
+}
+
+// RepArchive ships one archive promotion: the owner moved an expired
+// staged file into its archive tree and appended its manifest entries,
+// and the standby must mirror both so a promoted survivor serves
+// replay/history, not just live traffic. Data carries the archived
+// content so the standby needs no surviving staged copy — during a
+// live re-seed the staged file may already be gone on both ends.
+type RepArchive struct {
+	Seq uint64
+	// Meta is the archived file's receipt metadata (StagedPath is the
+	// archive-relative destination, as in the manifest).
+	Meta receipts.FileMeta
+	// ArchivedAt is the owner's archive timestamp for manifest entries.
+	ArchivedAt time.Time
+	// Data is the archived file content.
+	Data []byte
+	// CRC is the IEEE CRC32 of Data.
+	CRC uint32
 }
 
 // RepSnapshot re-seeds the standby's receipt database: State is a full
@@ -62,13 +101,18 @@ type RepAck struct {
 	// HW is the standby's acknowledged high-watermark: the Seq of the
 	// last stream message it made durable.
 	HW uint64
+	// Epoch is the highest ownership epoch the standby has seen. On a
+	// fencing nack it tells the stale owner how far behind it is.
+	Epoch uint64
 }
 
 func init() {
 	gob.Register(RepHello{})
+	gob.Register(RepHeartbeat{})
 	gob.Register(RepSnapshot{})
 	gob.Register(RepFile{})
 	gob.Register(RepBatch{})
+	gob.Register(RepArchive{})
 	gob.Register(RepAck{})
 }
 
@@ -93,6 +137,17 @@ type Metrics struct {
 	AckedHW *metrics.Gauge
 	// Promotions counts standby → owner takeovers.
 	Promotions *metrics.Counter
+	// Fenced counts stale-epoch traffic refused (replication hellos,
+	// heartbeats, and relayed writes from a superseded owner).
+	Fenced *metrics.Counter
+	// Heartbeats counts lease renewals shipped on the idle stream.
+	Heartbeats *metrics.Counter
+	// LeaseExpiries counts owner leases the standby saw expire (each
+	// one triggers self-promotion when failover.auto is on).
+	LeaseExpiries *metrics.Counter
+	// Reseeds counts live standby re-seeds served (a recovered node
+	// rejoining as this node's new standby).
+	Reseeds *metrics.Counter
 }
 
 // NewMetrics registers the bistro_cluster_* families on r.
@@ -114,5 +169,13 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Last stream sequence the standby acknowledged as durable."),
 		Promotions: r.Counter("bistro_cluster_promotions_total",
 			"Standby promotions to serving owner."),
+		Fenced: r.Counter("bistro_cluster_fenced_total",
+			"Stale-epoch traffic refused (hellos, heartbeats, relayed writes)."),
+		Heartbeats: r.Counter("bistro_cluster_heartbeats_total",
+			"Lease-renewal heartbeats shipped on the replication stream."),
+		LeaseExpiries: r.Counter("bistro_cluster_lease_expiries_total",
+			"Owner leases seen expiring by the standby's failure detector."),
+		Reseeds: r.Counter("bistro_cluster_reseeds_total",
+			"Live standby re-seeds served to rejoining nodes."),
 	}
 }

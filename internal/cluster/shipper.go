@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io/fs"
@@ -24,6 +25,11 @@ type ShipperOptions struct {
 	Timeout time.Duration
 	// Node is the owner's node name, announced in RepHello.
 	Node string
+	// Epoch, when set, supplies the owner's current ownership epoch; it
+	// is stamped on RepHello and RepHeartbeat so a standby that has
+	// seen a newer epoch fences this shipper out. Nil sends epoch 0
+	// (never fenced — the unclustered / pre-lease behaviour).
+	Epoch func() uint64
 }
 
 // Shipper is the owner end of a replication stream: it installs itself
@@ -45,6 +51,10 @@ type Shipper struct {
 	seq    uint64
 	hw     uint64
 	booted bool
+	// alarmed latches after the first alarm of an outage so a down
+	// standby raises one alarm, not one per failed commit; a successful
+	// re-bootstrap resets it.
+	alarmed bool
 }
 
 // NewShipper targets the standby's replication address.
@@ -76,7 +86,7 @@ func (sh *Shipper) Bootstrap(store *receipts.Store, stagingRoot string, fsys dis
 	}
 	werr := filepath.WalkDir(stagingRoot, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			if strings.Contains(err.Error(), "no such file") {
+			if errors.Is(err, fs.ErrNotExist) {
 				return nil
 			}
 			return err
@@ -93,6 +103,12 @@ func (sh *Shipper) Bootstrap(store *receipts.Store, stagingRoot string, fsys dis
 		}
 		data, rerr := diskfault.ReadFile(fsys, path)
 		if rerr != nil {
+			if errors.Is(rerr, fs.ErrNotExist) {
+				// Archived or removed between the directory listing and
+				// the read — a live owner keeps expiring while it
+				// re-seeds a standby. The receipt side covers it.
+				return nil
+			}
 			return rerr
 		}
 		return sh.ShipFile(filepath.ToSlash(rel), data)
@@ -119,7 +135,7 @@ func (sh *Shipper) shipSnapshot(state []byte) error {
 		return sh.failLocked("dial", err)
 	}
 	sh.conn = conn
-	if _, err := sh.roundLocked(RepHello{Node: sh.opts.Node}); err != nil {
+	if _, err := sh.roundLocked(RepHello{Node: sh.opts.Node, Epoch: sh.epoch()}); err != nil {
 		return sh.failLocked("hello", err)
 	}
 	sh.seq++
@@ -129,7 +145,67 @@ func (sh *Shipper) shipSnapshot(state []byte) error {
 	}
 	sh.hw = ack.HW
 	sh.booted = true
+	sh.alarmed = false
 	sh.addBytes(len(state))
+	sh.setHW()
+	return nil
+}
+
+// epoch reads the owner's current ownership epoch (0 without a source).
+func (sh *Shipper) epoch() uint64 {
+	if sh.opts.Epoch == nil {
+		return 0
+	}
+	return sh.opts.Epoch()
+}
+
+// Heartbeat renews the owner's lease on an idle stream: one
+// RepHeartbeat round trip carrying the current epoch. It is a no-op
+// error (without failure side effects) while the stream is down — the
+// re-bootstrap path owns that state.
+func (sh *Shipper) Heartbeat() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.booted {
+		return fmt.Errorf("cluster: heartbeat: replication stream down")
+	}
+	sh.seq++
+	ack, err := sh.roundLocked(RepHeartbeat{Seq: sh.seq, Epoch: sh.epoch()})
+	if err != nil {
+		return sh.failLocked("heartbeat", err)
+	}
+	sh.hw = ack.HW
+	if m := sh.opts.Metrics; m != nil {
+		m.Heartbeats.Inc()
+	}
+	sh.setHW()
+	return nil
+}
+
+// ShipArchive replicates one archive promotion (content + receipt
+// metadata + archive timestamp) so the standby mirrors the archive
+// tree and manifest. Called from the owner's expiry path after the
+// local move; a failure fails the expiry pass, and the archive backlog
+// re-ships on the next bootstrap.
+func (sh *Shipper) ShipArchive(meta receipts.FileMeta, archivedAt time.Time, data []byte) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.booted {
+		return sh.failLocked("archive", fmt.Errorf("replication stream down"))
+	}
+	sh.seq++
+	ack, err := sh.roundLocked(RepArchive{
+		Seq:        sh.seq,
+		Meta:       meta,
+		ArchivedAt: archivedAt,
+		Data:       data,
+		CRC:        crc32.ChecksumIEEE(data),
+	})
+	if err != nil {
+		return sh.failLocked("archive "+meta.StagedPath, err)
+	}
+	sh.hw = ack.HW
+	sh.addBytes(len(data))
 	sh.setHW()
 	return nil
 }
@@ -230,7 +306,9 @@ func (sh *Shipper) roundLocked(msg any) (RepAck, error) {
 }
 
 // failLocked records a replication failure: counter, alarm, stream
-// marked down so the server's bootstrap loop re-establishes it.
+// marked down so the server's bootstrap loop re-establishes it. The
+// alarm is raised once per outage (the latch resets when a bootstrap
+// succeeds); the failure counter still counts every failed ship.
 func (sh *Shipper) failLocked(stage string, err error) error {
 	if sh.conn != nil {
 		sh.conn.Close()
@@ -241,7 +319,8 @@ func (sh *Shipper) failLocked(stage string, err error) error {
 		m.ShipFailures.Inc()
 	}
 	werr := fmt.Errorf("cluster: ship %s to %s: %w", stage, sh.addr, err)
-	if sh.opts.Alarm != nil {
+	if sh.opts.Alarm != nil && !sh.alarmed {
+		sh.alarmed = true
 		sh.opts.Alarm(werr.Error())
 	}
 	return werr

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 const clusterSample = `
@@ -12,6 +13,11 @@ feed CPU { pattern "cpu_%Y%m%d.csv" }
 cluster {
     self "a"
     vnodes 32
+    failover {
+        lease 5s
+        heartbeat 1s
+        auto on
+    }
     node "a" {
         addr "127.0.0.1:7001"
         standby "127.0.0.1:7101"
@@ -34,6 +40,12 @@ func TestClusterBlockParses(t *testing.T) {
 	if sp.Self != "a" || sp.VNodes != 32 {
 		t.Fatalf("self/vnodes = %q/%d", sp.Self, sp.VNodes)
 	}
+	if sp.Failover == nil {
+		t.Fatal("failover block missing")
+	}
+	if sp.Failover.Lease != 5*time.Second || sp.Failover.Heartbeat != time.Second || !sp.Failover.Auto {
+		t.Fatalf("failover = %+v", sp.Failover)
+	}
 	want := []ClusterNodeSpec{
 		{Name: "a", Addr: "127.0.0.1:7001", Standby: "127.0.0.1:7101"},
 		{Name: "b", Addr: "127.0.0.1:7002"},
@@ -46,13 +58,18 @@ func TestClusterBlockParses(t *testing.T) {
 func TestClusterBlockErrors(t *testing.T) {
 	feed := "feed F { pattern \"f_%Y.gz\" }\n"
 	for name, src := range map[string]string{
-		"empty":        feed + `cluster { }`,
-		"no addr":      feed + `cluster { node "a" { } }`,
-		"dup node":     feed + `cluster { node "a" { addr "x:1" } node "a" { addr "x:2" } }`,
-		"unknown self": feed + `cluster { self "z" node "a" { addr "x:1" } }`,
-		"bad vnodes":   feed + `cluster { vnodes 0 node "a" { addr "x:1" } }`,
-		"bad keyword":  feed + `cluster { bogus "x" node "a" { addr "x:1" } }`,
-		"bad node kw":  feed + `cluster { node "a" { addr "x:1" bogus "y" } }`,
+		"empty":              feed + `cluster { }`,
+		"no addr":            feed + `cluster { node "a" { } }`,
+		"dup node":           feed + `cluster { node "a" { addr "x:1" } node "a" { addr "x:2" } }`,
+		"unknown self":       feed + `cluster { self "z" node "a" { addr "x:1" } }`,
+		"bad vnodes":         feed + `cluster { vnodes 0 node "a" { addr "x:1" } }`,
+		"bad keyword":        feed + `cluster { bogus "x" node "a" { addr "x:1" } }`,
+		"bad node kw":        feed + `cluster { node "a" { addr "x:1" bogus "y" } }`,
+		"bad failover kw":    feed + `cluster { failover { bogus 1 } node "a" { addr "x:1" } }`,
+		"bad auto value":     feed + `cluster { failover { auto maybe } node "a" { addr "x:1" } }`,
+		"zero lease":         feed + `cluster { failover { lease 0 } node "a" { addr "x:1" } }`,
+		"heartbeat >= lease": feed + `cluster { failover { lease 2s heartbeat 2s } node "a" { addr "x:1" } }`,
+		"negative heartbeat": feed + `cluster { failover { heartbeat -1s } node "a" { addr "x:1" } }`,
 	} {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("%s: bad cluster block accepted", name)
@@ -78,5 +95,33 @@ func TestClusterFormatRoundTrip(t *testing.T) {
 	}
 	if again := Format(back); again != text {
 		t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}
+
+func TestFailoverDefaultsAndPartialBlock(t *testing.T) {
+	// Only a lease: heartbeat derives downstream, auto stays off.
+	cfg, err := Parse("feed F { pattern \"f_%Y.gz\" }\ncluster { failover { lease 30s } node \"a\" { addr \"x:1\" } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := cfg.Cluster.Failover
+	if fo == nil || fo.Lease != 30*time.Second || fo.Heartbeat != 0 || fo.Auto {
+		t.Fatalf("failover = %+v", fo)
+	}
+	// The partial block round-trips too.
+	back, err := Parse(Format(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Cluster.Failover, back.Cluster.Failover) {
+		t.Fatalf("failover round trip: %+v vs %+v", cfg.Cluster.Failover, back.Cluster.Failover)
+	}
+	// No failover block at all: nil spec (manual-promotion cluster).
+	cfg2, err := Parse("feed F { pattern \"f_%Y.gz\" }\ncluster { node \"a\" { addr \"x:1\" } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Cluster.Failover != nil {
+		t.Fatalf("absent failover block parsed as %+v", cfg2.Cluster.Failover)
 	}
 }

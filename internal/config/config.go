@@ -275,6 +275,21 @@ type ClusterNodeSpec struct {
 	Standby string
 }
 
+// FailoverSpec is the failover { ... } sub-block of a cluster block:
+// lease-based failure detection and automatic standby promotion.
+type FailoverSpec struct {
+	// Lease is how long a standby tolerates owner silence before
+	// declaring it dead (0 = default 10s).
+	Lease time.Duration
+	// Heartbeat is the owner's idle lease-renewal cadence on the
+	// replication stream (0 = lease/5). Must be shorter than the lease.
+	Heartbeat time.Duration
+	// Auto enables unattended standby promotion on lease expiry
+	// ("auto on"); off, expiry is observed and alarmed but a human
+	// promotes.
+	Auto bool
+}
+
 // ClusterSpec is a cluster { ... } block: the static feed-sharding
 // topology. Every node in the cluster loads the same block (differing
 // only in which node it runs as, usually set per host with the
@@ -285,6 +300,9 @@ type ClusterSpec struct {
 	Self string
 	// VNodes is the consistent-hash ring points per node (0 = default).
 	VNodes int
+	// Failover configures lease-based failure detection (nil = manual
+	// promotion only, with default lease/heartbeat timings for status).
+	Failover *FailoverSpec
 	// Nodes is every daemon in the cluster, in definition order.
 	Nodes []ClusterNodeSpec
 }
@@ -1121,6 +1139,12 @@ func (p *parser) clusterSpec() (*ClusterSpec, error) {
 			if spec.VNodes < 1 {
 				return nil, p.errPrevf("cluster vnodes must be >= 1")
 			}
+		case "failover":
+			fo, err := p.failoverSpec()
+			if err != nil {
+				return nil, err
+			}
+			spec.Failover = fo
 		case "node":
 			n, err := p.clusterNodeSpec()
 			if err != nil {
@@ -1146,6 +1170,59 @@ func (p *parser) clusterSpec() (*ClusterSpec, error) {
 	}
 	if spec.Self != "" && !seen[spec.Self] {
 		return nil, fmt.Errorf("config: cluster self %q is not a listed node", spec.Self)
+	}
+	return spec, nil
+}
+
+// failoverSpec parses: failover { [lease DUR] [heartbeat DUR] [auto on|off] }
+func (p *parser) failoverSpec() (*FailoverSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &FailoverSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "lease":
+			if spec.Lease, err = p.duration(); err != nil {
+				return nil, err
+			}
+			if spec.Lease <= 0 {
+				return nil, p.errPrevf("failover lease must be positive")
+			}
+		case "heartbeat":
+			if spec.Heartbeat, err = p.duration(); err != nil {
+				return nil, err
+			}
+			if spec.Heartbeat <= 0 {
+				return nil, p.errPrevf("failover heartbeat must be positive")
+			}
+		case "auto":
+			v, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch v {
+			case "on":
+				spec.Auto = true
+			case "off":
+				spec.Auto = false
+			default:
+				return nil, p.errPrevf("auto takes on or off, got %q", v)
+			}
+		default:
+			return nil, p.errPrevf("unknown failover statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if spec.Lease > 0 && spec.Heartbeat > 0 && spec.Heartbeat >= spec.Lease {
+		return nil, fmt.Errorf("config: failover heartbeat (%s) must be shorter than the lease (%s)",
+			spec.Heartbeat, spec.Lease)
 	}
 	return spec, nil
 }

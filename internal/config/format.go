@@ -93,6 +93,19 @@ func Format(cfg *Config) string {
 		if sp.VNodes > 0 {
 			fmt.Fprintf(&b, "    vnodes %d\n", sp.VNodes)
 		}
+		if fo := sp.Failover; fo != nil {
+			b.WriteString("    failover {\n")
+			if fo.Lease > 0 {
+				fmt.Fprintf(&b, "        lease %s\n", formatDuration(fo.Lease))
+			}
+			if fo.Heartbeat > 0 {
+				fmt.Fprintf(&b, "        heartbeat %s\n", formatDuration(fo.Heartbeat))
+			}
+			if fo.Auto {
+				b.WriteString("        auto on\n")
+			}
+			b.WriteString("    }\n")
+		}
 		for _, n := range sp.Nodes {
 			fmt.Fprintf(&b, "    node %s {\n        addr %s\n", quote(n.Name), quote(n.Addr))
 			if n.Standby != "" {

@@ -1,0 +1,527 @@
+package experiments
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bistro/internal/cluster"
+	"bistro/internal/config"
+	"bistro/internal/diskfault"
+	"bistro/internal/normalize"
+	"bistro/internal/server"
+	"bistro/internal/sourceclient"
+	"bistro/internal/subclient"
+)
+
+// E17SelfHealing closes the loop E16 left open: nobody calls the
+// operator. Each round a shard owner replicates to a lease-watching
+// standby node, dies by power cut, and the standby promotes ITSELF on
+// lease expiry — then the dead node comes back from its stale disk,
+// tries to keep acting as an owner, and must be fenced by the epoch
+// the promotion minted; finally the revived node abandons its stale
+// state and rejoins as the survivor's new standby through the online
+// re-seed, restoring redundancy while the survivor keeps serving. The
+// invariants are the self-healing contract: zero acked loss, zero
+// duplicate subscriber writes, takeover detected within two lease
+// intervals, every stale-epoch write refused and counted, and the
+// rejoined standby caught up to the survivor's replication stream.
+func E17SelfHealing(o Options) (Table, error) {
+	t := Table{
+		ID:     "E17",
+		Title:  "kill-and-revive self-healing: lease failover, fencing, online re-seed",
+		Claim:  "lease-based detection plus an epoch fence makes failover unattended and split-brain-safe: the standby promotes itself within two lease intervals, the revived stale owner's writes are refused, and it rejoins as a warm standby without pausing the survivor",
+		Header: []string{"measure", "value"},
+	}
+	rounds := 12
+	if o.Quick {
+		rounds = 4
+	}
+	res, err := RunSelfHealingRounds(SelfHealingConfig{
+		Rounds:   rounds,
+		PerRound: 6,
+		Seed:     1711,
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"kill-and-revive rounds", fmt.Sprintf("%d", res.Rounds)},
+		[]string{"deposits attempted", fmt.Sprintf("%d", res.Attempted)},
+		[]string{"deposits acknowledged", fmt.Sprintf("%d", res.Acked)},
+		[]string{"owner crashes mid-operation", fmt.Sprintf("%d", res.MidOpCrashes)},
+		[]string{"acked arrivals lost after promotion", fmt.Sprintf("%d", res.LostAcked)},
+		[]string{"replicated staging/DB divergences", fmt.Sprintf("%d", res.Divergences)},
+		[]string{"takeovers beyond 2 lease intervals", fmt.Sprintf("%d", res.LateTakeovers)},
+		[]string{"takeover detect+promote mean", ms(meanDuration(res.TakeoverDetects))},
+		[]string{"takeover detect+promote max", ms(maxDuration(res.TakeoverDetects))},
+		[]string{"stale-owner writes attempted", fmt.Sprintf("%d", res.StaleAttempts)},
+		[]string{"stale-owner writes refused (fenced)", fmt.Sprintf("%d", res.StaleRefused)},
+		[]string{"fenced frames counted by survivor", fmt.Sprintf("%d", res.FencedCounted)},
+		[]string{"online re-seeds completed", fmt.Sprintf("%d", res.Reseeds)},
+		[]string{"re-seeds failed or not caught up", fmt.Sprintf("%d", res.ReseedFailures)},
+		[]string{"acked files missing at subscriber", fmt.Sprintf("%d", res.Undelivered)},
+		[]string{"duplicate writes at subscriber", fmt.Sprintf("%d", res.AppDuplicates)},
+		[]string{"re-sends suppressed by file-id dedup", fmt.Sprintf("%d", res.SuppressedDuplicates)},
+	)
+	if v := res.Violations(); v != 0 {
+		return t, fmt.Errorf("e17: %d invariant violations: %+v", v, res)
+	}
+	t.Notes = append(t.Notes,
+		"the standby starts a lease countdown at every replication frame or idle heartbeat from the owner; expiry alone triggers promotion — there is no operator and no external coordinator in the loop",
+		"promotion bumps the cluster epoch; the revived owner still holds epoch 1, so its relayed writes are refused with a fencing nack and counted, turning split-brain into a visible, bounded event",
+		"the revived node rejoins with a REJOIN handshake: the survivor re-seeds it with a fresh snapshot and staged-payload walk while continuing to serve, then flips it to live WAL shipping",
+		"takeover time here includes failure detection (lease expiry), unlike E16's detach-to-ready measure — the two-lease-interval bound is the detection SLO")
+	return t, nil
+}
+
+// SelfHealingConfig parameterizes the kill-and-revive harness.
+type SelfHealingConfig struct {
+	// Rounds is how many independent kill/promote/revive/rejoin cycles
+	// to run.
+	Rounds int
+	// PerRound is how many files are deposited before the kill (the
+	// same number again is deposited after the re-seed).
+	PerRound int
+	// Seed drives the per-round fault RNGs and crash points.
+	Seed int64
+	// Lease overrides the failover lease (default 700ms; the heartbeat
+	// is always lease/5).
+	Lease time.Duration
+}
+
+// SelfHealingResult aggregates the harness counters.
+type SelfHealingResult struct {
+	Rounds       int
+	Attempted    int
+	Acked        int
+	MidOpCrashes int
+	// LostAcked counts acknowledged arrivals missing or quarantined on
+	// the promoted node — the headline zero-loss violation.
+	LostAcked int
+	// Divergences counts receipts on the promoted node whose replicated
+	// staged payload is missing or corrupt.
+	Divergences int
+	// TakeoverDetects records kill-to-promoted time per round: failure
+	// detection (lease expiry) plus the promotion itself.
+	TakeoverDetects []time.Duration
+	// LateTakeovers counts rounds where detection+promotion exceeded
+	// two lease intervals — the unattended-takeover SLO violation.
+	LateTakeovers int
+	// StaleAttempts / StaleRefused count writes issued through the
+	// revived stale owner; every one must be refused by the fence.
+	StaleAttempts int
+	StaleRefused  int
+	// FencedCounted sums the survivor's bistro_cluster_fenced_total
+	// deltas: refusals must be visible in metrics, not just to the
+	// caller.
+	FencedCounted int
+	// Reseeds counts rounds where the revived node rejoined as a warm
+	// standby and caught up to the survivor's replication high-water
+	// mark; ReseedFailures counts rounds where it did not.
+	Reseeds        int
+	ReseedFailures int
+	// Undelivered counts acked files absent (or wrong) in the
+	// subscriber tree after the final drain.
+	Undelivered int
+	// AppDuplicates counts files written more than once at the
+	// subscriber — must be zero.
+	AppDuplicates int
+	// SuppressedDuplicates counts re-sent deliveries absorbed by the
+	// subscriber's file-id dedup (nonzero in some rounds by design).
+	SuppressedDuplicates int
+}
+
+// Violations is the number of invariant breaches (zero for a correct
+// self-healing path).
+func (r *SelfHealingResult) Violations() int {
+	return r.LostAcked + r.Divergences + r.Undelivered + r.AppDuplicates +
+		r.LateTakeovers + (r.StaleAttempts - r.StaleRefused) + r.ReseedFailures
+}
+
+// e17Feeds fixes the two-node topology and picks one feed owned by
+// each node: the first node is the kill target (its feed is the one
+// the subscriber follows across the failover), the second survives
+// and is the fence the revived stale owner runs into.
+func e17Feeds() (owner, survivor, ownerFeed, survivorFeed string) {
+	sm, err := cluster.NewShardMap(cluster.Topology{Nodes: []cluster.Node{
+		{Name: "a", Addr: "x"}, {Name: "b", Addr: "x"},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	owner = sm.Owner("CPU").Name
+	survivor = "b"
+	if owner == "b" {
+		survivor = "a"
+	}
+	ownerFeed = "CPU"
+	for _, f := range []string{"BPS", "MEM", "NET", "DISK", "FLOW"} {
+		if sm.Owner(f).Name == survivor {
+			survivorFeed = f
+			return
+		}
+	}
+	panic("e17: no candidate feed hashes to the survivor")
+}
+
+// e17ConfigText renders the shared cluster configuration: automatic
+// failover armed, the standby attached to the kill target, one feed
+// per node. The same text runs every role (NodeName overrides self).
+func e17ConfigText(owner, survivor, ownerAddr, survivorAddr, standbyAddr string, lease time.Duration) string {
+	return fmt.Sprintf(`
+cluster {
+    self "%s"
+    failover {
+        lease %s
+        heartbeat %s
+        auto on
+    }
+    node "%s" {
+        addr "%s"
+        standby "%s"
+    }
+    node "%s" {
+        addr "%s"
+    }
+}
+feed %s { pattern "%s_POLL%%i_%%Y%%m%%d%%H%%M.txt" }
+feed %s { pattern "%s_POLL%%i_%%Y%%m%%d%%H%%M.txt" }
+`, owner, lease, lease/5, owner, ownerAddr, standbyAddr, survivor, survivorAddr,
+		e17Feed(owner), e17Feed(owner), e17Feed(survivor), e17Feed(survivor))
+}
+
+// e17Feed maps a node name to the feed it owns in the fixed topology.
+func e17Feed(node string) string {
+	owner, _, ownerFeed, survivorFeed := e17Feeds()
+	if node == owner {
+		return ownerFeed
+	}
+	return survivorFeed
+}
+
+// RunSelfHealingRounds executes the kill/promote/revive/rejoin
+// property loop. Each round is independent: fresh roots, standby node,
+// and subscriber.
+func RunSelfHealingRounds(cfg SelfHealingConfig) (*SelfHealingResult, error) {
+	if cfg.Lease <= 0 {
+		cfg.Lease = 700 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &SelfHealingResult{Rounds: cfg.Rounds}
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := selfHealingRound(cfg, rng, res, round); err != nil {
+			return nil, fmt.Errorf("e17 round %d: %w", round, err)
+		}
+	}
+	return res, nil
+}
+
+// selfHealingRound runs one full cycle and folds its counters into
+// res.
+func selfHealingRound(cfg SelfHealingConfig, rng *rand.Rand, res *SelfHealingResult, round int) error {
+	rootOwner, err := os.MkdirTemp("", "bistro-e17-owner-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(rootOwner)
+	rootStandby, err := os.MkdirTemp("", "bistro-e17-standby-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(rootStandby)
+	rootRejoin, err := os.MkdirTemp("", "bistro-e17-rejoin-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(rootRejoin)
+	subDir, err := os.MkdirTemp("", "bistro-e17-sub-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(subDir)
+
+	daemon, err := subclient.Start("127.0.0.1:0", subclient.Options{
+		Name: "wh", DestDir: subDir, DedupByID: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer daemon.Stop()
+
+	ownerName, survivorName, ownerFeed, _ := e17Feeds()
+	ownerAddr, err := pickAddr()
+	if err != nil {
+		return err
+	}
+	survivorAddr, err := pickAddr()
+	if err != nil {
+		return err
+	}
+	standbyAddr, err := pickAddr()
+	if err != nil {
+		return err
+	}
+	confText := e17ConfigText(ownerName, survivorName, ownerAddr, survivorAddr, standbyAddr, cfg.Lease)
+	parse := func() (*config.Config, error) { return config.Parse(confText) }
+
+	// The standby node: warm standby plus lease monitor plus the
+	// server options it will promote itself with when the lease lapses.
+	snCfg, err := parse()
+	if err != nil {
+		return err
+	}
+	sn, err := server.StartStandbyNode(standbyAddr, rootStandby, server.StandbyNodeOptions{
+		Server: server.Options{
+			Config: snCfg, NodeName: survivorName, Listen: survivorAddr,
+			ScanInterval: -1, NoSync: true,
+		},
+		Failed: ownerName,
+	})
+	if err != nil {
+		return err
+	}
+	defer sn.Close()
+
+	// The owner's storage runs over the power-cut filesystem; the cut
+	// is armed mid-stream below.
+	faulty := diskfault.NewFaulty(diskfault.NoSync(diskfault.OS()), diskfault.Options{
+		Seed: cfg.Seed + int64(round) + 1, PowerCut: true, TornWrites: true,
+	})
+	ownerCfg, err := parse()
+	if err != nil {
+		return err
+	}
+	owner, err := server.New(server.Options{
+		Config: ownerCfg, Root: rootOwner, Listen: ownerAddr,
+		ScanInterval: -1, FS: faulty,
+	})
+	if err != nil {
+		return err
+	}
+	if err := owner.Start(); err != nil {
+		owner.Stop()
+		return err
+	}
+
+	cc := &subclient.Cluster{Nodes: []string{ownerAddr, survivorAddr}, Timeout: 2 * time.Second}
+	spec := subclient.SubscribeSpec{
+		Name: "wh", Host: daemon.Addr(), Dest: "in", Feeds: []string{ownerFeed},
+	}
+	if err := cc.Subscribe(spec); err != nil {
+		owner.Stop()
+		return fmt.Errorf("subscribe at owner: %w", err)
+	}
+
+	// Deposit with a seeded power cut armed somewhere in the stream.
+	acked := make(map[string]string)
+	base := time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+	stamp := func(i int) string {
+		return base.Add(time.Duration(round*100+i) * time.Minute).Format("200601021504")
+	}
+	faulty.SetCrashAfter(3 + rng.Int63n(45))
+	for i := 0; i < cfg.PerRound; i++ {
+		name := fmt.Sprintf("%s_POLL%d_%s.txt", ownerFeed, i%3+1, stamp(i))
+		payload := fmt.Sprintf("round=%d file=%d payload=%032d", round, i, i)
+		res.Attempted++
+		if err := owner.Deposit(name, []byte(payload)); err == nil {
+			res.Acked++
+			acked[name] = payload
+		}
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) && !faulty.Crashed() {
+		if owner.Store().DeliveredCount("wh") >= len(acked) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if faulty.Crashed() {
+		res.MidOpCrashes++
+	}
+
+	// Kill the owner. Nobody is watching: the standby's lease monitor
+	// must notice the silence and promote on its own.
+	killAt := time.Now()
+	owner.Stop()
+	var promoted *server.Server
+	for time.Since(killAt) < 15*time.Second {
+		srv, _, perr, ok := sn.Promoted()
+		if ok {
+			if perr != nil {
+				return fmt.Errorf("automatic promotion: %w", perr)
+			}
+			promoted = srv
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if promoted == nil {
+		return fmt.Errorf("standby never promoted itself after the kill")
+	}
+	defer promoted.Stop()
+	detect := time.Since(killAt)
+	res.TakeoverDetects = append(res.TakeoverDetects, detect)
+	if detect > 2*cfg.Lease {
+		res.LateTakeovers++
+	}
+
+	// Zero-loss invariants on the promoted store.
+	store := promoted.Store()
+	byName := make(map[string]bool)
+	for _, meta := range store.AllFiles() {
+		byName[meta.Name] = !store.Quarantined(meta.ID)
+		if store.Quarantined(meta.ID) || store.IsExpired(meta.ID) {
+			continue
+		}
+		staged := filepath.Join(rootStandby, "staging", filepath.FromSlash(meta.StagedPath))
+		crc, size, err := normalize.ChecksumFile(staged)
+		if err != nil || size != meta.Size || crc != meta.Checksum {
+			res.Divergences++
+		}
+	}
+	for name := range acked {
+		if !byName[name] {
+			res.LostAcked++
+		}
+	}
+
+	// The subscriber re-resolves; the epoch-preferring Resolve lands it
+	// on the promoted survivor even while the old address lingers dead.
+	if err := cc.Subscribe(spec); err != nil {
+		return fmt.Errorf("re-subscribe after promotion: %w", err)
+	}
+
+	// Revive the dead node from its stale disk. It still believes it
+	// owns its shard at epoch 1; the survivor is at epoch 2. Writes it
+	// relays through its outdated map must be refused by the fence.
+	revivedCfg, err := parse()
+	if err != nil {
+		return err
+	}
+	// A fresh ephemeral port: nothing needs the revived node at its old
+	// address (the subscriber already re-resolved to the survivor), and
+	// re-binding a just-freed port races other listeners on the host.
+	revived, err := server.New(server.Options{
+		Config: revivedCfg, Root: rootOwner, Listen: "127.0.0.1:0",
+		ScanInterval: -1, NoSync: true,
+	})
+	if err != nil {
+		return fmt.Errorf("revive stale owner: %w", err)
+	}
+	if err := revived.Start(); err != nil {
+		revived.Stop()
+		return fmt.Errorf("revive stale owner: %w", err)
+	}
+	fencedBefore := promoted.Metrics().Counter("bistro_cluster_fenced_total", "").Value()
+	src, err := sourceclient.Dial(revived.Addr(), "stale-poller", 2*time.Second)
+	if err != nil {
+		revived.Stop()
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		// A survivor-owned feed: the revived node forwards it relayed,
+		// stamped with its stale epoch, straight into the fence.
+		name := fmt.Sprintf("%s_POLL1_%s.txt", e17Feed(survivorName), stamp(90+i))
+		res.StaleAttempts++
+		err := src.Upload(name, []byte("stale write"))
+		if err != nil && strings.Contains(err.Error(), "fenced") {
+			res.StaleRefused++
+		}
+	}
+	src.Close()
+	res.FencedCounted += int(promoted.Metrics().Counter("bistro_cluster_fenced_total", "").Value() - fencedBefore)
+
+	// The revived node gives up its stale state and rejoins as the
+	// survivor's new warm standby: fresh snapshot plus staged-payload
+	// walk while the survivor keeps serving, then live shipping.
+	revived.Stop()
+	rejoinCfg, err := parse()
+	if err != nil {
+		return err
+	}
+	sn2, err := server.RejoinAsStandby(survivorAddr, "127.0.0.1:0", rootRejoin, server.StandbyNodeOptions{
+		Server: server.Options{
+			Config: rejoinCfg, NodeName: ownerName,
+			ScanInterval: -1, NoSync: true,
+		},
+		Failed: survivorName,
+	})
+	if err != nil {
+		res.ReseedFailures++
+		return nil
+	}
+	defer sn2.Close()
+
+	// Post-reseed traffic: acked at the survivor means shipped to the
+	// rejoined standby.
+	for i := 0; i < cfg.PerRound; i++ {
+		name := fmt.Sprintf("%s_POLL%d_%s.txt", ownerFeed, i%3+1, stamp(50+i))
+		payload := fmt.Sprintf("round=%d post-reseed=%d payload=%032d", round, i, i)
+		res.Attempted++
+		if err := promoted.Deposit(name, []byte(payload)); err == nil {
+			res.Acked++
+			acked[name] = payload
+		}
+	}
+	caughtUp := false
+	catchup := time.Now().Add(15 * time.Second)
+	for time.Now().Before(catchup) {
+		node := promoted.Status().Node
+		if node.ReplicationOK != nil && *node.ReplicationOK &&
+			node.Standby == sn2.Standby().Addr() &&
+			node.ReplicationHW == sn2.Standby().HW() && node.ReplicationHW > 0 &&
+			e17StagedFiles(rootRejoin) > 0 {
+			caughtUp = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if caughtUp {
+		res.Reseeds++
+	} else {
+		res.ReseedFailures++
+	}
+
+	// Final drain and exactly-once accounting across the whole cycle.
+	drain := time.Now().Add(30 * time.Second)
+	for time.Now().Before(drain) {
+		if len(store.PendingFor("wh", []string{ownerFeed})) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for name, payload := range acked {
+		got, err := os.ReadFile(filepath.Join(subDir, "in", ownerFeed, name))
+		if err != nil || string(got) != payload {
+			res.Undelivered++
+		}
+	}
+	writes := make(map[string]int)
+	for _, n := range daemon.Received() {
+		writes[n]++
+	}
+	for _, c := range writes {
+		if c > 1 {
+			res.AppDuplicates += c - 1
+		}
+	}
+	res.SuppressedDuplicates += daemon.DuplicatesSuppressed()
+	return nil
+}
+
+// e17StagedFiles counts staged payload files under a standby root.
+func e17StagedFiles(root string) int {
+	n := 0
+	filepath.WalkDir(filepath.Join(root, "staging"), func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestE17Shape(t *testing.T) {
+	tab, err := E17SelfHealing(Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Format())
+	}
+	if num(t, row(t, tab, "kill-and-revive rounds")[1]) != 4 {
+		t.Fatalf("rounds: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "acked arrivals lost after promotion")[1]) != 0 {
+		t.Fatalf("acked loss across self-healing failover: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "duplicate writes at subscriber")[1]) != 0 {
+		t.Fatalf("exactly-once application broken: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "takeovers beyond 2 lease intervals")[1]) != 0 {
+		t.Fatalf("takeover SLO missed: %s", tab.Format())
+	}
+}
+
+// TestE17SelfHealing is the full acceptance run: ten seeded
+// kill-and-revive rounds with automatic failover on. Every round must
+// detect the kill within two lease intervals with no operator, lose
+// nothing acknowledged, refuse (and count) every write from the
+// revived stale owner, and re-seed the revived node into a caught-up
+// warm standby while the survivor keeps serving.
+func TestE17SelfHealing(t *testing.T) {
+	res, err := RunSelfHealingRounds(SelfHealingConfig{
+		Rounds:   10,
+		PerRound: 6,
+		Seed:     1711,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Violations(); v != 0 {
+		t.Fatalf("%d invariant violations: %+v", v, res)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no deposits acknowledged — harness vacuous")
+	}
+	if res.MidOpCrashes < 3 {
+		t.Fatalf("only %d mid-operation cuts — harness not biting: %+v", res.MidOpCrashes, res)
+	}
+	if len(res.TakeoverDetects) != res.Rounds {
+		t.Fatalf("takeover time missing for some rounds: %d/%d", len(res.TakeoverDetects), res.Rounds)
+	}
+	if res.StaleAttempts == 0 || res.StaleRefused != res.StaleAttempts {
+		t.Fatalf("stale-owner writes not fully fenced: %d/%d refused", res.StaleRefused, res.StaleAttempts)
+	}
+	if res.FencedCounted < res.Rounds {
+		t.Fatalf("fence refusals not visible in survivor metrics: %d over %d rounds",
+			res.FencedCounted, res.Rounds)
+	}
+	if res.Reseeds != res.Rounds {
+		t.Fatalf("online re-seed incomplete: %d/%d rounds", res.Reseeds, res.Rounds)
+	}
+}

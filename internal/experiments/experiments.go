@@ -117,5 +117,6 @@ func All() []Runner {
 		{"e14", "parallel sharded ingest with WAL group-commit", E14ParallelIngest},
 		{"e15", "historical replay from the archive concurrent with live delivery", E15HistoricalReplay},
 		{"e16", "kill -9 shard failover to a WAL-shipped warm standby", E16Failover},
+		{"e17", "kill-and-revive self-healing: lease failover, fencing, online re-seed", E17SelfHealing},
 	}
 }

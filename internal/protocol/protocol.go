@@ -48,6 +48,12 @@ type Upload struct {
 	// that did not own the file's feed; the receiver must not forward
 	// it again (shard maps briefly disagree during failover).
 	Relayed bool
+	// Epoch, on a relayed upload, is the forwarding node's cluster
+	// ownership epoch. A receiver whose epoch is newer refuses the
+	// write (fencing): a partitioned old owner relaying with its stale
+	// map must not deposit through nodes that have moved on. Zero means
+	// "no epoch" and is never fenced.
+	Epoch uint64
 }
 
 // EndOfBatch is source punctuation: all files for the current batch of
@@ -153,6 +159,10 @@ type Resolved struct {
 	Standby string
 	// Owner reports whether the answering node is itself the owner.
 	Owner bool
+	// Epoch is the answering node's cluster ownership epoch (0 on an
+	// unclustered server). When several nodes answer differently
+	// mid-failover, the highest epoch has the freshest map.
+	Epoch uint64
 }
 
 // Ack acknowledges any request.
@@ -163,6 +173,24 @@ type Ack struct {
 	// cluster node, carries the owning node's address so the client can
 	// re-issue the request there.
 	Redirect string
+	// Epoch, when non-zero, is the responder's cluster ownership epoch
+	// — on a fencing refusal it tells a stale sender how far behind it
+	// is, and on a Rejoin ack it seeds the new standby's fence floor.
+	Epoch uint64
+}
+
+// Rejoin asks a serving cluster node to adopt the sender as its new
+// warm standby: the receiver re-seeds the standby listening at
+// StandbyAddr from its live store (fresh snapshot + staged payload
+// walk + archive backlog) and flips it to live shipping, all while it
+// keeps serving. Sent by a recovered or brand-new node re-entering the
+// cluster (server.RejoinAsStandby).
+type Rejoin struct {
+	// Node is the rejoining node's name.
+	Node string
+	// StandbyAddr is the replication listen address of the rejoiner's
+	// fresh standby.
+	StandbyAddr string
 }
 
 func init() {
@@ -180,6 +208,7 @@ func init() {
 	gob.Register(Trigger{})
 	gob.Register(Resolve{})
 	gob.Register(Resolved{})
+	gob.Register(Rejoin{})
 	gob.Register(Ack{})
 }
 

@@ -215,6 +215,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		w.close()
 		return nil, err
 	}
+	// Seed the mu-guarded size mirror from the replayed WAL: Stats
+	// reads it instead of wal.size, which is only safe under gc.mu.
+	s.walBytes = w.size
 	return s, nil
 }
 
@@ -580,7 +583,7 @@ func (s *Store) Stats() Stats {
 		Feeds:       len(s.feedFiles),
 		Subscribers: len(s.delivered),
 		Commits:     s.commits,
-		WALBytes:    s.wal.size,
+		WALBytes:    s.walBytes,
 	}
 }
 

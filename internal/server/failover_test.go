@@ -1,0 +1,272 @@
+package server
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bistro/internal/cluster"
+	"bistro/internal/protocol"
+	"bistro/internal/sourceclient"
+)
+
+// TestRelayedUploadEpochFencing is the satellite cross-epoch relay
+// matrix: a stale-epoch relayed upload is refused (fenced, counted,
+// epoch NOT learned from the sender), while same-epoch, newer-epoch,
+// and epoch-zero relays follow the one-hop rule and land locally.
+func TestRelayedUploadEpochFencing(t *testing.T) {
+	_, nodeB, _, feedB := startTwoNodeCluster(t)
+
+	// Simulate a failover elsewhere: node b's map has moved to epoch 5.
+	nodeB.shard.ObserveEpoch(5)
+
+	conn, err := protocol.Dial(nodeB.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Call(protocol.Hello{Role: "source", Name: "peer"}); err != nil {
+		t.Fatal(err)
+	}
+	relay := func(name string, epoch uint64) protocol.Ack {
+		t.Helper()
+		data := []byte("relayed\n")
+		if err := conn.Send(protocol.Upload{
+			Name: name, Data: data, CRC: crc32of(data), Relayed: true, Epoch: epoch,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		reply, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ack, ok := reply.(protocol.Ack)
+		if !ok {
+			t.Fatalf("expected Ack, got %T", reply)
+		}
+		return ack
+	}
+
+	// Old owner (epoch 1) relaying to the moved-on node: refused.
+	ack := relay(feedB+"_201009250451.txt", 1)
+	if ack.OK {
+		t.Fatal("stale-epoch relayed upload must be refused")
+	}
+	if !strings.Contains(ack.Error, "fenced") {
+		t.Fatalf("refusal should say fenced, got %q", ack.Error)
+	}
+	if ack.Epoch != 5 {
+		t.Fatalf("fencing ack should carry our epoch 5, got %d", ack.Epoch)
+	}
+	if got := nodeB.Metrics().Counter("bistro_cluster_fenced_total", "").Value(); got != 1 {
+		t.Fatalf("fenced counter = %d, want 1", got)
+	}
+
+	// Same epoch: accepted (normal peer forwarding).
+	if ack := relay(feedB+"_201009250452.txt", 5); !ack.OK {
+		t.Fatalf("same-epoch relay refused: %s", ack.Error)
+	}
+	// Newer epoch (we are the stale side — e.g. the promoted node relays
+	// a misplaced file back): accepted under the one-hop rule, and the
+	// epoch is deliberately NOT absorbed from an upload.
+	if ack := relay(feedB+"_201009250453.txt", 6); !ack.OK {
+		t.Fatalf("newer-epoch relay refused: %s", ack.Error)
+	}
+	if got := nodeB.shard.Epoch(); got != 5 {
+		t.Fatalf("upload must not teach the node a new epoch: got %d, want 5", got)
+	}
+	// Epoch zero (pre-fencing sender): accepted.
+	if ack := relay(feedB+"_201009250454.txt", 0); !ack.OK {
+		t.Fatalf("epoch-zero relay refused: %s", ack.Error)
+	}
+	waitFor(t, "accepted relays ingested", func() bool {
+		return nodeB.Store().Stats().Files == 3
+	})
+}
+
+// TestPromoteStandbyErrorPaths (satellite): the three ways a promotion
+// can be mis-invoked must fail with a telling error, not a panic or a
+// half-started server.
+func TestPromoteStandbyErrorPaths(t *testing.T) {
+	newStandby := func() *cluster.Standby {
+		t.Helper()
+		st, err := cluster.StartStandby("127.0.0.1:0", cluster.StandbyOptions{Root: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st
+	}
+	feedOnly := `feed CPU { pattern "cpu_%Y%m%d.csv" }` + "\n"
+
+	// 1. Config without a cluster block.
+	_, _, err := PromoteStandby(newStandby(), "a", Options{
+		Config: mustConfig(t, feedOnly), Root: t.TempDir(), ScanInterval: -1, NoSync: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "no cluster block") {
+		t.Fatalf("missing cluster block: err = %v", err)
+	}
+
+	// 2. Cluster block but no node identity (no self, no NodeName).
+	anon := feedOnly + `cluster { node "a" { addr "x:1" } node "b" { addr "x:2" } }`
+	_, _, err = PromoteStandby(newStandby(), "a", Options{
+		Config: mustConfig(t, anon), Root: t.TempDir(), ScanInterval: -1, NoSync: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "node identity unset") {
+		t.Fatalf("unset identity: err = %v", err)
+	}
+
+	// 3. Promote of an unknown failed node is rejected by the shard map.
+	named := feedOnly + `cluster { self "b" node "a" { addr "x:1" } node "b" { addr "x:2" } }`
+	_, _, err = PromoteStandby(newStandby(), "ghost", Options{
+		Config: mustConfig(t, named), Root: t.TempDir(), ScanInterval: -1, NoSync: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("unknown failed node: err = %v", err)
+	}
+}
+
+// TestAutoFailoverAndRejoin is the self-healing loop in miniature:
+// owner a replicates to a standby-for-b, dies, the standby promotes
+// itself on lease expiry (epoch bump), and a fresh node a rejoins as
+// the survivor's standby via the online re-seed — all unattended.
+func TestAutoFailoverAndRejoin(t *testing.T) {
+	feedA, feedB := splitFeeds(t)
+	addrA, addrB := reserveAddr(t), reserveAddr(t)
+	sbAddr := reserveAddr(t)
+	cfgSrc := fmt.Sprintf(`
+cluster {
+    self "a"
+    failover {
+        lease 600ms
+        heartbeat 120ms
+        auto on
+    }
+    node "a" { addr "%s" standby "%s" }
+    node "b" { addr "%s" }
+}
+feed %s { pattern "%s_%%Y%%m%%d%%H%%M.txt" }
+feed %s { pattern "%s_%%Y%%m%%d%%H%%M.txt" }
+`, addrA, sbAddr, addrB, feedA, feedA, feedB, feedB)
+
+	cfg := mustConfig(t, cfgSrc)
+	sn, err := StartStandbyNode(sbAddr, t.TempDir(), StandbyNodeOptions{
+		Server: Options{
+			Config: mustConfig(t, cfgSrc), NodeName: "b", Listen: addrB,
+			Root: "", ScanInterval: -1, NoSync: true,
+		},
+		Failed: "a",
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+
+	owner, err := New(Options{
+		Config: cfg, Root: t.TempDir(), Listen: addrA, ScanInterval: -1, NoSync: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Start(); err != nil {
+		owner.Stop()
+		t.Fatal(err)
+	}
+	if err := owner.Deposit(feedA+"_201009250451.txt", []byte("before\n")); err != nil {
+		owner.Stop()
+		t.Fatal(err)
+	}
+	waitFor(t, "deposit ingested on owner", func() bool {
+		return owner.Store().Stats().Files == 1
+	})
+
+	// Kill the owner. No operator: lease expiry must promote.
+	owner.Stop()
+	var promoted *Server
+	waitFor(t, "automatic promotion", func() bool {
+		srv, _, perr, ok := sn.Promoted()
+		if !ok {
+			return false
+		}
+		if perr != nil {
+			t.Fatalf("promotion failed: %v", perr)
+		}
+		promoted = srv
+		return true
+	})
+	defer promoted.Stop()
+	if got := promoted.shard.Epoch(); got != 2 {
+		t.Fatalf("promoted epoch = %d, want 2", got)
+	}
+	ns := promoted.nodeStatus()
+	if ns.Role != "promoted" || ns.Epoch != 2 {
+		t.Fatalf("promoted node status = %+v", ns)
+	}
+	// The shipped history is served by the survivor.
+	if got := promoted.Store().Stats().Files; got != 1 {
+		t.Fatalf("promoted store has %d files, want 1", got)
+	}
+
+	// The failed node returns empty-handed and rejoins as b's standby.
+	sn2, err := RejoinAsStandby(addrB, "127.0.0.1:0", t.TempDir(), StandbyNodeOptions{
+		Server: Options{
+			Config: mustConfig(t, cfgSrc), NodeName: "a",
+			ScanInterval: -1, NoSync: true,
+		},
+		Failed: "b",
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn2.Close()
+	if got := sn2.Standby().Epoch(); got != 2 {
+		t.Fatalf("rejoined standby fence floor = %d, want 2", got)
+	}
+	waitFor(t, "survivor ships to rejoined standby", func() bool {
+		sh := promoted.getShipper()
+		return sh != nil && sh.Healthy() && sh.Addr() == sn2.Standby().Addr()
+	})
+	ns = promoted.nodeStatus()
+	if ns.Standby != sn2.Standby().Addr() {
+		t.Fatalf("status standby = %q, want %q", ns.Standby, sn2.Standby().Addr())
+	}
+
+	// Post-reseed traffic is replicated: acked ⟹ staged on the standby.
+	src, err := sourceclient.Dial(promoted.Addr(), "poller1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Upload(feedA+"_201009250455.txt", []byte("after\n")); err != nil {
+		t.Fatalf("deposit after re-seed: %v", err)
+	}
+	waitFor(t, "post-reseed ingest", func() bool {
+		return promoted.Store().Stats().Files == 2
+	})
+	waitFor(t, "standby caught up", func() bool {
+		sh := promoted.getShipper()
+		return sh != nil && sh.AckedHW() == sn2.Standby().HW() && sh.AckedHW() > 0
+	})
+	// The pre-failover file re-seeded onto the fresh standby's staging.
+	staged := 0
+	err = filepath.WalkDir(filepath.Join(sn2.Standby().Root(), "staging"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			staged++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged == 0 {
+		t.Fatal("re-seeded standby has no staged payloads")
+	}
+}

@@ -181,6 +181,12 @@ type NodeStatus struct {
 	ReplicationOK *bool `json:"replication_ok,omitempty"`
 	// ReplicationHW is the standby's acknowledged high-watermark.
 	ReplicationHW uint64 `json:"replication_hw,omitempty"`
+	// Epoch is the cluster ownership epoch this node's shard map holds
+	// (the fencing token; bumps on every promotion).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Standby is the replication address this node currently ships to
+	// (changes when a rejoined node is adopted).
+	Standby string `json:"standby,omitempty"`
 }
 
 // Status is the structured snapshot served at /statusz and rendered by
@@ -206,14 +212,16 @@ func (s *Server) nodeStatus() NodeStatus {
 	}
 	ns.Name = s.shard.SelfName()
 	ns.Role = "owner"
+	ns.Epoch = s.shard.Epoch()
 	if from := s.shard.PromotedFrom(ns.Name); len(from) > 0 {
 		ns.Role = "promoted"
 		ns.PromotedFrom = from
 	}
-	if s.shipper != nil {
-		ok := s.shipper.Healthy()
+	if sh := s.getShipper(); sh != nil {
+		ok := sh.Healthy()
 		ns.ReplicationOK = &ok
-		ns.ReplicationHW = s.shipper.AckedHW()
+		ns.ReplicationHW = sh.AckedHW()
+		ns.Standby = sh.Addr()
 	}
 	return ns
 }

@@ -22,6 +22,7 @@ import (
 // the surviving node.
 func PromoteStandby(st *cluster.Standby, failed string, opts Options) (*Server, time.Duration, error) {
 	begin := time.Now()
+	epoch := st.Epoch()
 	if err := st.Detach(); err != nil {
 		return nil, 0, fmt.Errorf("server: promote: detach standby: %w", err)
 	}
@@ -42,6 +43,10 @@ func PromoteStandby(st *cluster.Standby, failed string, opts Options) (*Server, 
 		return nil, 0, fmt.Errorf("server: promote: node identity unset (self/NodeName)")
 	}
 	if failed != "" && failed != self {
+		// Seed the shard map with the epoch the replication stream
+		// carried, so Promote's bump fences the old owner: every epoch the
+		// failed node ever stamped is now strictly below ours.
+		srv.shard.ObserveEpoch(epoch)
 		if err := srv.shard.Promote(failed, self); err != nil {
 			srv.Stop()
 			return nil, 0, err

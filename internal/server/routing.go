@@ -71,6 +71,8 @@ func (s *Server) serveConn(conn *protocol.Conn) {
 			ack = protocol.Ack{OK: true}
 		case protocol.Subscribe:
 			ack = s.handleSubscribe(m)
+		case protocol.Rejoin:
+			ack = s.handleRejoin(m)
 		case protocol.Resolve:
 			if err := conn.Send(s.resolveFeed(m.Feed)); err != nil {
 				return
@@ -112,9 +114,13 @@ func (s *Server) routeFor(name string) (cluster.Node, bool) {
 // and receiver's maps can briefly disagree, and a one-hop rule turns
 // that into a single misplaced file instead of a forwarding loop.
 func (s *Server) handleUpload(m protocol.Upload) protocol.Ack {
+	if ack, fenced := s.fenceRelayed(m); fenced {
+		return ack
+	}
 	if owner, remote := s.routeFor(filepath.ToSlash(m.Name)); remote && !m.Relayed {
 		fwd := m
 		fwd.Relayed = true
+		fwd.Epoch = s.shard.Epoch()
 		if err := s.peers.call(owner.Addr, fwd); err != nil {
 			return protocol.Ack{OK: false, Error: fmt.Sprintf("forward to %s: %v", owner.Name, err)}
 		}
@@ -125,6 +131,46 @@ func (s *Server) handleUpload(m protocol.Upload) protocol.Ack {
 		return protocol.Ack{OK: false, Error: err.Error()}
 	}
 	return protocol.Ack{OK: true}
+}
+
+// fenceRelayed refuses a relayed upload stamped with a stale cluster
+// epoch: a partitioned old owner forwarding through its outdated shard
+// map must not deposit here after a failover moved ownership on. The
+// epoch is deliberately NOT observed from uploads — a fenced node must
+// learn the new topology by rejoining, not by inheriting the epoch and
+// slipping past the fence.
+func (s *Server) fenceRelayed(m protocol.Upload) (protocol.Ack, bool) {
+	if s.shard == nil || !m.Relayed || m.Epoch == 0 {
+		return protocol.Ack{}, false
+	}
+	cur := s.shard.Epoch()
+	if m.Epoch >= cur {
+		return protocol.Ack{}, false
+	}
+	if s.clusterM != nil {
+		s.clusterM.Fenced.Inc()
+	}
+	s.logger.Raise("cluster", fmt.Sprintf(
+		"fenced relayed upload %s: sender epoch %d, ours %d", m.Name, m.Epoch, cur))
+	return protocol.Ack{
+		OK:    false,
+		Error: fmt.Sprintf("fenced: stale epoch %d (node is at %d)", m.Epoch, cur),
+		Epoch: cur,
+	}, true
+}
+
+// handleRejoin adopts the sender as this node's new warm standby
+// (online re-seed). The ack carries our epoch so the rejoiner seeds
+// its fence floor before any replication frame arrives.
+func (s *Server) handleRejoin(m protocol.Rejoin) protocol.Ack {
+	if s.shard == nil {
+		return protocol.Ack{OK: false, Error: "not clustered"}
+	}
+	if err := s.AttachStandby(m.StandbyAddr); err != nil {
+		return protocol.Ack{OK: false, Error: err.Error(), Epoch: s.shard.Epoch()}
+	}
+	s.logger.Logf("cluster", "node %s rejoined as standby at %s", m.Node, m.StandbyAddr)
+	return protocol.Ack{OK: true, Epoch: s.shard.Epoch()}
 }
 
 // handleFileReady ingests a shared-filesystem deposit, shipping the
@@ -139,7 +185,10 @@ func (s *Server) handleFileReady(m protocol.FileReady) protocol.Ack {
 		if err != nil {
 			return protocol.Ack{OK: false, Error: err.Error()}
 		}
-		fwd := protocol.Upload{Name: name, Data: data, CRC: crc32.ChecksumIEEE(data), Relayed: true}
+		fwd := protocol.Upload{
+			Name: name, Data: data, CRC: crc32.ChecksumIEEE(data),
+			Relayed: true, Epoch: s.shard.Epoch(),
+		}
 		if err := s.peers.call(owner.Addr, fwd); err != nil {
 			return protocol.Ack{OK: false, Error: fmt.Sprintf("forward to %s: %v", owner.Name, err)}
 		}
@@ -222,6 +271,7 @@ func (s *Server) resolveFeed(feed string) protocol.Resolved {
 		Addr:    owner.Addr,
 		Standby: owner.Standby,
 		Owner:   owner.Name == s.shard.SelfName(),
+		Epoch:   s.shard.Epoch(),
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"bistro/internal/admin"
 	"bistro/internal/analyzer"
 	"bistro/internal/archive"
+	"bistro/internal/backoff"
 	"bistro/internal/classifier"
 	"bistro/internal/clock"
 	"bistro/internal/cluster"
@@ -132,10 +133,13 @@ type Server struct {
 
 	// Cluster state — all nil/zero on a single-node server (the
 	// 1-shard degenerate case pays nothing for the routing layer).
+	// shipper is guarded by mu: AttachStandby swaps it at runtime when
+	// a recovered node rejoins as the new standby.
 	shard    *cluster.ShardMap
-	shipper  *cluster.Shipper // nil unless this node names a standby
+	shipper  *cluster.Shipper // nil unless this node ships to a standby
 	clusterM *cluster.Metrics
 	peers    *peerPool
+	failover cluster.FailoverParams
 
 	mu        sync.Mutex
 	conns     map[*protocol.Conn]struct{}
@@ -228,12 +232,9 @@ func New(opts Options) (*Server, error) {
 		s.shard = shard
 		s.clusterM = cluster.NewMetrics(s.reg)
 		s.peers = newPeerPool(5 * time.Second)
+		s.failover = failoverParams(cfg.Cluster)
 		if self, ok := shard.Self(); ok && self.Standby != "" {
-			s.shipper = cluster.NewShipper(self.Standby, cluster.ShipperOptions{
-				Node:    self.Name,
-				Metrics: s.clusterM,
-				Alarm:   func(msg string) { s.logger.Raise("cluster", msg) },
-			})
+			s.shipper = s.newShipper(self.Standby)
 		}
 	}
 
@@ -340,6 +341,23 @@ func New(opts Options) (*Server, error) {
 	arch.FS = s.fs
 	arch.Metrics = archive.NewMetrics(s.reg)
 	arch.Alarm = func(msg string) { s.logger.Raise("archive", msg) }
+	if s.shard != nil && archRoot != "" {
+		// Ship archive promotions on the replication stream: the standby
+		// mirrors the move (staged copy dropped, archived copy + manifest
+		// entries written), so a promoted standby serves replay history
+		// too. An error aborts the expiry pass and the next pass retries.
+		arch.OnArchived = func(v receipts.FileMeta, archivedAt time.Time) error {
+			sh := s.getShipper()
+			if sh == nil {
+				return nil
+			}
+			data, err := diskfault.ReadFile(s.fs, filepath.Join(archRoot, filepath.FromSlash(v.StagedPath)))
+			if err != nil {
+				return fmt.Errorf("server: read archived %s for replication: %w", v.StagedPath, err)
+			}
+			return sh.ShipArchive(v, archivedAt, data)
+		}
+	}
 	if archRoot != "" && (cfg.Replay == nil || !cfg.Replay.NoManifest) {
 		if err := arch.EnableManifest(); err != nil {
 			store.Close()
@@ -522,19 +540,19 @@ func (s *Server) onReplayEvent(ev replay.Event) {
 // a revised feed definition disseminates everything it now matches
 // (§4.2: "all the files matching new definition will be delivered").
 func (s *Server) Start() error {
-	if s.shipper != nil {
+	if sh := s.getShipper(); sh != nil {
 		// Establish replication before reconciliation so the recovery
 		// commits (quarantines, re-ingests) ship like any others. A
 		// failed bootstrap still arms the hooks: commits fail until the
 		// background loop re-establishes the stream — an owner never
 		// acknowledges an arrival its standby cannot replay.
-		if err := s.shipper.Bootstrap(s.store, s.stage, s.fs); err != nil {
+		if err := s.bootstrapShipper(sh); err != nil {
 			s.logger.Logf("cluster", "replication bootstrap: %v", err)
 		} else {
-			s.logger.Logf("cluster", "replicating to standby %s", s.shipper.Addr())
+			s.logger.Logf("cluster", "replicating to standby %s", sh.Addr())
 		}
 		s.wg.Add(1)
-		go s.rebootstrapLoop()
+		go s.replicationLoop(sh)
 	}
 	if n := s.cleanStaleTmp(); n > 0 {
 		s.logger.Logf("reconcile", "removed %d stale temp files", n)
@@ -628,28 +646,172 @@ func (s *Server) Ready() error {
 	return s.readyErr
 }
 
-// rebootstrapLoop re-establishes a down replication stream. While the
-// stream is down every shipped commit fails (strict replication), so
-// recovery latency here is ingest downtime, not a durability hole.
-func (s *Server) rebootstrapLoop() {
+// failoverParams maps the config failover block onto the cluster
+// layer's parameters (defaults applied — a cluster without the block
+// still heartbeats at the default cadence; only Auto stays off).
+func failoverParams(sp *config.ClusterSpec) cluster.FailoverParams {
+	p := cluster.FailoverParams{}
+	if sp != nil && sp.Failover != nil {
+		p.Lease = sp.Failover.Lease
+		p.Heartbeat = sp.Failover.Heartbeat
+		p.Auto = sp.Failover.Auto
+	}
+	return p.WithDefaults()
+}
+
+// newShipper builds this node's shipper to the standby at addr.
+func (s *Server) newShipper(addr string) *cluster.Shipper {
+	name := ""
+	if s.shard != nil {
+		if self, ok := s.shard.Self(); ok {
+			name = self.Name
+		}
+	}
+	return cluster.NewShipper(addr, cluster.ShipperOptions{
+		Node:    name,
+		Epoch:   s.shard.Epoch,
+		Metrics: s.clusterM,
+		Alarm:   func(msg string) { s.logger.Raise("cluster", msg) },
+	})
+}
+
+// getShipper returns the current shipper (nil when not replicating).
+func (s *Server) getShipper() *cluster.Shipper {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shipper
+}
+
+// bootstrapShipper establishes (or re-establishes) the replication
+// stream: snapshot + staged walk + receipt history, then the archive
+// backlog so a re-seeded standby also mirrors long-term storage.
+func (s *Server) bootstrapShipper(sh *cluster.Shipper) error {
+	if err := sh.Bootstrap(s.store, s.stage, s.fs); err != nil {
+		return err
+	}
+	return s.shipArchiveBacklog(sh)
+}
+
+// shipArchiveBacklog re-ships every archived file still indexed by the
+// receipt store (compacted receipts have the manifest as their only
+// record and are not re-seeded — documented in docs/CLUSTER.md). The
+// standby applies archive frames idempotently, so re-shipping after a
+// reconnect is safe.
+func (s *Server) shipArchiveBacklog(sh *cluster.Shipper) error {
+	if s.arch == nil || s.arch.Manifest() == nil {
+		return nil
+	}
+	archRoot := s.resolveDir(s.cfg.ArchiveDir, "archive")
+	if s.cfg.ArchiveDir == "" {
+		return nil
+	}
+	now := s.clk.Now().UTC()
+	for _, meta := range s.store.AllFiles() {
+		if !s.arch.Manifest().Has(meta.ID) {
+			continue
+		}
+		data, err := diskfault.ReadFile(s.fs, filepath.Join(archRoot, filepath.FromSlash(meta.StagedPath)))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return fmt.Errorf("server: read archived %s for backlog: %w", meta.StagedPath, err)
+		}
+		if err := sh.ShipArchive(meta, now, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replicationLoop keeps one shipper's stream alive: heartbeats renew
+// the owner's lease while traffic is idle, and a down stream is
+// re-bootstrapped under exponential backoff with jitter (a flapping
+// standby must not be hammered at a fixed cadence, and the alarm for a
+// persistent outage is raised once, not every tick). While the stream
+// is down every shipped commit fails (strict replication), so recovery
+// latency here is ingest downtime, not a durability hole. The loop
+// exits when its shipper is replaced (AttachStandby spawns a new one).
+func (s *Server) replicationLoop(sh *cluster.Shipper) {
 	defer s.wg.Done()
+	bo := backoff.New(backoff.Policy{
+		Base:       200 * time.Millisecond,
+		Max:        5 * time.Second,
+		Multiplier: 2,
+	}, backoff.Seed("rebootstrap-"+sh.Addr()))
+	var retryAt time.Time
 	for {
-		t := s.clk.NewTimer(2 * time.Second)
+		t := s.clk.NewTimer(s.failover.Heartbeat)
 		select {
 		case <-s.stopCh:
 			t.Stop()
 			return
 		case <-t.C():
 		}
-		if s.shipper.Healthy() {
+		if s.getShipper() != sh {
+			return // replaced by AttachStandby
+		}
+		if sh.Healthy() {
+			bo.Reset()
+			retryAt = time.Time{}
+			if err := sh.Heartbeat(); err != nil {
+				s.logger.Logf("cluster", "heartbeat: %v", err)
+			}
 			continue
 		}
-		if err := s.shipper.Bootstrap(s.store, s.stage, s.fs); err != nil {
+		now := s.clk.Now()
+		if !retryAt.IsZero() && now.Before(retryAt) {
+			continue
+		}
+		if err := s.bootstrapShipper(sh); err != nil {
 			s.logger.Logf("cluster", "replication re-bootstrap: %v", err)
+			retryAt = now.Add(bo.Next())
 		} else {
-			s.logger.Logf("cluster", "replication stream re-established to %s", s.shipper.Addr())
+			s.logger.Logf("cluster", "replication stream re-established to %s", sh.Addr())
+			bo.Reset()
+			retryAt = time.Time{}
 		}
 	}
+}
+
+// AttachStandby adopts a new warm standby at addr while this node keeps
+// serving: the current shipper (if any) is closed, a fresh one is
+// swapped in — arming the commit hooks, so deposits briefly fail until
+// the snapshot below lands; sources retry — and the full state
+// (snapshot, staged payloads, receipt history, archive backlog) is
+// re-seeded before the stream flips to live shipping. Serves the
+// protocol Rejoin message; also the path a brand-new node uses to enter
+// an existing cluster.
+func (s *Server) AttachStandby(addr string) error {
+	if s.shard == nil {
+		return fmt.Errorf("server: not clustered")
+	}
+	sh := s.newShipper(addr)
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return fmt.Errorf("server stopped")
+	}
+	old := s.shipper
+	s.shipper = sh
+	s.wg.Add(1) // under mu so Stop's wg.Wait cannot start in between
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	err := s.bootstrapShipper(sh)
+	// The loop retries a failed re-seed; the rejoiner is adopted either
+	// way (its standby is already the commit hook target).
+	go s.replicationLoop(sh)
+	if err != nil {
+		s.logger.Logf("cluster", "re-seed standby %s: %v", addr, err)
+		return err
+	}
+	if s.clusterM != nil {
+		s.clusterM.Reseeds.Inc()
+	}
+	s.logger.Logf("cluster", "re-seeded standby %s (hw %d)", addr, sh.AckedHW())
+	return nil
 }
 
 // healthy gates /healthz: the server is healthy while it is running.
@@ -703,8 +865,8 @@ func (s *Server) Stop() {
 	if s.trans != nil {
 		s.trans.remote.close()
 	}
-	if s.shipper != nil {
-		s.shipper.Close()
+	if sh := s.getShipper(); sh != nil {
+		sh.Close()
 	}
 	if s.peers != nil {
 		s.peers.close()
@@ -963,7 +1125,7 @@ func (s *Server) processArrival(root, rel string) (receipts.FileMeta, bool, erro
 	if err != nil {
 		return receipts.FileMeta{}, false, fmt.Errorf("server: normalize %s: %w", name, err)
 	}
-	if s.shipper != nil {
+	if sh := s.getShipper(); sh != nil {
 		// The staged payload must be on the standby before the receipt
 		// that references it commits — the same staged-then-logged
 		// ordering the owner keeps locally. Shipping before the landing
@@ -972,7 +1134,7 @@ func (s *Server) processArrival(root, rel string) (receipts.FileMeta, bool, erro
 		if rerr != nil {
 			return receipts.FileMeta{}, false, fmt.Errorf("server: read staged %s for replication: %w", name, rerr)
 		}
-		if serr := s.shipper.ShipFile(filepath.ToSlash(stagedName), data); serr != nil {
+		if serr := sh.ShipFile(filepath.ToSlash(stagedName), data); serr != nil {
 			return receipts.FileMeta{}, false, serr
 		}
 	}

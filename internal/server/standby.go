@@ -1,0 +1,228 @@
+package server
+
+// This file is the self-healing half of the cluster layer: a standby
+// node that promotes itself when the owner's lease expires, and the
+// rejoin path that turns a recovered (or brand-new) node into the
+// survivor's warm standby without stopping the survivor.
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"bistro/internal/clock"
+	"bistro/internal/cluster"
+	"bistro/internal/diskfault"
+	"bistro/internal/metrics"
+	"bistro/internal/protocol"
+)
+
+// StandbyNodeOptions configure a StandbyNode.
+type StandbyNodeOptions struct {
+	// Server carries the options the promoted server will start with
+	// (Config with its cluster block is required; Root defaults to the
+	// standby's root). NodeName (or the cluster block's self) must name
+	// this node.
+	Server Options
+	// Failed names the node whose shards this standby covers — the
+	// owner it replicates from and will succeed.
+	Failed string
+	// FS is the standby-side filesystem seam (nil = the real OS).
+	FS diskfault.FS
+	// Epoch is the initial fence floor (a re-seeded standby starts at
+	// the survivor's epoch).
+	Epoch uint64
+	// Clock drives the lease monitor (default wall clock).
+	Clock clock.Clock
+	// OnPromoted, when set, runs after an automatic promotion finishes
+	// (successfully or not) — on the monitor goroutine.
+	OnPromoted func(srv *Server, takeover time.Duration, err error)
+	// Logf, when set, receives standby lifecycle events.
+	Logf func(format string, args ...any)
+}
+
+// StandbyNode bundles a warm standby with its lease monitor: the
+// unattended-failover unit. When the cluster block's failover.auto is
+// on, lease expiry promotes the standby through PromoteStandby with no
+// operator involved; off, the monitor only observes (metrics, status)
+// and promotion stays a manual call.
+type StandbyNode struct {
+	st   *cluster.Standby
+	mon  *cluster.Monitor
+	reg  *metrics.Registry
+	clus *cluster.Metrics
+	opts StandbyNodeOptions
+	auto bool
+
+	mu       sync.Mutex
+	srv      *Server
+	takeover time.Duration
+	promErr  error
+	promoted bool
+	done     chan struct{}
+}
+
+// StartStandbyNode starts a standby listening for replication on addr,
+// rooted at root, with failure detection per the config's failover
+// block.
+func StartStandbyNode(addr, root string, o StandbyNodeOptions) (*StandbyNode, error) {
+	cfg := o.Server.Config
+	if cfg == nil || cfg.Cluster == nil {
+		return nil, fmt.Errorf("server: standby node: config needs a cluster block")
+	}
+	fo := failoverParams(cfg.Cluster)
+	reg := metrics.NewRegistry()
+	clus := cluster.NewMetrics(reg)
+	sn := &StandbyNode{
+		reg:  reg,
+		clus: clus,
+		opts: o,
+		auto: fo.Auto,
+		done: make(chan struct{}),
+	}
+	archDir := ""
+	if cfg.ArchiveDir != "" {
+		archDir = cfg.ArchiveDir
+		if !filepath.IsAbs(archDir) {
+			archDir = filepath.Join(root, archDir)
+		}
+	}
+	st, err := cluster.StartStandby(addr, cluster.StandbyOptions{
+		Root:       root,
+		FS:         o.FS,
+		Metrics:    clus,
+		ArchiveDir: archDir,
+		Epoch:      o.Epoch,
+		Clock:      o.Clock,
+		Alarm:      func(msg string) { sn.logf("standby alarm: %s", msg) },
+		Logf:       o.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sn.st = st
+	sn.mon = cluster.WatchLease(st, fo, o.Clock, sn.onLeaseExpired)
+	return sn, nil
+}
+
+func (sn *StandbyNode) logf(format string, args ...any) {
+	if sn.opts.Logf != nil {
+		sn.opts.Logf(format, args...)
+	}
+}
+
+// onLeaseExpired runs once, on the monitor goroutine. With auto off it
+// only records the expiry (the LeaseExpiries counter already ticked).
+func (sn *StandbyNode) onLeaseExpired() {
+	if !sn.auto {
+		sn.logf("owner lease expired; failover.auto is off — awaiting operator promotion")
+		return
+	}
+	sn.logf("owner lease expired; promoting standby")
+	opts := sn.opts.Server
+	if opts.Root == "" {
+		opts.Root = sn.st.Root()
+	}
+	if opts.FS == nil {
+		opts.FS = sn.opts.FS
+	}
+	srv, takeover, err := PromoteStandby(sn.st, sn.opts.Failed, opts)
+	sn.mu.Lock()
+	sn.srv = srv
+	sn.takeover = takeover
+	sn.promErr = err
+	sn.promoted = err == nil
+	sn.mu.Unlock()
+	close(sn.done)
+	if err != nil {
+		sn.logf("automatic promotion failed: %v", err)
+	} else {
+		sn.logf("automatic promotion complete in %s", takeover)
+	}
+	if sn.opts.OnPromoted != nil {
+		sn.opts.OnPromoted(srv, takeover, err)
+	}
+}
+
+// Promoted reports the automatic promotion's outcome; ok is false
+// while the standby is still standing by.
+func (sn *StandbyNode) Promoted() (srv *Server, takeover time.Duration, err error, ok bool) {
+	select {
+	case <-sn.done:
+	default:
+		return nil, 0, nil, false
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.srv, sn.takeover, sn.promErr, true
+}
+
+// Standby exposes the underlying replication receiver.
+func (sn *StandbyNode) Standby() *cluster.Standby { return sn.st }
+
+// Metrics exposes the standby-side registry (bistro_cluster_* series:
+// fenced, lease expiries, failures).
+func (sn *StandbyNode) Metrics() *metrics.Registry { return sn.reg }
+
+// Close stops the monitor and, unless promotion already detached it,
+// the standby. The promoted server (if any) is NOT stopped — it
+// belongs to the caller via Promoted or OnPromoted.
+func (sn *StandbyNode) Close() error {
+	sn.mon.Stop()
+	sn.mu.Lock()
+	promoted := sn.promoted
+	sn.mu.Unlock()
+	if promoted {
+		return nil
+	}
+	return sn.st.Close()
+}
+
+// RejoinAsStandby brings a recovered (or brand-new) node back into the
+// cluster as the survivor's warm standby: start a fresh standby at
+// listenAddr rooted at root, then ask the serving node at survivorAddr
+// to adopt it (protocol Rejoin → survivor's AttachStandby re-seeds the
+// full state while it keeps serving). o.Failed should name the
+// survivor — the node this standby now watches. The returned
+// StandbyNode's fence floor is seeded from the survivor's epoch.
+func RejoinAsStandby(survivorAddr, listenAddr, root string, o StandbyNodeOptions) (*StandbyNode, error) {
+	sn, err := StartStandbyNode(listenAddr, root, o)
+	if err != nil {
+		return nil, err
+	}
+	name := o.Server.NodeName
+	if name == "" && o.Server.Config != nil && o.Server.Config.Cluster != nil {
+		name = o.Server.Config.Cluster.Self
+	}
+	conn, err := protocol.Dial(survivorAddr, 30*time.Second)
+	if err != nil {
+		sn.Close()
+		return nil, fmt.Errorf("server: rejoin: %w", err)
+	}
+	defer conn.Close()
+	if err := conn.Call(protocol.Hello{Role: "node", Name: name}); err != nil {
+		sn.Close()
+		return nil, fmt.Errorf("server: rejoin hello: %w", err)
+	}
+	if err := conn.Send(protocol.Rejoin{Node: name, StandbyAddr: sn.st.Addr()}); err != nil {
+		sn.Close()
+		return nil, fmt.Errorf("server: rejoin: %w", err)
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		sn.Close()
+		return nil, fmt.Errorf("server: rejoin: %w", err)
+	}
+	ack, okType := reply.(protocol.Ack)
+	if !okType {
+		sn.Close()
+		return nil, fmt.Errorf("server: rejoin: expected Ack, got %T", reply)
+	}
+	if !ack.OK {
+		sn.Close()
+		return nil, fmt.Errorf("server: rejoin refused: %s", ack.Error)
+	}
+	sn.st.ObserveEpoch(ack.Epoch)
+	return sn, nil
+}

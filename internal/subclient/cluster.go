@@ -37,18 +37,30 @@ func (c *Cluster) timeout() time.Duration {
 	return 5 * time.Second
 }
 
-// Resolve asks the cluster which node owns feed, trying each
-// configured node until one answers. Any live node can answer for the
-// whole cluster; only a total outage fails.
+// Resolve asks the cluster which node owns feed, querying every
+// configured node and preferring the answer with the highest cluster
+// epoch: mid-failover a revived stale owner and the promoted survivor
+// briefly disagree, and the higher epoch is by construction the node
+// that holds the fencing token (first answer wins on ties). Only a
+// total outage fails.
 func (c *Cluster) Resolve(feed string) (protocol.Resolved, error) {
-	var errs []string
+	var (
+		errs []string
+		best protocol.Resolved
+		got  bool
+	)
 	for _, addr := range c.Nodes {
 		res, err := resolveAt(addr, feed, c.timeout())
 		if err != nil {
 			errs = append(errs, fmt.Sprintf("%s: %v", addr, err))
 			continue
 		}
-		return res, nil
+		if !got || res.Epoch > best.Epoch {
+			best, got = res, true
+		}
+	}
+	if got {
+		return best, nil
 	}
 	return protocol.Resolved{}, fmt.Errorf("subclient: resolve %s: no node answered (%s)",
 		feed, strings.Join(errs, "; "))
@@ -84,15 +96,37 @@ func resolveAt(addr, feed string, timeout time.Duration) (protocol.Resolved, err
 // the survivor). Re-issuing the same spec after a failover is safe:
 // subscriptions are keyed by name, so the promoted node treats it as
 // an update, and QueueBackfill covers anything missed in between.
+// Mid-failover a resolved address can go dark between Resolve and
+// Subscribe (or answer with a fencing refusal); the outer loop
+// re-resolves a few times before giving up.
+const maxResolveAttempts = 4
+
 func (c *Cluster) Subscribe(spec SubscribeSpec) error {
 	if len(spec.Feeds) == 0 {
 		return fmt.Errorf("subclient: subscribe: at least one feed required")
 	}
-	res, err := c.Resolve(spec.Feeds[0])
-	if err != nil {
-		return err
+	var lastErr error
+	for attempt := 0; attempt < maxResolveAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+		}
+		res, err := c.Resolve(spec.Feeds[0])
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.subscribeAt(res.Addr, spec); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
 	}
-	addr := res.Addr
+	return lastErr
+}
+
+// subscribeAt subscribes at addr, following redirects when the node's
+// shard map disagrees with the resolution.
+func (c *Cluster) subscribeAt(addr string, spec SubscribeSpec) error {
 	for hop := 0; ; hop++ {
 		redirect, err := subscribeOnce(addr, spec, c.timeout())
 		if err == nil {
