@@ -199,6 +199,28 @@ func BenchmarkE17SelfHealing(b *testing.B) {
 	}
 }
 
+func BenchmarkE18FanOut(b *testing.B) {
+	t := runExperiment(b, experiments.E18FanOut)
+	var chanBytes, indivBytes float64
+	for _, row := range t.Rows {
+		// bytes/file at the widest width of each mode; the channel's
+		// must stay at the file size while the individual path's grows
+		// with the subscriber count.
+		switch row[1] {
+		case "channel":
+			chanBytes = metric(row[3])
+		case "individual":
+			indivBytes = metric(row[3])
+		}
+		b.ReportMetric(metric(row[5]), "duplicates")
+		b.ReportMetric(metric(row[6]), "missed")
+	}
+	b.ReportMetric(chanBytes, "channel_bytes_per_file")
+	if chanBytes > 0 {
+		b.ReportMetric(indivBytes/chanBytes, "individual_read_amplification_x")
+	}
+}
+
 func BenchmarkE13Overhead(b *testing.B) {
 	t := runExperiment(b, experiments.E13Overhead)
 	for _, row := range t.Rows {

@@ -1,5 +1,5 @@
 // Command bistro-bench regenerates the paper-reproduction experiment
-// tables E1–E10 (see DESIGN.md for the experiment index and
+// tables E1–E18 (see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results).
 //
 // Usage:

@@ -9,6 +9,7 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -19,6 +20,10 @@ import (
 
 	"bistro/internal/clock"
 )
+
+// walkDir is filepath.WalkDir behind a seam so tests can inject walk
+// errors (wrapped not-exist shapes in particular).
+var walkDir = filepath.WalkDir
 
 // PullStats summarizes one polling pass.
 type PullStats struct {
@@ -55,9 +60,10 @@ func (p *PullSubscriber) Poll() ([]string, PullStats, error) {
 	var fresh []string
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	err := filepath.WalkDir(p.root, func(path string, d fs.DirEntry, err error) error {
+	err := walkDir(p.root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			if os.IsNotExist(err) {
+			// Vanished mid-scan; the error may arrive wrapped.
+			if errors.Is(err, fs.ErrNotExist) {
 				return nil
 			}
 			return err
@@ -113,9 +119,9 @@ func Sync(srcRoot, dstRoot string) (SyncStats, error) {
 		size int64
 	}
 	src := make(map[string]fileInfo)
-	err := filepath.WalkDir(srcRoot, func(path string, d fs.DirEntry, err error) error {
+	err := walkDir(srcRoot, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			if os.IsNotExist(err) {
+			if errors.Is(err, fs.ErrNotExist) {
 				return nil
 			}
 			return err
@@ -140,9 +146,9 @@ func Sync(srcRoot, dstRoot string) (SyncStats, error) {
 	}
 
 	dst := make(map[string]fileInfo)
-	err = filepath.WalkDir(dstRoot, func(path string, d fs.DirEntry, err error) error {
+	err = walkDir(dstRoot, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			if os.IsNotExist(err) {
+			if errors.Is(err, fs.ErrNotExist) {
 				return nil
 			}
 			return err

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// injectWrappedNotExist makes walkDir report one WRAPPED fs.ErrNotExist
+// before delegating to the real walk — the shape a vanished entry takes
+// when an fs layer annotates it. os.IsNotExist does not see through the
+// wrapping; errors.Is must.
+func injectWrappedNotExist(t *testing.T) {
+	t.Helper()
+	prev := walkDir
+	walkDir = func(root string, fn fs.WalkDirFunc) error {
+		if err := fn(filepath.Join(root, "ghost"), nil,
+			fmt.Errorf("walk %s: entry vanished: %w", root, fs.ErrNotExist)); err != nil {
+			return err
+		}
+		return filepath.WalkDir(root, fn)
+	}
+	t.Cleanup(func() { walkDir = prev })
+}
+
+func TestPollToleratesWrappedNotExist(t *testing.T) {
+	injectWrappedNotExist(t)
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "a.csv"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPullSubscriber(root)
+	fresh, _, err := p.Poll()
+	if err != nil {
+		t.Fatalf("poll aborted on a wrapped not-exist: %v", err)
+	}
+	if len(fresh) != 1 || fresh[0] != "a.csv" {
+		t.Fatalf("fresh = %v, want [a.csv]", fresh)
+	}
+}
+
+func TestSyncToleratesWrappedNotExist(t *testing.T) {
+	injectWrappedNotExist(t)
+	src, dst := t.TempDir(), t.TempDir()
+	if err := os.WriteFile(filepath.Join(src, "a.csv"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Sync(src, dst)
+	if err != nil {
+		t.Fatalf("sync aborted on a wrapped not-exist: %v", err)
+	}
+	if stats.Transferred != 1 {
+		t.Fatalf("transferred = %d, want 1", stats.Transferred)
+	}
+}

@@ -1,0 +1,111 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const channelsSample = `
+feedgroup market {
+    feed BPS { pattern "bps_%Y%m%d.csv" }
+    feed PPS { pattern "pps_%Y%m%d.csv" }
+}
+
+subscriber wh1 {
+    dest "in"
+    subscribe market/BPS
+}
+
+subscriber wh2 {
+    dest "in"
+    subscribe market
+}
+
+channels {
+    group ticks {
+        feed market/BPS
+        member wh1
+        member wh2
+    }
+}
+`
+
+func TestChannelsBlockParses(t *testing.T) {
+	cfg, err := Parse(channelsSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.Channels
+	if sp == nil {
+		t.Fatal("channels block missing")
+	}
+	want := []ChannelGroupSpec{
+		{Name: "ticks", Feed: "market/BPS", Members: []string{"wh1", "wh2"}},
+	}
+	if !reflect.DeepEqual(sp.Groups, want) {
+		t.Fatalf("groups = %+v, want %+v", sp.Groups, want)
+	}
+}
+
+func TestChannelsBlockErrors(t *testing.T) {
+	base := `
+feed BPS { pattern "bps_%Y.csv" }
+feed PPS { pattern "pps_%Y.csv" }
+subscriber wh { dest "in" subscribe BPS }
+`
+	for name, block := range map[string]string{
+		"empty block":       `channels { }`,
+		"group no feed":     `channels { group g { member wh } }`,
+		"unknown feed":      `channels { group g { feed NOPE member wh } }`,
+		"group feed":        `channels { group g { feed market member wh } }`,
+		"unknown member":    `channels { group g { feed BPS member ghost } }`,
+		"unsubscribed":      `channels { group g { feed PPS member wh } }`,
+		"dup member":        `channels { group g { feed BPS member wh member wh } }`,
+		"dup group":         `channels { group g { feed BPS } group g { feed BPS } }`,
+		"dup feed stmt":     `channels { group g { feed BPS feed PPS } }`,
+		"unknown statement": `channels { bogus 1 }`,
+		"unknown group kw":  `channels { group g { feed BPS bogus 1 } }`,
+	} {
+		if _, err := Parse(base + block); err == nil {
+			t.Errorf("%s: bad channels block accepted", name)
+		}
+	}
+	// Duplicate group names across two channels blocks are also caught.
+	if _, err := Parse(base + "channels { group g { feed BPS } }\nchannels { group g { feed BPS } }"); err == nil {
+		t.Error("duplicate group across blocks accepted")
+	}
+}
+
+func TestChannelsMemberlessGroupAllowed(t *testing.T) {
+	// A group with no configured members is valid: members can join at
+	// runtime through the admin surface.
+	cfg, err := Parse("feed BPS { pattern \"b_%Y.csv\" }\nchannels { group g { feed BPS } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Channels.Groups) != 1 || len(cfg.Channels.Groups[0].Members) != 0 {
+		t.Fatalf("groups = %+v", cfg.Channels.Groups)
+	}
+}
+
+func TestChannelsFormatRoundTrip(t *testing.T) {
+	orig, err := Parse(channelsSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	if !strings.Contains(text, "channels {") {
+		t.Fatalf("formatted config lost the channels block:\n%s", text)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(orig.Channels, back.Channels) {
+		t.Fatalf("channels round trip: %+v vs %+v", orig.Channels, back.Channels)
+	}
+	if again := Format(back); again != text {
+		t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}

@@ -307,6 +307,27 @@ type ClusterSpec struct {
 	Nodes []ClusterNodeSpec
 }
 
+// ChannelGroupSpec is one group { ... } entry in a channels block: a
+// named shared delivery channel fanning one leaf feed out to its
+// member subscribers through a single read per file, with receipts
+// kept per group rather than per member.
+type ChannelGroupSpec struct {
+	// Name is the channel (and receipt-store subscription-group) name.
+	Name string
+	// Feed is the leaf feed the channel fans out.
+	Feed string
+	// Members are the configured member subscribers, in definition
+	// order. Each must be a declared subscriber subscribed to Feed.
+	Members []string
+}
+
+// ChannelsSpec is a channels { ... } block: the shared fan-out
+// channels the delivery engine brokers.
+type ChannelsSpec struct {
+	// Groups in definition order.
+	Groups []ChannelGroupSpec
+}
+
 // Config is a fully parsed and validated Bistro server configuration.
 type Config struct {
 	// Window is the retention window for staged files (0 = infinite).
@@ -341,6 +362,9 @@ type Config struct {
 	// Cluster, when non-nil, shards feed ownership across the listed
 	// nodes; absent, the server is the single-node degenerate case.
 	Cluster *ClusterSpec
+	// Channels, when non-nil, declares shared per-feed delivery
+	// channels (one staged read fanned out to every member).
+	Channels *ChannelsSpec
 }
 
 // FeedByPath returns the feed with the given full path.
@@ -500,6 +524,19 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.Cluster = spec
+		case "channels":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.channelsSpec()
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Channels == nil {
+				cfg.Channels = spec
+			} else {
+				cfg.Channels.Groups = append(cfg.Channels.Groups, spec.Groups...)
+			}
 		default:
 			return nil, p.errf("unknown statement %q", p.tok.text)
 		}
@@ -1267,6 +1304,87 @@ func (p *parser) clusterNodeSpec() (ClusterNodeSpec, error) {
 	return n, nil
 }
 
+// channelsSpec parses:
+//
+//	channels {
+//	    group ticks {
+//	        feed market/bps
+//	        member wh1
+//	        member wh2
+//	    }
+//	}
+func (p *parser) channelsSpec() (*ChannelsSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &ChannelsSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "group":
+			g, err := p.channelGroupSpec()
+			if err != nil {
+				return nil, err
+			}
+			spec.Groups = append(spec.Groups, g)
+		default:
+			return nil, p.errPrevf("unknown channels statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if len(spec.Groups) == 0 {
+		return nil, fmt.Errorf("config: channels block needs at least one group")
+	}
+	return spec, nil
+}
+
+// channelGroupSpec parses: group NAME { feed PATH member NAME+ }
+func (p *parser) channelGroupSpec() (ChannelGroupSpec, error) {
+	g := ChannelGroupSpec{}
+	var err error
+	if g.Name, err = p.expect(tokIdent); err != nil {
+		return g, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return g, err
+	}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return g, err
+		}
+		switch kw {
+		case "feed":
+			if g.Feed != "" {
+				return g, p.errPrevf("channel group %s: duplicate feed statement", g.Name)
+			}
+			if g.Feed, err = p.path(); err != nil {
+				return g, err
+			}
+		case "member":
+			m, err := p.expect(tokIdent)
+			if err != nil {
+				return g, err
+			}
+			g.Members = append(g.Members, m)
+		default:
+			return g, p.errPrevf("unknown channel group statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return g, err
+	}
+	if g.Feed == "" {
+		return g, fmt.Errorf("config: channel group %s needs a feed", g.Name)
+	}
+	return g, nil
+}
+
 // schedulerSpec parses: { [migrate on|off] partition NAME { ... }+ }
 func (p *parser) schedulerSpec() (*SchedulerSpec, error) {
 	if _, err := p.expect(tokLBrace); err != nil {
@@ -1422,6 +1540,55 @@ func resolve(cfg *Config) error {
 	}
 	if cfg.LandingDir == "" {
 		cfg.LandingDir = "landing"
+	}
+	if cfg.Channels != nil {
+		if err := resolveChannels(cfg, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveChannels validates the channels block against the resolved
+// feeds and subscribers: every group fans out a known leaf feed to
+// declared subscribers actually subscribed to it. Runs after
+// subscriber subscription expansion, so group membership can be
+// checked against effective leaf-feed sets.
+func resolveChannels(cfg *Config, leaves map[string]bool) error {
+	subsByName := make(map[string]*Subscriber, len(cfg.Subscribers))
+	for _, s := range cfg.Subscribers {
+		subsByName[s.Name] = s
+	}
+	groupSeen := make(map[string]bool)
+	for _, g := range cfg.Channels.Groups {
+		if groupSeen[g.Name] {
+			return fmt.Errorf("config: duplicate channel group %q", g.Name)
+		}
+		groupSeen[g.Name] = true
+		if !leaves[g.Feed] {
+			return fmt.Errorf("config: channel group %s: %q is not a leaf feed", g.Name, g.Feed)
+		}
+		memberSeen := make(map[string]bool)
+		for _, m := range g.Members {
+			if memberSeen[m] {
+				return fmt.Errorf("config: channel group %s: duplicate member %q", g.Name, m)
+			}
+			memberSeen[m] = true
+			s, ok := subsByName[m]
+			if !ok {
+				return fmt.Errorf("config: channel group %s: unknown subscriber %q", g.Name, m)
+			}
+			subscribed := false
+			for _, f := range s.Feeds {
+				if f == g.Feed {
+					subscribed = true
+					break
+				}
+			}
+			if !subscribed {
+				return fmt.Errorf("config: channel group %s: member %q does not subscribe to %s", g.Name, m, g.Feed)
+			}
+		}
 	}
 	return nil
 }

@@ -130,6 +130,18 @@ func Format(cfg *Config) string {
 		b.WriteString("}\n\n")
 	}
 
+	if sp := cfg.Channels; sp != nil {
+		b.WriteString("channels {\n")
+		for _, g := range sp.Groups {
+			fmt.Fprintf(&b, "    group %s {\n        feed %s\n", g.Name, g.Feed)
+			for _, m := range g.Members {
+				fmt.Fprintf(&b, "        member %s\n", m)
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
 	// Rebuild the hierarchy: a trie of path segments.
 	root := &groupNode{children: map[string]*groupNode{}}
 	for _, f := range cfg.Feeds {

@@ -23,7 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sync"
 	"time"
@@ -32,6 +32,7 @@ import (
 	"bistro/internal/batch"
 	"bistro/internal/clock"
 	"bistro/internal/config"
+	"bistro/internal/diskfault"
 	"bistro/internal/metrics"
 	"bistro/internal/receipts"
 	"bistro/internal/scheduler"
@@ -55,8 +56,26 @@ type Metrics struct {
 	Failures  *metrics.CounterVec
 	// ReceiptMissing counts jobs skipped by the receipt guard.
 	ReceiptMissing *metrics.Counter
+	// ReceiptWriteFailures counts successful transfers whose receipt
+	// record could not be committed — the exactly-once ledger is behind
+	// the subscriber until restart replays the gap (safe direction:
+	// re-send).
+	ReceiptWriteFailures *metrics.Counter
+	// StagingReadBytes counts payload bytes read from staging (or the
+	// archive fallback). Under channel fan-out this grows O(files), not
+	// O(subscribers × files) — the E18 measurement.
+	StagingReadBytes *metrics.Counter
 	// Retries counts transient failures requeued with a backoff delay.
 	Retries *metrics.Counter
+	// ChannelFiles / ChannelFanout / ChannelDetaches count, per
+	// channel: files fanned out, member transfers made, and members
+	// dropped mid-fan-out. ChannelCatchup counts catch-up deliveries to
+	// lagging members; ChannelMembers gauges current attached members.
+	ChannelFiles    *metrics.CounterVec
+	ChannelFanout   *metrics.CounterVec
+	ChannelDetaches *metrics.CounterVec
+	ChannelCatchup  *metrics.CounterVec
+	ChannelMembers  *metrics.GaugeVec
 	// Propagation observes end-to-end source→subscriber latency
 	// (arrival to successful delivery, seconds) for real-time jobs —
 	// the paper's sub-minute claim. Backfill is excluded: its latency
@@ -76,8 +95,22 @@ func NewMetrics(r *metrics.Registry) *Metrics {
 			"Failed transfer attempts by subscriber.", "subscriber"),
 		ReceiptMissing: r.Counter("bistro_delivery_receipt_missing_total",
 			"Jobs skipped because the arrival receipt was missing or quarantined."),
+		ReceiptWriteFailures: r.Counter("bistro_delivery_receipt_write_failures_total",
+			"Successful transfers whose delivery receipt failed to commit."),
+		StagingReadBytes: r.Counter("bistro_delivery_staging_read_bytes_total",
+			"Payload bytes read from staging (or archive fallback) for delivery."),
 		Retries: r.Counter("bistro_delivery_retries_total",
 			"Transient failures requeued with a backoff delay."),
+		ChannelFiles: r.CounterVec("bistro_channel_files_total",
+			"Files fanned out by delivery channel.", "channel"),
+		ChannelFanout: r.CounterVec("bistro_channel_fanout_total",
+			"Member transfers made by delivery channel.", "channel"),
+		ChannelDetaches: r.CounterVec("bistro_channel_detaches_total",
+			"Members detached mid-fan-out by delivery channel.", "channel"),
+		ChannelCatchup: r.CounterVec("bistro_channel_catchup_files_total",
+			"Catch-up deliveries to lagging channel members.", "channel"),
+		ChannelMembers: r.GaugeVec("bistro_channel_members",
+			"Members currently attached to the delivery channel.", "channel"),
 		Propagation: r.Histogram("bistro_delivery_propagation_seconds",
 			"End-to-end arrival→delivery latency for real-time jobs.", nil),
 	}
@@ -111,6 +144,17 @@ const (
 	EvCircuitOpen
 	// EvCircuitHalfOpen: the breaker admitted a single recovery probe.
 	EvCircuitHalfOpen
+	// EvReceiptWriteFailed: a transfer succeeded but its delivery
+	// receipt could not be committed. The subscriber holds bytes the
+	// ledger does not know about until a restart replays the gap.
+	EvReceiptWriteFailed
+	// EvChannelAttached: a member reached its channel's frontier and
+	// now rides the shared fan-out (Subscriber = member, Feed = the
+	// channel's feed, Name = the channel).
+	EvChannelAttached
+	// EvChannelDetached: a member dropped out of the shared fan-out;
+	// its cursor freezes until catch-up re-attaches it.
+	EvChannelDetached
 )
 
 func (k EventKind) String() string {
@@ -133,6 +177,12 @@ func (k EventKind) String() string {
 		return "circuit-open"
 	case EvCircuitHalfOpen:
 		return "circuit-half-open"
+	case EvReceiptWriteFailed:
+		return "receipt-write-failed"
+	case EvChannelAttached:
+		return "channel-attached"
+	case EvChannelDetached:
+		return "channel-detached"
 	default:
 		return "unknown"
 	}
@@ -207,6 +257,14 @@ type Options struct {
 	// when the staging copy is gone (expired mid-queue, or replay of
 	// archived history). Nil disables the fallback.
 	ArchiveOpen func(stagedPath string) (io.ReadCloser, error)
+	// FS is the filesystem seam for staging reads (nil = the real
+	// filesystem). Fault injection substitutes diskfault
+	// implementations here.
+	FS diskfault.FS
+	// Channels configures shared per-feed delivery channels: one
+	// staging read + one fan-out per file, with group receipts in the
+	// receipt store instead of per-member records.
+	Channels []ChannelSpec
 }
 
 // Engine is the delivery subsystem.
@@ -217,6 +275,7 @@ type Engine struct {
 	store *receipts.Store
 	trans transport.Transport
 	trig  *trigger.Engine
+	fs    diskfault.FS
 
 	mu      sync.Mutex
 	subs    map[string]*config.Subscriber
@@ -225,6 +284,12 @@ type Engine struct {
 	probing map[string]bool
 	stats   map[string]*SubscriberStats
 	subMets map[string]*subMetrics
+	// channels maps channel name to broker state; chanFeeds maps a
+	// feed to its channels; memberChans maps a subscriber to the
+	// channels it is registered with (attached or not).
+	channels    map[string]*channel
+	chanFeeds   map[string][]*channel
+	memberChans map[string][]string
 
 	wg      sync.WaitGroup
 	stopCh  chan struct{}
@@ -281,23 +346,34 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = diskfault.OS()
+	}
 	e := &Engine{
-		opts:    opts,
-		clk:     opts.Clock,
-		sched:   sched,
-		store:   opts.Store,
-		trans:   opts.Transport,
-		subs:    make(map[string]*config.Subscriber),
-		offline: make(map[string]bool),
-		states:  make(map[string]*subState),
-		probing: make(map[string]bool),
-		stats:   make(map[string]*SubscriberStats),
-		subMets: make(map[string]*subMetrics),
-		stopCh:  make(chan struct{}),
+		opts:        opts,
+		clk:         opts.Clock,
+		sched:       sched,
+		store:       opts.Store,
+		trans:       opts.Transport,
+		fs:          fsys,
+		subs:        make(map[string]*config.Subscriber),
+		offline:     make(map[string]bool),
+		states:      make(map[string]*subState),
+		probing:     make(map[string]bool),
+		stats:       make(map[string]*SubscriberStats),
+		subMets:     make(map[string]*subMetrics),
+		channels:    make(map[string]*channel),
+		chanFeeds:   make(map[string][]*channel),
+		memberChans: make(map[string][]string),
+		stopCh:      make(chan struct{}),
 	}
 	for _, s := range opts.Subscribers {
 		e.subs[s.Name] = s
 		e.sched.AssignSubscriber(s.Name, e.partitionFor(s))
+	}
+	if err := e.initChannels(opts.Channels); err != nil {
+		return nil, err
 	}
 	// Trigger invocations route remote triggers through the transport
 	// and local ones through the configured invoker.
@@ -440,6 +516,7 @@ func (e *Engine) Start() {
 			go e.worker(pi, scheduler.LaneBackfill)
 		}
 	}
+	e.startChannels()
 	e.mu.Lock()
 	names := make([]string, 0, len(e.subs))
 	for name := range e.subs {
@@ -479,6 +556,7 @@ func (e *Engine) emit(ev Event) {
 // their receipt-database backfill will pick the file up on reconnect.
 func (e *Engine) EnqueueFile(meta receipts.FileMeta) {
 	now := e.clk.Now()
+	e.enqueueChannels(meta, now, false)
 	e.mu.Lock()
 	subs := make([]*config.Subscriber, 0, len(e.subs))
 	for _, s := range e.subs {
@@ -487,6 +565,12 @@ func (e *Engine) EnqueueFile(meta receipts.FileMeta) {
 	e.mu.Unlock()
 	for _, s := range subs {
 		if !e.interested(s, meta.Feeds) {
+			continue
+		}
+		// Members of a channel covering one of the file's feeds receive
+		// it through the shared fan-out (or catch-up), never as an
+		// individual job.
+		if e.channelCovered(s.Name, meta.Feeds) {
 			continue
 		}
 		e.mu.Lock()
@@ -559,7 +643,8 @@ func (e *Engine) worker(part int, lane scheduler.Lane) {
 // execute performs one claimed job group. Small files are read once
 // and fanned out in memory; files at or above the stream threshold are
 // delivered by streaming straight from staging (each transport opens
-// its own reader).
+// its own reader). Channel jobs always take the in-memory path: the
+// whole point is one read shared across every attached member.
 func (e *Engine) execute(jobs []*scheduler.Job) {
 	abs := filepath.Join(e.opts.StagingRoot, filepath.FromSlash(jobs[0].Path))
 	meta, ok := e.store.File(jobs[0].FileID)
@@ -584,43 +669,76 @@ func (e *Engine) execute(jobs []*scheduler.Job) {
 		}
 		return
 	}
-	if jobs[0].Size >= e.opts.StreamThreshold {
-		if _, err := os.Stat(abs); err == nil {
-			for _, j := range jobs {
+	// GroupSameFile may batch channel jobs with individual jobs for the
+	// same file; they take different paths below.
+	var chJobs, subJobs []*scheduler.Job
+	for _, j := range jobs {
+		if j.Channel != "" {
+			chJobs = append(chJobs, j)
+		} else {
+			subJobs = append(subJobs, j)
+		}
+	}
+	// Route on the receipt's size, not the job's: a job submitted with
+	// a stale (or zero) size must not pull a large file through the
+	// in-memory path.
+	if len(subJobs) > 0 && meta.Size >= e.opts.StreamThreshold {
+		if _, err := e.fs.Stat(abs); err == nil {
+			for _, j := range subJobs {
 				e.deliverOne(j, nil, abs, meta)
 			}
-			return
-		} else if !(os.IsNotExist(err) && e.opts.ArchiveOpen != nil) {
-			for _, j := range jobs {
+			subJobs = nil
+		} else if !(errors.Is(err, fs.ErrNotExist) && e.opts.ArchiveOpen != nil) {
+			for _, j := range subJobs {
 				e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
 				e.sched.Done(j)
 			}
-			return
+			subJobs = nil
 		}
 		// Staging copy gone but an archive is configured: fall through
 		// to the in-memory path, which reads from long-term storage.
 	}
-	data, err := os.ReadFile(abs)
-	if err != nil && os.IsNotExist(err) && e.opts.ArchiveOpen != nil {
-		// Expired mid-queue, or a replay job for archived history: the
-		// archiver holds the content now.
-		if rc, aerr := e.opts.ArchiveOpen(jobs[0].Path); aerr == nil {
-			data, err = io.ReadAll(rc)
-			rc.Close()
-		}
+	if len(subJobs) == 0 && len(chJobs) == 0 {
+		return
 	}
+	data, err := e.readStaged(jobs[0].Path, abs)
 	if err != nil {
 		// Staged file vanished (expired mid-queue, no archive):
 		// complete the jobs without delivery; receipts keep the truth.
-		for _, j := range jobs {
+		for _, j := range append(subJobs, chJobs...) {
 			e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
 			e.sched.Done(j)
 		}
 		return
 	}
-	for _, j := range jobs {
+	for _, j := range chJobs {
+		e.channelDeliver(j, data, meta)
+	}
+	for _, j := range subJobs {
 		e.deliverOne(j, data, "", meta)
 	}
+}
+
+// readStaged reads a staged file's content through the FS seam,
+// falling back to the archive when the staging copy is gone, and
+// accounts the bytes read — the figure channel fan-out keeps O(files).
+func (e *Engine) readStaged(stagedPath, abs string) ([]byte, error) {
+	data, err := diskfault.ReadFile(e.fs, abs)
+	if err != nil && errors.Is(err, fs.ErrNotExist) && e.opts.ArchiveOpen != nil {
+		// Expired mid-queue, or a replay job for archived history: the
+		// archiver holds the content now.
+		if rc, aerr := e.opts.ArchiveOpen(stagedPath); aerr == nil {
+			data, err = io.ReadAll(rc)
+			rc.Close()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if m := e.opts.Metrics; m != nil {
+		m.StagingReadBytes.Add(int64(len(data)))
+	}
+	return data, nil
 }
 
 // deliverOne pushes one file to one subscriber and updates liveness
@@ -668,13 +786,22 @@ func (e *Engine) deliverOne(j *scheduler.Job, data []byte, stagedAbs string, met
 		return
 	}
 	defer e.sched.Done(j)
-	if rerr := e.store.RecordDelivery(j.FileID, j.Subscriber, e.clk.Now()); rerr != nil {
-		// Receipt write failure is fatal for the guarantee; surface it
-		// loudly but do not retry the transfer (the subscriber has the
-		// file; re-sending is the safe direction after restart).
-		e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: f.Name, FileID: j.FileID, Err: rerr})
-	}
+	// The transfer succeeded, so the subscriber is alive regardless of
+	// what the receipt store says below.
 	e.markAlive(j.Subscriber)
+	if rerr := e.store.RecordDelivery(j.FileID, j.Subscriber, e.clk.Now()); rerr != nil {
+		// Receipt write failure: the subscriber has the file but the
+		// ledger does not know. Do not retry the transfer (re-sending
+		// after restart is the safe direction) and do not account the
+		// job as delivered — one outcome, the distinct
+		// receipt-write-failed counter + event the server alarms on.
+		if m := e.opts.Metrics; m != nil {
+			m.ReceiptWriteFailures.Inc()
+		}
+		e.bumpStats(j.Subscriber, false, 0)
+		e.emit(Event{Kind: EvReceiptWriteFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: f.Name, FileID: j.FileID, Err: rerr})
+		return
+	}
 	e.bumpStats(j.Subscriber, true, meta.Size)
 	if m := e.opts.Metrics; m != nil && !j.Backfill {
 		m.Propagation.Observe(e.clk.Now().Sub(meta.Arrived).Seconds())
@@ -724,26 +851,7 @@ func (e *Engine) transferFailed(j *scheduler.Job, err error) {
 	// Breaker open: the job is dropped, not requeued — the receipt
 	// database will resurface it as backfill on reconnect.
 	e.sched.Done(j)
-	e.sched.DropSubscriber(j.Subscriber)
-	e.mu.Lock()
-	already := e.offline[j.Subscriber]
-	e.offline[j.Subscriber] = true
-	var startProbe bool
-	if !e.probing[j.Subscriber] {
-		e.probing[j.Subscriber] = true
-		startProbe = true
-	}
-	e.mu.Unlock()
-	if opened {
-		e.emit(Event{Kind: EvCircuitOpen, Subscriber: j.Subscriber, Delay: st.breaker.ProbeIn(now), Err: err})
-	}
-	if !already {
-		e.emit(Event{Kind: EvSubscriberOffline, Subscriber: j.Subscriber, Err: err})
-	}
-	if startProbe {
-		e.wg.Add(1)
-		go e.probe(j.Subscriber)
-	}
+	e.markOffline(j.Subscriber, err, opened, st)
 }
 
 // markAlive resets failure bookkeeping after a success.
@@ -817,6 +925,12 @@ func (e *Engine) QueueBackfill(sub string) []uint64 {
 	if s == nil {
 		return nil
 	}
+	// Channel membership resumes through catch-up (cursor → frontier →
+	// attach), the single re-attach integration point shared by server
+	// start, probe recovery, and runtime registration.
+	for _, ch := range e.channelsOf(sub) {
+		e.startCatchup(ch, sub)
+	}
 	pending := e.store.PendingFor(sub, s.Feeds)
 	if len(pending) == 0 {
 		return nil
@@ -824,6 +938,11 @@ func (e *Engine) QueueBackfill(sub string) []uint64 {
 	ids := make([]uint64, 0, len(pending))
 	now := e.clk.Now()
 	for _, meta := range pending {
+		// Files on channel-covered feeds reach the member via the
+		// shared fan-out or its catch-up, never as individual backfill.
+		if e.channelCovered(sub, meta.Feeds) {
+			continue
+		}
 		ids = append(ids, meta.ID)
 		feed := firstCommon(s.Feeds, meta.Feeds)
 		e.sched.Submit(&scheduler.Job{
@@ -838,7 +957,10 @@ func (e *Engine) QueueBackfill(sub string) []uint64 {
 			Backfill:   true,
 		})
 	}
-	e.emit(Event{Kind: EvBackfillQueued, Subscriber: sub, Count: len(pending)})
+	if len(ids) == 0 {
+		return nil
+	}
+	e.emit(Event{Kind: EvBackfillQueued, Subscriber: sub, Count: len(ids)})
 	return ids
 }
 

@@ -118,5 +118,6 @@ func All() []Runner {
 		{"e15", "historical replay from the archive concurrent with live delivery", E15HistoricalReplay},
 		{"e16", "kill -9 shard failover to a WAL-shipped warm standby", E16Failover},
 		{"e17", "kill-and-revive self-healing: lease failover, fencing, online re-seed", E17SelfHealing},
+		{"e18", "per-feed channel fan-out: one staging read per file at any width", E18FanOut},
 	}
 }

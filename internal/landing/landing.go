@@ -9,6 +9,7 @@
 package landing
 
 import (
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -20,6 +21,10 @@ import (
 	"bistro/internal/clock"
 	"bistro/internal/diskfault"
 )
+
+// walkDir is filepath.WalkDir behind a seam so tests can inject walk
+// errors (wrapped not-exist shapes in particular).
+var walkDir = filepath.WalkDir
 
 // Ingest consumes one deposited file. It receives the path relative to
 // the landing directory and must move or remove the file (the manager
@@ -114,10 +119,11 @@ func validRel(rel string) error {
 func (m *Manager) ScanOnce() (int, error) {
 	var ingested int
 	var firstErr error
-	err := filepath.WalkDir(m.dir, func(path string, d fs.DirEntry, err error) error {
+	err := walkDir(m.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			// Entries can vanish mid-scan (another ingest moved them).
-			if os.IsNotExist(err) {
+			// Entries can vanish mid-scan (another ingest moved them);
+			// the error may arrive wrapped, so match by identity.
+			if errors.Is(err, fs.ErrNotExist) {
 				return nil
 			}
 			return err

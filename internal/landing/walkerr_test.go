@@ -1,0 +1,36 @@
+package landing
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// ScanOnce must treat a WRAPPED fs.ErrNotExist from the walk as a
+// vanished entry, not a scan failure — os.IsNotExist does not see
+// through wrapping; errors.Is must.
+func TestScanOnceToleratesWrappedNotExist(t *testing.T) {
+	prev := walkDir
+	walkDir = func(root string, fn fs.WalkDirFunc) error {
+		if err := fn(filepath.Join(root, "ghost"), nil,
+			fmt.Errorf("walk %s: entry vanished: %w", root, fs.ErrNotExist)); err != nil {
+			return err
+		}
+		return filepath.WalkDir(root, fn)
+	}
+	t.Cleanup(func() { walkDir = prev })
+
+	m, ing, dir := newManager(t, -1)
+	if err := os.WriteFile(filepath.Join(dir, "a.csv"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.ScanOnce()
+	if err != nil {
+		t.Fatalf("scan aborted on a wrapped not-exist: %v", err)
+	}
+	if n != 1 || len(ing.got()) != 1 {
+		t.Fatalf("ingested %d files (%v), want 1", n, ing.got())
+	}
+}

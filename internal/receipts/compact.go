@@ -23,7 +23,14 @@ func (s *Store) CompactExpired(eligible func(f FileMeta, delivered func(sub stri
 		if !s.expired[id] || s.quarantined[id] {
 			continue
 		}
-		probe := func(sub string) bool { _, ok := s.delivered[sub][id]; return ok }
+		// A group receipt covering this file must not be folded while
+		// any member's cursor still lags the file's log position — the
+		// lagging member's only claim to an eventual catch-up delivery
+		// is that receipt. (RecordGroupForget releases the hold.)
+		if !s.groupsClearLocked(id) {
+			continue
+		}
+		probe := func(sub string) bool { return s.deliveredLocked(id, sub) }
 		if eligible(*f, probe) {
 			victims = append(victims, id)
 		}
@@ -48,9 +55,47 @@ func (s *Store) CompactExpired(eligible func(f FileMeta, delivered func(sub stri
 			delete(subs, id)
 		}
 	}
+	if len(victims) > 0 {
+		s.trimGroupLogsLocked()
+	}
 	s.mu.Unlock()
 	if len(victims) == 0 {
 		return 0, nil
 	}
 	return len(victims), s.Checkpoint()
+}
+
+// groupsClearLocked reports whether every member of every group whose
+// log contains id has a cursor past the file's position. Caller holds
+// s.mu.
+func (s *Store) groupsClearLocked(id uint64) bool {
+	for _, g := range s.groups {
+		p, ok := g.pos[id]
+		if !ok {
+			continue
+		}
+		for _, m := range g.members {
+			if m.Cursor <= p {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// trimGroupLogsLocked drops the prefix of each group log whose files
+// have been folded out of the store, advancing the group's base so
+// cursors (which are absolute positions) stay valid. Caller holds
+// s.mu.
+func (s *Store) trimGroupLogsLocked() {
+	for _, g := range s.groups {
+		for len(g.log) > 0 {
+			if _, live := s.files[g.log[0]]; live {
+				break
+			}
+			delete(g.pos, g.log[0])
+			g.log = g.log[1:]
+			g.base++
+		}
+	}
 }

@@ -12,15 +12,26 @@ const (
 	recDelivery   byte = 2
 	recExpire     byte = 3
 	recQuarantine byte = 4
+	// Subscription-group records (shared delivery channels): one
+	// group-delivery record per file per channel replaces one delivery
+	// record per member per file, so WAL growth under fan-out is
+	// O(groups), not O(subscribers). Member records are written only at
+	// churn points (attach, detach, catch-up progress, removal).
+	recGroupDelivery byte = 5
+	recGroupCursor   byte = 6
+	recGroupAttach   byte = 7
+	recGroupDetach   byte = 8
+	recGroupForget   byte = 9
 )
 
 // op is one decoded WAL record.
 type op struct {
-	kind byte
-	file FileMeta // recArrival
-	id   uint64   // recDelivery / recExpire
-	sub  string   // recDelivery
-	at   time.Time
+	kind  byte
+	file  FileMeta // recArrival
+	id    uint64   // recDelivery / recExpire; cursor for recGroupCursor
+	sub   string   // recDelivery; member for group records
+	group string   // group records
+	at    time.Time
 }
 
 // appendString encodes a length-prefixed string.
@@ -59,6 +70,22 @@ func encodeOp(b []byte, o op) []byte {
 		b = binary.AppendVarint(b, o.at.UnixNano())
 	case recExpire, recQuarantine:
 		b = binary.AppendUvarint(b, o.id)
+	case recGroupDelivery:
+		b = appendString(b, o.group)
+		b = binary.AppendUvarint(b, o.id)
+		b = binary.AppendVarint(b, o.at.UnixNano())
+	case recGroupCursor:
+		b = appendString(b, o.group)
+		b = appendString(b, o.sub)
+		b = binary.AppendUvarint(b, o.id)
+		b = binary.AppendVarint(b, o.at.UnixNano())
+	case recGroupAttach, recGroupDetach:
+		b = appendString(b, o.group)
+		b = appendString(b, o.sub)
+		b = binary.AppendVarint(b, o.at.UnixNano())
+	case recGroupForget:
+		b = appendString(b, o.group)
+		b = appendString(b, o.sub)
 	}
 	return b
 }
@@ -167,6 +194,64 @@ func decodeOps(b []byte) ([]op, error) {
 			}
 			o.id = n
 			b = b[sz:]
+		case recGroupDelivery:
+			if o.group, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			var n uint64
+			var sz int
+			if n, sz = binary.Uvarint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt group delivery id")
+			}
+			o.id = n
+			b = b[sz:]
+			var iv int64
+			if iv, sz = binary.Varint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt group delivery time")
+			}
+			o.at = time.Unix(0, iv).UTC()
+			b = b[sz:]
+		case recGroupCursor:
+			if o.group, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			if o.sub, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			var n uint64
+			var sz int
+			if n, sz = binary.Uvarint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt group cursor")
+			}
+			o.id = n
+			b = b[sz:]
+			var iv int64
+			if iv, sz = binary.Varint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt group cursor time")
+			}
+			o.at = time.Unix(0, iv).UTC()
+			b = b[sz:]
+		case recGroupAttach, recGroupDetach:
+			if o.group, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			if o.sub, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			var iv int64
+			var sz int
+			if iv, sz = binary.Varint(b); sz <= 0 {
+				return nil, fmt.Errorf("receipts: corrupt group membership time")
+			}
+			o.at = time.Unix(0, iv).UTC()
+			b = b[sz:]
+		case recGroupForget:
+			if o.group, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			if o.sub, b, err = readString(b); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, fmt.Errorf("receipts: unknown record type %d", kind)
 		}

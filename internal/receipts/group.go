@@ -1,0 +1,275 @@
+package receipts
+
+import (
+	"sort"
+	"time"
+)
+
+// Subscription groups give a delivery channel shared receipts: one
+// group-delivery record per file (appended to the group's delivery
+// log) covers every attached member, so WAL growth under fan-out is
+// O(groups × files) instead of O(subscribers × files). Per-member
+// state is a single cursor — the length of the log prefix the member
+// has received — plus an attached flag:
+//
+//   - An attached member rides the frontier: every group-delivery
+//     append implicitly advances its cursor, costing no WAL records.
+//   - A detached member's cursor freezes where it was. Because the
+//     delivery engine records the detach BEFORE the file's
+//     group-delivery record when a member drops mid-fan-out, WAL
+//     replay order alone reconstructs the exact cursor.
+//   - Catch-up progress and (re-)registration write explicit cursor
+//     records; reaching the frontier writes an attach record.
+//
+// Cursors are log positions, not file ids: the broker's delivery
+// order defines the log, so out-of-order arrival ids never confuse
+// resume points.
+
+// GroupMember is one member's durable state within a group.
+type GroupMember struct {
+	// Attached reports whether the member currently rides the frontier
+	// (every new group delivery counts as received).
+	Attached bool
+	// Cursor is the absolute log position prefix the member has
+	// received: entries [0, Cursor) are delivered to it.
+	Cursor int
+	// At is when the member's state last changed.
+	At time.Time
+}
+
+// groupState is the in-memory image of one group's delivery log.
+type groupState struct {
+	// base is the absolute position of log[0]; positions [0, base)
+	// were trimmed by compaction (their files fully delivered and
+	// folded).
+	base int
+	// log holds delivered file ids in delivery order.
+	log []uint64
+	// pos maps a file id to its absolute log position.
+	pos map[uint64]int
+	// members holds per-member cursors keyed by subscriber name.
+	members map[string]*GroupMember
+}
+
+func (g *groupState) frontier() int { return g.base + len(g.log) }
+
+// groupCheckpoint is the gob-serialized snapshot of one group.
+type groupCheckpoint struct {
+	Base    int
+	Log     []uint64
+	Members map[string]GroupMember
+}
+
+// groupLocked returns (creating if needed) the named group. Caller
+// holds s.mu.
+func (s *Store) groupLocked(name string) *groupState {
+	g := s.groups[name]
+	if g == nil {
+		g = &groupState{
+			pos:     make(map[uint64]int),
+			members: make(map[string]*GroupMember),
+		}
+		s.groups[name] = g
+	}
+	return g
+}
+
+// applyGroupLocked mutates group state for one decoded record. Caller
+// holds s.mu.
+func (s *Store) applyGroupLocked(o op) {
+	g := s.groupLocked(o.group)
+	switch o.kind {
+	case recGroupDelivery:
+		if _, ok := g.pos[o.id]; ok {
+			return // idempotent replay / duplicate append
+		}
+		g.pos[o.id] = g.frontier()
+		g.log = append(g.log, o.id)
+		next := g.frontier()
+		for _, m := range g.members {
+			if m.Attached {
+				m.Cursor = next
+				m.At = o.at
+			}
+		}
+	case recGroupCursor:
+		m := g.members[o.sub]
+		if m == nil {
+			m = &GroupMember{}
+			g.members[o.sub] = m
+		}
+		m.Cursor = int(o.id)
+		m.At = o.at
+	case recGroupAttach:
+		m := g.members[o.sub]
+		if m == nil {
+			m = &GroupMember{}
+			g.members[o.sub] = m
+		}
+		m.Attached = true
+		m.Cursor = g.frontier()
+		m.At = o.at
+	case recGroupDetach:
+		m := g.members[o.sub]
+		if m == nil {
+			m = &GroupMember{}
+			g.members[o.sub] = m
+		}
+		m.Attached = false
+		m.At = o.at
+	case recGroupForget:
+		delete(g.members, o.sub)
+	}
+}
+
+// deliveredLocked reports whether id is covered for sub, either by an
+// individual delivery receipt or by membership in a group whose cursor
+// has passed the file's log position. Caller holds s.mu.
+func (s *Store) deliveredLocked(id uint64, sub string) bool {
+	if _, ok := s.delivered[sub][id]; ok {
+		return true
+	}
+	for _, g := range s.groups {
+		p, ok := g.pos[id]
+		if !ok {
+			continue
+		}
+		if m := g.members[sub]; m != nil && m.Cursor > p {
+			return true
+		}
+	}
+	return false
+}
+
+// EnsureGroup registers a group in memory (no WAL record): groups come
+// from configuration, so an empty group need not survive restart —
+// the server re-registers it on startup.
+func (s *Store) EnsureGroup(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groupLocked(name)
+}
+
+// RecordGroupDelivery durably appends file id to group's delivery log:
+// one record covering every attached member.
+func (s *Store) RecordGroupDelivery(group string, id uint64, at time.Time) error {
+	return s.commit([]op{{kind: recGroupDelivery, group: group, id: id, at: at}})
+}
+
+// RecordGroupCursor durably sets sub's cursor within group (catch-up
+// progress, or first registration with cursor 0).
+func (s *Store) RecordGroupCursor(group, sub string, cursor int, at time.Time) error {
+	return s.commit([]op{{kind: recGroupCursor, group: group, sub: sub, id: uint64(cursor), at: at}})
+}
+
+// RecordGroupAttach durably marks sub as riding group's frontier. The
+// member's cursor snaps to the frontier, so the caller must hold the
+// channel's fan-out barrier: nothing may be mid-delivery to the group
+// while the attach commits.
+func (s *Store) RecordGroupAttach(group, sub string, at time.Time) error {
+	return s.commit([]op{{kind: recGroupAttach, group: group, sub: sub, at: at}})
+}
+
+// RecordGroupDetach durably freezes sub's cursor at its current
+// position. The delivery engine records the detach BEFORE the failed
+// file's group-delivery record so replay reconstructs the cursor
+// exactly.
+func (s *Store) RecordGroupDetach(group, sub string, at time.Time) error {
+	return s.commit([]op{{kind: recGroupDetach, group: group, sub: sub, at: at}})
+}
+
+// RecordGroupForget durably removes sub from group entirely, releasing
+// any compaction hold its lagging cursor imposed.
+func (s *Store) RecordGroupForget(group, sub string) error {
+	return s.commit([]op{{kind: recGroupForget, group: group, sub: sub}})
+}
+
+// Groups returns the registered group names, sorted.
+func (s *Store) Groups() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.groups))
+	for name := range s.groups {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupFrontier returns the group's log length (the next position to
+// be appended).
+func (s *Store) GroupFrontier(group string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[group]
+	if g == nil {
+		return 0
+	}
+	return g.frontier()
+}
+
+// GroupEntries returns the file ids at positions [from, frontier) of
+// the group's log, along with the effective start position — which is
+// the group's trimmed base when from falls below it (the caller
+// detects compacted-away history as start > from).
+func (s *Store) GroupEntries(group string, from int) ([]uint64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[group]
+	if g == nil {
+		return nil, from
+	}
+	start := from
+	if start < g.base {
+		start = g.base
+	}
+	if start >= g.frontier() {
+		return nil, start
+	}
+	out := make([]uint64, g.frontier()-start)
+	copy(out, g.log[start-g.base:])
+	return out, start
+}
+
+// GroupMembers returns a copy of the group's member table.
+func (s *Store) GroupMembers(group string) map[string]GroupMember {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[group]
+	if g == nil {
+		return nil
+	}
+	out := make(map[string]GroupMember, len(g.members))
+	for name, m := range g.members {
+		out[name] = *m
+	}
+	return out
+}
+
+// GroupMemberState returns sub's state within group.
+func (s *Store) GroupMemberState(group, sub string) (GroupMember, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[group]
+	if g == nil {
+		return GroupMember{}, false
+	}
+	m := g.members[sub]
+	if m == nil {
+		return GroupMember{}, false
+	}
+	return *m, true
+}
+
+// GroupCovers reports whether file id is in group's delivery log and,
+// if so, at which position.
+func (s *Store) GroupCovers(group string, id uint64) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.groups[group]
+	if g == nil {
+		return 0, false
+	}
+	p, ok := g.pos[id]
+	return p, ok
+}

@@ -1,0 +1,300 @@
+package receipts
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGroupOpEncodingRoundTrip(t *testing.T) {
+	at := t0.Add(3 * time.Second)
+	ops := []op{
+		{kind: recGroupDelivery, group: "g1", id: 42, at: at},
+		{kind: recGroupCursor, group: "g1", sub: "m1", id: 7, at: at},
+		{kind: recGroupAttach, group: "g1", sub: "m2", at: at},
+		{kind: recGroupDetach, group: "g1", sub: "m2", at: at},
+		{kind: recGroupForget, group: "g1", sub: "m3"},
+	}
+	var payload []byte
+	for _, o := range ops {
+		payload = encodeOp(payload, o)
+	}
+	got, err := decodeOps(payload)
+	if err != nil {
+		t.Fatalf("decodeOps: %v", err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i, o := range ops {
+		g := got[i]
+		if g.kind != o.kind || g.group != o.group || g.sub != o.sub || g.id != o.id {
+			t.Errorf("op %d: got %+v want %+v", i, g, o)
+		}
+		if o.kind != recGroupForget && !g.at.Equal(o.at) {
+			t.Errorf("op %d: at %v want %v", i, g.at, o.at)
+		}
+	}
+}
+
+// Attached members ride the frontier; a cursor record freezes a
+// detached member where catch-up left it.
+func TestGroupDeliveryAdvancesAttachedCursors(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{NoSync: true})
+	defer s.Close()
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	id2, _ := s.RecordArrival(meta("b", "bps"))
+
+	s.EnsureGroup("g")
+	if err := s.RecordGroupAttach("g", "m1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupCursor("g", "m2", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id2, t0); err != nil {
+		t.Fatal(err)
+	}
+
+	if !s.Delivered(id1, "m1") || !s.Delivered(id2, "m1") {
+		t.Fatal("attached member m1 should be covered by group deliveries")
+	}
+	if s.Delivered(id1, "m2") || s.Delivered(id2, "m2") {
+		t.Fatal("detached member m2 at cursor 0 must not be covered")
+	}
+	if f := s.GroupFrontier("g"); f != 2 {
+		t.Fatalf("frontier = %d, want 2", f)
+	}
+	if pend := s.PendingFor("m2", []string{"bps"}); len(pend) != 2 {
+		t.Fatalf("m2 pending = %d files, want 2", len(pend))
+	}
+	if pend := s.PendingFor("m1", []string{"bps"}); len(pend) != 0 {
+		t.Fatalf("m1 pending = %d files, want 0", len(pend))
+	}
+}
+
+// A detach recorded before a delivery freezes the cursor below that
+// delivery — and WAL replay reconstructs exactly that state.
+func TestGroupCursorSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	id2, _ := s.RecordArrival(meta("b", "bps"))
+	s.EnsureGroup("g")
+	if err := s.RecordGroupAttach("g", "m1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupAttach("g", "m2", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	// m2 drops mid-fan-out of the second file: detach precedes the
+	// group-delivery record.
+	if err := s.RecordGroupDetach("g", "m2", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id2, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	defer s2.Close()
+	m1, ok := s2.GroupMemberState("g", "m1")
+	if !ok || !m1.Attached || m1.Cursor != 2 {
+		t.Fatalf("m1 after replay = %+v ok=%v, want attached cursor 2", m1, ok)
+	}
+	m2, ok := s2.GroupMemberState("g", "m2")
+	if !ok || m2.Attached || m2.Cursor != 1 {
+		t.Fatalf("m2 after replay = %+v ok=%v, want detached cursor 1", m2, ok)
+	}
+	if !s2.Delivered(id1, "m2") {
+		t.Fatal("m2 received file 1 before detaching")
+	}
+	if s2.Delivered(id2, "m2") {
+		t.Fatal("m2 must not be credited with the post-detach file")
+	}
+	ids, start := s2.GroupEntries("g", m2.Cursor)
+	if start != 1 || len(ids) != 1 || ids[0] != id2 {
+		t.Fatalf("catch-up entries = %v from %d, want [%d] from 1", ids, start, id2)
+	}
+}
+
+// The same state must survive a checkpoint (gob snapshot) instead of
+// WAL replay.
+func TestGroupStateSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Options{})
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	s.EnsureGroup("g")
+	if err := s.RecordGroupAttach("g", "m1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupCursor("g", "m2", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, Options{})
+	defer s2.Close()
+	if f := s2.GroupFrontier("g"); f != 1 {
+		t.Fatalf("frontier after checkpoint restore = %d, want 1", f)
+	}
+	if !s2.Delivered(id1, "m1") {
+		t.Fatal("m1 coverage lost across checkpoint")
+	}
+	if s2.Delivered(id1, "m2") {
+		t.Fatal("m2 wrongly credited after checkpoint restore")
+	}
+	if p, ok := s2.GroupCovers("g", id1); !ok || p != 0 {
+		t.Fatalf("GroupCovers = (%d, %v), want (0, true)", p, ok)
+	}
+}
+
+// Duplicate group-delivery records (crash between fan-out and receipt,
+// then re-send) must be idempotent.
+func TestGroupDeliveryIdempotent(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{NoSync: true})
+	defer s.Close()
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	s.EnsureGroup("g")
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if f := s.GroupFrontier("g"); f != 1 {
+		t.Fatalf("frontier after duplicate = %d, want 1", f)
+	}
+}
+
+// CompactExpired must not fold a file whose group log position is
+// still ahead of a lagging member's cursor — even when every
+// individually-subscribed receiver has its receipt — and must fold it
+// once the member catches up (or is forgotten), trimming the group
+// log prefix.
+func TestCompactExpiredHonorsLaggingGroupCursor(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	defer s.Close()
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	s.EnsureGroup("g")
+	if err := s.RecordGroupAttach("g", "m1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupCursor("g", "lag", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordExpire(id1); err != nil {
+		t.Fatal(err)
+	}
+
+	all := func(f FileMeta, delivered func(string) bool) bool { return true }
+	n, err := s.CompactExpired(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("compacted %d files past a lagging cursor, want 0", n)
+	}
+
+	// Catch the member up; now the fold may proceed and the log prefix
+	// trims away.
+	if err := s.RecordGroupCursor("g", "lag", 1, t0); err != nil {
+		t.Fatal(err)
+	}
+	n, err = s.CompactExpired(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("compacted %d files after catch-up, want 1", n)
+	}
+	ids, start := s.GroupEntries("g", 0)
+	if len(ids) != 0 || start != 1 {
+		t.Fatalf("group log after trim = %v from %d, want empty from base 1", ids, start)
+	}
+	// Coverage by cursor survives the fold: position 0 is below both
+	// cursors even though the file id mapping is gone.
+	if f := s.GroupFrontier("g"); f != 1 {
+		t.Fatalf("frontier after trim = %d, want 1", f)
+	}
+}
+
+// RecordGroupForget releases a lagging member's compaction hold.
+func TestGroupForgetReleasesCompactionHold(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	defer s.Close()
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	s.EnsureGroup("g")
+	if err := s.RecordGroupCursor("g", "lag", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordExpire(id1); err != nil {
+		t.Fatal(err)
+	}
+	all := func(f FileMeta, delivered func(string) bool) bool { return true }
+	if n, _ := s.CompactExpired(all); n != 0 {
+		t.Fatalf("compacted %d with lagging member, want 0", n)
+	}
+	if err := s.RecordGroupForget("g", "lag"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.CompactExpired(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("compacted %d after forget, want 1", n)
+	}
+}
+
+// The compaction eligibility probe must see group coverage, so a
+// server-side "all interested subscribers delivered" rule works for
+// channel members with no individual receipts.
+func TestCompactProbeSeesGroupCoverage(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{})
+	defer s.Close()
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	s.EnsureGroup("g")
+	if err := s.RecordGroupAttach("g", "m1", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupDelivery("g", id1, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordExpire(id1); err != nil {
+		t.Fatal(err)
+	}
+	var sawCovered bool
+	n, err := s.CompactExpired(func(f FileMeta, delivered func(string) bool) bool {
+		sawCovered = delivered("m1")
+		return sawCovered
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawCovered || n != 1 {
+		t.Fatalf("probe covered=%v compacted=%d, want true/1", sawCovered, n)
+	}
+}

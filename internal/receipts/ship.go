@@ -196,6 +196,20 @@ func (s *Store) encodeStateLocked() ([]byte, error) {
 		Expired:     s.expired,
 		Quarantined: s.quarantined,
 	}
+	if len(s.groups) > 0 {
+		st.Groups = make(map[string]*groupCheckpoint, len(s.groups))
+		for name, g := range s.groups {
+			gc := &groupCheckpoint{
+				Base:    g.base,
+				Log:     g.log,
+				Members: make(map[string]GroupMember, len(g.members)),
+			}
+			for sub, m := range g.members {
+				gc.Members[sub] = *m
+			}
+			st.Groups[name] = gc
+		}
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
 		return nil, err

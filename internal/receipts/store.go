@@ -137,9 +137,12 @@ type Store struct {
 	// missing or corrupt by startup reconciliation; they are excluded
 	// from delivery queues until an operator re-ingests them.
 	quarantined map[uint64]bool
-	commits     int
-	walBytes    int64 // approximate WAL size since the last checkpoint
-	closed      bool
+	// groups holds the per-channel shared delivery logs + member
+	// cursors (see group.go).
+	groups   map[string]*groupState
+	commits  int
+	walBytes int64 // approximate WAL size since the last checkpoint
+	closed   bool
 
 	// ship holds the replication hooks a clustered owner installs via
 	// ArmShipper. Written under commitLock (exclusive) + mu, read in
@@ -185,6 +188,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		delivered:   make(map[string]map[uint64]time.Time),
 		expired:     make(map[uint64]bool),
 		quarantined: make(map[uint64]bool),
+		groups:      make(map[string]*groupState),
 	}
 	if err := s.loadCheckpoint(); err != nil {
 		return nil, err
@@ -244,6 +248,8 @@ func (s *Store) applyLocked(o op) {
 		s.expired[o.id] = true
 	case recQuarantine:
 		s.quarantined[o.id] = true
+	case recGroupDelivery, recGroupCursor, recGroupAttach, recGroupDetach, recGroupForget:
+		s.applyGroupLocked(o)
 	}
 }
 
@@ -467,12 +473,13 @@ func (s *Store) File(id uint64) (FileMeta, bool) {
 	return *f, true
 }
 
-// Delivered reports whether id has been delivered to sub.
+// Delivered reports whether id has been delivered to sub — by an
+// individual receipt or by a group cursor past the file's log
+// position.
 func (s *Store) Delivered(id uint64, sub string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.delivered[sub][id]
-	return ok
+	return s.deliveredLocked(id, sub)
 }
 
 // DeliveredCount returns how many files have been delivered to sub.
@@ -507,7 +514,6 @@ func (s *Store) FilesInFeed(feed string) []FileMeta {
 func (s *Store) PendingFor(sub string, feeds []string) []FileMeta {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	del := s.delivered[sub]
 	seen := make(map[uint64]bool)
 	var out []FileMeta
 	for _, feed := range feeds {
@@ -516,7 +522,7 @@ func (s *Store) PendingFor(sub string, feeds []string) []FileMeta {
 				continue
 			}
 			seen[id] = true
-			if _, ok := del[id]; ok {
+			if s.deliveredLocked(id, sub) {
 				continue
 			}
 			if f, ok := s.files[id]; ok {
@@ -568,6 +574,7 @@ type Stats struct {
 	Quarantined int
 	Feeds       int
 	Subscribers int
+	Groups      int
 	Commits     int
 	WALBytes    int64
 }
@@ -582,6 +589,7 @@ func (s *Store) Stats() Stats {
 		Quarantined: len(s.quarantined),
 		Feeds:       len(s.feedFiles),
 		Subscribers: len(s.delivered),
+		Groups:      len(s.groups),
 		Commits:     s.commits,
 		WALBytes:    s.walBytes,
 	}
@@ -595,6 +603,7 @@ type checkpointState struct {
 	Delivered   map[string]map[uint64]time.Time
 	Expired     map[uint64]bool
 	Quarantined map[uint64]bool
+	Groups      map[string]*groupCheckpoint
 }
 
 // Checkpoint atomically persists the full in-memory state and resets
@@ -675,6 +684,22 @@ func (s *Store) loadCheckpoint() error {
 	}
 	if st.Quarantined != nil {
 		s.quarantined = st.Quarantined
+	}
+	for name, gc := range st.Groups {
+		g := &groupState{
+			base:    gc.Base,
+			log:     gc.Log,
+			pos:     make(map[uint64]int, len(gc.Log)),
+			members: make(map[string]*GroupMember, len(gc.Members)),
+		}
+		for i, id := range gc.Log {
+			g.pos[id] = gc.Base + i
+		}
+		for sub, m := range gc.Members {
+			mm := m
+			g.members[sub] = &mm
+		}
+		s.groups[name] = g
 	}
 	return nil
 }

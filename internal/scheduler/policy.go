@@ -44,6 +44,12 @@ type Job struct {
 	Priority int
 	// Backfill marks historical catch-up work.
 	Backfill bool
+	// Channel, when non-empty, marks a shared fan-out job: one
+	// transfer of Path to every member attached to the named delivery
+	// channel. Subscriber then holds the channel's synthetic queue key,
+	// so the per-subscriber in-flight cap serializes a channel's
+	// fan-outs (delivery-log append order = completion order).
+	Channel string
 
 	// pinned, when non-zero, fixes the job to partition pinned-1
 	// regardless of subscriber assignment (set by SubmitTo; replay

@@ -197,6 +197,7 @@ type Status struct {
 	Feeds       map[string]feedlog.FeedStats        `json:"feeds"`
 	Unmatched   int64                               `json:"unmatched"`
 	Subscribers map[string]delivery.SubscriberStats `json:"subscribers"`
+	Channels    []delivery.ChannelStats             `json:"channels,omitempty"`
 	Receipts    receipts.Stats                      `json:"receipts"`
 	Partitions  []PartitionStatus                   `json:"partitions"`
 	Inflight    int                                 `json:"inflight"`
@@ -260,6 +261,7 @@ func (s *Server) Status() Status {
 		Feeds:       s.logger.AllStats(),
 		Unmatched:   s.logger.Unmatched(),
 		Subscribers: s.engine.Stats(),
+		Channels:    s.engine.ChannelStats(),
 		Receipts:    s.store.Stats(),
 		Partitions:  ps,
 		Inflight:    sched.InflightTotal(),

@@ -1,9 +1,9 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
@@ -12,6 +12,10 @@ import (
 	"bistro/internal/normalize"
 	"bistro/internal/receipts"
 )
+
+// walkDir is filepath.WalkDir behind a seam so tests can inject walk
+// errors (wrapped not-exist shapes in particular).
+var walkDir = filepath.WalkDir
 
 // ReconcileReport summarizes one startup reconciliation pass over the
 // receipt database and the staging/archive trees.
@@ -112,9 +116,11 @@ func (s *Server) Reconcile() (*ReconcileReport, error) {
 
 	// Orphan sweep: staged files no receipt points at. A crash between
 	// the staging rename and the arrival commit leaves exactly this.
-	err := filepath.WalkDir(s.stage, func(path string, d fs.DirEntry, werr error) error {
+	err := walkDir(s.stage, func(path string, d fs.DirEntry, werr error) error {
 		if werr != nil {
-			if os.IsNotExist(werr) {
+			// Entries can vanish mid-walk; the error may arrive wrapped
+			// (an fs layer annotating the path), so match by identity.
+			if errors.Is(werr, fs.ErrNotExist) {
 				return nil
 			}
 			return werr
@@ -245,9 +251,9 @@ func (s *Server) recordOrphanArrival(name, stagedPath, path string, matches []cl
 // any receipt.
 func (s *Server) cleanStaleTmp() int {
 	var removed int
-	filepath.WalkDir(s.stage, func(path string, d fs.DirEntry, err error) error {
+	walkDir(s.stage, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			if os.IsNotExist(err) {
+			if errors.Is(err, fs.ErrNotExist) {
 				return nil
 			}
 			return err

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"os"
 	"path/filepath"
@@ -285,6 +286,16 @@ func New(opts Options) (*Server, error) {
 		})
 		replayPart = len(schedCfg.Partitions) - 1
 	}
+	var chans []delivery.ChannelSpec
+	if cfg.Channels != nil {
+		for _, g := range cfg.Channels.Groups {
+			chans = append(chans, delivery.ChannelSpec{
+				Name:    g.Name,
+				Feed:    g.Feed,
+				Members: append([]string(nil), g.Members...),
+			})
+		}
+	}
 	engine, err := delivery.New(delivery.Options{
 		Clock:           s.clk,
 		Store:           store,
@@ -299,6 +310,8 @@ func New(opts Options) (*Server, error) {
 		OnEvent:         s.onDeliveryEvent,
 		Metrics:         delivery.NewMetrics(s.reg),
 		ReplayPartition: replayPart,
+		FS:              s.fs,
+		Channels:        chans,
 		// Both seams late-bind through s: the archiver and replay
 		// manager are constructed after the engine.
 		HistoryMeta: func(id uint64) (receipts.FileMeta, bool) {
@@ -516,6 +529,17 @@ func (s *Server) onDeliveryEvent(ev delivery.Event) {
 			ev.Subscriber, ev.Delay, ev.Err)
 	case delivery.EvCircuitHalfOpen:
 		s.logger.Logf("subscriber", "%s circuit half-open: probing", ev.Subscriber)
+	case delivery.EvReceiptWriteFailed:
+		// The subscriber has the bytes but the ledger does not know: a
+		// restart re-sends (safe), but a failing receipt WAL is a
+		// stop-everything disk problem — alarm, don't just log.
+		s.logger.Raise("receipts", fmt.Sprintf(
+			"receipt write for %s (file %d) to %s failed: %v",
+			ev.Name, ev.FileID, ev.Subscriber, ev.Err))
+	case delivery.EvChannelAttached:
+		s.logger.Logf("channel", "%s attached to %s", ev.Subscriber, ev.Name)
+	case delivery.EvChannelDetached:
+		s.logger.Logf("channel", "%s detached from %s: %v", ev.Subscriber, ev.Name, ev.Err)
 	}
 	if s.opts.OnEvent != nil {
 		s.opts.OnEvent(ev)
@@ -997,9 +1021,9 @@ func (s *Server) CompactReceipts() (int, error) {
 func (s *Server) ReprocessUnmatched() (int, error) {
 	quarantine := filepath.Join(s.stage, "_unmatched")
 	var claimed int
-	err := filepath.WalkDir(quarantine, func(path string, d os.DirEntry, err error) error {
+	err := walkDir(quarantine, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
-			if os.IsNotExist(err) {
+			if errors.Is(err, fs.ErrNotExist) {
 				return nil
 			}
 			return err

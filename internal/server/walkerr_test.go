@@ -1,0 +1,36 @@
+package server
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"testing"
+)
+
+// The staging walks (orphan sweep, stale-tmp cleanup, unmatched
+// reprocessing) must treat a WRAPPED fs.ErrNotExist as a vanished
+// entry, not a walk failure — os.IsNotExist does not see through
+// wrapping; errors.Is must.
+func TestWalksTolerateWrappedNotExist(t *testing.T) {
+	prev := walkDir
+	walkDir = func(root string, fn fs.WalkDirFunc) error {
+		if err := fn(filepath.Join(root, "ghost"), nil,
+			fmt.Errorf("walk %s: entry vanished: %w", root, fs.ErrNotExist)); err != nil {
+			return err
+		}
+		return filepath.WalkDir(root, fn)
+	}
+	t.Cleanup(func() { walkDir = prev })
+
+	s := newServer(t, testConfig, nil)
+	rep, err := s.Reconcile()
+	if err != nil {
+		t.Fatalf("reconcile aborted on a wrapped not-exist: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("reconcile over a clean root reported %s", rep)
+	}
+	if _, err := s.ReprocessUnmatched(); err != nil {
+		t.Fatalf("unmatched reprocess aborted on a wrapped not-exist: %v", err)
+	}
+}

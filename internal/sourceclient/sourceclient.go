@@ -6,6 +6,7 @@
 package sourceclient
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io/fs"
@@ -18,6 +19,10 @@ import (
 	"bistro/internal/clock"
 	"bistro/internal/protocol"
 )
+
+// walkDir is filepath.WalkDir behind a seam so tests can inject walk
+// errors (wrapped not-exist shapes in particular).
+var walkDir = filepath.WalkDir
 
 // Client is a connection from a data source to a Bistro server.
 type Client struct {
@@ -133,9 +138,10 @@ func (c *Client) WatchDir(dir string, opts WatchOptions) error {
 	seen := make(map[string]stamp)
 	bo := backoff.New(opts.Backoff.WithDefaults(), backoff.Seed(c.name+":"+dir))
 	scan := func() (failed bool, _ error) {
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		err := walkDir(dir, func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
-				if os.IsNotExist(err) {
+				// Vanished mid-scan; the error may arrive wrapped.
+				if errors.Is(err, fs.ErrNotExist) {
 					return nil
 				}
 				return err

@@ -1,0 +1,60 @@
+package sourceclient
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// WatchDir must treat a WRAPPED fs.ErrNotExist from the walk as a
+// vanished entry, not a fatal scan error — os.IsNotExist does not see
+// through wrapping; errors.Is must.
+func TestWatchDirToleratesWrappedNotExist(t *testing.T) {
+	prev := walkDir
+	walkDir = func(root string, fn fs.WalkDirFunc) error {
+		if err := fn(filepath.Join(root, "ghost"), nil,
+			fmt.Errorf("walk %s: entry vanished: %w", root, fs.ErrNotExist)); err != nil {
+			return err
+		}
+		return filepath.WalkDir(root, fn)
+	}
+	t.Cleanup(func() { walkDir = prev })
+
+	srv := newFakeServer(t)
+	c, err := Dial(srv.ln.Addr().String(), "agent", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "a.csv"), []byte("1"), 0o644)
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	uploaded := map[string]bool{}
+	done := make(chan error, 1)
+	go func() {
+		done <- c.WatchDir(dir, WatchOptions{
+			Interval: 5 * time.Millisecond,
+			Stop:     stop,
+			OnUpload: func(name string, err error) {
+				mu.Lock()
+				uploaded[name] = true
+				mu.Unlock()
+			},
+		})
+	}()
+	waitCond(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return uploaded["a.csv"]
+	})
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("watch aborted on a wrapped not-exist: %v", err)
+	}
+}
