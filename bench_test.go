@@ -221,6 +221,23 @@ func BenchmarkE18FanOut(b *testing.B) {
 	}
 }
 
+func BenchmarkE19HTTPPull(b *testing.B) {
+	t := runExperiment(b, experiments.E19HTTPPull)
+	for _, row := range t.Rows {
+		// The widest poll row carries the headline figures; the push
+		// row is the contrast.
+		if row[0] == "poll" && row[1] == "300" {
+			b.ReportMetric(metric(row[3]), "poll_p99_propagation_ms")
+			b.ReportMetric(metric(row[4]), "poll_cpu_per_client_ms")
+			b.ReportMetric(metric(row[6]), "duplicates")
+			b.ReportMetric(metric(row[7]), "missed")
+		}
+		if row[0] == "push" {
+			b.ReportMetric(metric(row[3]), "push_p99_propagation_ms")
+		}
+	}
+}
+
 func BenchmarkE13Overhead(b *testing.B) {
 	t := runExperiment(b, experiments.E13Overhead)
 	for _, row := range t.Rows {

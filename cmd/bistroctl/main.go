@@ -11,6 +11,7 @@
 //	bistroctl -server host:port watch dir       # agent mode: poll dir, upload new files
 //	bistroctl -admin host:port status           # render /statusz from the admin endpoint
 //	bistroctl -admin host:port replay           # list replay sessions and their watermarks
+//	bistroctl -http host:port -token T tail feed  # page a feed's log over the pull data plane
 package main
 
 import (
@@ -31,8 +32,12 @@ func main() {
 		adminAddr  = flag.String("admin", "127.0.0.1:9090", "Bistro admin endpoint address (status)")
 		name       = flag.String("name", "bistroctl", "source name")
 		timeout    = flag.Duration("timeout", 10*time.Second, "operation timeout")
-		interval   = flag.Duration("interval", 2*time.Second, "watch poll interval")
+		interval   = flag.Duration("interval", 2*time.Second, "watch/tail poll interval")
 		remove     = flag.Bool("remove", false, "watch: delete local files after upload")
+		httpAddr   = flag.String("http", "127.0.0.1:9480", "Bistro HTTP data plane address (tail)")
+		token      = flag.String("token", "", "tail: bearer token for the HTTP data plane")
+		from       = flag.String("from", "", "tail: starting cursor (sequence number or RFC3339 time)")
+		follow     = flag.Bool("follow", false, "tail: keep polling for new entries")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -52,6 +57,17 @@ func main() {
 		if err := runReplay(*adminAddr, *timeout, os.Stdout); err != nil {
 			fatal("replay: %v", err)
 		}
+		return
+	}
+	if args[0] == "tail" {
+		if len(args) != 2 {
+			usage()
+		}
+		next, err := runTail(*httpAddr, *token, args[1], *from, *follow, *interval, *timeout, os.Stdout)
+		if err != nil {
+			fatal("tail: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "bistroctl: caught up; resume with -from %d\n", next)
 		return
 	}
 
@@ -130,6 +146,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bistroctl -server host:port {upload files... | ready paths... | eob [feed] | watch dir}")
 	fmt.Fprintln(os.Stderr, "       bistroctl -admin host:port {status | replay}")
+	fmt.Fprintln(os.Stderr, "       bistroctl -http host:port -token T tail feed [-from cursor] [-follow]")
 	os.Exit(2)
 }
 

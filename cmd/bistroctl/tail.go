@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// tailPage mirrors the HTTP data plane's GET /feeds/<name> response
+// (internal/httpfeed.logPage) with just the fields the renderer uses.
+type tailPage struct {
+	Feed    string `json:"feed"`
+	From    uint64 `json:"from"`
+	Head    uint64 `json:"head"`
+	Next    uint64 `json:"next"`
+	Entries []struct {
+		Seq      uint64    `json:"seq"`
+		Name     string    `json:"name"`
+		Size     int64     `json:"size"`
+		Checksum uint32    `json:"crc"`
+		Time     time.Time `json:"time"`
+		Archived bool      `json:"archived"`
+	} `json:"entries"`
+}
+
+// runTail consumes a feed's log over the HTTP pull data plane: it
+// pages from the given cursor to the head, printing one line per
+// entry, and in follow mode keeps polling the tail like `tail -f`.
+// It returns the next cursor so scripted callers can resume.
+func runTail(httpAddr, token, feed, from string, follow bool, interval, timeout time.Duration, w io.Writer) (uint64, error) {
+	client := &http.Client{Timeout: timeout}
+	cursor := from
+	etag := ""
+	for {
+		u := fmt.Sprintf("http://%s/feeds/%s?limit=512", httpAddr, feed)
+		if cursor != "" {
+			u += "&from=" + url.QueryEscape(cursor)
+		}
+		req, err := http.NewRequest(http.MethodGet, u, nil)
+		if err != nil {
+			return 0, err
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusNotModified {
+			resp.Body.Close()
+			time.Sleep(interval)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return 0, fmt.Errorf("%s: %s: %s", u, resp.Status, string(body))
+		}
+		var page tailPage
+		err = json.NewDecoder(resp.Body).Decode(&page)
+		etag = resp.Header.Get("ETag")
+		resp.Body.Close()
+		if err != nil {
+			return 0, fmt.Errorf("decode page: %w", err)
+		}
+		for _, e := range page.Entries {
+			where := "staged"
+			if e.Archived {
+				where = "archived"
+			}
+			fmt.Fprintf(w, "%8d  %s  %10d  crc=%08x  %s  %s\n",
+				e.Seq, e.Time.Format(time.RFC3339), e.Size, e.Checksum, where, e.Name)
+		}
+		cursor = strconv.FormatUint(page.Next, 10)
+		if len(page.Entries) > 0 {
+			// More history may be waiting; fetch the next page at once.
+			continue
+		}
+		if !follow {
+			return page.Next, nil
+		}
+		time.Sleep(interval)
+	}
+}

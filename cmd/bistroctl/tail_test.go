@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunTail pages a fake data plane to the head: two non-empty
+// pages, then the empty caught-up page, with the bearer token and
+// advancing cursor on every request.
+func TestRunTail(t *testing.T) {
+	var gotFrom []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/feeds/market/BPS" {
+			http.NotFound(w, r)
+			return
+		}
+		if auth := r.Header.Get("Authorization"); auth != "Bearer t0k3n" {
+			http.Error(w, "bad token", http.StatusUnauthorized)
+			return
+		}
+		from := r.URL.Query().Get("from")
+		gotFrom = append(gotFrom, from)
+		w.Header().Set("Content-Type", "application/json")
+		switch from {
+		case "", "1":
+			fmt.Fprint(w, `{"feed":"market/BPS","from":1,"head":4,"next":3,"entries":[
+				{"seq":1,"name":"a.csv","size":10,"crc":1,"time":"2010-09-25T04:51:00Z"},
+				{"seq":2,"name":"b.csv","size":20,"crc":2,"time":"2010-09-25T04:52:00Z","archived":true}]}`)
+		case "3":
+			fmt.Fprint(w, `{"feed":"market/BPS","from":3,"head":4,"next":5,"entries":[
+				{"seq":4,"name":"c.csv","size":30,"crc":3,"time":"2010-09-25T04:53:00Z"}]}`)
+		default:
+			fmt.Fprintf(w, `{"feed":"market/BPS","from":%s,"head":4,"next":%s,"entries":[]}`, from, from)
+		}
+	}))
+	defer srv.Close()
+
+	var b strings.Builder
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	next, err := runTail(addr, "t0k3n", "market/BPS", "1", false, time.Millisecond, time.Second, &b)
+	if err != nil {
+		t.Fatalf("runTail: %v", err)
+	}
+	if next != 5 {
+		t.Fatalf("next cursor = %d, want 5", next)
+	}
+	if len(gotFrom) != 3 || gotFrom[0] != "1" || gotFrom[1] != "3" || gotFrom[2] != "5" {
+		t.Fatalf("cursors requested = %v, want [1 3 5]", gotFrom)
+	}
+	out := b.String()
+	for _, want := range []string{"a.csv", "b.csv", "c.csv", "archived", "staged"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n != 3 {
+		t.Fatalf("printed %d lines, want 3:\n%s", n, out)
+	}
+}
+
+// TestRunTailAuthError surfaces the server's status on a bad token.
+func TestRunTailAuthError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="bistro"`)
+		http.Error(w, `{"error":"unauthorized"}`, http.StatusUnauthorized)
+	}))
+	defer srv.Close()
+	var b strings.Builder
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	_, err := runTail(addr, "wrong", "market/BPS", "", false, time.Millisecond, time.Second, &b)
+	if err == nil || !strings.Contains(err.Error(), "401") {
+		t.Fatalf("err = %v, want 401", err)
+	}
+}

@@ -44,6 +44,14 @@ type Options struct {
 	// Distinct from Healthy: a starting (or promoting) server is
 	// healthy but not ready until reconciliation completes.
 	Ready func() error
+	// ReadHeaderTimeout, ReadTimeout, and WriteTimeout harden the
+	// listener against slow-loris clients holding connections open.
+	// Zero means the package default; tests override with tiny values.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	// MaxHeaderBytes caps request header size (0 = the default 64 KiB).
+	MaxHeaderBytes int
 }
 
 // Server is a running admin endpoint.
@@ -100,11 +108,32 @@ func Start(opts Options) (*Server, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(opts.Status())
 	})
+	if opts.ReadHeaderTimeout <= 0 {
+		opts.ReadHeaderTimeout = 5 * time.Second
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = 30 * time.Second
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = time.Minute
+	}
+	if opts.MaxHeaderBytes <= 0 {
+		opts.MaxHeaderBytes = 64 << 10
+	}
+	// No admin endpoint reads a body, but cap it anyway so a client
+	// streaming one cannot hold memory or the connection.
+	capped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+		mux.ServeHTTP(w, r)
+	})
 	s := &Server{
 		ln: ln,
 		srv: &http.Server{
-			Handler:           mux,
-			ReadHeaderTimeout: 5 * time.Second,
+			Handler:           capped,
+			ReadHeaderTimeout: opts.ReadHeaderTimeout,
+			ReadTimeout:       opts.ReadTimeout,
+			WriteTimeout:      opts.WriteTimeout,
+			MaxHeaderBytes:    opts.MaxHeaderBytes,
 		},
 		done: make(chan struct{}),
 	}

@@ -1,0 +1,78 @@
+package admin
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bistro/internal/metrics"
+)
+
+func startTest(t *testing.T, opts Options) *Server {
+	t.Helper()
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	s, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestEndpointsServe(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("bistro_test_total", "test").Inc()
+	s := startTest(t, Options{Registry: reg, Status: func() any { return map[string]int{"feeds": 2} }})
+	for path, want := range map[string]string{
+		"/metrics": "bistro_test_total 1",
+		"/healthz": "ok",
+		"/readyz":  "ready",
+		"/statusz": `"feeds": 2`,
+	} {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), want) {
+			t.Fatalf("%s: status %d body %q", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestSlowLorisCutOff pins the hardened timeouts: a dribbled partial
+// request is disconnected once ReadHeaderTimeout elapses.
+func TestSlowLorisCutOff(t *testing.T) {
+	s := startTest(t, Options{
+		ReadHeaderTimeout: 150 * time.Millisecond,
+		ReadTimeout:       150 * time.Millisecond,
+	})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHos")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 256)
+	start := time.Now()
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				t.Fatal("connection still open 3s after a 150ms header timeout")
+			}
+			break
+		}
+		if time.Since(start) > 3*time.Second {
+			t.Fatal("server kept responding to a stalled request")
+		}
+	}
+}

@@ -77,6 +77,12 @@ type Manifest struct {
 
 	mu  sync.Mutex
 	ids map[uint64]bool
+	// byFeed is an in-memory per-feed mirror of the day files, sorted
+	// by id — the seq-indexed view behind the HTTP data plane's
+	// stateless log reads. The open-time scan already reads every day
+	// file to build the id set, so keeping the entries costs no extra
+	// I/O, only memory proportional to the archived history.
+	byFeed map[string][]Entry
 }
 
 // OpenManifest loads (or initialises) the manifest rooted at root,
@@ -88,7 +94,7 @@ func OpenManifest(fsys diskfault.FS, root string) (*Manifest, error) {
 	if err := fsys.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: manifest mkdir: %w", err)
 	}
-	m := &Manifest{fs: fsys, root: root, ids: make(map[uint64]bool)}
+	m := &Manifest{fs: fsys, root: root, ids: make(map[uint64]bool), byFeed: make(map[string][]Entry)}
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".jsonl") {
 			return err
@@ -99,11 +105,26 @@ func OpenManifest(fsys diskfault.FS, root string) (*Manifest, error) {
 		}
 		for _, e := range entries {
 			m.ids[e.ID] = true
+			m.byFeed[e.Feed] = append(m.byFeed[e.Feed], e)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("archive: manifest scan: %w", err)
+	}
+	// A crash between a torn batch append and its retry can leave
+	// duplicate (feed, id) lines on disk; the in-memory mirror keeps
+	// one.
+	for feed, entries := range m.byFeed {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+		dedup := entries[:0]
+		for i, e := range entries {
+			if i > 0 && e.ID == entries[i-1].ID {
+				continue
+			}
+			dedup = append(dedup, e)
+		}
+		m.byFeed[feed] = dedup
 	}
 	return m, nil
 }
@@ -143,10 +164,37 @@ func (m *Manifest) Append(entries []Entry) error {
 			return err
 		}
 	}
+	touched := make(map[string]bool)
+	for _, e := range entries {
+		if !m.ids[e.ID] {
+			m.byFeed[e.Feed] = append(m.byFeed[e.Feed], e)
+			touched[e.Feed] = true
+		}
+	}
 	for _, e := range entries {
 		m.ids[e.ID] = true
 	}
+	// Archival order usually tracks id order but is not guaranteed to
+	// (expiry walks by data time); keep the mirror sorted for binary
+	// search.
+	for feed := range touched {
+		fe := m.byFeed[feed]
+		sort.Slice(fe, func(i, j int) bool { return fe[i].ID < fe[j].ID })
+	}
 	return nil
+}
+
+// EntriesSince returns the feed's archived entries with id >= fromID,
+// in id order — the manifest half of the HTTP data plane's merged log
+// view. The slice is a copy; callers may retain it.
+func (m *Manifest) EntriesSince(feed string, fromID uint64) []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fe := m.byFeed[feed]
+	i := sort.Search(len(fe), func(i int) bool { return fe[i].ID >= fromID })
+	out := make([]Entry, len(fe)-i)
+	copy(out, fe[i:])
+	return out
 }
 
 func (m *Manifest) dayPath(feed string, key time.Time) string {

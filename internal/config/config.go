@@ -226,6 +226,38 @@ type AdminSpec struct {
 	Listen string
 }
 
+// PrincipalSpec is one principal { ... } entry in an http block: a
+// named credential with a per-principal feed ACL. Subscriptions holds
+// the feed or group paths as written; Feeds is the resolved flat leaf
+// set the ACL is enforced against.
+type PrincipalSpec struct {
+	// Name identifies the principal (basic-auth username, log label).
+	Name string
+	// Token is the shared secret: the bearer token, or the basic-auth
+	// password.
+	Token string
+	// Subscriptions holds the feed or group paths as written.
+	Subscriptions []string
+	// Feeds is the resolved flat list of leaf feed paths the principal
+	// may read and write.
+	Feeds []string
+}
+
+// HTTPSpec is an http { ... } block: the pull data plane exposing each
+// feed as an authenticated append-only HTTP log beside the custom TCP
+// protocol.
+type HTTPSpec struct {
+	// Listen is the HTTP data-plane address ("127.0.0.1:0" for
+	// ephemeral).
+	Listen string
+	// MaxBody caps POST ingest bodies in bytes (0 = the server
+	// default).
+	MaxBody int64
+	// Principals in definition order. Empty means the plane is open
+	// (documented for lab use; production configs declare principals).
+	Principals []*PrincipalSpec
+}
+
 // GroupCommitSpec is a group_commit { ... } block inside ingest:
 // tuning for the receipt WAL's batched-fsync flush window.
 type GroupCommitSpec struct {
@@ -354,6 +386,9 @@ type Config struct {
 	Backoff *BackoffSpec
 	// Admin, when non-nil, enables the observability HTTP endpoint.
 	Admin *AdminSpec
+	// HTTP, when non-nil, enables the pull data plane (feeds as
+	// authenticated HTTP logs).
+	HTTP *HTTPSpec
 	// Ingest, when non-nil, configures the parallel ingest pipeline
 	// (shard workers, hand-off queue, WAL group-commit window).
 	Ingest *IngestSpec
@@ -497,6 +532,15 @@ func Parse(src string) (*Config, error) {
 				return nil, err
 			}
 			cfg.Admin = spec
+		case "http":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			spec, err := p.httpSpec()
+			if err != nil {
+				return nil, err
+			}
+			cfg.HTTP = spec
 		case "ingest":
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -985,6 +1029,113 @@ func (p *parser) adminSpec() (*AdminSpec, error) {
 	}
 	if spec.Listen == "" {
 		return nil, fmt.Errorf("config: admin block needs listen")
+	}
+	return spec, nil
+}
+
+// httpSpec parses:
+//
+//	http {
+//	    listen "addr"
+//	    max_body N
+//	    principal NAME { token "..." feed PATH+ }
+//	}
+func (p *parser) httpSpec() (*HTTPSpec, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	spec := &HTTPSpec{}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "listen":
+			if spec.Listen, err = p.expect(tokString); err != nil {
+				return nil, err
+			}
+		case "max_body":
+			n, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, p.errPrevf("http max_body must be >= 1")
+			}
+			spec.MaxBody = int64(n)
+		case "principal":
+			pr, err := p.principalSpec()
+			if err != nil {
+				return nil, err
+			}
+			spec.Principals = append(spec.Principals, pr)
+		default:
+			return nil, p.errPrevf("unknown http statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if spec.Listen == "" {
+		return nil, fmt.Errorf("config: http block needs listen")
+	}
+	seen := make(map[string]bool, len(spec.Principals))
+	tokens := make(map[string]string, len(spec.Principals))
+	for _, pr := range spec.Principals {
+		if seen[pr.Name] {
+			return nil, fmt.Errorf("config: duplicate http principal %q", pr.Name)
+		}
+		seen[pr.Name] = true
+		if other, dup := tokens[pr.Token]; dup {
+			// Two principals sharing a token would make bearer
+			// authentication ambiguous (the token alone names the
+			// principal).
+			return nil, fmt.Errorf("config: http principals %q and %q share a token", other, pr.Name)
+		}
+		tokens[pr.Token] = pr.Name
+	}
+	return spec, nil
+}
+
+// principalSpec parses: NAME { token "..." feed PATH+ }
+func (p *parser) principalSpec() (*PrincipalSpec, error) {
+	spec := &PrincipalSpec{}
+	var err error
+	if spec.Name, err = p.expect(tokIdent); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "token":
+			if spec.Token, err = p.expect(tokString); err != nil {
+				return nil, err
+			}
+		case "feed":
+			path, err := p.path()
+			if err != nil {
+				return nil, err
+			}
+			spec.Subscriptions = append(spec.Subscriptions, path)
+		default:
+			return nil, p.errPrevf("unknown principal statement %q", kw)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if spec.Token == "" {
+		return nil, fmt.Errorf("config: http principal %s needs a token", spec.Name)
+	}
+	if len(spec.Subscriptions) == 0 {
+		return nil, fmt.Errorf("config: http principal %s grants no feeds", spec.Name)
 	}
 	return spec, nil
 }
@@ -1545,6 +1696,39 @@ func resolve(cfg *Config) error {
 		if err := resolveChannels(cfg, seen); err != nil {
 			return err
 		}
+	}
+	if cfg.HTTP != nil {
+		if err := resolveHTTP(cfg, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveHTTP expands each principal's feed ACL to leaf feeds, exactly
+// the way subscriber interest sets resolve: a written path may be a
+// leaf feed or a group, and groups expand to every descendant leaf.
+func resolveHTTP(cfg *Config, leaves map[string]bool) error {
+	for _, pr := range cfg.HTTP.Principals {
+		feedSet := make(map[string]bool)
+		for _, sub := range pr.Subscriptions {
+			if leaves[sub] {
+				feedSet[sub] = true
+				continue
+			}
+			grp, ok := cfg.Groups[sub]
+			if !ok {
+				return fmt.Errorf("config: http principal %s: unknown feed or group %q", pr.Name, sub)
+			}
+			for _, leaf := range grp {
+				feedSet[leaf] = true
+			}
+		}
+		pr.Feeds = make([]string, 0, len(feedSet))
+		for f := range feedSet {
+			pr.Feeds = append(pr.Feeds, f)
+		}
+		sort.Strings(pr.Feeds)
 	}
 	return nil
 }

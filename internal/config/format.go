@@ -64,6 +64,24 @@ func Format(cfg *Config) string {
 		fmt.Fprintf(&b, "admin {\n    listen %s\n}\n\n", quote(cfg.Admin.Listen))
 	}
 
+	if sp := cfg.HTTP; sp != nil {
+		b.WriteString("http {\n")
+		fmt.Fprintf(&b, "    listen %s\n", quote(sp.Listen))
+		if sp.MaxBody > 0 {
+			fmt.Fprintf(&b, "    max_body %d\n", sp.MaxBody)
+		}
+		for _, pr := range sp.Principals {
+			fmt.Fprintf(&b, "    principal %s {\n        token %s\n", pr.Name, quote(pr.Token))
+			subs := append([]string{}, pr.Subscriptions...)
+			sort.Strings(subs)
+			for _, path := range subs {
+				fmt.Fprintf(&b, "        feed %s\n", path)
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("}\n\n")
+	}
+
 	if sp := cfg.Ingest; sp != nil {
 		b.WriteString("ingest {\n")
 		if sp.Workers > 0 {

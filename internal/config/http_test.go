@@ -1,0 +1,105 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const httpSample = `
+feedgroup market {
+    feed BPS { pattern "bps_%Y%m%d.csv" }
+    feed PPS { pattern "pps_%Y%m%d.csv" }
+}
+feed ref { pattern "ref_%Y%m%d.csv" }
+
+http {
+    listen "127.0.0.1:0"
+    max_body 1048576
+    principal wh1 {
+        token "s3cret"
+        feed market/BPS
+    }
+    principal ops {
+        token "t0ken"
+        feed market
+        feed ref
+    }
+}
+`
+
+func TestHTTPBlockParses(t *testing.T) {
+	cfg, err := Parse(httpSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cfg.HTTP
+	if sp == nil {
+		t.Fatal("http block missing")
+	}
+	if sp.Listen != "127.0.0.1:0" {
+		t.Fatalf("listen = %q", sp.Listen)
+	}
+	if sp.MaxBody != 1048576 {
+		t.Fatalf("max_body = %d", sp.MaxBody)
+	}
+	if len(sp.Principals) != 2 {
+		t.Fatalf("principals = %+v", sp.Principals)
+	}
+	wh1 := sp.Principals[0]
+	if wh1.Name != "wh1" || wh1.Token != "s3cret" {
+		t.Fatalf("principal[0] = %+v", wh1)
+	}
+	if !reflect.DeepEqual(wh1.Feeds, []string{"market/BPS"}) {
+		t.Fatalf("wh1 feeds = %v", wh1.Feeds)
+	}
+	// Group paths expand to every descendant leaf, like subscriber
+	// subscriptions.
+	ops := sp.Principals[1]
+	if !reflect.DeepEqual(ops.Feeds, []string{"market/BPS", "market/PPS", "ref"}) {
+		t.Fatalf("ops feeds = %v", ops.Feeds)
+	}
+}
+
+func TestHTTPBlockErrors(t *testing.T) {
+	base := `
+feed BPS { pattern "bps_%Y.csv" }
+feed PPS { pattern "pps_%Y.csv" }
+`
+	for name, block := range map[string]string{
+		"missing listen":    `http { principal a { token "t" feed BPS } }`,
+		"bad max_body":      `http { listen "x" max_body 0 }`,
+		"missing token":     `http { listen "x" principal a { feed BPS } }`,
+		"no feeds":          `http { listen "x" principal a { token "t" } }`,
+		"unknown feed":      `http { listen "x" principal a { token "t" feed NOPE } }`,
+		"dup principal":     `http { listen "x" principal a { token "t" feed BPS } principal a { token "u" feed BPS } }`,
+		"shared token":      `http { listen "x" principal a { token "t" feed BPS } principal b { token "t" feed PPS } }`,
+		"unknown statement": `http { listen "x" bogus 1 }`,
+		"unknown principal": `http { listen "x" principal a { token "t" feed BPS bogus 1 } }`,
+	} {
+		if _, err := Parse(base + block); err == nil {
+			t.Errorf("%s: bad http block accepted", name)
+		}
+	}
+}
+
+func TestHTTPFormatRoundTrip(t *testing.T) {
+	orig, err := Parse(httpSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	if !strings.Contains(text, "http {") {
+		t.Fatalf("formatted config lost the http block:\n%s", text)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted config does not parse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(orig.HTTP, back.HTTP) {
+		t.Fatalf("http round trip:\n%+v\nvs\n%+v", orig.HTTP, back.HTTP)
+	}
+	if again := Format(back); again != text {
+		t.Fatalf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path"
+	rtmetrics "runtime/metrics"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bistro/internal/config"
+	"bistro/internal/server"
+	"bistro/internal/transport"
+)
+
+// E19HTTPPull measures the HTTP pull data plane against the push
+// protocol on one daemon: many stateless pollers paginating each
+// feed's log by cursor versus push subscribers riding the delivery
+// engine. Push pays per-subscriber server state (queues, receipts,
+// retry timers) to get propagation bounded by the scheduler; pull
+// holds zero per-client state — cost scales with request rate, not
+// registered clients, and history pages are CDN-cacheable — at the
+// price of up to one poll interval of propagation delay. The sweep
+// checks the pull plane's exactly-once contract (no duplicate, no
+// missed ids per poller) while measuring propagation and server CPU
+// per client.
+func E19HTTPPull(o Options) (Table, error) {
+	t := Table{
+		ID:     "E19",
+		Title:  "HTTP pull data plane vs push subscribers on one daemon",
+		Claim:  "feeds exposed as authenticated consumable HTTP logs serve thousands of cheap stateless pollers beside the push path; per-client cost is a poll request, not standing server state, and no poller misses or repeats a file id",
+		Header: []string{"mode", "clients", "p50 propagation", "p99 propagation", "cpu/client", "requests", "dup", "missed"},
+	}
+	type rowCfg struct {
+		mode    string
+		clients int
+	}
+	rows := []rowCfg{
+		{"push", 100},
+		{"poll", 100},
+		{"poll", 500},
+		{"poll", 2000},
+	}
+	if o.Quick {
+		rows = []rowCfg{{"push", 50}, {"poll", 50}, {"poll", 300}}
+	}
+	files := 6
+	for _, rc := range rows {
+		r, err := E19Trial(E19TrialConfig{
+			Mode:         rc.mode,
+			Clients:      rc.clients,
+			Files:        files,
+			FileSize:     2048,
+			PollInterval: 150 * time.Millisecond,
+		})
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			rc.mode,
+			fmt.Sprintf("%d", rc.clients),
+			ms(r.PropagationP50),
+			ms(r.PropagationP99),
+			ms(r.CPUPerClient),
+			fmt.Sprintf("%d", r.Requests),
+			fmt.Sprintf("%d", r.Duplicates),
+			fmt.Sprintf("%d", r.Missed),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("every trial deposits %d files on one feed of a full daemon and waits until every client holds every file id", files),
+		"poll clients paginate GET /feeds/<name>?from=<seq> with bearer auth at a 150ms interval; propagation includes up to one interval of polling delay by design",
+		"push rows ride the delivery engine over an in-process transport; propagation is scheduler-bound",
+		"cpu/client is process CPU (runtime/metrics /cpu/classes/total) divided by clients for the trial; in-process clients inflate it, so read it as an upper bound on the server's share",
+		"dup/missed count (client, file id) observations against exactly one — the no-transient-hole guarantee of the merged staging+manifest log view",
+		"push rows hold standing per-subscriber state (queues, receipts); poll rows hold none — the daemon forgets each request as it answers it")
+	if o.Quick {
+		t.Notes = append(t.Notes, "quick mode caps the sweep at 300 pollers; the full run extends to 2000")
+	}
+	return t, nil
+}
+
+// E19TrialConfig parameterizes one pull-vs-push trial.
+type E19TrialConfig struct {
+	// Mode is "poll" (HTTP pollers) or "push" (protocol subscribers).
+	Mode string
+	// Clients is the poller or subscriber count.
+	Clients int
+	// Files and FileSize describe the deposited workload.
+	Files    int
+	FileSize int
+	// PollInterval is each poller's sleep between pages.
+	PollInterval time.Duration
+}
+
+// E19TrialResult carries one trial's measurements.
+type E19TrialResult struct {
+	// PropagationP50/P99 are deposit-to-client-observation latencies.
+	PropagationP50 time.Duration
+	PropagationP99 time.Duration
+	// CPUPerClient is process CPU burned during the trial divided by
+	// the client count.
+	CPUPerClient time.Duration
+	// Requests is the number of HTTP requests served (0 in push mode).
+	Requests int64
+	// Duplicates and Missed count (client, file id) observations beyond
+	// or short of exactly once.
+	Duplicates int
+	Missed     int
+}
+
+func cpuSeconds() float64 {
+	s := []rtmetrics.Sample{{Name: "/cpu/classes/total:cpu-seconds"}}
+	rtmetrics.Read(s)
+	return s[0].Value.Float64()
+}
+
+// e19Transport records push arrivals per subscriber with timestamps.
+type e19Transport struct {
+	mu  sync.Mutex
+	got map[string]map[uint64]int
+	at  []e19Arrival
+}
+
+type e19Arrival struct {
+	name string
+	t    time.Time
+}
+
+func (c *e19Transport) Deliver(sub string, f transport.File) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.got[sub] == nil {
+		c.got[sub] = make(map[uint64]int)
+	}
+	c.got[sub][f.FileID]++
+	c.at = append(c.at, e19Arrival{name: f.Name, t: time.Now()})
+	return nil
+}
+
+func (c *e19Transport) Notify(sub string, f transport.File) error { return c.Deliver(sub, f) }
+
+func (c *e19Transport) Trigger(sub, cmd string, paths []string) error { return nil }
+
+func (c *e19Transport) Ping(sub string) error { return nil }
+
+// e19Config builds the daemon config: one feed, the HTTP plane with
+// one principal, and (push mode) one subscriber block per client.
+func e19Config(mode string, clients int) string {
+	var b strings.Builder
+	b.WriteString("feed TICKS { pattern \"t%i.csv\" }\n")
+	b.WriteString("http {\n    listen \"127.0.0.1:0\"\n    principal poller {\n        token \"e19\"\n        feed TICKS\n    }\n}\n")
+	if mode == "push" {
+		for i := 0; i < clients; i++ {
+			fmt.Fprintf(&b, "subscriber s%05d { dest \"in\" subscribe TICKS retry 20ms }\n", i)
+		}
+	}
+	return b.String()
+}
+
+// E19Trial runs one trial: a full daemon, Clients pollers or push
+// subscribers, Files deposited live, everyone draining to completion.
+func E19Trial(cfg E19TrialConfig) (*E19TrialResult, error) {
+	root, err := os.MkdirTemp("", "bistro-e19-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	parsed, err := config.Parse(e19Config(cfg.Mode, cfg.Clients))
+	if err != nil {
+		return nil, err
+	}
+	trans := &e19Transport{got: make(map[string]map[uint64]int)}
+	opts := server.Options{
+		Config:       parsed,
+		Root:         root,
+		ScanInterval: -1,
+		NoSync:       true,
+	}
+	if cfg.Mode == "push" {
+		opts.Transport = trans
+	}
+	srv, err := server.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Stop()
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+
+	payload := make([]byte, cfg.FileSize)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	deposited := struct {
+		sync.Mutex
+		at map[string]time.Time
+	}{at: make(map[string]time.Time)}
+
+	res := &E19TrialResult{}
+	var wg sync.WaitGroup
+	cpuBefore := cpuSeconds()
+
+	if cfg.Mode == "poll" {
+		addr := srv.HTTPAddr()
+		client := &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		}}
+		var reqMu sync.Mutex
+		var requests int64
+		type obs struct {
+			name string
+			t    time.Time
+		}
+		seen := make([][]obs, cfg.Clients)
+		counts := make([]map[uint64]int, cfg.Clients)
+		for p := 0; p < cfg.Clients; p++ {
+			counts[p] = make(map[uint64]int)
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				// Stagger phases so the fleet's polls spread over the
+				// interval instead of arriving as one thundering herd.
+				time.Sleep(time.Duration(p) * cfg.PollInterval / time.Duration(cfg.Clients))
+				var from uint64
+				deadline := time.Now().Add(120 * time.Second)
+				for len(counts[p]) < cfg.Files && time.Now().Before(deadline) {
+					req, err := http.NewRequest("GET", fmt.Sprintf("http://%s/feeds/TICKS?from=%d", addr, from), nil)
+					if err != nil {
+						return
+					}
+					req.Header.Set("Authorization", "Bearer e19")
+					resp, err := client.Do(req)
+					if err != nil {
+						time.Sleep(cfg.PollInterval)
+						continue
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					reqMu.Lock()
+					requests++
+					reqMu.Unlock()
+					var page struct {
+						Next    uint64 `json:"next"`
+						Entries []struct {
+							Seq  uint64 `json:"seq"`
+							Name string `json:"name"`
+						} `json:"entries"`
+					}
+					if json.Unmarshal(body, &page) != nil || resp.StatusCode != 200 {
+						time.Sleep(cfg.PollInterval)
+						continue
+					}
+					now := time.Now()
+					for _, e := range page.Entries {
+						counts[p][e.Seq]++
+						seen[p] = append(seen[p], obs{name: e.Name, t: now})
+					}
+					from = page.Next
+					if len(counts[p]) >= cfg.Files {
+						return
+					}
+					time.Sleep(cfg.PollInterval)
+				}
+			}(p)
+		}
+		// Let the fleet settle into its polling rhythm, then feed it.
+		time.Sleep(cfg.PollInterval)
+		for i := 0; i < cfg.Files; i++ {
+			name := fmt.Sprintf("t%d.csv", i)
+			deposited.Lock()
+			deposited.at[name] = time.Now()
+			deposited.Unlock()
+			if err := srv.Deposit(name, payload); err != nil {
+				return nil, err
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		wg.Wait()
+		res.CPUPerClient = time.Duration((cpuSeconds() - cpuBefore) / float64(cfg.Clients) * float64(time.Second))
+		res.Requests = requests
+		var props []time.Duration
+		for p := range counts {
+			for _, n := range counts[p] {
+				if n > 1 {
+					res.Duplicates += n - 1
+				}
+			}
+			res.Missed += cfg.Files - len(counts[p])
+			for _, ob := range seen[p] {
+				deposited.Lock()
+				d, ok := deposited.at[ob.name]
+				deposited.Unlock()
+				if ok {
+					props = append(props, ob.t.Sub(d))
+				}
+			}
+		}
+		res.PropagationP50, res.PropagationP99 = percentiles(props)
+		return res, nil
+	}
+
+	// Push mode: deposit, then wait for the engine to hand every file
+	// to every subscriber.
+	for i := 0; i < cfg.Files; i++ {
+		name := fmt.Sprintf("t%d.csv", i)
+		deposited.Lock()
+		deposited.at[name] = time.Now()
+		deposited.Unlock()
+		if err := srv.Deposit(name, payload); err != nil {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	total := cfg.Clients * cfg.Files
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		trans.mu.Lock()
+		n := len(trans.at)
+		trans.mu.Unlock()
+		if n >= total || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.CPUPerClient = time.Duration((cpuSeconds() - cpuBefore) / float64(cfg.Clients) * float64(time.Second))
+	trans.mu.Lock()
+	var props []time.Duration
+	for _, a := range trans.at {
+		// Push names arrive as destination paths ("TICKS/t0.csv");
+		// deposits were keyed by bare landing name.
+		deposited.Lock()
+		d, ok := deposited.at[path.Base(a.name)]
+		deposited.Unlock()
+		if ok {
+			props = append(props, a.t.Sub(d))
+		}
+	}
+	for _, perSub := range trans.got {
+		for _, n := range perSub {
+			if n > 1 {
+				res.Duplicates += n - 1
+			}
+		}
+		res.Missed += cfg.Files - len(perSub)
+	}
+	if missing := cfg.Clients - len(trans.got); missing > 0 {
+		res.Missed += missing * cfg.Files
+	}
+	trans.mu.Unlock()
+	res.PropagationP50, res.PropagationP99 = percentiles(props)
+	return res, nil
+}
+
+func percentiles(props []time.Duration) (p50, p99 time.Duration) {
+	if len(props) == 0 {
+		return 0, 0
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+	return props[len(props)/2], props[len(props)*99/100]
+}

@@ -1,0 +1,95 @@
+package httpfeed
+
+import (
+	"crypto/subtle"
+	"encoding/base64"
+	"fmt"
+	"strings"
+)
+
+// Principal is one authenticated identity with its feed ACL, resolved
+// from a config http principal entry.
+type Principal struct {
+	// Name is the identity (the basic-auth username, the log label).
+	Name string
+	// Token is the shared secret: the bearer token or basic-auth
+	// password.
+	Token string
+	// Feeds is the sorted leaf-feed ACL.
+	Feeds []string
+}
+
+// Allowed reports whether the principal's ACL covers the feed.
+func (p *Principal) Allowed(feed string) bool {
+	for _, f := range p.Feeds {
+		if f == feed {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseAuthorization extracts the presented credential from an
+// Authorization header value. Two schemes are accepted:
+//
+//	Bearer <token>          → user "", token
+//	Basic <base64(u:tok)>   → user u, token tok
+//
+// The scheme word is case-insensitive. Rejections never panic; an
+// accepted credential round-trips through BuildAuthorization.
+func ParseAuthorization(header string) (user, token string, err error) {
+	scheme, rest, ok := strings.Cut(header, " ")
+	if !ok {
+		return "", "", fmt.Errorf("httpfeed: malformed Authorization header")
+	}
+	rest = strings.TrimSpace(rest)
+	switch strings.ToLower(scheme) {
+	case "bearer":
+		if rest == "" || strings.ContainsAny(rest, " \t") {
+			return "", "", fmt.Errorf("httpfeed: malformed bearer token")
+		}
+		return "", rest, nil
+	case "basic":
+		raw, derr := base64.StdEncoding.DecodeString(rest)
+		if derr != nil {
+			return "", "", fmt.Errorf("httpfeed: bad basic credentials: %w", derr)
+		}
+		u, tok, found := strings.Cut(string(raw), ":")
+		if !found || u == "" {
+			return "", "", fmt.Errorf("httpfeed: bad basic credentials: want user:token")
+		}
+		return u, tok, nil
+	default:
+		return "", "", fmt.Errorf("httpfeed: unsupported Authorization scheme %q", scheme)
+	}
+}
+
+// BuildAuthorization renders a credential back into a header value
+// ParseAuthorization accepts: the fuzz round-trip partner of
+// ParseAuthorization.
+func BuildAuthorization(user, token string) string {
+	if user == "" {
+		return "Bearer " + token
+	}
+	return "Basic " + base64.StdEncoding.EncodeToString([]byte(user+":"+token))
+}
+
+// authenticate matches a credential against the principal set using
+// constant-time token comparison. A bearer token alone names its
+// principal (the config layer rejects shared tokens); basic
+// credentials must also match the principal's name. Every principal is
+// always compared so timing does not reveal which token prefix
+// matched.
+func authenticate(principals []*Principal, user, token string) *Principal {
+	var matched *Principal
+	for _, p := range principals {
+		ok := subtle.ConstantTimeCompare([]byte(p.Token), []byte(token)) == 1
+		if user != "" && p.Name != user {
+			ok = false
+		}
+		if ok && matched == nil {
+			matched = p
+		}
+	}
+	return matched
+}

@@ -1,0 +1,72 @@
+package httpfeed
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFrom drives the from= cursor parser with arbitrary query
+// values. Invariants: never panics; an accepted cursor round-trips
+// through String() to an equivalent cursor (same axis, same sequence
+// or instant).
+func FuzzParseFrom(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("18446744073709551615")
+	f.Add("18446744073709551616")
+	f.Add("007")
+	f.Add("-1")
+	f.Add("1e3")
+	f.Add("2026-08-07T10:00:00Z")
+	f.Add("2026-08-07T10:00:00.123456789Z")
+	f.Add("2026-08-07T10:00:00+05:30")
+	f.Add("2026-13-40T99:00:00Z")
+	f.Add("yesterday")
+	f.Fuzz(func(t *testing.T, s string) {
+		from, err := ParseFrom(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseFrom(from.String())
+		if err != nil {
+			t.Fatalf("accepted cursor %q renders as %q, which does not reparse: %v", s, from.String(), err)
+		}
+		if back.BySeq != from.BySeq || back.Seq != from.Seq || !back.Time.Equal(from.Time) {
+			t.Fatalf("cursor %q round-trips to %+v, want %+v", s, back, from)
+		}
+	})
+}
+
+// FuzzParseAuthorization drives the Authorization header parser with
+// arbitrary values. Invariants: never panics; an accepted credential
+// round-trips through BuildAuthorization; parsed users never contain
+// the basic-auth separator.
+func FuzzParseAuthorization(f *testing.F) {
+	f.Add("Bearer s3cret")
+	f.Add("bearer lower-scheme")
+	f.Add("Bearer ")
+	f.Add("Bearer two words")
+	f.Add("Basic d2gxOnMzY3JldA==")     // wh1:s3cret
+	f.Add("basic b3BzOnQwazpjb2xvbg==") // ops:t0k:colon
+	f.Add("Basic ???not-base64???")
+	f.Add("Basic OnRva2Vu") // :token — empty user
+	f.Add("Digest nope")
+	f.Add("Bearer")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, header string) {
+		user, token, err := ParseAuthorization(header)
+		if err != nil {
+			return
+		}
+		if strings.Contains(user, ":") {
+			t.Fatalf("header %q parsed to user %q containing a colon", header, user)
+		}
+		u2, t2, err := ParseAuthorization(BuildAuthorization(user, token))
+		if err != nil {
+			t.Fatalf("accepted credential (%q, %q) from %q does not reparse: %v", user, token, header, err)
+		}
+		if u2 != user || t2 != token {
+			t.Fatalf("credential from %q round-trips to (%q, %q), want (%q, %q)", header, u2, t2, user, token)
+		}
+	})
+}

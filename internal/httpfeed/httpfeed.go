@@ -1,0 +1,556 @@
+package httpfeed
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bistro/internal/metrics"
+)
+
+// Entry is one record in a feed's consumable log: an id-ordered view
+// over the staging window and the archive manifest. Seq is the
+// store-assigned file id, so cursors are stable across restarts and
+// across the staging-to-archive transition.
+type Entry struct {
+	Seq        uint64
+	Name       string
+	StagedPath string
+	Size       int64
+	Checksum   uint32
+	// Time is the log's time axis: the file's data time when the
+	// pattern carried one, else its arrival — the same key the archive
+	// partitions by.
+	Time time.Time
+	// Archived marks entries served from the manifest rather than the
+	// staging window.
+	Archived bool
+}
+
+// MergeLogs merges the staging-window and archived views of one feed's
+// log into a single id-ordered slice, deduplicating by seq. During the
+// staging-to-archive handoff a file is briefly visible in both views;
+// the archived entry wins so the page reports where the bytes live.
+// Both inputs must be sorted by Seq.
+func MergeLogs(staged, archived []Entry) []Entry {
+	out := make([]Entry, 0, len(staged)+len(archived))
+	i, j := 0, 0
+	for i < len(staged) && j < len(archived) {
+		switch {
+		case staged[i].Seq < archived[j].Seq:
+			out = append(out, staged[i])
+			i++
+		case staged[i].Seq > archived[j].Seq:
+			out = append(out, archived[j])
+			j++
+		default:
+			out = append(out, archived[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, staged[i:]...)
+	out = append(out, archived[j:]...)
+	return out
+}
+
+// Options configures the HTTP data plane. The function seams decouple
+// it from the store, archiver, and ingest pipeline the same way the
+// delivery engine's do.
+type Options struct {
+	// Listen is the bind address ("127.0.0.1:0" for ephemeral).
+	Listen string
+	// Feeds is the set of leaf feed paths served; anything else is 404.
+	Feeds []string
+	// Principals is the ACL set. Empty leaves the plane open (lab use).
+	Principals []*Principal
+	// MaxBody caps POST ingest bodies in bytes (default 32 MiB).
+	MaxBody int64
+	// Registry receives bistro_http_* metrics when set.
+	Registry *metrics.Registry
+	// Clock supplies time (defaults to time.Now).
+	Clock func() time.Time
+
+	// Log returns a feed's consumable log sorted by Seq: the merged
+	// staging + archive view (see MergeLogs).
+	Log func(feed string) []Entry
+	// Open reads a file's content by staged-relative path, falling back
+	// to the archive when the staged copy has expired.
+	Open func(stagedPath string) (io.ReadCloser, error)
+	// Ingest deposits a pushed file, returning once its receipt is
+	// durable. Nil disables POST (405).
+	Ingest func(name string, data []byte) error
+
+	// Server hardening knobs, overridable so the slow-loris regression
+	// test can use tiny values. Zero means the package default.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	MaxHeaderBytes    int
+}
+
+const (
+	defaultMaxBody  = 32 << 20
+	defaultLimit    = 512
+	maxLimit        = 4096
+	defaultRHT      = 5 * time.Second
+	defaultReadTO   = 30 * time.Second
+	defaultWriteTO  = 2 * time.Minute
+	defaultMaxHdr   = 64 << 10
+	wwwAuthenticate = `Bearer realm="bistro"`
+)
+
+// Server is a running HTTP data plane.
+type Server struct {
+	opts  Options
+	feeds map[string]bool
+	met   *Metrics
+	ln    net.Listener
+	srv   *http.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Start binds the listener and begins serving.
+func Start(opts Options) (*Server, error) {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = defaultMaxBody
+	}
+	if opts.ReadHeaderTimeout <= 0 {
+		opts.ReadHeaderTimeout = defaultRHT
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = defaultReadTO
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = defaultWriteTO
+	}
+	if opts.MaxHeaderBytes <= 0 {
+		opts.MaxHeaderBytes = defaultMaxHdr
+	}
+	s := &Server{opts: opts, feeds: make(map[string]bool, len(opts.Feeds))}
+	for _, f := range opts.Feeds {
+		s.feeds[f] = true
+	}
+	if opts.Registry != nil {
+		s.met = NewMetrics(opts.Registry)
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("httpfeed: listen: %w", err)
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/feeds/", s.handle)
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		MaxHeaderBytes:    opts.MaxHeaderBytes,
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stop closes the listener and in-flight connections.
+func (s *Server) Stop() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.srv.Close()
+}
+
+// statusWriter records the status code and body bytes for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// handle authenticates, routes, and dispatches one request. Outcome
+// order: 401 (bad credential) before 404 (unknown path) before 403
+// (feed outside the principal's ACL) before 405 (wrong method).
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	endpoint := "other"
+	start := s.opts.Clock()
+	defer func() {
+		if s.met != nil {
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.met.Requests.With(endpoint, strconv.Itoa(code)).Inc()
+			s.met.Bytes.With("out").Add(sw.bytes)
+			if endpoint == "log" {
+				s.met.PollLatency.Observe(s.opts.Clock().Sub(start).Seconds())
+			}
+		}
+	}()
+
+	pr, ok := s.authorize(sw, r)
+	if !ok {
+		return
+	}
+
+	feed, sub, seq, ok := s.route(strings.TrimPrefix(r.URL.Path, "/feeds/"))
+	if !ok {
+		writeErr(sw, http.StatusNotFound, "no such feed or file")
+		return
+	}
+	if pr != nil && !pr.Allowed(feed) {
+		writeErr(sw, http.StatusForbidden, "feed not in principal ACL")
+		return
+	}
+	switch sub {
+	case "log":
+		switch r.Method {
+		case http.MethodGet:
+			endpoint = "log"
+			s.serveLog(sw, r, feed)
+		case http.MethodPost:
+			endpoint = "ingest"
+			s.serveIngest(sw, r)
+		default:
+			writeErr(sw, http.StatusMethodNotAllowed, "method not allowed")
+		}
+	case "stats":
+		if r.Method != http.MethodGet {
+			writeErr(sw, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		endpoint = "stats"
+		s.serveStats(sw, feed)
+	case "file":
+		if r.Method != http.MethodGet {
+			writeErr(sw, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		endpoint = "content"
+		s.serveContent(sw, r, feed, seq)
+	}
+}
+
+// authorize checks the request credential. It returns the matched
+// principal (nil when the plane runs open) and whether to proceed.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) (*Principal, bool) {
+	if len(s.opts.Principals) == 0 {
+		return nil, true
+	}
+	header := r.Header.Get("Authorization")
+	if header == "" {
+		s.authFail(w, "missing credentials")
+		return nil, false
+	}
+	user, token, err := ParseAuthorization(header)
+	if err != nil {
+		s.authFail(w, err.Error())
+		return nil, false
+	}
+	pr := authenticate(s.opts.Principals, user, token)
+	if pr == nil {
+		s.authFail(w, "unknown credentials")
+		return nil, false
+	}
+	return pr, true
+}
+
+func (s *Server) authFail(w http.ResponseWriter, msg string) {
+	if s.met != nil {
+		s.met.AuthFailures.Inc()
+	}
+	w.Header().Set("WWW-Authenticate", wwwAuthenticate)
+	writeErr(w, http.StatusUnauthorized, msg)
+}
+
+// route resolves a path remainder (after /feeds/) against the feed
+// set. Feed paths themselves contain slashes, so the full remainder is
+// tried as a feed first, then the /stats and /files/<seq> suffixes.
+func (s *Server) route(rest string) (feed, sub string, seq uint64, ok bool) {
+	if s.feeds[rest] {
+		return rest, "log", 0, true
+	}
+	if prefix, found := strings.CutSuffix(rest, "/stats"); found && s.feeds[prefix] {
+		return prefix, "stats", 0, true
+	}
+	if i := strings.LastIndex(rest, "/files/"); i > 0 {
+		prefix, tail := rest[:i], rest[i+len("/files/"):]
+		if s.feeds[prefix] && isDigits(tail) {
+			n, err := strconv.ParseUint(tail, 10, 64)
+			if err == nil {
+				return prefix, "file", n, true
+			}
+		}
+	}
+	return "", "", 0, false
+}
+
+// logPage is the GET /feeds/<name> response body.
+type logPage struct {
+	Feed string `json:"feed"`
+	// From is the resolved starting sequence of this page.
+	From uint64 `json:"from"`
+	// Head is the highest sequence currently in the log (0 when empty).
+	Head uint64 `json:"head"`
+	// Next is the cursor for the next poll: pass from=<next>.
+	Next    uint64      `json:"next"`
+	Entries []wireEntry `json:"entries"`
+}
+
+type wireEntry struct {
+	Seq      uint64    `json:"seq"`
+	Name     string    `json:"name"`
+	Size     int64     `json:"size"`
+	Checksum uint32    `json:"crc"`
+	Time     time.Time `json:"time"`
+	Archived bool      `json:"archived,omitempty"`
+}
+
+func (s *Server) serveLog(w http.ResponseWriter, r *http.Request, feed string) {
+	q := r.URL.Query()
+	from, err := ParseFrom(q.Get("from"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit := defaultLimit
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = n
+	}
+	if limit > maxLimit {
+		limit = maxLimit
+	}
+
+	log := s.opts.Log(feed)
+	var head uint64
+	if len(log) > 0 {
+		head = log[len(log)-1].Seq
+	}
+	var start int
+	if from.BySeq {
+		if from.Seq > head+1 {
+			// The cursor points past the tail: the poller is ahead of
+			// this server (stale standby, fat-fingered seq). 416 rather
+			// than an empty page so the client can tell "caught up"
+			// from "wrong log".
+			w.Header().Set("Content-Range", fmt.Sprintf("seq */%d", head))
+			writeErr(w, http.StatusRequestedRangeNotSatisfiable,
+				fmt.Sprintf("from %d is past head %d", from.Seq, head))
+			return
+		}
+		start = sort.Search(len(log), func(i int) bool { return log[i].Seq >= from.Seq })
+	} else {
+		start = sort.Search(len(log), func(i int) bool { return !log[i].Time.Before(from.Time) })
+	}
+	entries := log[start:]
+	if len(entries) > limit {
+		entries = entries[:limit]
+	}
+
+	page := logPage{Feed: feed, Head: head}
+	if from.BySeq {
+		page.From = from.Seq
+	} else if start < len(log) {
+		page.From = log[start].Seq
+	} else {
+		page.From = head + 1
+	}
+	page.Next = page.From
+	page.Entries = make([]wireEntry, len(entries))
+	for i, e := range entries {
+		page.Entries[i] = wireEntry{Seq: e.Seq, Name: e.Name, Size: e.Size,
+			Checksum: e.Checksum, Time: e.Time, Archived: e.Archived}
+	}
+	if len(entries) > 0 {
+		page.Next = entries[len(entries)-1].Seq + 1
+	}
+
+	// Full pages are closed history — their seq set can never change —
+	// so CDNs may cache them. Partial (tail) pages revalidate: the ETag
+	// covers head so an idle poll costs a 304.
+	full := len(entries) == limit
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d", feed, page.From, page.Next, page.Head, len(entries))
+	etag := fmt.Sprintf(`"log-%016x"`, h.Sum64())
+	if full {
+		w.Header().Set("Cache-Control", "public, max-age=3600")
+	} else {
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	w.Header().Set("ETag", etag)
+	if len(entries) > 0 {
+		w.Header().Set("Last-Modified", entries[len(entries)-1].Time.UTC().Format(http.TimeFormat))
+	}
+	if matchETag(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// feedStats is the GET /feeds/<name>/stats response body.
+type feedStats struct {
+	Feed     string    `json:"feed"`
+	Head     uint64    `json:"head"`
+	Files    int       `json:"files"`
+	Staged   int       `json:"staged"`
+	Archived int       `json:"archived"`
+	Bytes    int64     `json:"bytes"`
+	AsOf     time.Time `json:"as_of"`
+}
+
+func (s *Server) serveStats(w http.ResponseWriter, feed string) {
+	log := s.opts.Log(feed)
+	st := feedStats{Feed: feed, Files: len(log), AsOf: s.opts.Clock().UTC()}
+	for _, e := range log {
+		st.Bytes += e.Size
+		if e.Archived {
+			st.Archived++
+		} else {
+			st.Staged++
+		}
+	}
+	if len(log) > 0 {
+		st.Head = log[len(log)-1].Seq
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) serveContent(w http.ResponseWriter, r *http.Request, feed string, seq uint64) {
+	log := s.opts.Log(feed)
+	i := sort.Search(len(log), func(i int) bool { return log[i].Seq >= seq })
+	if i == len(log) || log[i].Seq != seq {
+		// Unknown, expired-and-gone, or quarantined (the log excludes
+		// quarantined ids).
+		writeErr(w, http.StatusNotFound, "no such file in feed")
+		return
+	}
+	e := log[i]
+	// Content is immutable once staged: the id + CRC name the bytes
+	// forever, so caches may keep them as long as they like.
+	etag := fmt.Sprintf(`"%d-%08x"`, e.Seq, e.Checksum)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=86400, immutable")
+	w.Header().Set("Last-Modified", e.Time.UTC().Format(http.TimeFormat))
+	if matchETag(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	rc, err := s.opts.Open(e.StagedPath)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			writeErr(w, http.StatusNotFound, "content no longer available")
+		} else {
+			writeErr(w, http.StatusInternalServerError, "content open failed")
+		}
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(e.Size, 10))
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, rc)
+}
+
+func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Ingest == nil {
+		writeErr(w, http.StatusMethodNotAllowed, "ingest disabled")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeErr(w, http.StatusBadRequest, "name query parameter required")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.opts.MaxBody))
+		} else {
+			writeErr(w, http.StatusBadRequest, "read body failed")
+		}
+		return
+	}
+	if s.met != nil {
+		s.met.Bytes.With("in").Add(int64(len(data)))
+	}
+	if err := s.opts.Ingest(name, data); err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"ok": true, "name": name})
+}
+
+// matchETag implements the If-None-Match comparison for the strong
+// ETags this plane emits (list form and the * wildcard included).
+func matchETag(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		if strings.TrimSpace(part) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

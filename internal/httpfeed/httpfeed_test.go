@@ -1,0 +1,403 @@
+package httpfeed
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bistro/internal/archive"
+	"bistro/internal/metrics"
+)
+
+// fixture is a data plane over an in-memory log and an on-disk staging
+// dir, mutable mid-test to model churn (quarantine, expiry).
+type fixture struct {
+	t   *testing.T
+	srv *Server
+	reg *metrics.Registry
+
+	mu       sync.Mutex
+	log      map[string][]Entry
+	ingested []string
+}
+
+func (fx *fixture) setLog(feed string, entries []Entry) {
+	fx.mu.Lock()
+	defer fx.mu.Unlock()
+	fx.log[feed] = entries
+}
+
+func newFixture(t *testing.T, mutate func(*Options)) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"market/BPS/one.csv": "a,b\n",
+		"market/BPS/two.csv": "c,d\ne,f\n",
+	} {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fx := &fixture{t: t, reg: metrics.NewRegistry(), log: map[string][]Entry{}}
+	base := time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+	fx.log["market/BPS"] = []Entry{
+		{Seq: 3, Name: "one.csv", StagedPath: "market/BPS/one.csv", Size: 4, Checksum: 0xaa, Time: base, Archived: true},
+		{Seq: 5, Name: "two.csv", StagedPath: "market/BPS/two.csv", Size: 8, Checksum: 0xbb, Time: base.Add(time.Minute)},
+	}
+	fx.log["ref"] = nil
+	opts := Options{
+		Listen:   "127.0.0.1:0",
+		Feeds:    []string{"market/BPS", "ref"},
+		Registry: fx.reg,
+		Principals: []*Principal{
+			{Name: "wh1", Token: "s3cret", Feeds: []string{"market/BPS"}},
+			{Name: "ops", Token: "t0ken", Feeds: []string{"market/BPS", "ref"}},
+		},
+		Log: func(feed string) []Entry {
+			fx.mu.Lock()
+			defer fx.mu.Unlock()
+			return fx.log[feed]
+		},
+		Open: func(stagedPath string) (io.ReadCloser, error) {
+			return os.Open(filepath.Join(dir, filepath.FromSlash(stagedPath)))
+		},
+		Ingest: func(name string, data []byte) error {
+			fx.mu.Lock()
+			defer fx.mu.Unlock()
+			fx.ingested = append(fx.ingested, name)
+			return nil
+		},
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	srv, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Stop() })
+	fx.srv = srv
+	return fx
+}
+
+func (fx *fixture) do(method, path, auth string, body []byte, hdr map[string]string) *http.Response {
+	fx.t.Helper()
+	req, err := http.NewRequest(method, "http://"+fx.srv.Addr()+path, bytes.NewReader(body))
+	if err != nil {
+		fx.t.Fatal(err)
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fx.t.Fatal(err)
+	}
+	fx.t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func decodePage(t *testing.T, resp *http.Response) logPage {
+	t.Helper()
+	var page logPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+const bearer = "Bearer s3cret"
+
+// TestEndpointAuthMatrix pins every endpoint × auth outcome.
+func TestEndpointAuthMatrix(t *testing.T) {
+	fx := newFixture(t, nil)
+	basicOps := BuildAuthorization("ops", "t0ken")
+	cases := []struct {
+		name         string
+		method, path string
+		auth         string
+		want         int
+	}{
+		{"log ok bearer", "GET", "/feeds/market/BPS", bearer, 200},
+		{"log ok basic", "GET", "/feeds/market/BPS", basicOps, 200},
+		{"stats ok", "GET", "/feeds/market/BPS/stats", bearer, 200},
+		{"content ok", "GET", "/feeds/market/BPS/files/5", bearer, 200},
+		{"ingest ok", "POST", "/feeds/market/BPS?name=x.csv", bearer, 201},
+
+		{"no credentials", "GET", "/feeds/market/BPS", "", 401},
+		{"garbage header", "GET", "/feeds/market/BPS", "Digest nope", 401},
+		{"unknown token", "GET", "/feeds/market/BPS", "Bearer wrong", 401},
+		{"basic wrong user", "GET", "/feeds/market/BPS", BuildAuthorization("ghost", "t0ken"), 401},
+		{"basic wrong password", "GET", "/feeds/market/BPS", BuildAuthorization("ops", "bad"), 401},
+
+		{"feed outside ACL", "GET", "/feeds/ref", bearer, 403},
+		{"stats outside ACL", "GET", "/feeds/ref/stats", bearer, 403},
+		{"ingest outside ACL", "POST", "/feeds/ref?name=x.csv", bearer, 403},
+
+		{"unknown feed", "GET", "/feeds/nope", bearer, 404},
+		{"unknown nested feed", "GET", "/feeds/market/NOPE", bearer, 404},
+		{"unknown seq", "GET", "/feeds/market/BPS/files/99", bearer, 404},
+		{"files bad seq", "GET", "/feeds/market/BPS/files/xyz", bearer, 404},
+
+		{"from past head", "GET", "/feeds/market/BPS?from=7", bearer, 416},
+
+		{"log delete", "DELETE", "/feeds/market/BPS", bearer, 405},
+		{"stats post", "POST", "/feeds/market/BPS/stats", bearer, 405},
+		{"content post", "POST", "/feeds/market/BPS/files/5", bearer, 405},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := fx.do(c.method, c.path, c.auth, nil, nil)
+			if resp.StatusCode != c.want {
+				body, _ := io.ReadAll(resp.Body)
+				t.Fatalf("%s %s: status %d, want %d (%s)", c.method, c.path, resp.StatusCode, c.want, body)
+			}
+			if c.want == 401 && resp.Header.Get("WWW-Authenticate") == "" {
+				t.Fatal("401 without WWW-Authenticate")
+			}
+		})
+	}
+}
+
+func TestLogPagination(t *testing.T) {
+	fx := newFixture(t, nil)
+	// First page: everything from the start.
+	page := decodePage(t, fx.do("GET", "/feeds/market/BPS", bearer, nil, nil))
+	if page.Head != 5 || len(page.Entries) != 2 || page.Next != 6 {
+		t.Fatalf("page = %+v", page)
+	}
+	if page.Entries[0].Seq != 3 || !page.Entries[0].Archived || page.Entries[1].Seq != 5 {
+		t.Fatalf("entries = %+v", page.Entries)
+	}
+	// limit=1 then resume at next: ids with gaps, no entry skipped.
+	p1 := decodePage(t, fx.do("GET", "/feeds/market/BPS?limit=1", bearer, nil, nil))
+	if len(p1.Entries) != 1 || p1.Entries[0].Seq != 3 || p1.Next != 4 {
+		t.Fatalf("p1 = %+v", p1)
+	}
+	p2 := decodePage(t, fx.do("GET", fmt.Sprintf("/feeds/market/BPS?from=%d", p1.Next), bearer, nil, nil))
+	if len(p2.Entries) != 1 || p2.Entries[0].Seq != 5 || p2.Next != 6 {
+		t.Fatalf("p2 = %+v", p2)
+	}
+	// Caught-up tail: empty 200 page, not 416.
+	p3 := decodePage(t, fx.do("GET", fmt.Sprintf("/feeds/market/BPS?from=%d", p2.Next), bearer, nil, nil))
+	if len(p3.Entries) != 0 || p3.Next != 6 {
+		t.Fatalf("p3 = %+v", p3)
+	}
+	// Time cursor: starts at the first entry not before the instant.
+	ts := time.Date(2026, 8, 7, 10, 0, 30, 0, time.UTC).Format(time.RFC3339)
+	pt := decodePage(t, fx.do("GET", "/feeds/market/BPS?from="+ts, bearer, nil, nil))
+	if len(pt.Entries) != 1 || pt.Entries[0].Seq != 5 {
+		t.Fatalf("pt = %+v", pt)
+	}
+	// Bad cursors.
+	for _, q := range []string{"?from=xyz", "?limit=0", "?limit=-3", "?limit=zz"} {
+		if resp := fx.do("GET", "/feeds/market/BPS"+q, bearer, nil, nil); resp.StatusCode != 400 {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestLogCachingHeaders(t *testing.T) {
+	fx := newFixture(t, nil)
+	// A full page (limit reached) is closed history: publicly cacheable.
+	resp := fx.do("GET", "/feeds/market/BPS?limit=2", bearer, nil, nil)
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "public") {
+		t.Fatalf("full page Cache-Control = %q", cc)
+	}
+	// A partial (tail) page must revalidate.
+	resp = fx.do("GET", "/feeds/market/BPS", bearer, nil, nil)
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Fatalf("tail page Cache-Control = %q", cc)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on log page")
+	}
+	// Idle poll with the cursor ETag costs a 304.
+	resp = fx.do("GET", "/feeds/market/BPS", bearer, nil, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != 304 {
+		t.Fatalf("revalidation status = %d", resp.StatusCode)
+	}
+	// New arrival changes the ETag: same request now returns the page.
+	fx.mu.Lock()
+	fx.log["market/BPS"] = append(fx.log["market/BPS"],
+		Entry{Seq: 9, Name: "three.csv", StagedPath: "market/BPS/one.csv", Size: 4, Time: time.Now()})
+	fx.mu.Unlock()
+	resp = fx.do("GET", "/feeds/market/BPS", bearer, nil, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-append status = %d", resp.StatusCode)
+	}
+}
+
+func TestContentServing(t *testing.T) {
+	fx := newFixture(t, nil)
+	resp := fx.do("GET", "/feeds/market/BPS/files/5", bearer, nil, nil)
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "c,d\ne,f\n" {
+		t.Fatalf("content = %q", body)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Fatalf("content Cache-Control = %q", cc)
+	}
+	etag := resp.Header.Get("ETag")
+	resp = fx.do("GET", "/feeds/market/BPS/files/5", bearer, nil, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != 304 {
+		t.Fatalf("content revalidation = %d", resp.StatusCode)
+	}
+}
+
+// TestQuarantinedMidRead models a file quarantined between a poller's
+// page read and its content fetch: the id vanishes from the log, so
+// the content read 404s rather than serving poisoned bytes.
+func TestQuarantinedMidRead(t *testing.T) {
+	fx := newFixture(t, nil)
+	page := decodePage(t, fx.do("GET", "/feeds/market/BPS", bearer, nil, nil))
+	if len(page.Entries) != 2 {
+		t.Fatalf("page = %+v", page)
+	}
+	fx.setLog("market/BPS", page1Only(fx))
+	if resp := fx.do("GET", "/feeds/market/BPS/files/5", bearer, nil, nil); resp.StatusCode != 404 {
+		t.Fatalf("quarantined content status = %d", resp.StatusCode)
+	}
+}
+
+func page1Only(fx *fixture) []Entry {
+	fx.mu.Lock()
+	defer fx.mu.Unlock()
+	return fx.log["market/BPS"][:1]
+}
+
+// TestTornManifestTail serves a log backed by a real manifest whose
+// day file has a torn final line (power cut mid-append): the torn
+// record is skipped, the good ones serve.
+func TestTornManifestTail(t *testing.T) {
+	root := t.TempDir()
+	day := filepath.Join(root, "market", "BPS")
+	if err := os.MkdirAll(day, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	good1 := `{"id":3,"name":"one.csv","staged":"market/BPS/one.csv","feed":"market/BPS","size":4,"crc":170,"arrived":"2026-08-07T10:00:00Z","archived_at":"2026-08-07T11:00:00Z"}`
+	good2 := `{"id":5,"name":"two.csv","staged":"market/BPS/two.csv","feed":"market/BPS","size":8,"crc":187,"arrived":"2026-08-07T10:01:00Z","archived_at":"2026-08-07T11:00:00Z"}`
+	torn := `{"id":9,"name":"thr`
+	if err := os.WriteFile(filepath.Join(day, "20260807.jsonl"),
+		[]byte(good1+"\n"+good2+"\n"+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := archive.OpenManifest(nil, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := newFixture(t, func(o *Options) {
+		o.Log = func(feed string) []Entry {
+			var out []Entry
+			for _, e := range man.EntriesSince(feed, 0) {
+				out = append(out, Entry{Seq: e.ID, Name: e.Name, StagedPath: e.StagedPath,
+					Size: e.Size, Checksum: e.Checksum, Time: e.Key(), Archived: true})
+			}
+			return out
+		}
+	})
+	page := decodePage(t, fx.do("GET", "/feeds/market/BPS", bearer, nil, nil))
+	if page.Head != 5 || len(page.Entries) != 2 {
+		t.Fatalf("page over torn manifest = %+v", page)
+	}
+	if resp := fx.do("GET", "/feeds/market/BPS/files/9", bearer, nil, nil); resp.StatusCode != 404 {
+		t.Fatalf("torn entry content status = %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	fx := newFixture(t, nil)
+	resp := fx.do("GET", "/feeds/market/BPS/stats", bearer, nil, nil)
+	var st feedStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Head != 5 || st.Files != 2 || st.Archived != 1 || st.Staged != 1 || st.Bytes != 12 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestIngest(t *testing.T) {
+	fx := newFixture(t, func(o *Options) { o.MaxBody = 16 })
+	if resp := fx.do("POST", "/feeds/market/BPS?name=bps_1.csv", bearer, []byte("x,y\n"), nil); resp.StatusCode != 201 {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	fx.mu.Lock()
+	got := append([]string{}, fx.ingested...)
+	fx.mu.Unlock()
+	if !reflect.DeepEqual(got, []string{"bps_1.csv"}) {
+		t.Fatalf("ingested = %v", got)
+	}
+	// Missing name.
+	if resp := fx.do("POST", "/feeds/market/BPS", bearer, []byte("x"), nil); resp.StatusCode != 400 {
+		t.Fatalf("nameless ingest status = %d", resp.StatusCode)
+	}
+	// Body over the cap.
+	if resp := fx.do("POST", "/feeds/market/BPS?name=big.csv", bearer, bytes.Repeat([]byte("z"), 64), nil); resp.StatusCode != 413 {
+		t.Fatalf("oversized ingest status = %d", resp.StatusCode)
+	}
+}
+
+// TestOpenMode pins the no-principals configuration: the plane serves
+// without credentials (lab use).
+func TestOpenMode(t *testing.T) {
+	fx := newFixture(t, func(o *Options) { o.Principals = nil })
+	if resp := fx.do("GET", "/feeds/market/BPS", "", nil, nil); resp.StatusCode != 200 {
+		t.Fatalf("open mode status = %d", resp.StatusCode)
+	}
+}
+
+func TestMergeLogs(t *testing.T) {
+	staged := []Entry{{Seq: 3}, {Seq: 5}, {Seq: 8}}
+	archived := []Entry{{Seq: 3, Archived: true}, {Seq: 6, Archived: true}}
+	got := MergeLogs(staged, archived)
+	want := []uint64{3, 5, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %+v", got)
+	}
+	for i, seq := range want {
+		if got[i].Seq != seq {
+			t.Fatalf("merged[%d] = %+v, want seq %d", i, got[i], seq)
+		}
+	}
+	// The overlapping id keeps the archived copy.
+	if !got[0].Archived {
+		t.Fatal("overlap did not prefer the archived entry")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	fx := newFixture(t, nil)
+	fx.do("GET", "/feeds/market/BPS", bearer, nil, nil)
+	fx.do("GET", "/feeds/market/BPS", "Bearer wrong", nil, nil)
+	var buf bytes.Buffer
+	fx.reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`bistro_http_requests_total{endpoint="log",code="200"} 1`,
+		"bistro_http_auth_failures_total 1",
+		"bistro_http_poll_latency_seconds_count 1",
+		"bistro_http_bytes_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package httpfeed
+
+import "bistro/internal/metrics"
+
+// Metrics are the data plane's bistro_http_* instruments.
+type Metrics struct {
+	// Requests counts requests by endpoint (log, stats, content,
+	// ingest, other) and status code.
+	Requests *metrics.CounterVec
+	// Bytes counts payload bytes by direction (in for ingest bodies,
+	// out for response bodies).
+	Bytes *metrics.CounterVec
+	// PollLatency observes wall time serving log reads — the latency a
+	// poller pays per page.
+	PollLatency *metrics.Histogram
+	// AuthFailures counts rejected credentials (missing, unparsable,
+	// or unknown).
+	AuthFailures *metrics.Counter
+}
+
+// NewMetrics registers the data plane's instruments on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Requests: reg.CounterVec("bistro_http_requests_total",
+			"HTTP data-plane requests by endpoint and status code.",
+			"endpoint", "code"),
+		Bytes: reg.CounterVec("bistro_http_bytes_total",
+			"HTTP data-plane payload bytes by direction.",
+			"direction"),
+		PollLatency: reg.Histogram("bistro_http_poll_latency_seconds",
+			"Wall time serving feed log reads.",
+			[]float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}),
+		AuthFailures: reg.Counter("bistro_http_auth_failures_total",
+			"HTTP data-plane requests rejected for bad or missing credentials."),
+	}
+}

@@ -1,0 +1,65 @@
+// Package httpfeed is the stateless HTTP pull data plane: every feed
+// exposed as an authenticated append-only log consumable with plain
+// GETs, beside the custom TCP push protocol. Range reads are backed by
+// the receipt store's staging window merged with the archive manifest,
+// so a poller's cursor survives server restarts and needs no session
+// state on either side.
+package httpfeed
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// From is a parsed from= query cursor: either a sequence number (a
+// store-assigned file id; the read returns entries with seq >= Seq) or
+// a timestamp (the read starts at the first entry whose time is not
+// before Time).
+type From struct {
+	// BySeq selects which field is set.
+	BySeq bool
+	Seq   uint64
+	Time  time.Time
+}
+
+// ParseFrom parses a from= query value: a decimal sequence number, or
+// an RFC 3339 timestamp (with or without fractional seconds). The
+// empty string is seq 0 (the start of the log).
+func ParseFrom(s string) (From, error) {
+	if s == "" {
+		return From{BySeq: true}, nil
+	}
+	if isDigits(s) {
+		// strconv accepts "+1", "0x1f" etc under other bases; the digit
+		// gate keeps the accepted grammar exactly ^[0-9]+$ so cursors
+		// round-trip byte for byte.
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return From{}, fmt.Errorf("httpfeed: bad from sequence %q: %w", s, err)
+		}
+		return From{BySeq: true, Seq: n}, nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return From{}, fmt.Errorf("httpfeed: bad from cursor %q (want a sequence number or RFC 3339 time)", s)
+	}
+	return From{Time: t}, nil
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// String renders the cursor back into a from= value ParseFrom accepts.
+func (f From) String() string {
+	if f.BySeq {
+		return strconv.FormatUint(f.Seq, 10)
+	}
+	return f.Time.Format(time.RFC3339Nano)
+}

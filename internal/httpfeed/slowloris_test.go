@@ -1,0 +1,42 @@
+package httpfeed
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestSlowLorisCutOff pins the header-read timeout: a client that
+// opens a connection and dribbles a partial request must be
+// disconnected once ReadHeaderTimeout elapses, not hold a connection
+// slot forever.
+func TestSlowLorisCutOff(t *testing.T) {
+	fx := newFixture(t, func(o *Options) {
+		o.ReadHeaderTimeout = 150 * time.Millisecond
+		o.ReadTimeout = 150 * time.Millisecond
+	})
+	conn, err := net.Dial("tcp", fx.srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /feeds/market/BPS HTTP/1.1\r\nHos")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must cut the connection well before a patient
+	// attacker would: a read observes EOF/reset within the deadline.
+	conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	buf := make([]byte, 256)
+	start := time.Now()
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				t.Fatal("connection still open 3s after a 150ms header timeout")
+			}
+			break // closed by the server — the regression guard
+		}
+		if time.Since(start) > 3*time.Second {
+			t.Fatal("server kept responding to a stalled request")
+		}
+	}
+}

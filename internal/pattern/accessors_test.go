@@ -1,0 +1,39 @@
+package pattern
+
+import "testing"
+
+// TestAccessors covers the compiled pattern's introspection surface
+// (used by the classifier index and the discovery report).
+func TestAccessors(t *testing.T) {
+	src := "ticks_%s_%Y%m%d_%i.csv"
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != src {
+		t.Fatalf("String() = %q, want %q", p.String(), src)
+	}
+	if len(p.Segments()) == 0 {
+		t.Fatal("Segments() empty for a multi-segment pattern")
+	}
+	if n := p.NumStrings(); n != 1 {
+		t.Fatalf("NumStrings() = %d, want 1", n)
+	}
+	if n := p.NumInts(); n != 1 {
+		t.Fatalf("NumInts() = %d, want 1", n)
+	}
+	if !p.HasTimestamp() {
+		t.Fatal("HasTimestamp() = false for a dated pattern")
+	}
+
+	plain, err := Compile("static.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.HasTimestamp() {
+		t.Fatal("HasTimestamp() = true for an all-literal pattern")
+	}
+	if plain.NumStrings() != 0 || plain.NumInts() != 0 {
+		t.Fatal("literal pattern reports conversions")
+	}
+}

@@ -1,0 +1,102 @@
+package receipts
+
+import (
+	"testing"
+)
+
+// TestFeedLog checks the consumable-log view the HTTP data plane
+// reads: id order, expired receipts retained (their bytes live on in
+// the archive), quarantined receipts withdrawn.
+func TestFeedLog(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{NoSync: true})
+	defer s.Close()
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	id2, _ := s.RecordArrival(meta("b", "bps", "pps"))
+	id3, _ := s.RecordArrival(meta("c", "bps"))
+	id4, _ := s.RecordArrival(meta("d", "pps"))
+
+	if err := s.RecordExpire(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordQuarantine(id3); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsExpired(id1) || s.IsExpired(id2) {
+		t.Fatal("IsExpired disagrees with recorded expiry")
+	}
+
+	log := s.FeedLog("bps")
+	want := []uint64{id1, id2}
+	if len(log) != len(want) {
+		t.Fatalf("FeedLog(bps) has %d entries, want %d", len(log), len(want))
+	}
+	for i, id := range want {
+		if log[i].ID != id {
+			t.Fatalf("FeedLog(bps)[%d].ID = %d, want %d", i, log[i].ID, id)
+		}
+	}
+	if pps := s.FeedLog("pps"); len(pps) != 2 || pps[0].ID != id2 || pps[1].ID != id4 {
+		t.Fatalf("FeedLog(pps) = %v", pps)
+	}
+	if empty := s.FeedLog("nope"); len(empty) != 0 {
+		t.Fatalf("FeedLog(nope) = %v, want empty", empty)
+	}
+}
+
+func TestDeliveredCount(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{NoSync: true})
+	defer s.Close()
+	id1, _ := s.RecordArrival(meta("a", "bps"))
+	id2, _ := s.RecordArrival(meta("b", "bps"))
+	if s.DeliveredCount("sub") != 0 {
+		t.Fatal("fresh subscriber has deliveries")
+	}
+	if err := s.RecordDelivery(id1, "sub", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordDelivery(id2, "sub", t0); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.DeliveredCount("sub"); n != 2 {
+		t.Fatalf("DeliveredCount = %d, want 2", n)
+	}
+}
+
+// TestGroupIntrospection covers the read-only group surfaces the
+// status endpoint and channel engine use: the sorted group list and
+// the copied member table.
+func TestGroupIntrospection(t *testing.T) {
+	s := openTest(t, t.TempDir(), Options{NoSync: true})
+	defer s.Close()
+	if g := s.Groups(); len(g) != 0 {
+		t.Fatalf("Groups on empty store = %v", g)
+	}
+	if m := s.GroupMembers("nope"); m != nil {
+		t.Fatalf("GroupMembers(nope) = %v, want nil", m)
+	}
+
+	if err := s.RecordGroupCursor("zeta", "m1", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupCursor("alpha", "m1", 0, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecordGroupAttach("alpha", "m2", t0); err != nil {
+		t.Fatal(err)
+	}
+
+	groups := s.Groups()
+	if len(groups) != 2 || groups[0] != "alpha" || groups[1] != "zeta" {
+		t.Fatalf("Groups = %v, want [alpha zeta]", groups)
+	}
+	members := s.GroupMembers("alpha")
+	if len(members) != 2 {
+		t.Fatalf("GroupMembers(alpha) has %d members, want 2", len(members))
+	}
+	if !members["m2"].Attached {
+		t.Fatal("attached member not reported attached")
+	}
+	if members["m1"].Attached {
+		t.Fatal("cursor-frozen member reported attached")
+	}
+}

@@ -1,0 +1,130 @@
+package receipts
+
+import (
+	"testing"
+
+	"bistro/internal/diskfault"
+)
+
+// TestShipperReplicatesToStandby round-trips the owner→standby
+// replication surface end to end: ArmShipper's bootstrap snapshot,
+// shipped group-commit batches appended through a WALWriter, the
+// checkpoint-triggered snapshot + WAL reset, and finally promotion by
+// opening the standby directory as a full Store.
+func TestShipperReplicatesToStandby(t *testing.T) {
+	owner := openTest(t, t.TempDir(), Options{NoSync: true})
+	defer owner.Close()
+	id1, err := owner.RecordArrival(meta("a", "bps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	standbyDir := t.TempDir()
+	ww, err := OpenWALWriter(nil, standbyDir)
+	if err != nil {
+		t.Fatalf("OpenWALWriter: %v", err)
+	}
+
+	if owner.ShipperArmed() {
+		t.Fatal("shipper armed before ArmShipper")
+	}
+	err = owner.ArmShipper(ShipHooks{
+		Batch: func(payloads [][]byte) error {
+			for _, p := range payloads {
+				if err := CheckPayload(p); err != nil {
+					return err
+				}
+			}
+			return ww.AppendBatch(payloads)
+		},
+		Checkpoint: func(state []byte) error {
+			if err := WriteCheckpoint(diskfault.OS(), standbyDir, state); err != nil {
+				return err
+			}
+			return ww.Reset()
+		},
+	}, func(state []byte) error {
+		return WriteCheckpoint(diskfault.OS(), standbyDir, state)
+	})
+	if err != nil {
+		t.Fatalf("ArmShipper: %v", err)
+	}
+	if !owner.ShipperArmed() {
+		t.Fatal("shipper not armed after ArmShipper")
+	}
+
+	// Commits after arming ship their batches synchronously.
+	id2, err := owner.RecordArrival(meta("b", "bps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.RecordDelivery(id1, "sub", t0); err != nil {
+		t.Fatal(err)
+	}
+	if ww.Size() == 0 {
+		t.Fatal("no shipped WAL bytes after post-arm commits")
+	}
+
+	// An owner checkpoint ships a fresh snapshot; the standby installs
+	// it and resets its shipped WAL, mirroring the owner's compaction.
+	if err := owner.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if ww.Size() != 0 {
+		t.Fatalf("shipped WAL not reset after checkpoint: %d bytes", ww.Size())
+	}
+	id3, err := owner.RecordArrival(meta("c", "bps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ww.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Promotion: the standby directory opens as a complete Store.
+	standby := openTest(t, standbyDir, Options{NoSync: true})
+	defer standby.Close()
+	got := standby.AllFiles()
+	want := []uint64{id1, id2, id3}
+	if len(got) != len(want) {
+		t.Fatalf("standby has %d files, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("standby file %d: id %d, want %d", i, got[i].ID, id)
+		}
+	}
+	if !standby.Delivered(id1, "sub") {
+		t.Fatal("delivery receipt lost across replication")
+	}
+	if standby.Delivered(id2, "sub") {
+		t.Fatal("phantom delivery receipt on standby")
+	}
+}
+
+// TestShipValidation exercises the frame and snapshot validators the
+// standby runs before trusting shipped bytes.
+func TestShipValidation(t *testing.T) {
+	if err := CheckPayload([]byte("not a wal frame")); err == nil {
+		t.Fatal("CheckPayload accepted garbage")
+	}
+	if err := CheckSnapshot([]byte{0x01, 0x02, 0x03}); err == nil {
+		t.Fatal("CheckSnapshot accepted garbage")
+	}
+	if err := WriteCheckpoint(diskfault.OS(), t.TempDir(), []byte("junk")); err == nil {
+		t.Fatal("WriteCheckpoint installed a corrupt snapshot")
+	}
+
+	s := openTest(t, t.TempDir(), Options{NoSync: true})
+	defer s.Close()
+	if _, err := s.RecordArrival(meta("a", "bps")); err != nil {
+		t.Fatal(err)
+	}
+	state, err := s.EncodeState()
+	if err != nil {
+		t.Fatalf("EncodeState: %v", err)
+	}
+	if err := CheckSnapshot(state); err != nil {
+		t.Fatalf("CheckSnapshot rejected a real snapshot: %v", err)
+	}
+}

@@ -507,6 +507,30 @@ func (s *Store) FilesInFeed(feed string) []FileMeta {
 	return out
 }
 
+// FeedLog returns a feed's consumable-log view: every receipt in the
+// feed in id order, including expired files (their bytes live on in
+// the archive until compaction folds the receipt into the manifest)
+// but excluding quarantined ones (reconciliation withdrew them from
+// every consumer-facing surface). The HTTP data plane merges this with
+// the archive manifest so a seq cursor never observes a transient hole
+// while a file crosses the staging→archive boundary.
+func (s *Store) FeedLog(feed string) []FileMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := s.feedFiles[feed]
+	out := make([]FileMeta, 0, len(ids))
+	for _, id := range ids {
+		if s.quarantined[id] {
+			continue
+		}
+		if f, ok := s.files[id]; ok {
+			out = append(out, *f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // PendingFor recomputes a subscriber's delivery queue: every unexpired
 // file in any of feeds that has not been delivered to sub, in arrival
 // order. This is the §4.2 queue recomputation used on subscriber

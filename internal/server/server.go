@@ -38,6 +38,7 @@ import (
 	"bistro/internal/discovery"
 	"bistro/internal/diskfault"
 	"bistro/internal/feedlog"
+	"bistro/internal/httpfeed"
 	"bistro/internal/ingest"
 	"bistro/internal/landing"
 	"bistro/internal/metrics"
@@ -130,6 +131,7 @@ type Server struct {
 
 	ln    net.Listener
 	adm   *admin.Server       // nil unless the config has an admin block
+	httpd *httpfeed.Server    // nil unless the config has an http block
 	trans *compositeTransport // nil when Options.Transport overrides
 
 	// Cluster state — all nil/zero on a single-node server (the
@@ -651,10 +653,93 @@ func (s *Server) Start() error {
 		s.adm = adm
 		s.logger.Logf("admin", "observability endpoint on %s", adm.Addr())
 	}
+	if s.cfg.HTTP != nil {
+		httpd, err := s.startHTTPFeed()
+		if err != nil {
+			return err
+		}
+		s.httpd = httpd
+		s.logger.Logf("http", "pull data plane on %s", httpd.Addr())
+	}
 	s.mu.Lock()
 	s.readyErr = nil
 	s.mu.Unlock()
 	return nil
+}
+
+// startHTTPFeed mounts the stateless HTTP pull data plane over the
+// receipt store and archive manifest (config http block).
+func (s *Server) startHTTPFeed() (*httpfeed.Server, error) {
+	sp := s.cfg.HTTP
+	feeds := make([]string, 0, len(s.cfg.Feeds))
+	for _, f := range s.cfg.Feeds {
+		feeds = append(feeds, f.Path)
+	}
+	principals := make([]*httpfeed.Principal, 0, len(sp.Principals))
+	for _, pr := range sp.Principals {
+		principals = append(principals, &httpfeed.Principal{
+			Name: pr.Name, Token: pr.Token, Feeds: pr.Feeds,
+		})
+	}
+	return httpfeed.Start(httpfeed.Options{
+		Listen:     sp.Listen,
+		Feeds:      feeds,
+		Principals: principals,
+		MaxBody:    sp.MaxBody,
+		Registry:   s.reg,
+		Clock:      s.clk.Now,
+		Log:        s.FeedHTTPLog,
+		Open: func(stagedPath string) (io.ReadCloser, error) {
+			abs := filepath.Join(s.stage, filepath.FromSlash(stagedPath))
+			f, err := s.fs.Open(abs)
+			if err == nil {
+				return f, nil
+			}
+			if errors.Is(err, fs.ErrNotExist) && s.arch != nil {
+				return s.arch.Open(stagedPath)
+			}
+			return nil, err
+		},
+		Ingest: s.Deposit,
+	})
+}
+
+// FeedHTTPLog builds a feed's consumable-log view for the HTTP data
+// plane: the receipt store's staging window (expired receipts
+// included until compaction folds them away) merged with the archive
+// manifest. Compaction requires manifest membership, so the union
+// covers every non-quarantined id with no transient hole across the
+// staging-to-archive handoff.
+func (s *Server) FeedHTTPLog(feed string) []httpfeed.Entry {
+	staged := s.store.FeedLog(feed)
+	se := make([]httpfeed.Entry, len(staged))
+	for i, m := range staged {
+		t := m.DataTime
+		if t.IsZero() {
+			t = m.Arrived
+		}
+		se[i] = httpfeed.Entry{Seq: m.ID, Name: m.Name, StagedPath: m.StagedPath,
+			Size: m.Size, Checksum: m.Checksum, Time: t}
+	}
+	var ae []httpfeed.Entry
+	if s.arch != nil && s.arch.Manifest() != nil {
+		archived := s.arch.Manifest().EntriesSince(feed, 0)
+		ae = make([]httpfeed.Entry, len(archived))
+		for i, e := range archived {
+			ae[i] = httpfeed.Entry{Seq: e.ID, Name: e.Name, StagedPath: e.StagedPath,
+				Size: e.Size, Checksum: e.Checksum, Time: e.Key(), Archived: true}
+		}
+	}
+	return httpfeed.MergeLogs(se, ae)
+}
+
+// HTTPAddr returns the HTTP data plane's bound address ("" when the
+// config has no http block).
+func (s *Server) HTTPAddr() string {
+	if s.httpd == nil {
+		return ""
+	}
+	return s.httpd.Addr()
 }
 
 // Ready gates /readyz: nil only after Start has finished startup
@@ -869,6 +954,9 @@ func (s *Server) Stop() {
 	close(s.stopCh)
 	if s.adm != nil {
 		s.adm.Stop()
+	}
+	if s.httpd != nil {
+		s.httpd.Stop()
 	}
 	if s.ln != nil {
 		s.ln.Close()
