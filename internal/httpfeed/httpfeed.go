@@ -90,6 +90,12 @@ type Options struct {
 	// Ingest deposits a pushed file, returning once its receipt is
 	// durable. Nil disables POST (405).
 	Ingest func(name string, data []byte) error
+	// Resolve returns the feeds a deposited name would route to
+	// (classification only, no side effects). Required when Ingest is
+	// set: the pipeline routes deposits by name pattern, not by URL, so
+	// POST /feeds/<feed> must verify the name actually routes to <feed>
+	// and to nothing outside the caller's ACL before the bytes land.
+	Resolve func(name string) []string
 
 	// Server hardening knobs, overridable so the slow-loris regression
 	// test can use tiny values. Zero means the package default.
@@ -108,6 +114,16 @@ const (
 	defaultWriteTO  = 2 * time.Minute
 	defaultMaxHdr   = 64 << 10
 	wwwAuthenticate = `Bearer realm="bistro"`
+
+	// Cache lifetimes. Archived entries are closed history — the
+	// manifest never withdraws an id — so they get long TTLs. Staged
+	// entries can still be withdrawn by quarantine, so pages and content
+	// that include them get a short TTL bounding how long a cache can
+	// keep serving a withdrawn id (docs/HTTP.md "Caching semantics").
+	archivedPageMaxAge    = 3600
+	stagedPageMaxAge      = 300
+	archivedContentMaxAge = 86400
+	stagedContentMaxAge   = 600
 )
 
 // Server is a running HTTP data plane.
@@ -141,6 +157,9 @@ func Start(opts Options) (*Server, error) {
 	}
 	if opts.MaxHeaderBytes <= 0 {
 		opts.MaxHeaderBytes = defaultMaxHdr
+	}
+	if opts.Ingest != nil && opts.Resolve == nil {
+		return nil, fmt.Errorf("httpfeed: Ingest requires Resolve — deposits route by name pattern and must be checked against the URL feed")
 	}
 	s := &Server{opts: opts, feeds: make(map[string]bool, len(opts.Feeds))}
 	for _, f := range opts.Feeds {
@@ -226,6 +245,11 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	if len(s.opts.Principals) > 0 {
+		// Responses differ per credential (ACLs), so any cache that
+		// stores one must key on the Authorization header.
+		sw.Header().Set("Vary", "Authorization")
+	}
 	pr, ok := s.authorize(sw, r)
 	if !ok {
 		return
@@ -248,7 +272,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 			s.serveLog(sw, r, feed)
 		case http.MethodPost:
 			endpoint = "ingest"
-			s.serveIngest(sw, r)
+			s.serveIngest(sw, r, feed, pr)
 		default:
 			writeErr(sw, http.StatusMethodNotAllowed, "method not allowed")
 		}
@@ -383,7 +407,19 @@ func (s *Server) serveLog(w http.ResponseWriter, r *http.Request, feed string) {
 		}
 		start = sort.Search(len(log), func(i int) bool { return log[i].Seq >= from.Seq })
 	} else {
-		start = sort.Search(len(log), func(i int) bool { return !log[i].Time.Before(from.Time) })
+		// The log is sorted by seq, and data times are NOT monotone in
+		// seq (late-arriving files carry older data times), so a binary
+		// search over Time would land on an arbitrary index and silently
+		// skip entries. Scan for the earliest seq whose time qualifies:
+		// no entry with Time >= from is ever skipped, at the cost of the
+		// page also carrying any older-timed stragglers after it.
+		start = len(log)
+		for i := range log {
+			if !log[i].Time.Before(from.Time) {
+				start = i
+				break
+			}
+		}
 	}
 	entries := log[start:]
 	if len(entries) > limit {
@@ -408,15 +444,24 @@ func (s *Server) serveLog(w http.ResponseWriter, r *http.Request, feed string) {
 		page.Next = entries[len(entries)-1].Seq + 1
 	}
 
-	// Full pages are closed history — their seq set can never change —
-	// so CDNs may cache them. Partial (tail) pages revalidate: the ETag
-	// covers head so an idle poll costs a 304.
+	// Full pages are history — their seq set only changes if quarantine
+	// withdraws a staged entry — so caches may keep them: long for
+	// all-archived pages (the manifest never withdraws), short for pages
+	// still carrying staged entries. Partial (tail) pages revalidate:
+	// the ETag covers head so an idle poll costs a 304.
 	full := len(entries) == limit
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%d|%d|%d|%d", feed, page.From, page.Next, page.Head, len(entries))
 	etag := fmt.Sprintf(`"log-%016x"`, h.Sum64())
 	if full {
-		w.Header().Set("Cache-Control", "public, max-age=3600")
+		maxAge := archivedPageMaxAge
+		for _, e := range entries {
+			if !e.Archived {
+				maxAge = stagedPageMaxAge
+				break
+			}
+		}
+		w.Header().Set("Cache-Control", s.cacheControl(maxAge, false))
 	} else {
 		w.Header().Set("Cache-Control", "no-cache")
 	}
@@ -470,11 +515,16 @@ func (s *Server) serveContent(w http.ResponseWriter, r *http.Request, feed strin
 		return
 	}
 	e := log[i]
-	// Content is immutable once staged: the id + CRC name the bytes
-	// forever, so caches may keep them as long as they like.
+	// Bytes for an id never change, but a staged id can still be
+	// withdrawn by quarantine — only archived content is truly closed
+	// history, so only it gets the long immutable lifetime.
 	etag := fmt.Sprintf(`"%d-%08x"`, e.Seq, e.Checksum)
 	w.Header().Set("ETag", etag)
-	w.Header().Set("Cache-Control", "public, max-age=86400, immutable")
+	if e.Archived {
+		w.Header().Set("Cache-Control", s.cacheControl(archivedContentMaxAge, true))
+	} else {
+		w.Header().Set("Cache-Control", s.cacheControl(stagedContentMaxAge, false))
+	}
 	w.Header().Set("Last-Modified", e.Time.UTC().Format(http.TimeFormat))
 	if matchETag(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
@@ -496,7 +546,7 @@ func (s *Server) serveContent(w http.ResponseWriter, r *http.Request, feed strin
 	io.Copy(w, rc)
 }
 
-func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request, feed string, pr *Principal) {
 	if s.opts.Ingest == nil {
 		writeErr(w, http.StatusMethodNotAllowed, "ingest disabled")
 		return
@@ -504,6 +554,29 @@ func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	if name == "" {
 		writeErr(w, http.StatusBadRequest, "name query parameter required")
+		return
+	}
+	// The URL names the feed the caller is authorized to write, but the
+	// pipeline routes deposits by classifying `name`. Resolve the
+	// routing first and refuse anything that would land outside that
+	// authority — otherwise a principal whose ACL covers only feed A
+	// could POST to /feeds/A with a name matching feed B's pattern and
+	// write into B.
+	targets := s.opts.Resolve(name)
+	routed := false
+	for _, t := range targets {
+		if t == feed {
+			routed = true
+		}
+		if pr != nil && !pr.Allowed(t) {
+			writeErr(w, http.StatusForbidden,
+				fmt.Sprintf("name routes to feed %q outside principal ACL", t))
+			return
+		}
+	}
+	if !routed {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("name %q does not route to feed %q", name, feed))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBody)
@@ -526,6 +599,23 @@ func (s *Server) serveIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"ok": true, "name": name})
+}
+
+// cacheControl renders a Cache-Control value for a cacheable response.
+// Behind the ACL responses are private: a shared cache or CDN that
+// stored one would re-serve a principal's authorized read to clients
+// with no credentials at all, turning the cache into an auth bypass.
+// Only the open (no-principals) plane lets shared caches participate.
+func (s *Server) cacheControl(maxAge int, immutable bool) string {
+	scope := "public"
+	if len(s.opts.Principals) > 0 {
+		scope = "private"
+	}
+	v := fmt.Sprintf("%s, max-age=%d", scope, maxAge)
+	if immutable {
+		v += ", immutable"
+	}
+	return v
 }
 
 // matchETag implements the If-None-Match comparison for the strong

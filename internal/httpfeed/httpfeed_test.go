@@ -80,6 +80,19 @@ func newFixture(t *testing.T, mutate func(*Options)) *fixture {
 			fx.ingested = append(fx.ingested, name)
 			return nil
 		},
+		// Stand-in classifier: names route by prefix, default market/BPS.
+		Resolve: func(name string) []string {
+			switch {
+			case strings.HasPrefix(name, "ref_"):
+				return []string{"ref"}
+			case strings.HasPrefix(name, "both_"):
+				return []string{"market/BPS", "ref"}
+			case strings.HasPrefix(name, "junk_"):
+				return nil
+			default:
+				return []string{"market/BPS"}
+			}
+		},
 	}
 	if mutate != nil {
 		mutate(&opts)
@@ -149,6 +162,14 @@ func TestEndpointAuthMatrix(t *testing.T) {
 		{"feed outside ACL", "GET", "/feeds/ref", bearer, 403},
 		{"stats outside ACL", "GET", "/feeds/ref/stats", bearer, 403},
 		{"ingest outside ACL", "POST", "/feeds/ref?name=x.csv", bearer, 403},
+		// The deposit routes by name pattern, not URL: a name that
+		// resolves to a feed outside the ACL is refused even when the
+		// URL feed itself is allowed (the PR 9 ACL-bypass hole).
+		{"ingest name routes outside ACL", "POST", "/feeds/market/BPS?name=ref_x.csv", bearer, 403},
+		{"ingest multicast partly outside ACL", "POST", "/feeds/market/BPS?name=both_x.csv", bearer, 403},
+		{"ingest multicast within ACL", "POST", "/feeds/market/BPS?name=both_x.csv", basicOps, 201},
+		{"ingest name routes elsewhere", "POST", "/feeds/market/BPS?name=ref_x.csv", basicOps, 400},
+		{"ingest unmatched name", "POST", "/feeds/market/BPS?name=junk_x.csv", basicOps, 400},
 
 		{"unknown feed", "GET", "/feeds/nope", bearer, 404},
 		{"unknown nested feed", "GET", "/feeds/market/NOPE", bearer, 404},
@@ -213,12 +234,41 @@ func TestLogPagination(t *testing.T) {
 	}
 }
 
+// TestTimeCursorNonMonotone pins the from=<ts> semantics when data
+// times are not monotone in seq (a late-arriving file carries an older
+// data time): the read starts at the earliest seq whose time
+// qualifies, so no qualifying entry is skipped — a binary search over
+// the seq-sorted log would land arbitrarily and drop entries.
+func TestTimeCursorNonMonotone(t *testing.T) {
+	base := time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+	fx := newFixture(t, nil)
+	fx.setLog("market/BPS", []Entry{
+		{Seq: 3, Name: "new.csv", Time: base.Add(2 * time.Minute)},
+		{Seq: 5, Name: "straggler.csv", Time: base}, // older data, later seq
+		{Seq: 7, Name: "newest.csv", Time: base.Add(3 * time.Minute)},
+	})
+	ts := base.Add(time.Minute).Format(time.RFC3339)
+	page := decodePage(t, fx.do("GET", "/feeds/market/BPS?from="+ts, bearer, nil, nil))
+	// Seq 3 qualifies and must not be skipped; the straggler rides
+	// along because the page is a contiguous seq suffix.
+	if len(page.Entries) != 3 || page.Entries[0].Seq != 3 {
+		t.Fatalf("page = %+v", page)
+	}
+}
+
 func TestLogCachingHeaders(t *testing.T) {
 	fx := newFixture(t, nil)
-	// A full page (limit reached) is closed history: publicly cacheable.
+	// A full page (limit reached) is cacheable — but the plane runs with
+	// principals, so it must be private (a shared cache would re-serve
+	// one principal's authorized read to anyone) and carry a short TTL
+	// (the page includes a staged entry quarantine could withdraw).
 	resp := fx.do("GET", "/feeds/market/BPS?limit=2", bearer, nil, nil)
-	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "public") {
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "private") ||
+		strings.Contains(cc, "public") || !strings.Contains(cc, "max-age=300") {
 		t.Fatalf("full page Cache-Control = %q", cc)
+	}
+	if v := resp.Header.Get("Vary"); v != "Authorization" {
+		t.Fatalf("ACL-gated response Vary = %q", v)
 	}
 	// A partial (tail) page must revalidate.
 	resp = fx.do("GET", "/feeds/market/BPS", bearer, nil, nil)
@@ -247,18 +297,45 @@ func TestLogCachingHeaders(t *testing.T) {
 
 func TestContentServing(t *testing.T) {
 	fx := newFixture(t, nil)
+	// Seq 5 is staged: quarantine can still withdraw it, so its cache
+	// lifetime is short and not immutable — and private behind the ACL.
 	resp := fx.do("GET", "/feeds/market/BPS/files/5", bearer, nil, nil)
 	body, _ := io.ReadAll(resp.Body)
 	if string(body) != "c,d\ne,f\n" {
 		t.Fatalf("content = %q", body)
 	}
-	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
-		t.Fatalf("content Cache-Control = %q", cc)
+	if cc := resp.Header.Get("Cache-Control"); strings.Contains(cc, "immutable") ||
+		!strings.Contains(cc, "private") || !strings.Contains(cc, "max-age=600") {
+		t.Fatalf("staged content Cache-Control = %q", cc)
+	}
+	// Seq 3 is archived: closed history, long immutable lifetime.
+	resp = fx.do("GET", "/feeds/market/BPS/files/3", bearer, nil, nil)
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") ||
+		!strings.Contains(cc, "private") || !strings.Contains(cc, "max-age=86400") {
+		t.Fatalf("archived content Cache-Control = %q", cc)
 	}
 	etag := resp.Header.Get("ETag")
-	resp = fx.do("GET", "/feeds/market/BPS/files/5", bearer, nil, map[string]string{"If-None-Match": etag})
+	resp = fx.do("GET", "/feeds/market/BPS/files/3", bearer, nil, map[string]string{"If-None-Match": etag})
 	if resp.StatusCode != 304 {
 		t.Fatalf("content revalidation = %d", resp.StatusCode)
+	}
+}
+
+// TestOpenModeCaching pins the open-plane (no principals) headers:
+// with no ACL there is no credential for a shared cache to leak, so
+// responses may be public and carry no Vary.
+func TestOpenModeCaching(t *testing.T) {
+	fx := newFixture(t, func(o *Options) { o.Principals = nil })
+	resp := fx.do("GET", "/feeds/market/BPS/files/3", "", nil, nil)
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "public") {
+		t.Fatalf("open-mode archived content Cache-Control = %q", cc)
+	}
+	if v := resp.Header.Get("Vary"); v != "" {
+		t.Fatalf("open-mode Vary = %q", v)
+	}
+	full := fx.do("GET", "/feeds/market/BPS?limit=2", "", nil, nil)
+	if cc := full.Header.Get("Cache-Control"); !strings.Contains(cc, "public") {
+		t.Fatalf("open-mode full page Cache-Control = %q", cc)
 	}
 }
 

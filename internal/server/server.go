@@ -701,6 +701,14 @@ func (s *Server) startHTTPFeed() (*httpfeed.Server, error) {
 			return nil, err
 		},
 		Ingest: s.Deposit,
+		Resolve: func(name string) []string {
+			matches := s.class.Classify(name)
+			feeds := make([]string, len(matches))
+			for i, m := range matches {
+				feeds[i] = m.Feed.Path
+			}
+			return feeds
+		},
 	})
 }
 
