@@ -16,13 +16,13 @@ fmt:
 
 # One iteration of the full-server experiment benchmarks (E14 ingest
 # scaling, E15 historical replay, E16 standby failover, E17
-# self-healing failover, E18 channel fan-out, E19 HTTP pull plane) as
-# a smoke test that the quantitative harness runs end to end.
-# BENCH_9.json at the repo root is the tracked record of the last run,
-# diffable across changes; CI regenerates and uploads it as an
-# artifact.
+# self-healing failover, E18 channel fan-out, E19 HTTP pull plane,
+# E20 plan enrichment placement) as a smoke test that the
+# quantitative harness runs end to end. BENCH_10.json at the repo
+# root is the tracked record of the last run, diffable across
+# changes; CI regenerates and uploads it as an artifact.
 bench-smoke:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkE1[4589]|BenchmarkE16|BenchmarkE17' -benchtime=1x . | tee BENCH_9.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkE1[4589]|BenchmarkE16|BenchmarkE17|BenchmarkE20' -benchtime=1x . | tee BENCH_10.json
 
 # Race-mode pass over the clustering layer and its replication stress
 # tests: concurrent group-commit shipping, the seeded failover

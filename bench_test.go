@@ -238,6 +238,28 @@ func BenchmarkE19HTTPPull(b *testing.B) {
 	}
 }
 
+func BenchmarkE20EnrichmentPlacement(b *testing.B) {
+	t := runExperiment(b, experiments.E20EnrichmentPlacement)
+	var ingJoins, delJoins, ingStaged, delStaged float64
+	for _, row := range t.Rows {
+		switch row[0] {
+		case "at-ingest":
+			ingStaged = metric(row[2])
+			ingJoins = metric(row[4])
+		case "at-delivery":
+			delStaged = metric(row[2])
+			delJoins = metric(row[4])
+			b.ReportMetric(metric(row[5]), "at_delivery_p95_ms")
+		}
+	}
+	if ingJoins > 0 {
+		b.ReportMetric(delJoins/ingJoins, "delivery_join_amplification_x")
+	}
+	if ingStaged > 0 {
+		b.ReportMetric(delStaged/ingStaged, "lean_staging_ratio")
+	}
+}
+
 func BenchmarkE13Overhead(b *testing.B) {
 	t := runExperiment(b, experiments.E13Overhead)
 	for _, row := range t.Rows {

@@ -12,6 +12,7 @@
 //	bistroctl -admin host:port status           # render /statusz from the admin endpoint
 //	bistroctl -admin host:port replay           # list replay sessions and their watermarks
 //	bistroctl -http host:port -token T tail feed  # page a feed's log over the pull data plane
+//	bistroctl plan config-file [feed ...]       # dry-run: print compiled plan operator chains
 package main
 
 import (
@@ -56,6 +57,17 @@ func main() {
 	if args[0] == "replay" {
 		if err := runReplay(*adminAddr, *timeout, os.Stdout); err != nil {
 			fatal("replay: %v", err)
+		}
+		return
+	}
+	// plan is fully offline: it compiles a config the way the server
+	// would and prints the operator chains.
+	if args[0] == "plan" {
+		if len(args) < 2 {
+			usage()
+		}
+		if err := runPlan(args[1], args[2:], os.Stdout); err != nil {
+			fatal("plan: %v", err)
 		}
 		return
 	}
@@ -147,6 +159,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: bistroctl -server host:port {upload files... | ready paths... | eob [feed] | watch dir}")
 	fmt.Fprintln(os.Stderr, "       bistroctl -admin host:port {status | replay}")
 	fmt.Fprintln(os.Stderr, "       bistroctl -http host:port -token T tail feed [-from cursor] [-follow]")
+	fmt.Fprintln(os.Stderr, "       bistroctl plan config-file [feed ...]   # dry-run: print compiled operator chains")
 	os.Exit(2)
 }
 

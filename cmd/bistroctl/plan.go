@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"bistro/internal/config"
+	"bistro/internal/plan"
+)
+
+// runPlan is the plan dry-run: parse a config file, compile every
+// plan {} block exactly as the server would at startup (so cycle
+// detection, operator wiring, and unknown-feed checks all fire), and
+// print each planned feed's compiled operator chain without touching
+// a server. With feed arguments, only those feeds print.
+func runPlan(path string, feeds []string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := config.Parse(string(data))
+	if err != nil {
+		return err
+	}
+	set, err := plan.Compile(cfg, plan.Options{})
+	if err != nil {
+		return err
+	}
+	want := make(map[string]bool, len(feeds))
+	for _, f := range feeds {
+		want[f] = true
+	}
+	printed := 0
+	for _, f := range cfg.Feeds {
+		p := set.For(f.Path)
+		if p == nil || (len(want) > 0 && !want[f.Path]) {
+			continue
+		}
+		if printed > 0 {
+			fmt.Fprintln(w)
+		}
+		printed++
+		fmt.Fprintf(w, "feed %s:\n", f.Path)
+		// Print the declared chain from the config: the compiled program
+		// hoists the at-delivery enrich out of the ingest op list, and a
+		// dry run should show the operator order as written.
+		for i, op := range f.Plan.Ops {
+			fmt.Fprintf(w, "  %2d. %s\n", i+1, describeOp(op))
+		}
+		if ts := p.Targets(); len(ts) > 0 {
+			fmt.Fprintf(w, "   -> derived feeds: %s\n", strings.Join(ts, ", "))
+		}
+		if p.DeliveryTransform() != nil {
+			fmt.Fprintf(w, "   -> enrich deferred to delivery: the join runs once per push, staged files stay lean\n")
+		}
+	}
+	if printed == 0 {
+		if len(want) > 0 {
+			keys := make([]string, 0, len(want))
+			for k := range want {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return fmt.Errorf("no plan declared for %s", strings.Join(keys, ", "))
+		}
+		fmt.Fprintln(w, "no plans declared")
+	}
+	return nil
+}
+
+// describeOp renders one compiled operator as a single line.
+func describeOp(op config.PlanOp) string {
+	switch op.Kind {
+	case config.OpDecompress:
+		return "decompress " + op.Codec
+	case config.OpSplit:
+		return "split whole stream -> " + op.Target
+	case config.OpParse:
+		return "parse " + op.Framing + " records"
+	case config.OpValidate:
+		rules := make([]string, len(op.Rules))
+		for i, r := range op.Rules {
+			switch r.Kind {
+			case "columns":
+				rules[i] = fmt.Sprintf("columns == %d", r.Count)
+			case "utf8":
+				rules[i] = "valid utf8"
+			default: // require, numeric
+				rules[i] = r.Field + " " + r.Kind
+			}
+		}
+		return "validate (" + strings.Join(rules, ", ") + ") else reject to quarantine"
+	case config.OpExtract:
+		src := fmt.Sprintf("column %d", op.Column)
+		if op.Key != "" {
+			src = fmt.Sprintf("key %q", op.Key)
+		}
+		return fmt.Sprintf("extract %s from %s", op.Field, src)
+	case config.OpEnrich:
+		place := "at ingest"
+		if op.AtDelivery {
+			place = "at delivery"
+		}
+		return fmt.Sprintf("enrich on %s from table %q (%s)", op.Field, op.Table, place)
+	case config.OpRoute:
+		var cases []string
+		for _, c := range op.Cases {
+			cases = append(cases, fmt.Sprintf("%q -> %s", c.Value, c.Target))
+		}
+		def := "default stays primary"
+		if op.Target != "" {
+			def = "default -> " + op.Target
+		}
+		return fmt.Sprintf("route on %s: %s, %s", op.Field, strings.Join(cases, ", "), def)
+	}
+	return op.Kind.String()
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const samplePlanConfig = `
+feed EVENTS {
+    pattern "events_%Y%m%d%H.csv.gz"
+    plan {
+        decompress gzip
+        parse csv
+        validate { columns 3 utf8 }
+        extract region 1
+        route region {
+            "east" EAST
+            default OTHER
+        }
+        enrich {
+            table "tables/regions.csv"
+            key region
+            at delivery
+        }
+    }
+}
+feed EAST { }
+feed OTHER { }
+feed PLAIN { pattern "plain_%i.txt" }
+`
+
+func writePlanConfig(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bistro.conf")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPlanDryRun(t *testing.T) {
+	path := writePlanConfig(t, samplePlanConfig)
+	var b strings.Builder
+	if err := runPlan(path, nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"feed EVENTS:",
+		"decompress gzip",
+		"parse csv records",
+		"validate (columns == 3, valid utf8) else reject to quarantine",
+		"extract region from column 1",
+		`enrich on region from table "tables/regions.csv" (at delivery)`,
+		`route on region: "east" -> EAST, default -> OTHER`,
+		"derived feeds: EAST, OTHER",
+		"enrich deferred to delivery",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PLAIN") {
+		t.Errorf("plan-less feed printed:\n%s", out)
+	}
+}
+
+func TestRunPlanFeedFilter(t *testing.T) {
+	path := writePlanConfig(t, samplePlanConfig)
+	var b strings.Builder
+	if err := runPlan(path, []string{"EVENTS"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "feed EVENTS:") {
+		t.Errorf("filtered output missing EVENTS:\n%s", b.String())
+	}
+	if err := runPlan(path, []string{"EAST"}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "no plan declared for EAST") {
+		t.Errorf("expected no-plan error for EAST, got %v", err)
+	}
+}
+
+func TestRunPlanRejectsBrokenConfig(t *testing.T) {
+	path := writePlanConfig(t, `
+feed A { pattern "a" plan { split B } }
+feed B { plan { split A } }
+`)
+	if err := runPlan(path, nil, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "cycle") {
+		t.Errorf("expected cycle error, got %v", err)
+	}
+}
+
+func TestRunPlanNoPlans(t *testing.T) {
+	path := writePlanConfig(t, `feed PLAIN { pattern "plain_%i.txt" }`)
+	var b strings.Builder
+	if err := runPlan(path, nil, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no plans declared") {
+		t.Errorf("output = %q", b.String())
+	}
+}

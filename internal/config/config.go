@@ -105,6 +105,10 @@ type Feed struct {
 	// scheduling policies (0 = default). The paper's delay-sensitive
 	// feeds (link faults, alarms) want this.
 	Priority int
+	// Plan, when set, replaces the fixed classify→normalize path with
+	// a declared operator chain (see PlanSpec). Nil keeps the implicit
+	// default plan, byte for byte.
+	Plan *PlanSpec
 }
 
 // Subscriber is one registered feed consumer.
@@ -770,6 +774,13 @@ func (p *parser) feed(prefix string) (*Feed, error) {
 			if f.Priority, err = p.integer(); err != nil {
 				return nil, err
 			}
+		case "plan":
+			if f.Plan != nil {
+				return nil, p.errPrevf("feed %s: duplicate plan block", f.Path)
+			}
+			if f.Plan, err = p.planSpec(f.Path); err != nil {
+				return nil, err
+			}
 		case "compress":
 			mode, err := p.expect(tokIdent)
 			if err != nil {
@@ -794,9 +805,9 @@ func (p *parser) feed(prefix string) (*Feed, error) {
 	if err := p.advance(); err != nil { // consume '}'
 		return nil, err
 	}
-	if len(f.Patterns) == 0 {
-		return nil, fmt.Errorf("config: feed %s has no patterns", f.Path)
-	}
+	// A feed may omit patterns only when it is the target of some
+	// plan's split/route operator — checked in resolvePlans, which can
+	// see the whole config.
 	return f, nil
 }
 
@@ -1691,6 +1702,9 @@ func resolve(cfg *Config) error {
 	}
 	if cfg.LandingDir == "" {
 		cfg.LandingDir = "landing"
+	}
+	if err := resolvePlans(cfg, seen); err != nil {
+		return err
 	}
 	if cfg.Channels != nil {
 		if err := resolveChannels(cfg, seen); err != nil {

@@ -210,6 +210,9 @@ func writeGroup(b *strings.Builder, n *groupNode, depth int) {
 		if f.Priority != 0 {
 			fmt.Fprintf(b, "%s    priority %d\n", ind, f.Priority)
 		}
+		if f.Plan != nil {
+			writePlan(b, f.Plan, ind+"    ")
+		}
 		fmt.Fprintf(b, "%s}\n", ind)
 	}
 	for _, name := range n.order {

@@ -1,0 +1,180 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// planConfig wraps a feed body in the boilerplate a full config needs.
+func planConfig(feeds string) string {
+	return "window 72h\nlanding \"landing\"\nstaging \"staging\"\n" + feeds
+}
+
+const planSample = `
+feed EVENTS {
+    pattern "events_%Y%m%d%H.csv.gz"
+    plan {
+        decompress gzip
+        parse csv
+        validate { columns 3 utf8 }
+        extract region 1
+        extract count 2
+        validate { require region numeric count }
+        enrich {
+            table "tables/regions.csv"
+            key region
+        }
+        route region {
+            "east" EVENTS_EAST
+            "west" EVENTS_WEST
+            default EVENTS_OTHER
+        }
+    }
+}
+feed EVENTS_EAST { }
+feed EVENTS_WEST { }
+feed EVENTS_OTHER { }
+`
+
+func TestParsePlan(t *testing.T) {
+	cfg, err := Parse(planConfig(planSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := cfg.FeedByPath("EVENTS")
+	if !ok || f.Plan == nil {
+		t.Fatal("EVENTS plan missing")
+	}
+	ops := f.Plan.Ops
+	if len(ops) != 8 {
+		t.Fatalf("ops = %d, want 8", len(ops))
+	}
+	if ops[0].Kind != OpDecompress || ops[0].Codec != "gzip" {
+		t.Errorf("op0 = %+v", ops[0])
+	}
+	if ops[1].Kind != OpParse || ops[1].Framing != "csv" {
+		t.Errorf("op1 = %+v", ops[1])
+	}
+	if ops[2].Kind != OpValidate || len(ops[2].Rules) != 2 || ops[2].Rules[0].Count != 3 {
+		t.Errorf("op2 = %+v", ops[2])
+	}
+	if ops[3].Kind != OpExtract || ops[3].Field != "region" || ops[3].Column != 1 {
+		t.Errorf("op3 = %+v", ops[3])
+	}
+	if ops[6].Kind != OpEnrich || ops[6].Table != "tables/regions.csv" || ops[6].Field != "region" || ops[6].AtDelivery {
+		t.Errorf("op6 = %+v", ops[6])
+	}
+	rt := ops[7]
+	if rt.Kind != OpRoute || rt.Field != "region" || len(rt.Cases) != 2 || rt.Target != "EVENTS_OTHER" {
+		t.Errorf("op7 = %+v", rt)
+	}
+	want := []string{"EVENTS_EAST", "EVENTS_OTHER", "EVENTS_WEST"}
+	if got := f.Plan.Targets(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("targets = %v, want %v", got, want)
+	}
+}
+
+func TestParsePlanEnrichAtDelivery(t *testing.T) {
+	cfg, err := Parse(planConfig(`
+feed L {
+    pattern "l_%Y%m%d.log"
+    plan {
+        parse lines
+        extract host 1
+        enrich { table "t.csv" key host at delivery }
+    }
+}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := cfg.FeedByPath("L")
+	if op := f.Plan.Ops[2]; !op.AtDelivery {
+		t.Errorf("enrich op = %+v, want AtDelivery", op)
+	}
+}
+
+func TestPlanValidationErrors(t *testing.T) {
+	cases := []struct {
+		name, feeds, want string
+	}{
+		{"empty plan", `feed F { pattern "f" plan { } }`, "empty plan block"},
+		{"bad codec", `feed F { pattern "f" plan { decompress lzma } }`, "unknown decompress codec"},
+		{"decompress not first", `feed F { pattern "f" plan { parse lines decompress gzip } }`, "decompress must be the first"},
+		{"duplicate parse", `feed F { pattern "f" plan { parse lines parse csv } }`, "duplicate parse"},
+		{"validate before parse", `feed F { pattern "f" plan { validate { utf8 } } }`, "validate needs a parse"},
+		{"columns without csv", `feed F { pattern "f" plan { parse lines validate { columns 2 } } }`, "columns requires csv"},
+		{"route unextracted field", `feed F { pattern "f" plan { parse lines route x { "a" G } } }
+feed G { pattern "g" }`, "route x: field not extracted"},
+		{"enrich unextracted key", `feed F { pattern "f" plan { parse lines enrich { table "t" key x } } }`, "enrich key x: field not extracted"},
+		{"duplicate extract", `feed F { pattern "f" plan { parse lines extract x 1 extract x 2 } }`, "duplicate extract x"},
+		{"json key under csv", `feed F { pattern "f" plan { parse csv extract x "k" } }`, "json key needs json framing"},
+		{"column under json", `feed F { pattern "f" plan { parse json extract x 1 } }`, "extracts by key, not column"},
+		{"unknown target", `feed F { pattern "f" plan { split NOPE } }`, "unknown derived feed"},
+		{"self target", `feed F { pattern "f" plan { split F } }`, "routes into itself"},
+		{"split after parse", `feed F { pattern "f" plan { parse lines split G } }
+feed G { pattern "g" }`, "split must precede parse"},
+		{"at-delivery not last", `feed F { pattern "f" plan { parse lines extract x 1 enrich { table "t" key x at delivery } extract y 2 } }`, "must be the last operator"},
+		{"re-encode", `feed F { pattern "f" compress gunzip plan { parse lines } }`, "cannot re-encode plan output"},
+		{"orphan patternless feed", `feed F { }`, "no patterns and no plan routes into it"},
+		{"cycle", `feed A { pattern "a" plan { split B } }
+feed B { pattern "b" plan { split A } }`, "plan cycle: A -> B -> A"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(planConfig(c.feeds))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.feeds)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPlanDerivedChainAllowed(t *testing.T) {
+	// A -> B -> C is a DAG, not a cycle; B is both a target and a
+	// plan-bearing feed.
+	cfg, err := Parse(planConfig(`
+feed A { pattern "a_%i" plan { split B } }
+feed B { plan { parse lines extract x 1 route x { "1" C } } }
+feed C { }
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := cfg.FeedByPath("B"); f.Plan == nil {
+		t.Fatal("B plan missing")
+	}
+}
+
+// TestPlanFormatRoundTrip pins Format's plan rendering: a formatted
+// config re-parses to a config that formats identically (the fixed
+// point the fuzz target drives at scale).
+func TestPlanFormatRoundTrip(t *testing.T) {
+	cfg, err := Parse(planConfig(planSample + `
+feed L {
+    pattern "l_%Y%m%d.log.bz2"
+    plan {
+        decompress bzip2
+        split RAW
+        parse json
+        extract host "host"
+        enrich { table "hosts.csv" key host at delivery }
+    }
+}
+feed RAW { }
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(cfg)
+	cfg2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted config does not re-parse: %v\n%s", err, text)
+	}
+	if text2 := Format(cfg2); text2 != text {
+		t.Fatalf("format not a fixed point:\n--- first\n%s\n--- second\n%s", text, text2)
+	}
+}

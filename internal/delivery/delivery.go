@@ -22,6 +22,7 @@ package delivery
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"io/fs"
 	"path/filepath"
@@ -265,6 +266,16 @@ type Options struct {
 	// staging read + one fan-out per file, with group receipts in the
 	// receipt store instead of per-member records.
 	Channels []ChannelSpec
+	// Transform maps a feed to a per-push payload transform, or nil
+	// for feeds delivered verbatim. This is the at-delivery placement
+	// of a plan's enrich operator: the staged file stays lean and the
+	// join runs once per subscriber push, so the transform's cost is
+	// multiplied by fan-out (the trade E20 measures). Transformed
+	// deliveries always take the in-memory path — the bytes on the
+	// wire differ from the staged bytes, so CRC and size are
+	// recomputed per push and streaming from staging is not an option.
+	// Channel fan-out stays raw (members share one staged read).
+	Transform func(feed string) func([]byte) ([]byte, error)
 }
 
 // Engine is the delivery subsystem.
@@ -671,11 +682,16 @@ func (e *Engine) execute(jobs []*scheduler.Job) {
 	}
 	// GroupSameFile may batch channel jobs with individual jobs for the
 	// same file; they take different paths below.
-	var chJobs, subJobs []*scheduler.Job
+	var chJobs, subJobs, xformJobs []*scheduler.Job
 	for _, j := range jobs {
-		if j.Channel != "" {
+		switch {
+		case j.Channel != "":
 			chJobs = append(chJobs, j)
-		} else {
+		case e.opts.Transform != nil && e.opts.Transform(j.Feed) != nil:
+			// Transformed feeds never stream: the wire bytes are not
+			// the staged bytes.
+			xformJobs = append(xformJobs, j)
+		default:
 			subJobs = append(subJobs, j)
 		}
 	}
@@ -698,14 +714,14 @@ func (e *Engine) execute(jobs []*scheduler.Job) {
 		// Staging copy gone but an archive is configured: fall through
 		// to the in-memory path, which reads from long-term storage.
 	}
-	if len(subJobs) == 0 && len(chJobs) == 0 {
+	if len(subJobs) == 0 && len(chJobs) == 0 && len(xformJobs) == 0 {
 		return
 	}
 	data, err := e.readStaged(jobs[0].Path, abs)
 	if err != nil {
 		// Staged file vanished (expired mid-queue, no archive):
 		// complete the jobs without delivery; receipts keep the truth.
-		for _, j := range append(subJobs, chJobs...) {
+		for _, j := range append(append(subJobs, chJobs...), xformJobs...) {
 			e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed, Name: j.Path, FileID: j.FileID, Err: err})
 			e.sched.Done(j)
 		}
@@ -717,6 +733,34 @@ func (e *Engine) execute(jobs []*scheduler.Job) {
 	for _, j := range subJobs {
 		e.deliverOne(j, data, "", meta)
 	}
+	for _, j := range xformJobs {
+		e.deliverTransformed(j, data, meta)
+	}
+}
+
+// deliverTransformed applies the feed's delivery transform to one
+// push and hands the result to deliverOne with the receipt metadata
+// rewritten to describe the transformed bytes — the receipt store
+// keeps describing the lean staged file; what changed is only this
+// subscriber's copy. The transform runs once per push by design:
+// that per-fan-out cost is the at-delivery placement's defining
+// property (see E20). A transform failure (side table unreadable,
+// malformed staged record) completes the job without delivery, like a
+// vanished staged file: the non-delivery is visible in receipts and
+// the EvDeliveryFailed event, and redelivery tooling can retry after
+// the operator repairs the table.
+func (e *Engine) deliverTransformed(j *scheduler.Job, data []byte, meta receipts.FileMeta) {
+	out, err := e.opts.Transform(j.Feed)(data)
+	if err != nil {
+		e.bumpStats(j.Subscriber, false, 0)
+		e.emit(Event{Kind: EvDeliveryFailed, Subscriber: j.Subscriber, Feed: j.Feed,
+			Name: j.Path, FileID: j.FileID, Err: fmt.Errorf("delivery transform: %w", err)})
+		e.sched.Done(j)
+		return
+	}
+	meta.Checksum = crc32.ChecksumIEEE(out)
+	meta.Size = int64(len(out))
+	e.deliverOne(j, out, "", meta)
 }
 
 // readStaged reads a staged file's content through the FS seam,

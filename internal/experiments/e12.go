@@ -61,6 +61,29 @@ func E12CrashConsistency(o Options) (Table, error) {
 		return t, fmt.Errorf("e12: %d invariant violations: %+v", v, res)
 	}
 
+	// Plan pipeline under the same power cuts: validate rejects and
+	// routed splits must land each record exactly once — re-running a
+	// half-finished plan after a crash overwrites deterministic output
+	// paths instead of appending or duplicating.
+	pres, err := RunPlanCrashRounds(CrashRoundsConfig{
+		Rounds:   25,
+		PerRound: perRound,
+		Seed:     2012,
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"plan crash-restart rounds", fmt.Sprintf("%d", pres.Rounds)},
+		[]string{"plan deposits acknowledged", fmt.Sprintf("%d", pres.Acked)},
+		[]string{"plan power cuts mid-operation", fmt.Sprintf("%d", pres.MidOpCrashes)},
+		[]string{"plan record-level exactly-once violations", fmt.Sprintf("%d", pres.RecordViolations)},
+		[]string{"plan outputs missing at subscriber", fmt.Sprintf("%d", pres.Undelivered)},
+	)
+	if v := pres.RecordViolations + pres.Undelivered; v != 0 {
+		return t, fmt.Errorf("e12: %d plan exactly-once violations: %+v", v, pres)
+	}
+
 	// Recovery time vs checkpoint policy: replaying a long WAL tail
 	// against recovering from a snapshot.
 	n := 5000
@@ -81,6 +104,7 @@ func E12CrashConsistency(o Options) (Table, error) {
 	)
 	t.Notes = append(t.Notes,
 		"each round arms a random power cut, runs ingest+delivery over the fault filesystem, rolls the disk back to the fsync-covered state, and restarts",
+		"plan rounds run a validate+route plan per arrival: each record must end up in exactly one of primary staging, a derived feed, or the reject quarantine — exactly once — across any number of mid-plan cuts",
 		"staged promotes fsync file+directory before the arrival receipt commits, so a surviving receipt implies a surviving payload",
 		"delivery receipts lost to a cut cause bounded redelivery: at-least-once, duplicates overwrite in place",
 		"checkpoints bound recovery to the snapshot decode instead of the full WAL replay")
@@ -363,6 +387,167 @@ func checkInvariants(srv *server.Server, root string, acked map[string]string, r
 		}
 	}
 	return nil
+}
+
+// e12PlanConfig runs every arrival through a plan exercising the two
+// crash seams the exactly-once argument rests on: a validate reject
+// (quarantine output committed alongside the primary) and a route
+// split (derived feed staged and recorded in the parent's receipt
+// batch).
+const e12PlanConfig = `
+feed CPU {
+    pattern "CPU_POLL%i_%Y%m%d%H%M.txt"
+    plan {
+        parse csv
+        validate { columns 2 }
+        extract tag 1
+        route tag { "d" DERIV }
+    }
+}
+feed DERIV { }
+subscriber wh { dest "in" subscribe CPU }
+subscriber whd { dest "ind" subscribe DERIV }
+`
+
+// PlanCrashResult aggregates the plan crash harness counters.
+type PlanCrashResult struct {
+	Rounds       int
+	Attempted    int
+	Acked        int
+	MidOpCrashes int
+	// RecordViolations counts acked arrivals whose primary, derived, or
+	// reject output did not hold exactly the expected records after the
+	// final clean restart — record loss or duplication either way.
+	RecordViolations int
+	// Undelivered counts acked plan outputs missing (or wrong) in a
+	// subscriber tree after every queue drained.
+	Undelivered int
+	// BrokenProvenance counts derived receipts whose Origin does not
+	// resolve to a parent arrival after all the restarts.
+	BrokenProvenance int
+}
+
+// planPayload is one deposit: a record that stays primary, a record
+// that routes to DERIV, and a record validate rejects. n makes every
+// line globally unique so duplication is detectable as content drift.
+func planPayload(n int) string {
+	return fmt.Sprintf("p,keep%032d\nd,route%032d\nbad%d\n", n, n, n)
+}
+
+// RunPlanCrashRounds is the E12 harness over the plan pipeline: the
+// same randomized power cuts and disk rollbacks, but every arrival
+// fans into three outputs whose contents are checked record by record
+// after the final clean restart. Deterministic output paths make the
+// exactly-once claim checkable as plain content equality: a replayed
+// half-finished plan overwrites, so any append-or-duplicate bug shows
+// up as drift from the expected bytes.
+func RunPlanCrashRounds(cfg CrashRoundsConfig) (*PlanCrashResult, error) {
+	root, err := os.MkdirTemp("", "bistro-e12p-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &PlanCrashResult{Rounds: cfg.Rounds}
+	acked := make(map[string]int) // deposit name -> unique payload number
+	base := time.Date(2010, 9, 25, 0, 0, 0, 0, time.UTC)
+	fileNo := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		dfOpts := cfg.Fault
+		dfOpts.Seed = cfg.Seed + int64(round) + 1
+		dfOpts.PowerCut = true
+		dfOpts.TornWrites = true
+		faulty := diskfault.NewFaulty(diskfault.NoSync(diskfault.OS()), dfOpts)
+		srv, err := newE12Server(root, e12PlanConfig, faulty, nil)
+		if err != nil {
+			return nil, fmt.Errorf("e12 plan round %d: restart: %w", round, err)
+		}
+		// The plan path does several durable commits per arrival
+		// (primary, derived, reject, receipt batch), so a wider window
+		// still lands cuts inside the seams.
+		faulty.SetCrashAfter(3 + rng.Int63n(60))
+		for i := 0; i < cfg.PerRound; i++ {
+			name := fmt.Sprintf("CPU_POLL%d_%s.txt", i%3+1,
+				base.Add(time.Duration(fileNo)*time.Minute).Format("200601021504"))
+			fileNo++
+			res.Attempted++
+			if err := srv.Deposit(name, []byte(planPayload(fileNo))); err == nil {
+				res.Acked++
+				acked[name] = fileNo
+			}
+		}
+		// Let in-flight deliveries race the countdown briefly.
+		deadline := time.Now().Add(150 * time.Millisecond)
+		for time.Now().Before(deadline) && !faulty.Crashed() {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if faulty.Crashed() {
+			res.MidOpCrashes++
+		}
+		srv.Stop()
+		if err := faulty.Crash(); err != nil {
+			return nil, fmt.Errorf("e12 plan round %d: crash rollback: %w", round, err)
+		}
+	}
+
+	// Final clean run: reconcile, drain, then check record placement.
+	srv, err := newE12Server(root, e12PlanConfig, diskfault.OS(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("e12 plan final restart: %w", err)
+	}
+	defer srv.Stop()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(srv.Store().PendingFor("wh", []string{"CPU"})) == 0 &&
+			len(srv.Store().PendingFor("whd", []string{"DERIV"})) == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Provenance: every derived receipt's Origin must resolve to a
+	// parent arrival — the WAL batch carried both or neither across
+	// every cut.
+	byID := make(map[uint64]receipts.FileMeta)
+	for _, meta := range srv.Store().AllFiles() {
+		byID[meta.ID] = meta
+	}
+	for _, meta := range byID {
+		if len(meta.Feeds) == 1 && meta.Feeds[0] == "DERIV" {
+			parent, ok := byID[meta.Origin]
+			if !ok || parent.Feeds[0] != "CPU" {
+				res.BrokenProvenance++
+			}
+		}
+	}
+
+	for name, n := range acked {
+		wantP := fmt.Sprintf("p,keep%032d\n", n)
+		wantD := fmt.Sprintf("d,route%032d\n", n)
+		wantR := fmt.Sprintf("bad%d\t# reject: columns 1 (want 2)\n", n)
+		// Staged outputs: deterministic names, so exactly-once is
+		// content equality.
+		if got, err := os.ReadFile(filepath.Join(root, "staging", "CPU", name)); err != nil || string(got) != wantP {
+			res.RecordViolations++
+		}
+		if got, err := os.ReadFile(filepath.Join(root, "staging", "DERIV", name)); err != nil || string(got) != wantD {
+			res.RecordViolations++
+		}
+		if got, err := os.ReadFile(filepath.Join(root, "quarantine", "_plan", "CPU", name+".rejects")); err != nil || string(got) != wantR {
+			res.RecordViolations++
+		}
+		// Delivered outputs: at-least-once redelivery overwrites in
+		// place, so the final copy must equal the expected bytes.
+		if got, err := os.ReadFile(filepath.Join(root, "in", "CPU", name)); err != nil || string(got) != wantP {
+			res.Undelivered++
+		}
+		if got, err := os.ReadFile(filepath.Join(root, "ind", "DERIV", name)); err != nil || string(got) != wantD {
+			res.Undelivered++
+		}
+	}
+	res.RecordViolations += res.BrokenProvenance
+	return res, nil
 }
 
 // recoveryTime measures receipts.Open over a store holding n arrivals,

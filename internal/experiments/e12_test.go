@@ -28,6 +28,20 @@ func TestE12Shape(t *testing.T) {
 	if num(t, row(t, tab, "power cuts mid-operation")[1]) < 25 {
 		t.Fatalf("too few mid-operation cuts — harness not biting: %s", tab.Format())
 	}
+	// Plan rounds: every record exactly once across cuts, and the
+	// cuts must land mid-plan for the claim to mean anything.
+	if num(t, row(t, tab, "plan record-level exactly-once violations")[1]) != 0 {
+		t.Fatalf("plan exactly-once broken: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "plan outputs missing at subscriber")[1]) != 0 {
+		t.Fatalf("plan outputs undelivered: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "plan power cuts mid-operation")[1]) < 12 {
+		t.Fatalf("too few mid-plan cuts — plan harness not biting: %s", tab.Format())
+	}
+	if num(t, row(t, tab, "plan deposits acknowledged")[1]) == 0 {
+		t.Fatalf("no plan deposits acknowledged — plan harness vacuous: %s", tab.Format())
+	}
 	// Both recovery modes must have produced real measurements. The
 	// replay-vs-checkpoint comparison itself lives in EXPERIMENTS.md —
 	// at Quick scale under instrumented builds (-race) the two are too

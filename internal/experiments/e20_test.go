@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE20Shape asserts the placement trade the experiment exists to
+// show: at-delivery stages strictly fewer bytes but pays for the join
+// on every push (join count scaling with fan-out), while both
+// placements deliver the same enriched bytes and stay inside the
+// paper's one-minute propagation bound.
+func TestE20Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-server placement trial")
+	}
+	tab, err := E20EnrichmentPlacement(Options{Quick: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, tab.Format())
+	}
+	ing := row(t, tab, "at-ingest")
+	del := row(t, tab, "at-delivery")
+
+	// Fan-out is 3: the at-delivery join must run per push, not per
+	// file. Retries can add a few, so assert ≥2x rather than exactly 3x.
+	joinsIng := num(t, ing[4])
+	joinsDel := num(t, del[4])
+	if joinsIng == 0 {
+		t.Fatalf("at-ingest ran no joins: %s", tab.Format())
+	}
+	if joinsDel < joinsIng*2 {
+		t.Fatalf("at-delivery joins %v not amplified by fan-out (at-ingest %v): %s",
+			joinsDel, joinsIng, tab.Format())
+	}
+
+	// Lean staging is the whole point of deferring the join.
+	if stagedDel, stagedIng := num(t, del[2]), num(t, ing[2]); stagedDel >= stagedIng {
+		t.Fatalf("at-delivery staged %v B not leaner than at-ingest %v B: %s",
+			stagedDel, stagedIng, tab.Format())
+	}
+
+	// Subscribers must not be able to tell the placements apart.
+	if num(t, ing[3]) != num(t, del[3]) {
+		t.Fatalf("delivered bytes differ between placements: %s", tab.Format())
+	}
+
+	for _, r := range [][]string{ing, del} {
+		p95 := num(t, r[5])
+		if p95 <= 0 || p95 >= float64(time.Minute/time.Millisecond) {
+			t.Fatalf("%s propagation p95 %vms out of bounds: %s", r[0], p95, tab.Format())
+		}
+	}
+}

@@ -120,5 +120,6 @@ func All() []Runner {
 		{"e17", "kill-and-revive self-healing: lease failover, fencing, online re-seed", E17SelfHealing},
 		{"e18", "per-feed channel fan-out: one staging read per file at any width", E18FanOut},
 		{"e19", "HTTP pull data plane vs push subscribers on one daemon", E19HTTPPull},
+		{"e20", "plan enrichment placement: at-ingest vs at-delivery", E20EnrichmentPlacement},
 	}
 }

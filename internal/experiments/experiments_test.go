@@ -311,8 +311,8 @@ func TestTableFormat(t *testing.T) {
 
 func TestAllRunnersListed(t *testing.T) {
 	rs := All()
-	if len(rs) != 19 {
-		t.Fatalf("runners = %d, want 19", len(rs))
+	if len(rs) != 20 {
+		t.Fatalf("runners = %d, want 20", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {

@@ -80,12 +80,14 @@ type Options struct {
 	// HandoffDepth bounds the delivery hand-off queue (default 256).
 	HandoffDepth int
 	// Process runs the classify→normalize→commit stage for one file
-	// under root. It returns the committed receipt and deliver=true
-	// when the file should flow on to delivery (unmatched files are
-	// quarantined inside Process and return deliver=false). Process
-	// runs on shard workers and must be safe for concurrent use across
-	// distinct shards. Required.
-	Process func(root, rel string) (meta receipts.FileMeta, deliver bool, err error)
+	// under root. It returns the committed receipts that should flow
+	// on to delivery — usually one, several when an ingestion plan
+	// derived extra files from the arrival, none when the file was
+	// quarantined inside Process (unmatched). The metas enter the
+	// hand-off queue in slice order, so a derived file never reaches
+	// delivery before its parent. Process runs on shard workers and
+	// must be safe for concurrent use across distinct shards. Required.
+	Process func(root, rel string) (metas []receipts.FileMeta, err error)
 	// Deliver receives classified files in hand-off order. It runs on
 	// a single goroutine. Required.
 	Deliver func(meta receipts.FileMeta)
@@ -197,7 +199,7 @@ func (p *Pipeline) worker(ch chan job) {
 	defer p.wg.Done()
 	m := p.opts.Metrics
 	for j := range ch {
-		meta, deliver, err := p.opts.Process(j.root, j.rel)
+		metas, err := p.opts.Process(j.root, j.rel)
 		if m != nil {
 			if err != nil && m.Errors != nil {
 				m.Errors.Inc()
@@ -206,16 +208,18 @@ func (p *Pipeline) worker(ch chan job) {
 				m.Ingested.Inc()
 			}
 		}
-		if err == nil && deliver {
-			if m != nil {
-				if m.HandoffBlocked != nil && len(p.handoff) == cap(p.handoff) {
-					m.HandoffBlocked.Inc()
+		if err == nil {
+			for _, meta := range metas {
+				if m != nil {
+					if m.HandoffBlocked != nil && len(p.handoff) == cap(p.handoff) {
+						m.HandoffBlocked.Inc()
+					}
+					if m.HandoffDepth != nil {
+						m.HandoffDepth.Add(1)
+					}
 				}
-				if m.HandoffDepth != nil {
-					m.HandoffDepth.Add(1)
-				}
+				p.handoff <- meta
 			}
-			p.handoff <- meta
 		}
 		if m != nil && m.QueueDepth != nil {
 			m.QueueDepth.Add(-1)

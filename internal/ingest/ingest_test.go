@@ -21,14 +21,14 @@ func TestPerSourceOrder(t *testing.T) {
 	delivered := make(map[string][]int)
 	p, err := New(Options{
 		Workers: 4,
-		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
+		Process: func(root, rel string) ([]receipts.FileMeta, error) {
 			src := SourceKey(rel)
 			var seq int
 			fmt.Sscanf(rel[len(src)+1:], "f%d", &seq)
 			mu.Lock()
 			processed[src] = append(processed[src], seq)
 			mu.Unlock()
-			return receipts.FileMeta{Name: rel, Size: int64(seq)}, true, nil
+			return []receipts.FileMeta{{Name: rel, Size: int64(seq)}}, nil
 		},
 		Deliver: func(meta receipts.FileMeta) {
 			src := SourceKey(meta.Name)
@@ -81,8 +81,8 @@ func TestBackpressure(t *testing.T) {
 		Workers:      1,
 		ShardDepth:   1,
 		HandoffDepth: 1,
-		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
-			return receipts.FileMeta{Name: rel}, true, nil
+		Process: func(root, rel string) ([]receipts.FileMeta, error) {
+			return []receipts.FileMeta{{Name: rel}}, nil
 		},
 		Deliver: func(receipts.FileMeta) { <-gate },
 		Metrics: m,
@@ -146,8 +146,8 @@ func TestErrorPropagation(t *testing.T) {
 	m := NewMetrics(reg)
 	boom := errors.New("boom")
 	p, err := New(Options{
-		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
-			return receipts.FileMeta{}, false, boom
+		Process: func(root, rel string) ([]receipts.FileMeta, error) {
+			return nil, boom
 		},
 		Deliver: func(receipts.FileMeta) { t.Error("deliver called for failed file") },
 		Metrics: m,
@@ -168,8 +168,8 @@ func TestErrorPropagation(t *testing.T) {
 func TestStop(t *testing.T) {
 	p, err := New(Options{
 		Workers: 2,
-		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
-			return receipts.FileMeta{Name: rel}, true, nil
+		Process: func(root, rel string) ([]receipts.FileMeta, error) {
+			return []receipts.FileMeta{{Name: rel}}, nil
 		},
 		Deliver: func(receipts.FileMeta) {},
 	})
@@ -192,9 +192,9 @@ func TestFlatDepositsShareShard(t *testing.T) {
 	var order []string
 	p, err := New(Options{
 		Workers: 8,
-		Process: func(root, rel string) (receipts.FileMeta, bool, error) {
+		Process: func(root, rel string) ([]receipts.FileMeta, error) {
 			order = append(order, rel) // single shard: no race
-			return receipts.FileMeta{}, false, nil
+			return nil, nil
 		},
 		Deliver: func(receipts.FileMeta) {},
 	})

@@ -57,6 +57,9 @@ func adjustExtension(name string, c config.Compression) string {
 		if strings.HasSuffix(name, ".bz2") {
 			return strings.TrimSuffix(name, ".bz2")
 		}
+		if strings.HasSuffix(name, ".bzip2") {
+			return strings.TrimSuffix(name, ".bzip2")
+		}
 	}
 	return name
 }

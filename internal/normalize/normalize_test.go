@@ -61,6 +61,15 @@ func TestStagedNameExtensionAdjustment(t *testing.T) {
 	if !strings.HasSuffix(got, "data.csv") || strings.HasSuffix(got, ".gz") {
 		t.Errorf("gunzip staged = %q", got)
 	}
+	// Bunzip2 strips either spelling of the bzip2 extension; the staged
+	// name must not keep claiming an encoding the content lost.
+	bunzip := &config.Feed{Path: "F", Compress: config.CompressBunzip2}
+	for _, name := range []string{"data.csv.bz2", "data.csv.bzip2"} {
+		got, _ = StagedName(bunzip, name, &pattern.Fields{})
+		if !strings.HasSuffix(got, "data.csv") {
+			t.Errorf("bunzip2 staged(%q) = %q, want .csv suffix", name, got)
+		}
+	}
 }
 
 func TestStagedNameRenderError(t *testing.T) {

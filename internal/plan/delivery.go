@@ -1,0 +1,55 @@
+package plan
+
+import (
+	"bytes"
+	"io"
+)
+
+// DeliveryTransform returns the content transform the delivery engine
+// must apply to this feed's staged bytes, or nil when the plan does
+// all its work at ingest. Non-nil exactly when the plan declares
+// `enrich { ... at delivery }` (IDEA's enrichment-at-delivery
+// placement): staged files then hold lean, un-enriched records, and
+// the join runs once per push delivery, trading smaller staging and
+// faster ingest acks for per-delivery CPU and table lookups.
+//
+// The transform re-frames the staged bytes (they were serialized by
+// this same program at ingest, so the framing is known), re-extracts
+// the join key, applies the enrich join, and re-serializes. The
+// delivery engine recomputes transfer CRC/size over the transformed
+// bytes; the receipt checksum keeps describing the staged (lean)
+// file.
+func (p *Program) DeliveryTransform() func([]byte) ([]byte, error) {
+	return p.deliveryFn
+}
+
+// buildDeliveryTransform constructs the transform once at compile
+// time, so the delivery engine's per-push lookups return a shared
+// closure instead of rebuilding the sub-program.
+func (p *Program) buildDeliveryTransform() func([]byte) ([]byte, error) {
+	if p.deliveryEnrich == nil {
+		return nil
+	}
+	// Build a minimal program: parse + the extracts + the (ingest-
+	// placed) enrich, writing everything to the primary sink.
+	sub := &Program{
+		feed:    p.feed,
+		framing: p.framing,
+		tables:  p.tables,
+		metrics: p.metrics,
+	}
+	enrich := *p.deliveryEnrich
+	enrich.AtDelivery = false
+	sub.ops = append(sub.ops, p.extracts...)
+	sub.ops = append(sub.ops, enrich)
+	return func(data []byte) ([]byte, error) {
+		var out bytes.Buffer
+		_, err := sub.Run(bytes.NewReader(data), Sinks{
+			Primary: func() (io.Writer, error) { return &out, nil },
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out.Bytes(), nil
+	}
+}

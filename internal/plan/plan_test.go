@@ -1,0 +1,253 @@
+package plan
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bistro/internal/config"
+)
+
+// compileOne builds a Set for a single feed declaring the given ops.
+func compileOne(t *testing.T, opts Options, ops ...config.PlanOp) *Program {
+	t.Helper()
+	cfg := &config.Config{Feeds: []*config.Feed{{
+		Path: "F",
+		Plan: &config.PlanSpec{Ops: ops},
+	}}}
+	set, err := Compile(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := set.For("F")
+	if p == nil {
+		t.Fatal("no program for F")
+	}
+	return p
+}
+
+// collectSinks buffers every output in memory.
+type collectSinks struct {
+	primary bytes.Buffer
+	derived map[string]*bytes.Buffer
+	reject  bytes.Buffer
+}
+
+func (c *collectSinks) sinks() Sinks {
+	return Sinks{
+		Primary: func() (io.Writer, error) { return &c.primary, nil },
+		Derived: func(feed string) (io.Writer, error) {
+			if c.derived == nil {
+				c.derived = make(map[string]*bytes.Buffer)
+			}
+			b := &bytes.Buffer{}
+			c.derived[feed] = b
+			return b, nil
+		},
+		Reject: func() (io.Writer, error) { return &c.reject, nil },
+	}
+}
+
+func gzipBytes(t *testing.T, s string) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	zw := gzip.NewWriter(&b)
+	io.WriteString(zw, s)
+	zw.Close()
+	return b.Bytes()
+}
+
+func TestByteOnlyDecompressSplit(t *testing.T) {
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpDecompress, Codec: "gzip"},
+		config.PlanOp{Kind: config.OpSplit, Target: "RAW"},
+	)
+	var c collectSinks
+	stats, err := p.Run(bytes.NewReader(gzipBytes(t, "a\nb\n")), c.sinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.primary.String(); got != "a\nb\n" {
+		t.Errorf("primary = %q", got)
+	}
+	if got := c.derived["RAW"].String(); got != "a\nb\n" {
+		t.Errorf("split copy = %q", got)
+	}
+	if stats.Routed["RAW"] != 4 {
+		t.Errorf("routed bytes = %d, want 4", stats.Routed["RAW"])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "csv"},
+		config.PlanOp{Kind: config.OpValidate, Rules: []config.PlanRule{{Kind: "columns", Count: 2}}},
+		config.PlanOp{Kind: config.OpExtract, Field: "n", Column: 2},
+		config.PlanOp{Kind: config.OpValidate, Rules: []config.PlanRule{{Kind: "numeric", Field: "n"}}},
+	)
+	var c collectSinks
+	stats, err := p.Run(strings.NewReader("a,1\nb\nc,xyz\nd,4\n"), c.sinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.primary.String(); got != "a,1\nd,4\n" {
+		t.Errorf("primary = %q", got)
+	}
+	rej := c.reject.String()
+	if !strings.Contains(rej, "columns 1 (want 2)") || !strings.Contains(rej, "n not numeric") {
+		t.Errorf("rejects = %q", rej)
+	}
+	if stats.Records != 4 || stats.Rejected != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRouteAndFirstRecordFields(t *testing.T) {
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "csv"},
+		config.PlanOp{Kind: config.OpExtract, Field: "region", Column: 1},
+		config.PlanOp{Kind: config.OpRoute, Field: "region",
+			Cases:  []config.PlanRouteCase{{Value: "east", Target: "E"}},
+			Target: "OTHER"},
+	)
+	var c collectSinks
+	stats, err := p.Run(strings.NewReader("east,1\nwest,2\neast,3\n"), c.sinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every record routed somewhere (default OTHER), so the primary is
+	// created but empty — the deterministic "nothing stayed" statement.
+	if c.primary.Len() != 0 {
+		t.Errorf("primary = %q, want empty", c.primary.String())
+	}
+	if got := c.derived["E"].String(); got != "east,1\neast,3\n" {
+		t.Errorf("E = %q", got)
+	}
+	if got := c.derived["OTHER"].String(); got != "west,2\n" {
+		t.Errorf("OTHER = %q", got)
+	}
+	if stats.Routed["E"] != 2 || stats.Routed["OTHER"] != 1 {
+		t.Errorf("routed = %v", stats.Routed)
+	}
+	if len(stats.Fields) != 1 || stats.Fields[0] != "east" {
+		t.Errorf("first-record fields = %v", stats.Fields)
+	}
+}
+
+func writeTable(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEnrichJoinAndReload(t *testing.T) {
+	dir := t.TempDir()
+	table := writeTable(t, dir, "regions.csv", "east,us,low\nwest,eu,high\n")
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "csv"},
+		config.PlanOp{Kind: config.OpExtract, Field: "region", Column: 1},
+		config.PlanOp{Kind: config.OpEnrich, Field: "region", Table: table},
+	)
+	var c collectSinks
+	if _, err := p.Run(strings.NewReader("east,1\nnone,2\n"), c.sinks()); err != nil {
+		t.Fatal(err)
+	}
+	// Hit appends table values; miss passes through unchanged.
+	if got := c.primary.String(); got != "east,1,us,low\nnone,2\n" {
+		t.Errorf("primary = %q", got)
+	}
+
+	// Rewriting the table (new mtime/size) must be visible to the next
+	// run without recompiling.
+	time.Sleep(10 * time.Millisecond)
+	writeTable(t, dir, "regions.csv", "none,zz,mid\n")
+	var c2 collectSinks
+	if _, err := p.Run(strings.NewReader("none,2\n"), c2.sinks()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.primary.String(); got != "none,2,zz,mid\n" {
+		t.Errorf("primary after reload = %q", got)
+	}
+}
+
+func TestJSONFraming(t *testing.T) {
+	dir := t.TempDir()
+	table := writeTable(t, dir, "hosts.csv", "h1,rack9\n")
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "json"},
+		config.PlanOp{Kind: config.OpExtract, Field: "host", Key: "host"},
+		config.PlanOp{Kind: config.OpEnrich, Field: "host", Table: table},
+	)
+	var c collectSinks
+	stats, err := p.Run(strings.NewReader(
+		`{"host":"h1","v":2}`+"\n"+"not json\n"), c.sinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output re-marshals with sorted keys and the _enrich array.
+	if got := c.primary.String(); got != `{"_enrich":["rack9"],"host":"h1","v":2}`+"\n" {
+		t.Errorf("primary = %q", got)
+	}
+	if got := c.reject.String(); got != "not json\n" {
+		t.Errorf("reject = %q", got)
+	}
+	if stats.Records != 1 {
+		t.Errorf("records = %d", stats.Records)
+	}
+}
+
+func TestDeliveryTransform(t *testing.T) {
+	dir := t.TempDir()
+	table := writeTable(t, dir, "t.csv", "east,us\n")
+	atIngest := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "csv"},
+		config.PlanOp{Kind: config.OpExtract, Field: "r", Column: 1},
+	)
+	if atIngest.DeliveryTransform() != nil {
+		t.Fatal("plan without at-delivery enrich must have nil transform")
+	}
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "csv"},
+		config.PlanOp{Kind: config.OpExtract, Field: "r", Column: 1},
+		config.PlanOp{Kind: config.OpEnrich, Field: "r", Table: table, AtDelivery: true},
+	)
+	// The ingest half leaves the staged file lean.
+	var c collectSinks
+	if _, err := p.Run(strings.NewReader("east,1\n"), c.sinks()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.primary.String(); got != "east,1\n" {
+		t.Errorf("staged = %q, want lean records", got)
+	}
+	// The delivery half joins per push.
+	tr := p.DeliveryTransform()
+	if tr == nil {
+		t.Fatal("nil delivery transform")
+	}
+	out, err := tr(c.primary.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "east,1,us\n" {
+		t.Errorf("transformed = %q", string(out))
+	}
+}
+
+func TestOversizeRecordFailsScan(t *testing.T) {
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "lines"},
+	)
+	var c collectSinks
+	_, err := p.Run(strings.NewReader(strings.Repeat("x", maxRecordBytes+1)), c.sinks())
+	if err == nil {
+		t.Fatal("expected scan error for oversize record")
+	}
+}

@@ -22,6 +22,11 @@ const (
 	recGroupAttach   byte = 7
 	recGroupDetach   byte = 8
 	recGroupForget   byte = 9
+	// recDerived is an arrival carrying plan provenance: the recArrival
+	// layout plus the Origin file id. Direct arrivals keep writing
+	// recArrival, so WALs from before the plan subsystem (and after it,
+	// when plans are unused) are byte-identical.
+	recDerived byte = 10
 )
 
 // op is one decoded WAL record.
@@ -52,7 +57,7 @@ func readString(b []byte) (string, []byte, error) {
 func encodeOp(b []byte, o op) []byte {
 	b = append(b, o.kind)
 	switch o.kind {
-	case recArrival:
+	case recArrival, recDerived:
 		b = binary.AppendUvarint(b, o.file.ID)
 		b = appendString(b, o.file.Name)
 		b = appendString(b, o.file.StagedPath)
@@ -64,6 +69,9 @@ func encodeOp(b []byte, o op) []byte {
 		b = binary.AppendUvarint(b, uint64(o.file.Checksum))
 		b = binary.AppendVarint(b, o.file.Arrived.UnixNano())
 		b = binary.AppendVarint(b, fileTimeNano(o.file.DataTime))
+		if o.kind == recDerived {
+			b = binary.AppendUvarint(b, o.file.Origin)
+		}
 	case recDelivery:
 		b = binary.AppendUvarint(b, o.id)
 		b = appendString(b, o.sub)
@@ -117,7 +125,7 @@ func decodeOps(b []byte) ([]op, error) {
 		o.kind = kind
 		var err error
 		switch kind {
-		case recArrival:
+		case recArrival, recDerived:
 			var n uint64
 			var sz int
 			n, sz = binary.Uvarint(b)
@@ -169,6 +177,13 @@ func decodeOps(b []byte) ([]op, error) {
 			}
 			o.file.DataTime = nanoFileTime(iv)
 			b = b[sz:]
+			if kind == recDerived {
+				if v, sz = binary.Uvarint(b); sz <= 0 {
+					return nil, fmt.Errorf("receipts: corrupt origin")
+				}
+				o.file.Origin = v
+				b = b[sz:]
+			}
 		case recDelivery:
 			var n uint64
 			var sz int

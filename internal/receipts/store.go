@@ -65,6 +65,11 @@ type FileMeta struct {
 	// DataTime is the timestamp encoded in the filename (zero if none);
 	// it drives batch detection and window expiry.
 	DataTime time.Time
+	// Origin is the file id of the arrival this file was derived from
+	// by a plan's split/route operator (0 = a direct arrival). Derived
+	// receipts commit in the same WAL transaction as their parent, so
+	// provenance never dangles across a crash.
+	Origin uint64
 }
 
 // GroupCommitConfig tunes the WAL flush window. The zero value keeps
@@ -228,7 +233,7 @@ func Open(dir string, opts Options) (*Store, error) {
 // applyLocked mutates in-memory state for one decoded record.
 func (s *Store) applyLocked(o op) {
 	switch o.kind {
-	case recArrival:
+	case recArrival, recDerived:
 		f := o.file
 		s.files[f.ID] = &f
 		for _, feed := range f.Feeds {
@@ -404,6 +409,34 @@ func (s *Store) RecordArrival(f FileMeta) (uint64, error) {
 		return 0, err
 	}
 	return f.ID, nil
+}
+
+// RecordArrivalDerived durably records one arrival plus the files a
+// plan derived from it, in a single WAL transaction: either the whole
+// family survives a crash or none of it does, so a derived receipt's
+// Origin always resolves. Each derived meta's Origin is set to the
+// parent's assigned id. Returns the parent id followed by the derived
+// ids, in order.
+func (s *Store) RecordArrivalDerived(parent FileMeta, derived []FileMeta) ([]uint64, error) {
+	s.mu.Lock()
+	ids := make([]uint64, 0, 1+len(derived))
+	parent.ID = s.nextID
+	s.nextID++
+	ids = append(ids, parent.ID)
+	ops := make([]op, 0, 1+len(derived))
+	ops = append(ops, op{kind: recArrival, file: parent})
+	for _, d := range derived {
+		d.ID = s.nextID
+		s.nextID++
+		d.Origin = parent.ID
+		ids = append(ids, d.ID)
+		ops = append(ops, op{kind: recDerived, file: d})
+	}
+	s.mu.Unlock()
+	if err := s.commit(ops); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }
 
 // RecordDelivery durably records that file id was delivered to sub.

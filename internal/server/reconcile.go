@@ -246,27 +246,30 @@ func (s *Server) recordOrphanArrival(name, stagedPath, path string, matches []cl
 	return true
 }
 
-// cleanStaleTmp removes `.bistro-tmp-*` droppings left in staging by a
-// crash mid-normalize. They are by construction not yet referenced by
-// any receipt.
+// cleanStaleTmp removes `.bistro-tmp-*` droppings left by a crash
+// mid-normalize (staging) or mid-plan (staging and the quarantine
+// tree, where plan reject sinks write). They are by construction not
+// yet referenced by any receipt.
 func (s *Server) cleanStaleTmp() int {
 	var removed int
-	walkDir(s.stage, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			if errors.Is(err, fs.ErrNotExist) {
+	for _, root := range []string{s.stage, s.quar} {
+		walkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				if errors.Is(err, fs.ErrNotExist) {
+					return nil
+				}
+				return err
+			}
+			if d.IsDir() {
 				return nil
 			}
-			return err
-		}
-		if d.IsDir() {
-			return nil
-		}
-		if strings.HasPrefix(d.Name(), ".bistro-tmp-") {
-			if s.fs.Remove(path) == nil {
-				removed++
+			if strings.HasPrefix(d.Name(), ".bistro-tmp-") {
+				if s.fs.Remove(path) == nil {
+					removed++
+				}
 			}
-		}
-		return nil
-	})
+			return nil
+		})
+	}
 	return removed
 }

@@ -44,6 +44,7 @@ import (
 	"bistro/internal/metrics"
 	"bistro/internal/normalize"
 	"bistro/internal/pattern"
+	"bistro/internal/plan"
 	"bistro/internal/protocol"
 	"bistro/internal/receipts"
 	"bistro/internal/replay"
@@ -123,6 +124,7 @@ type Server struct {
 
 	store  *receipts.Store
 	class  *classifier.Classifier
+	plans  *plan.Set
 	engine *delivery.Engine
 	land   *landing.Manager
 	arch   *archive.Archiver
@@ -256,6 +258,16 @@ func New(opts Options) (*Server, error) {
 	s.class = classifier.New(cfg.Feeds, classifier.Options{
 		Metrics: classifier.NewMetrics(s.reg),
 	})
+	plans, err := plan.Compile(cfg, plan.Options{
+		FS:      s.fs,
+		Root:    opts.Root,
+		Metrics: plan.NewMetrics(s.reg),
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.plans = plans
 
 	trans := opts.Transport
 	if trans == nil {
@@ -314,6 +326,7 @@ func New(opts Options) (*Server, error) {
 		ReplayPartition: replayPart,
 		FS:              s.fs,
 		Channels:        chans,
+		Transform:       s.deliveryTransform,
 		// Both seams late-bind through s: the archiver and replay
 		// manager are constructed after the engine.
 		HistoryMeta: func(id uint64) (receipts.FileMeta, bool) {
@@ -1213,12 +1226,14 @@ func (s *Server) ingestFrom(root, rel string) error {
 }
 
 // processArrival is the pipeline's classify→normalize→commit stage:
-// it classifies one file, quarantines it when unmatched (deliver =
-// false), or stages it and records the receipt. It runs on shard
-// workers, so everything it touches — classifier, logger, store,
-// analyzer samples — is concurrency-safe; per-source ordering comes
-// from the pipeline's hash partitioning.
-func (s *Server) processArrival(root, rel string) (receipts.FileMeta, bool, error) {
+// it classifies one file, quarantines it when unmatched (no metas),
+// or stages it and records the receipt. Feeds carrying a plan {}
+// block take the operator-DAG path instead (processPlanned), which
+// can return several metas: the primary plus any derived files. It
+// runs on shard workers, so everything it touches — classifier,
+// logger, store, analyzer samples — is concurrency-safe; per-source
+// ordering comes from the pipeline's hash partitioning.
+func (s *Server) processArrival(root, rel string) ([]receipts.FileMeta, error) {
 	name := filepath.ToSlash(rel)
 	src := filepath.Join(root, rel)
 	now := s.clk.Now()
@@ -1231,35 +1246,28 @@ func (s *Server) processArrival(root, rel string) (receipts.FileMeta, bool, erro
 		// but move them out of landing so scans stay cheap.
 		dst := filepath.Join(s.stage, "_unmatched", rel)
 		if _, err := normalize.ProcessFS(s.fs, src, dst, config.CompressNone); err != nil {
-			return receipts.FileMeta{}, false, err
+			return nil, err
 		}
-		return receipts.FileMeta{}, false, s.fs.Remove(src)
+		return nil, s.fs.Remove(src)
 	}
 
 	primary := matches[0]
+	if prog := s.plans.For(primary.Feed.Path); prog != nil {
+		return s.processPlanned(prog, matches, root, rel, now)
+	}
 	stagedName, err := normalize.StagedName(primary.Feed, name, primary.Fields)
 	if err != nil {
-		return receipts.FileMeta{}, false, fmt.Errorf("server: staging name for %s: %w", name, err)
+		return nil, fmt.Errorf("server: staging name for %s: %w", name, err)
 	}
 	res, err := normalize.ProcessFS(s.fs, src, filepath.Join(s.stage, stagedName), primary.Feed.Compress)
 	if err != nil {
-		return receipts.FileMeta{}, false, fmt.Errorf("server: normalize %s: %w", name, err)
+		return nil, fmt.Errorf("server: normalize %s: %w", name, err)
 	}
-	if sh := s.getShipper(); sh != nil {
-		// The staged payload must be on the standby before the receipt
-		// that references it commits — the same staged-then-logged
-		// ordering the owner keeps locally. Shipping before the landing
-		// file is removed keeps a failed ship retryable by rescan.
-		data, rerr := diskfault.ReadFile(s.fs, filepath.Join(s.stage, stagedName))
-		if rerr != nil {
-			return receipts.FileMeta{}, false, fmt.Errorf("server: read staged %s for replication: %w", name, rerr)
-		}
-		if serr := sh.ShipFile(filepath.ToSlash(stagedName), data); serr != nil {
-			return receipts.FileMeta{}, false, serr
-		}
+	if err := s.shipStaged(filepath.ToSlash(stagedName)); err != nil {
+		return nil, err
 	}
 	if err := s.fs.Remove(src); err != nil {
-		return receipts.FileMeta{}, false, fmt.Errorf("server: clear landing %s: %w", name, err)
+		return nil, fmt.Errorf("server: clear landing %s: %w", name, err)
 	}
 
 	feeds := make([]string, len(matches))
@@ -1281,14 +1289,31 @@ func (s *Server) processArrival(root, rel string) (receipts.FileMeta, bool, erro
 	}
 	id, err := s.store.RecordArrival(meta)
 	if err != nil {
-		return receipts.FileMeta{}, false, err
+		return nil, err
 	}
 	meta.ID = id
 	for _, m := range matches {
 		s.logger.FileClassified(m.Feed.Path, name, res.Size, dataTime)
 	}
 	s.recordMatched(feeds, name, now, res.Size)
-	return meta, true, nil
+	return []receipts.FileMeta{meta}, nil
+}
+
+// shipStaged replicates one staged payload to the standby before the
+// receipt that references it commits — the same staged-then-logged
+// ordering the owner keeps locally. Shipping before the landing file
+// is removed keeps a failed ship retryable by rescan. No-op without a
+// shipper.
+func (s *Server) shipStaged(stagedPath string) error {
+	sh := s.getShipper()
+	if sh == nil {
+		return nil
+	}
+	data, err := diskfault.ReadFile(s.fs, filepath.Join(s.stage, filepath.FromSlash(stagedPath)))
+	if err != nil {
+		return fmt.Errorf("server: read staged %s for replication: %w", stagedPath, err)
+	}
+	return sh.ShipFile(stagedPath, data)
 }
 
 func fileSize(path string) int64 {
