@@ -86,8 +86,9 @@ type E20TrialResult struct {
 	StagedBytes int64
 	// DeliveredBytes totals every subscriber's received tree.
 	DeliveredBytes int64
-	// EnrichJoins is the bistro_plan_records_total{op="enrich"} count:
-	// records that passed through the join, wherever it ran.
+	// EnrichJoins sums bistro_plan_records_total over op="enrich" and
+	// op="delivery_enrich": records that passed through the join,
+	// wherever it ran.
 	EnrichJoins int64
 	// PropagationP95 is the 95th-percentile deposit→delivered latency
 	// across all (file, subscriber) pairs.
@@ -239,9 +240,14 @@ feed EV {
 	for i := 1; i <= cfg.Subscribers; i++ {
 		deliveredBytes += dirBytes(filepath.Join(root, fmt.Sprintf("in%d", i)))
 	}
-	joins := srv.Metrics().CounterVec("bistro_plan_records_total",
-		"Records emitted by each plan operator.", "feed", "op").
-		With("EV", "enrich").Value()
+	// Ingest-placed joins count under op="enrich"; the per-push
+	// delivery transform counts under op="delivery_enrich" so fan-out
+	// cannot inflate the ingest series. E20 wants joins wherever they
+	// ran, so it sums both.
+	records := srv.Metrics().CounterVec("bistro_plan_records_total",
+		"Records emitted by each plan operator.", "feed", "op")
+	joins := records.With("EV", "enrich").Value() +
+		records.With("EV", "delivery_enrich").Value()
 	return &E20TrialResult{
 		IngestTime:     ingestTime,
 		StagedBytes:    dirBytes(filepath.Join(root, "staging", "EV")),

@@ -2,6 +2,8 @@ package plan
 
 import (
 	"bytes"
+	"compress/gzip"
+	"fmt"
 	"io"
 )
 
@@ -15,10 +17,12 @@ import (
 //
 // The transform re-frames the staged bytes (they were serialized by
 // this same program at ingest, so the framing is known), re-extracts
-// the join key, applies the enrich join, and re-serializes. The
-// delivery engine recomputes transfer CRC/size over the transformed
-// bytes; the receipt checksum keeps describing the staged (lean)
-// file.
+// the join key, applies the enrich join, and re-serializes. Feeds
+// staged with `compress gzip` are gunzipped first and the transformed
+// records re-gzipped, so subscribers still receive the encoding the
+// feed declares. The delivery engine recomputes transfer CRC/size
+// over the transformed bytes; the receipt checksum keeps describing
+// the staged (lean) file.
 func (p *Program) DeliveryTransform() func([]byte) ([]byte, error) {
 	return p.deliveryFn
 }
@@ -31,24 +35,48 @@ func (p *Program) buildDeliveryTransform() func([]byte) ([]byte, error) {
 		return nil
 	}
 	// Build a minimal program: parse + the extracts + the (ingest-
-	// placed) enrich, writing everything to the primary sink.
+	// placed) enrich, writing everything to the primary sink. The
+	// delivery flag scopes its metrics under delivery_* labels so
+	// per-push fan-out does not inflate the ingest-side counters.
 	sub := &Program{
-		feed:    p.feed,
-		framing: p.framing,
-		tables:  p.tables,
-		metrics: p.metrics,
+		feed:     p.feed,
+		framing:  p.framing,
+		tables:   p.tables,
+		metrics:  p.metrics,
+		delivery: true,
 	}
 	enrich := *p.deliveryEnrich
 	enrich.AtDelivery = false
 	sub.ops = append(sub.ops, p.extracts...)
 	sub.ops = append(sub.ops, enrich)
+	gzipOut := p.gzipOut
 	return func(data []byte) ([]byte, error) {
+		in := io.Reader(bytes.NewReader(data))
+		if gzipOut {
+			zr, err := gzip.NewReader(in)
+			if err != nil {
+				return nil, fmt.Errorf("plan: feed %s: delivery gunzip: %w", p.feed, err)
+			}
+			defer zr.Close()
+			in = zr
+		}
 		var out bytes.Buffer
-		_, err := sub.Run(bytes.NewReader(data), Sinks{
-			Primary: func() (io.Writer, error) { return &out, nil },
+		var w io.Writer = &out
+		var zw *gzip.Writer
+		if gzipOut {
+			zw = gzip.NewWriter(&out)
+			w = zw
+		}
+		_, err := sub.Run(in, Sinks{
+			Primary: func() (io.Writer, error) { return w, nil },
 		})
 		if err != nil {
 			return nil, err
+		}
+		if zw != nil {
+			if err := zw.Close(); err != nil {
+				return nil, fmt.Errorf("plan: feed %s: delivery gzip: %w", p.feed, err)
+			}
 		}
 		return out.Bytes(), nil
 	}

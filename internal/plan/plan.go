@@ -24,6 +24,7 @@ import (
 	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"path/filepath"
@@ -40,6 +41,12 @@ import (
 // maxRecordBytes bounds one framed record; longer records reject
 // rather than ballooning worker memory.
 const maxRecordBytes = 1 << 20
+
+// errRecordTooLong marks a framed record longer than maxRecordBytes;
+// runRecords rejects it (a marker line, not the record — quarantining
+// megabytes of unframeable bytes helps nobody) instead of failing the
+// file, which would wedge the source's shard in a retry loop.
+var errRecordTooLong = errors.New("record too long")
 
 // Metrics holds the plan engine's instrumentation. Nil (or any nil
 // field) disables that series at no hot-path cost.
@@ -138,6 +145,14 @@ type Program struct {
 	framing string // "", "lines", "csv", "json"
 	tables  *tableCache
 	metrics *Metrics
+	// gzipOut mirrors the feed's `compress gzip` setting: the server
+	// gzip-wraps staged plan output, so the delivery transform must
+	// gunzip before re-framing and re-gzip its result.
+	gzipOut bool
+	// delivery marks the sub-program DeliveryTransform runs per push;
+	// its metrics are scoped under delivery_* labels so fan-out does
+	// not inflate the ingest-side operator counters.
+	delivery bool
 
 	// deliveryEnrich is set when the plan defers its enrich join to
 	// the delivery engine; DeliveryTransform exposes it.
@@ -155,6 +170,7 @@ func compileProgram(f *config.Feed, opts Options, tables *tableCache) (*Program,
 		feed:    f.Path,
 		tables:  tables,
 		metrics: opts.Metrics,
+		gzipOut: f.Compress == config.CompressGzip,
 	}
 	for _, op := range f.Plan.Ops {
 		op := op
@@ -207,9 +223,12 @@ type Stats struct {
 	// Routed maps derived feed → records (or, for split tees, bytes
 	// copied) sent there.
 	Routed map[string]int
-	// Fields holds the first record's extracted values, in extract
-	// declaration order; the server appends them to the file's
-	// pattern.Fields strings so normalize templates can consume them.
+	// Fields holds the extracted values of the first record that
+	// survived validate, in extract declaration order; the server
+	// appends them to the file's pattern.Fields strings so normalize
+	// templates can consume them. When no record survives (every
+	// record rejected, or the file was empty), each extract
+	// contributes an empty string so naming stays deterministic.
 	Fields []string
 }
 
@@ -249,7 +268,21 @@ type execution struct {
 	// csv writers are buffered per output; flushed before Run returns.
 	csvOut map[io.Writer]*csv.Writer
 
+	// fieldsSet reports that stats.Fields already holds a surviving
+	// record's extracts.
+	fieldsSet bool
+
 	opTime map[string]time.Duration
+}
+
+// opLabel scopes operator metric labels: the delivery-transform
+// sub-program counts under delivery_* so per-push fan-out does not
+// inflate the feed's ingest-side series.
+func (e *execution) opLabel(op string) string {
+	if e.prog.delivery {
+		return "delivery_" + op
+	}
+	return op
 }
 
 func (e *execution) timeOp(op string, since time.Time) {
@@ -259,7 +292,7 @@ func (e *execution) timeOp(op string, since time.Time) {
 	if e.opTime == nil {
 		e.opTime = make(map[string]time.Duration)
 	}
-	e.opTime[op] += time.Since(since)
+	e.opTime[e.opLabel(op)] += time.Since(since)
 }
 
 func (e *execution) observe() {
@@ -276,17 +309,20 @@ func (e *execution) observe() {
 
 func (e *execution) countRecord(op string) {
 	if m := e.prog.metrics; m != nil && m.Records != nil {
-		m.Records.With(e.prog.feed, op).Inc()
+		m.Records.With(e.prog.feed, e.opLabel(op)).Inc()
 	}
 }
 
 func (e *execution) countError(op string) {
 	if m := e.prog.metrics; m != nil && m.Errors != nil {
-		m.Errors.With(e.prog.feed, op).Inc()
+		m.Errors.With(e.prog.feed, e.opLabel(op)).Inc()
 	}
 }
 
 func (e *execution) countBytes(output string, n int) {
+	if e.prog.delivery {
+		output = "delivery"
+	}
 	if m := e.prog.metrics; m != nil && m.Bytes != nil && n > 0 {
 		m.Bytes.With(e.prog.feed, output).Add(int64(n))
 	}
@@ -434,17 +470,29 @@ func (e *execution) runRecords(r io.Reader) error {
 			}
 		}
 	default: // lines, json
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 64*1024), maxRecordBytes)
-		for sc.Scan() {
-			line := sc.Text()
+		br := bufio.NewReaderSize(r, 64*1024)
+		for {
+			line, err := readRecordLine(br)
+			if err == io.EOF {
+				break
+			}
+			if err == errRecordTooLong {
+				e.countError("parse")
+				if rerr := e.rejectLine(fmt.Sprintf("# parse error: record exceeds %d bytes", maxRecordBytes)); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("plan: feed %s: scan: %w", p.feed, err)
+			}
 			rec := &record{}
 			if p.framing == "json" {
 				start := time.Now()
 				var obj map[string]any
-				err := json.Unmarshal([]byte(line), &obj)
+				jerr := json.Unmarshal([]byte(line), &obj)
 				e.timeOp("parse", start)
-				if err != nil {
+				if jerr != nil {
 					e.countError("parse")
 					if rerr := e.rejectLine(line); rerr != nil {
 						return rerr
@@ -460,15 +508,24 @@ func (e *execution) runRecords(r io.Reader) error {
 				return err
 			}
 		}
-		if err := sc.Err(); err != nil {
-			return fmt.Errorf("plan: feed %s: scan: %w", p.feed, err)
-		}
 	}
 	if e.csvOut != nil {
 		for _, cw := range e.csvOut {
 			cw.Flush()
 			if err := cw.Error(); err != nil {
 				return fmt.Errorf("plan: feed %s: flush: %w", p.feed, err)
+			}
+		}
+	}
+	// When no record survived to donate naming fields (every record
+	// rejected, or the file was empty), each extract falls back to an
+	// empty string so normalize templates with extra %s slots still
+	// render deterministically instead of erroring the arrival into a
+	// retry loop.
+	if !e.fieldsSet {
+		for _, op := range p.ops {
+			if op.Kind == config.OpExtract {
+				e.stats.Fields = append(e.stats.Fields, "")
 			}
 		}
 	}
@@ -479,12 +536,64 @@ func (e *execution) runRecords(r io.Reader) error {
 	return err
 }
 
+// readRecordLine returns the next newline-delimited record, without
+// its terminator (a trailing \r is stripped, matching bufio.Scanner's
+// line framing; the final line needs no terminator). A record longer
+// than maxRecordBytes is consumed to its end and reported as
+// errRecordTooLong so the caller can reject it and keep framing the
+// rest of the stream — bufio.Scanner would stop cold at ErrTooLong.
+func readRecordLine(br *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		switch err {
+		case bufio.ErrBufferFull:
+			if len(buf) > maxRecordBytes {
+				return "", drainRecordLine(br)
+			}
+		case nil, io.EOF:
+			if err == io.EOF && len(buf) == 0 {
+				return "", io.EOF
+			}
+			line := strings.TrimSuffix(string(buf), "\n")
+			line = strings.TrimSuffix(line, "\r")
+			if len(line) > maxRecordBytes {
+				return "", errRecordTooLong
+			}
+			return line, nil
+		default:
+			return "", err
+		}
+	}
+}
+
+// drainRecordLine consumes the remainder of an oversized line without
+// buffering it.
+func drainRecordLine(br *bufio.Reader) error {
+	for {
+		_, err := br.ReadSlice('\n')
+		switch err {
+		case bufio.ErrBufferFull:
+			// keep draining
+		case nil, io.EOF:
+			return errRecordTooLong
+		default:
+			return err
+		}
+	}
+}
+
 // process runs one record through validate/extract/enrich/route and
 // serializes it to its destination.
 func (e *execution) process(rec *record) error {
 	p := e.prog
 	e.stats.Records++
 	dest := "" // "" = primary
+	// recFields accumulates this record's extracted values; they join
+	// stats.Fields only if the record survives validate, so a rejected
+	// first record cannot poison (or starve) the naming namespace.
+	var recFields []string
 	for _, op := range p.ops {
 		switch op.Kind {
 		case config.OpValidate:
@@ -506,19 +615,25 @@ func (e *execution) process(rec *record) error {
 			rec.fields[op.Field] = v
 			e.timeOp("extract", start)
 			e.countRecord("extract")
-			if e.stats.Records == 1 {
-				e.stats.Fields = append(e.stats.Fields, v)
-			}
+			recFields = append(recFields, v)
 		case config.OpEnrich:
 			start := time.Now()
 			vals, ok, err := p.tables.lookup(op.Table, rec.fields[op.Field])
 			e.timeOp("enrich", start)
-			if err != nil {
+			switch {
+			case err != nil && p.delivery:
+				// At delivery a broken side table fails only this push
+				// (visible in receipts/EvDeliveryFailed, retryable after
+				// the operator repairs the table).
 				return fmt.Errorf("plan: feed %s: enrich table %s: %w", p.feed, op.Table, err)
-			}
-			if !ok {
+			case err != nil:
+				// At ingest the same breakage must not wedge the shard
+				// in a landing-file retry loop: degrade to un-enriched
+				// records, counted like a miss.
 				e.countError("enrich")
-			} else {
+			case !ok:
+				e.countError("enrich")
+			default:
 				enrichRecord(rec, vals)
 				e.countRecord("enrich")
 			}
@@ -538,6 +653,10 @@ func (e *execution) process(rec *record) error {
 				e.countRecord("route")
 			}
 		}
+	}
+	if !e.fieldsSet && len(recFields) > 0 {
+		e.stats.Fields = recFields
+		e.fieldsSet = true
 	}
 	var w io.Writer
 	var err error

@@ -16,17 +16,23 @@ import (
 // compileOne builds a Set for a single feed declaring the given ops.
 func compileOne(t *testing.T, opts Options, ops ...config.PlanOp) *Program {
 	t.Helper()
-	cfg := &config.Config{Feeds: []*config.Feed{{
+	return compileFeed(t, opts, &config.Feed{
 		Path: "F",
 		Plan: &config.PlanSpec{Ops: ops},
-	}}}
+	})
+}
+
+// compileFeed builds a Set for one fully-specified feed.
+func compileFeed(t *testing.T, opts Options, f *config.Feed) *Program {
+	t.Helper()
+	cfg := &config.Config{Feeds: []*config.Feed{f}}
 	set, err := Compile(cfg, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := set.For("F")
+	p := set.For(f.Path)
 	if p == nil {
-		t.Fatal("no program for F")
+		t.Fatalf("no program for %s", f.Path)
 	}
 	return p
 }
@@ -241,13 +247,133 @@ func TestDeliveryTransform(t *testing.T) {
 	}
 }
 
-func TestOversizeRecordFailsScan(t *testing.T) {
+func TestOversizeRecordRejects(t *testing.T) {
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "lines"},
+	)
+	// The oversized record must reject without failing the file — a
+	// poison deposit must not wedge its source's shard — and the
+	// records around it must still frame.
+	in := "before\n" + strings.Repeat("x", maxRecordBytes+1) + "\nafter\n"
+	var c collectSinks
+	stats, err := p.Run(strings.NewReader(in), c.sinks())
+	if err != nil {
+		t.Fatalf("oversize record failed the file: %v", err)
+	}
+	if got := c.primary.String(); got != "before\nafter\n" {
+		t.Errorf("primary = %q, want surrounding records", got)
+	}
+	if !strings.Contains(c.reject.String(), "record exceeds") {
+		t.Errorf("reject = %q, want oversize marker", c.reject.String())
+	}
+	if stats.Records != 2 {
+		t.Errorf("records = %d, want 2", stats.Records)
+	}
+}
+
+func TestOversizeRecordAtEOFRejects(t *testing.T) {
 	p := compileOne(t, Options{},
 		config.PlanOp{Kind: config.OpParse, Framing: "lines"},
 	)
 	var c collectSinks
-	_, err := p.Run(strings.NewReader(strings.Repeat("x", maxRecordBytes+1)), c.sinks())
-	if err == nil {
-		t.Fatal("expected scan error for oversize record")
+	if _, err := p.Run(strings.NewReader(strings.Repeat("x", maxRecordBytes+1)), c.sinks()); err != nil {
+		t.Fatalf("unterminated oversize record failed the file: %v", err)
+	}
+	if !strings.Contains(c.reject.String(), "record exceeds") {
+		t.Errorf("reject = %q, want oversize marker", c.reject.String())
+	}
+}
+
+func TestFieldsFromFirstSurvivingRecord(t *testing.T) {
+	ops := []config.PlanOp{
+		{Kind: config.OpParse, Framing: "csv"},
+		{Kind: config.OpExtract, Field: "n", Column: 2},
+		{Kind: config.OpValidate, Rules: []config.PlanRule{{Kind: "numeric", Field: "n"}}},
+	}
+	// The first record rejects; naming fields must come from the first
+	// record that survives validate.
+	p := compileOne(t, Options{}, ops...)
+	var c collectSinks
+	stats, err := p.Run(strings.NewReader("a,bad\nb,7\n"), c.sinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Fields) != 1 || stats.Fields[0] != "7" {
+		t.Errorf("fields = %v, want [7]", stats.Fields)
+	}
+
+	// No survivors at all: each extract falls back to an empty string
+	// so normalize templates still render deterministically.
+	var c2 collectSinks
+	stats, err = p.Run(strings.NewReader("a,bad\n"), c2.sinks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Fields) != 1 || stats.Fields[0] != "" {
+		t.Errorf("fallback fields = %v, want [\"\"]", stats.Fields)
+	}
+}
+
+func TestEnrichTableErrorDegradesAtIngest(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "absent.csv")
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "csv"},
+		config.PlanOp{Kind: config.OpExtract, Field: "r", Column: 1},
+		config.PlanOp{Kind: config.OpEnrich, Field: "r", Table: missing},
+	)
+	// A broken side table must not fail the file (that would wedge the
+	// shard); records pass through un-enriched.
+	var c collectSinks
+	if _, err := p.Run(strings.NewReader("east,1\n"), c.sinks()); err != nil {
+		t.Fatalf("table error failed the file: %v", err)
+	}
+	if got := c.primary.String(); got != "east,1\n" {
+		t.Errorf("primary = %q, want un-enriched record", got)
+	}
+}
+
+func TestDeliveryTransformTableErrorFailsPush(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "absent.csv")
+	p := compileOne(t, Options{},
+		config.PlanOp{Kind: config.OpParse, Framing: "csv"},
+		config.PlanOp{Kind: config.OpExtract, Field: "r", Column: 1},
+		config.PlanOp{Kind: config.OpEnrich, Field: "r", Table: missing, AtDelivery: true},
+	)
+	// At delivery the same breakage fails only the push — visible and
+	// retryable once the operator repairs the table.
+	if _, err := p.DeliveryTransform()([]byte("east,1\n")); err == nil {
+		t.Fatal("expected delivery transform error for missing table")
+	}
+}
+
+func TestDeliveryTransformGzipFeed(t *testing.T) {
+	dir := t.TempDir()
+	table := writeTable(t, dir, "t.csv", "east,us\n")
+	p := compileFeed(t, Options{}, &config.Feed{
+		Path:     "F",
+		Compress: config.CompressGzip,
+		Plan: &config.PlanSpec{Ops: []config.PlanOp{
+			{Kind: config.OpParse, Framing: "csv"},
+			{Kind: config.OpExtract, Field: "r", Column: 1},
+			{Kind: config.OpEnrich, Field: "r", Table: table, AtDelivery: true},
+		}},
+	})
+	// The server stages gzip-wrapped lean records for a `compress
+	// gzip` feed; the transform must gunzip, join, and re-gzip so the
+	// subscriber still receives the feed's declared encoding.
+	out, err := p.DeliveryTransform()(gzipBytes(t, "east,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("transformed output is not gzip: %v", err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != "east,1,us\n" {
+		t.Errorf("transformed = %q, want enriched record", string(plain))
 	}
 }
